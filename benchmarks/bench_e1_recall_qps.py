@@ -1,0 +1,71 @@
+"""E1 — recall vs QPS for the three retrieval frameworks (MUST headline).
+
+Sweeps the search budget (beam width) and reports recall@10 and QPS for
+MR, JE, and MUST on composed multi-modal queries over a 1500-object base.
+Expected shape (from the MUST paper): MUST dominates the accuracy/effort
+trade-off on multi-modal queries — at every budget its recall is the
+highest, and it answers with a single traversal while MR pays one search
+per modality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.encoders import build_encoder_set
+from repro.evaluation import ExperimentTable, composed_queries, evaluate_framework
+from repro.index import build_index
+from repro.retrieval import build_framework
+from repro.weights import VectorWeightLearner
+
+from benchmarks.conftest import FAST_LEARNING, HNSW_PARAMS, report
+
+K = 10
+BUDGETS = (16, 32, 64, 128)
+N_QUERIES = 40
+
+
+@pytest.fixture(scope="module")
+def large_world():
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=1500, seed=7))
+    encoder_set = build_encoder_set("clip-joint", kb, seed=3)
+    weights = VectorWeightLearner(FAST_LEARNING).fit(kb, encoder_set).weights
+    frameworks = {}
+    for name in ("mr", "je", "must"):
+        framework = build_framework(name)
+        framework.setup(
+            kb, encoder_set, lambda: build_index("hnsw", HNSW_PARAMS), weights=weights
+        )
+        frameworks[name] = framework
+    workload = composed_queries(kb, N_QUERIES, k=K, seed=2)
+    return kb, frameworks, workload
+
+
+def test_benchmark_e1(benchmark, large_world):
+    """Regenerates the recall-vs-QPS sweep and times MUST at budget 64."""
+    kb, frameworks, workload = large_world
+    table = ExperimentTable(
+        f"E1: recall vs QPS (scenes n={len(kb)}, composed queries, recall@{K})",
+        ["framework", "budget", "recall", "qps", "mean hops", "mean dist evals"],
+    )
+    recall_at_64 = {}
+    for name in ("must", "mr", "je"):
+        for budget in BUDGETS:
+            score = evaluate_framework(frameworks[name], workload, k=K, budget=budget)
+            table.add_row(
+                [name, budget, score.recall, round(score.qps, 1), score.hops,
+                 score.distance_evaluations]
+            )
+            if budget == 64:
+                recall_at_64[name] = score.recall
+    report(table)
+
+    # MUST leads the multi-modal workload at the common operating point.
+    assert recall_at_64["must"] > recall_at_64["mr"]
+    assert recall_at_64["must"] > recall_at_64["je"]
+
+    query = workload[0]
+    benchmark(
+        lambda: frameworks["must"].retrieve(query.raw, k=K, budget=64)
+    )

@@ -1,0 +1,95 @@
+"""E2 — the vector-weight-learning ablation.
+
+Sweeps modality-noise asymmetry and compares MUST's recall under equal,
+learned, and oracle (grid-searched) weights.  Expected shape: as one
+modality degrades, the learner shifts weight away from it, and learned
+weights track the oracle while equal weights fall behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetSpec, Modality, generate_knowledge_base
+from repro.encoders import build_encoder_set
+from repro.evaluation import ExperimentTable, composed_queries, evaluate_framework
+from repro.index import build_index
+from repro.retrieval import build_framework
+from repro.weights import VectorWeightLearner, WeightLearningConfig
+
+from benchmarks.conftest import HNSW_PARAMS, report
+
+K = 10
+N_QUERIES = 30
+WORLDS = (
+    ("clean images", dict(image_noise_sigma=0.05, text_drop_probability=0.15)),
+    ("noisy images", dict(image_noise_sigma=0.5, text_drop_probability=0.15)),
+    ("very noisy images", dict(image_noise_sigma=0.9, text_drop_probability=0.05)),
+)
+ORACLE_GRID = ((1.6, 0.4), (1.2, 0.8), (1.0, 1.0), (0.8, 1.2), (0.4, 1.6))
+LEARNING = WeightLearningConfig(steps=35, batch_size=16, n_negatives=6)
+
+
+def must_recall(kb, encoder_set, weights, workload) -> float:
+    framework = build_framework("must")
+    framework.setup(
+        kb,
+        encoder_set,
+        lambda: build_index("hnsw", HNSW_PARAMS),
+        weights=weights,
+    )
+    return evaluate_framework(framework, workload, k=K).recall
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    learned_image_weights = []
+    for label, noise in WORLDS:
+        kb = generate_knowledge_base(
+            DatasetSpec(domain="scenes", size=400, seed=7, **noise)
+        )
+        encoder_set = build_encoder_set("unimodal-strong", kb, seed=3)
+        workload = composed_queries(kb, N_QUERIES, k=K, seed=2)
+        learned = VectorWeightLearner(LEARNING).fit(kb, encoder_set).weights
+        learned_image_weights.append(learned[Modality.IMAGE])
+
+        equal_recall = must_recall(kb, encoder_set, None, workload)
+        learned_recall = must_recall(kb, encoder_set, learned, workload)
+        oracle_recall = max(
+            must_recall(
+                kb,
+                encoder_set,
+                {Modality.TEXT: text_w, Modality.IMAGE: image_w},
+                workload,
+            )
+            for text_w, image_w in ORACLE_GRID
+        )
+        rows.append(
+            (label, learned[Modality.IMAGE], equal_recall, learned_recall, oracle_recall)
+        )
+    return rows, learned_image_weights
+
+
+def test_benchmark_e2(benchmark, sweep):
+    """Regenerates the weight-learning ablation and times one fit."""
+    rows, learned_image_weights = sweep
+    table = ExperimentTable(
+        f"E2: weight-learning ablation (scenes n=400, composed queries, recall@{K})",
+        ["world", "learned image weight", "equal recall", "learned recall", "oracle recall"],
+    )
+    for row in rows:
+        table.add_row(list(row))
+    report(table)
+
+    # Weight follows informativeness: image weight decreases as images degrade.
+    assert learned_image_weights[0] > learned_image_weights[-1]
+    # Learned weights beat equal on asymmetric worlds and approach the oracle.
+    for label, _, equal_recall, learned_recall, oracle_recall in rows[1:]:
+        assert learned_recall >= equal_recall - 0.02, label
+        assert learned_recall >= oracle_recall - 0.15, label
+
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=200, seed=7))
+    encoder_set = build_encoder_set("unimodal-strong", kb, seed=3)
+    short = WeightLearningConfig(steps=10, batch_size=8, n_negatives=4)
+    benchmark(lambda: VectorWeightLearner(short).fit(kb, encoder_set))

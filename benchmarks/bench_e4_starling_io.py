@@ -1,0 +1,85 @@
+"""E4 — Starling's block-shuffled disk layout vs a naive layout.
+
+Both variants share the same inner Vamana graph; only the vertex-to-block
+assignment differs.  Expected shape (the Starling paper's headline): the
+neighbour-packing layout reads markedly fewer blocks per query because one
+block fetch prefetches the vertices the traversal needs next, and the
+buffer cache hits more often.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.distance import SingleVectorKernel
+from repro.encoders import build_encoder_set
+from repro.evaluation import ExperimentTable
+from repro.index import StarlingIndex, StarlingParams
+from repro.index.vamana import VamanaParams
+from repro.utils import derive_rng
+
+from benchmarks.conftest import report
+
+K = 10
+BUDGET = 64
+N_QUERIES = 30
+INNER = VamanaParams(max_degree=12, candidate_pool=32, build_budget=48)
+
+
+@pytest.fixture(scope="module")
+def disk_world():
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=1000, seed=7))
+    encoder_set = build_encoder_set("clip-joint", kb, seed=3)
+    corpus = encoder_set.encode_corpus(list(kb))["image"]
+    rng = derive_rng(4, "e4-queries")
+    query_ids = rng.choice(len(kb), size=N_QUERIES, replace=False)
+    queries = corpus[query_ids] + 0.05 * rng.standard_normal(
+        (N_QUERIES, corpus.shape[1])
+    )
+
+    variants = {}
+    for label, shuffled in (("shuffled", True), ("naive", False)):
+        index = StarlingIndex(
+            StarlingParams(block_size=16, cache_blocks=8, shuffled=shuffled, inner=INNER)
+        )
+        index.build(corpus, SingleVectorKernel(corpus.shape[1]))
+        variants[label] = index
+    return variants, queries
+
+
+def measure(index, queries) -> "tuple[float, float, float]":
+    index.device.reset()
+    reads = 0
+    hits = 0
+    amplification = 0.0
+    for query in queries:
+        result = index.search(query, k=K, budget=BUDGET)
+        reads += result.stats.block_reads
+        hits += result.stats.cache_hits
+        amplification += index.io_amplification(result)
+    count = len(queries)
+    return reads / count, hits / count, amplification / count
+
+
+def test_benchmark_e4(benchmark, disk_world):
+    """Regenerates the I/O table and times a disk-resident search."""
+    variants, queries = disk_world
+    table = ExperimentTable(
+        f"E4: Starling block I/O (n=1000, block=16 vectors, cache=8 blocks, "
+        f"budget={BUDGET})",
+        ["layout", "block reads/query", "cache hits/query", "I/O amplification"],
+    )
+    measured = {}
+    for label, index in variants.items():
+        reads, hits, amplification = measure(index, queries)
+        table.add_row([label, reads, hits, amplification])
+        measured[label] = (reads, hits, amplification)
+    report(table)
+
+    # The shuffled layout must cut block reads and raise cache hits.
+    assert measured["shuffled"][0] < measured["naive"][0]
+    assert measured["shuffled"][1] > measured["naive"][1]
+
+    shuffled = variants["shuffled"]
+    benchmark(lambda: shuffled.search(queries[0], k=K, budget=BUDGET))

@@ -1,0 +1,81 @@
+"""E6 — joint-space capacity ablation (why JE hits a ceiling).
+
+Sweeps the simulated CLIP's output dimensionality — the capacity of the
+jointly-trained space — and measures JE's recall, alongside MUST running on
+*unimodal* encoders, which is insulated from the joint space entirely.
+Expected shape: JE tracks the joint space's capacity and degrades as it
+compresses, while the unimodal-MUST line stays flat; this is the mechanism
+behind Figure 5's "JE underperforms" and is exactly the trade the paper's
+multi-vector representation avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetSpec, Modality, generate_knowledge_base
+from repro.encoders import EncoderSet, SimulatedClipEncoder, build_encoder_set
+from repro.evaluation import ExperimentTable, composed_queries, evaluate_framework
+from repro.index import build_index
+from repro.retrieval import build_framework
+from repro.weights import VectorWeightLearner
+
+from benchmarks.conftest import FAST_LEARNING, HNSW_PARAMS, report
+
+K = 10
+N_QUERIES = 30
+CLIP_DIMS = (8, 16, 32, 48)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=400, seed=7))
+    workload = composed_queries(kb, N_QUERIES, k=K, seed=2)
+    builder = lambda: build_index("hnsw", HNSW_PARAMS)
+
+    je_recalls = {}
+    for dim in CLIP_DIMS:
+        clip = SimulatedClipEncoder(kb.render_model.image, output_dim=dim, seed=3)
+        encoder_set = EncoderSet(
+            {Modality.TEXT: clip, Modality.IMAGE: clip}, name=f"clip-{dim}d"
+        )
+        framework = build_framework("je")
+        framework.setup(kb, encoder_set, builder)
+        je_recalls[dim] = evaluate_framework(framework, workload, k=K).recall
+
+    unimodal = build_encoder_set("unimodal-strong", kb, seed=3)
+    weights = VectorWeightLearner(FAST_LEARNING).fit(kb, unimodal).weights
+    must = build_framework("must")
+    must.setup(kb, unimodal, builder, weights=weights)
+    must_recall = evaluate_framework(must, workload, k=K).recall
+    return je_recalls, must_recall
+
+
+def test_benchmark_e6(benchmark, sweep):
+    """Regenerates the capacity sweep and times one JE setup."""
+    je_recalls, must_recall = sweep
+    table = ExperimentTable(
+        f"E6: joint-space capacity ablation (scenes n=400, composed queries, recall@{K})",
+        ["framework", "joint dim", "recall"],
+    )
+    for dim in CLIP_DIMS:
+        table.add_row(["je", dim, je_recalls[dim]])
+    table.add_row(["must (unimodal)", "n/a", must_recall])
+    report(table)
+
+    # JE's quality must track the joint space's capacity...
+    assert je_recalls[48] > je_recalls[8]
+    # ...while the multi-vector representation stays clear of the most
+    # compressed joint spaces.
+    assert must_recall > je_recalls[8]
+
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=150, seed=7))
+    clip = SimulatedClipEncoder(kb.render_model.image, output_dim=16, seed=3)
+    encoder_set = EncoderSet({Modality.TEXT: clip, Modality.IMAGE: clip}, name="tiny")
+
+    def je_setup():
+        framework = build_framework("je")
+        framework.setup(kb, encoder_set, lambda: build_index("flat"))
+        return framework
+
+    benchmark(je_setup)

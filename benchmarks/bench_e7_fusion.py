@@ -1,0 +1,90 @@
+"""E7 — rank-fusion ablation for Multi-streamed Retrieval.
+
+MR's quality hinges on how the per-modality rankings are merged; this
+ablation compares RRF, CombSUM, and round-robin on the composed workload
+(and, for context, MUST's merging-free result).  Expected shape: the
+score-aware and rank-aware fusions beat naive interleaving, and *all* of
+them trail MUST — the merging step itself is the bottleneck the paper's
+framework removes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ExperimentTable, composed_queries, evaluate_framework
+from repro.index import build_index
+from repro.retrieval import FusionStrategy, build_framework
+
+from benchmarks.conftest import HNSW_PARAMS, report
+
+K = 10
+N_QUERIES = 40
+
+
+@pytest.fixture(scope="module")
+def fusion_scores(scenes_world):
+    kb, encoder_set, weights = scenes_world
+    workload = composed_queries(kb, N_QUERIES, k=K, seed=2)
+    builder = lambda: build_index("hnsw", HNSW_PARAMS)
+
+    scores = {}
+    for strategy in FusionStrategy:
+        framework = build_framework("mr", {"fusion": strategy.value})
+        framework.setup(kb, encoder_set, builder, weights=weights)
+        scores[f"mr/{strategy.value}"] = evaluate_framework(
+            framework, workload, k=K
+        ).recall
+
+    # The strongest MR variant: learned weights applied at fusion time.
+    weighted_mr = build_framework("mr", {"fusion": "rrf"})
+    weighted_mr.setup(kb, encoder_set, builder, weights=weights)
+    import time
+
+    from repro.evaluation import recall_at_k
+
+    total = 0.0
+    for query in workload:
+        fetch = K + (1 if query.reference_id is not None else 0)
+        response = weighted_mr.retrieve(
+            query.raw, k=fetch, budget=64, weights=weights
+        )
+        ids = [i for i in response.ids if i != query.reference_id][:K]
+        total += recall_at_k(ids, query.gt_ids, K)
+    scores["mr/rrf + learned stream weights"] = total / len(workload)
+
+    must = build_framework("must")
+    must.setup(kb, encoder_set, builder, weights=weights)
+    scores["must (merging-free)"] = evaluate_framework(must, workload, k=K).recall
+    return scores
+
+
+def test_benchmark_e7(benchmark, fusion_scores, scenes_world):
+    """Regenerates the fusion ablation and times an RRF retrieval."""
+    kb, encoder_set, weights = scenes_world
+    table = ExperimentTable(
+        f"E7: MR fusion-strategy ablation (scenes n={len(kb)}, "
+        f"composed queries, recall@{K})",
+        ["configuration", "recall"],
+    )
+    for name, recall in fusion_scores.items():
+        table.add_row([name, recall])
+    report(table)
+
+    # Naive interleaving must not beat the principled fusions, and no
+    # fusion variant — even with learned stream weights — reaches the
+    # merging-free search.
+    best_fusion = max(
+        fusion_scores[k] for k in fusion_scores if k.startswith("mr/")
+    )
+    assert fusion_scores["mr/round_robin"] <= best_fusion
+    assert fusion_scores["must (merging-free)"] > best_fusion
+
+    from repro.data import RawQuery
+
+    framework = build_framework("mr", {"fusion": "rrf"})
+    framework.setup(
+        kb, encoder_set, lambda: build_index("hnsw", HNSW_PARAMS), weights=weights
+    )
+    query = RawQuery.from_text("foggy clouds")
+    benchmark(lambda: framework.retrieve(query, k=K, budget=64))

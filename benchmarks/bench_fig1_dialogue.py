@@ -1,0 +1,90 @@
+"""FIG1 — the multi-round fashion dialogue of Figure 1.
+
+Scripts the paper's opening example over many dialogues: a "long-sleeved"
+garment request, a selection, then a "floral pattern" refinement.  Measures
+how the fraction of results carrying *both* the original and the newly
+requested concept evolves across rounds — the figure's claim is that the
+feedback loop steers the system toward the combined intent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+from repro.evaluation import ExperimentTable
+from repro.utils import derive_rng
+
+from benchmarks.conftest import FAST_LEARNING, HNSW_PARAMS, report
+
+N_DIALOGUES = 20
+K = 5
+
+
+@pytest.fixture(scope="module")
+def fashion_system():
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="fashion", size=500, seed=11),
+        weight_learning={
+            "steps": FAST_LEARNING.steps,
+            "batch_size": FAST_LEARNING.batch_size,
+        },
+        index_params=dict(HNSW_PARAMS),
+        result_count=K,
+    )
+    return MQASystem.from_config(config)
+
+
+def run_dialogues(system) -> dict:
+    """Scripted Figure-1 dialogues; returns per-round concept-hit rates."""
+    kb = system.kb
+    rng = derive_rng(3, "fig1-dialogues")
+    patterns = list(kb.space.names_in_category("pattern"))
+    rates = {"round1 base": 0.0, "round2 base": 0.0, "round2 extra": 0.0}
+    for _ in range(N_DIALOGUES):
+        system.reset_dialogue()
+        base = "long-sleeved"
+        extra = patterns[int(rng.integers(len(patterns)))]
+        answer = system.ask(f"a {base} top for older women")
+        rates["round1 base"] += sum(
+            1 for i in answer.ids if base in kb.get(i).concepts
+        ) / len(answer.ids)
+        system.select(0)
+        answer = system.refine(f"could you add a {extra} pattern to this style")
+        rates["round2 base"] += sum(
+            1 for i in answer.ids if base in kb.get(i).concepts
+        ) / len(answer.ids)
+        rates["round2 extra"] += sum(
+            1 for i in answer.ids if extra in kb.get(i).concepts
+        ) / len(answer.ids)
+    return {key: value / N_DIALOGUES for key, value in rates.items()}
+
+
+def test_benchmark_fig1(benchmark, fashion_system):
+    """Regenerates the Figure-1 interaction metrics and times one full
+    refinement round (select + augmented query + answer generation)."""
+    rates = run_dialogues(fashion_system)
+    table = ExperimentTable(
+        f"FIG1: multi-round fashion dialogue (fashion, n=500, "
+        f"{N_DIALOGUES} dialogues, k={K})",
+        ["metric", "value"],
+    )
+    table.add_row(["round-1 results carrying the base concept", rates["round1 base"]])
+    table.add_row(["round-2 results keeping the base concept", rates["round2 base"]])
+    table.add_row(["round-2 results gaining the refined concept", rates["round2 extra"]])
+    report(table)
+
+    # The feedback loop must surface the refined concept while retaining
+    # the original intent through the selected image.
+    assert rates["round1 base"] >= 0.6
+    assert rates["round2 extra"] >= 0.4
+    assert rates["round2 base"] >= 0.3
+
+    def one_refinement_round():
+        fashion_system.reset_dialogue()
+        fashion_system.ask("a long-sleeved top for older women")
+        fashion_system.select(0)
+        return fashion_system.refine("could you add a floral pattern to this style")
+
+    benchmark(one_refinement_round)

@@ -1,0 +1,67 @@
+"""FIG2 — the system architecture's data flow.
+
+Drives one complete setup + query round and asserts the coordinator's event
+log reproduces Figure 2's arrows: configuration enters through the
+frontend, flows preprocessing -> representation -> indexing, and each query
+travels frontend -> execution -> generation -> frontend, with the
+coordinator as the sole conduit.  The stage-latency table is the
+quantitative artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Coordinator, MQAConfig, MilestoneState
+from repro.data import DatasetSpec, RawQuery
+from repro.evaluation import ExperimentTable
+
+from benchmarks.conftest import FAST_LEARNING, HNSW_PARAMS, report
+
+SETUP_FLOW = ["configuration", "knowledge-base", "objects", "vectors", "llm"]
+QUERY_FLOW = ["raw-query", "query", "search-results", "answer"]
+
+
+def make_config() -> MQAConfig:
+    return MQAConfig(
+        dataset=DatasetSpec(domain="scenes", size=200, seed=7),
+        weight_learning={
+            "steps": FAST_LEARNING.steps,
+            "batch_size": FAST_LEARNING.batch_size,
+        },
+        index_params=dict(HNSW_PARAMS),
+    )
+
+
+def test_benchmark_fig2(benchmark):
+    """Verifies the architecture flow and times a full system setup."""
+    coordinator = Coordinator(make_config()).setup()
+    answer = coordinator.handle_query(RawQuery.from_text("foggy clouds"))
+
+    # Event flow matches the figure's arrows.
+    kinds = coordinator.events.kinds()
+    assert kinds[: len(SETUP_FLOW)] == SETUP_FLOW
+    assert kinds[len(SETUP_FLOW) : len(SETUP_FLOW) + len(QUERY_FLOW)] == QUERY_FLOW
+
+    # Every milestone completed, in backend order.
+    milestones = coordinator.status.milestones()
+    assert all(m.state is MilestoneState.DONE for m in milestones)
+    assert answer.grounded
+
+    # Frontend and backend components only ever appear alongside the
+    # coordinator or their pipeline neighbour — never skipping the conduit.
+    for event in coordinator.events:
+        assert event.source != event.target
+
+    table = ExperimentTable(
+        "FIG2: backend stage latencies (scenes, n=200)",
+        ["stage", "status", "latency ms", "details"],
+    )
+    for milestone in milestones:
+        detail = ", ".join(f"{k}={v}" for k, v in list(milestone.details.items())[:3])
+        table.add_row(
+            [milestone.name, milestone.state.value, milestone.elapsed * 1000, detail]
+        )
+    report(table)
+
+    benchmark(lambda: Coordinator(make_config()).setup())

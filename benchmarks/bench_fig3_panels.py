@@ -1,0 +1,92 @@
+"""FIG3 — the configuration panel's option space.
+
+Sweeps a grid of panel configurations (encoder set x framework x index x
+LLM), applies each through the configuration panel, and requires every cell
+to produce a working system that answers a query — the panel's promise that
+any combination of its dropdowns yields a runnable setup.  Reports setup
+latency per cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.evaluation import ExperimentTable
+from repro.utils import Timer
+
+from benchmarks.conftest import report
+
+GRID = [
+    # (encoder_set, framework, index, llm)
+    ("clip-joint", "must", "hnsw", "template"),
+    ("clip-joint", "must", "flat", "markov"),
+    ("clip-joint", "must", "nav-must", "template"),
+    ("clip-joint", "mr", "hnsw", "template"),
+    ("clip-joint", "je", "hnsw", "template"),
+    ("clip-joint", "je", "nsg", None),
+    ("unimodal-strong", "must", "hnsw", "template"),
+    ("unimodal-strong", "mr", "vamana", None),
+    ("unimodal-basic", "must", "flat", "markov"),
+]
+
+SMALL_INDEX_PARAMS = {
+    "hnsw": {"m": 6, "ef_construction": 32},
+    "nsg": {"max_degree": 8, "knn": 16},
+    "vamana": {"max_degree": 8, "candidate_pool": 16, "build_budget": 24},
+    "nav-must": {"max_degree": 8, "candidate_pool": 16, "build_budget": 24},
+    "flat": {},
+}
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return generate_knowledge_base(DatasetSpec(domain="scenes", size=150, seed=7))
+
+
+def apply_cell(kb, encoder_set, framework, index, llm):
+    panel = ConfigurationPanel(
+        MQAConfig(
+            dataset=DatasetSpec(domain="scenes", size=150, seed=7),
+            weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+        )
+    )
+    panel.set_option("encoder_set", encoder_set)
+    panel.set_option("framework", framework)
+    panel.set_option("index", index)
+    panel.set_option("index_params", dict(SMALL_INDEX_PARAMS[index]))
+    panel.set_option("llm", llm if llm else "none")
+    return panel.apply(knowledge_base=kb)
+
+
+def test_benchmark_fig3(benchmark, kb):
+    """Sweeps the configuration grid and times one panel apply."""
+    table = ExperimentTable(
+        f"FIG3: configuration-panel grid ({len(GRID)} cells, scenes n=150)",
+        ["encoder set", "framework", "index", "llm", "setup ms", "answered"],
+    )
+    for encoder_set, framework, index, llm in GRID:
+        with Timer() as timer:
+            coordinator = apply_cell(kb, encoder_set, framework, index, llm)
+        qa = QAPanel(coordinator)
+        answer = qa.submit("foggy clouds")
+        answered = bool(answer.items) and bool(answer.text)
+        table.add_row(
+            [
+                encoder_set,
+                framework,
+                index,
+                llm or "none",
+                timer.elapsed * 1000,
+                "yes" if answered else "NO",
+            ]
+        )
+        assert answered, f"cell {(encoder_set, framework, index, llm)} failed"
+        # The status panel must show the three setup ticks for every cell.
+        assert StatusPanel(coordinator.status).render().count("✓") >= 3
+    report(table)
+
+    benchmark(
+        lambda: apply_cell(kb, "clip-joint", "must", "hnsw", "template")
+    )

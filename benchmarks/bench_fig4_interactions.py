@@ -1,0 +1,128 @@
+"""FIG4 — the two interaction scenarios of Figure 4.
+
+(a) text-only input on the food base ("moldy cheese"), refined from the
+    selected image; the measured claim is that the feedback image improves
+    round-two recall over refining with text alone.
+(b) image-assisted input on the products base ("coats of similar
+    material"); the measured claim is that combining the reference image
+    with text beats either modality alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec, Modality, RawQuery
+from repro.evaluation import ExperimentTable, recall_at_k, refinement_scripts
+from repro.utils import derive_rng
+
+from benchmarks.conftest import HNSW_PARAMS, report
+
+K = 5
+N = 20
+
+
+def make_system(domain: str, seed: int) -> MQASystem:
+    config = MQAConfig(
+        dataset=DatasetSpec(domain=domain, size=400, seed=seed),
+        weight_learning={"steps": 25, "batch_size": 12},
+        index_params=dict(HNSW_PARAMS),
+        result_count=K,
+    )
+    return MQASystem.from_config(config)
+
+
+@pytest.fixture(scope="module")
+def food_system():
+    return make_system("food", 5)
+
+
+@pytest.fixture(scope="module")
+def products_system():
+    return make_system("products", 9)
+
+
+def scenario_a(system) -> "tuple[float, float]":
+    """Round-two recall with image feedback vs text-only refinement."""
+    kb = system.kb
+    framework = system.coordinator.execution.framework
+    scripts = refinement_scripts(kb, N, k=K, seed=4)
+    with_feedback = 0.0
+    without_feedback = 0.0
+    for script in scripts:
+        response1 = framework.retrieve(script.initial.raw, k=K, budget=64)
+        selected_id = response1.ids[0]
+        selected = kb.get(selected_id)
+        gt2 = script.refined_ground_truth(kb, selected_id)
+        text2 = script.refinement_text + " " + script.extra_concept
+
+        fed = framework.retrieve(
+            RawQuery.from_text_and_image(text2, selected.get(Modality.IMAGE)),
+            k=K + 1,
+            budget=64,
+        )
+        fed_ids = [i for i in fed.ids if i != selected_id][:K]
+        with_feedback += recall_at_k(fed_ids, gt2, K)
+
+        plain = framework.retrieve(RawQuery.from_text(text2), k=K + 1, budget=64)
+        plain_ids = [i for i in plain.ids if i != selected_id][:K]
+        without_feedback += recall_at_k(plain_ids, gt2, K)
+    return with_feedback / N, without_feedback / N
+
+
+def scenario_b(system) -> "dict[str, float]":
+    """Image-assisted queries: combined vs single-modality recall."""
+    kb = system.kb
+    framework = system.coordinator.execution.framework
+    rng = derive_rng(6, "fig4b")
+    names = kb.space.names
+    recalls = {"image+text": 0.0, "image only": 0.0, "text only": 0.0}
+    for _ in range(N):
+        reference_id = int(rng.integers(len(kb)))
+        reference = kb.get(reference_id)
+        extra_pool = [n for n in names if n not in reference.concepts]
+        extra = extra_pool[int(rng.integers(len(extra_pool)))]
+        gt = kb.ground_truth_for_concepts(
+            list(reference.concepts) + [extra], K, exclude=[reference_id]
+        )
+        image = reference.get(Modality.IMAGE)
+        variants = {
+            "image+text": RawQuery.from_text_and_image(extra, image),
+            "image only": RawQuery(content={Modality.IMAGE: image}),
+            "text only": RawQuery.from_text(extra),
+        }
+        for label, query in variants.items():
+            response = framework.retrieve(query, k=K + 1, budget=64)
+            ids = [i for i in response.ids if i != reference_id][:K]
+            recalls[label] += recall_at_k(ids, gt, K)
+    return {label: value / N for label, value in recalls.items()}
+
+
+def test_benchmark_fig4(benchmark, food_system, products_system):
+    """Regenerates both interaction-scenario tables; times scenario (b)."""
+    fed, plain = scenario_a(food_system)
+    combined = scenario_b(products_system)
+
+    table = ExperimentTable(
+        f"FIG4: interaction scenarios (k={K}, {N} dialogues each)",
+        ["scenario", "variant", "recall"],
+    )
+    table.add_row(["(a) food, round 2", "refine with selected image", fed])
+    table.add_row(["(a) food, round 2", "refine with text only", plain])
+    for label, value in combined.items():
+        table.add_row(["(b) products", label, value])
+    report(table)
+
+    # The feedback loop and multi-modal composition must both pay off.
+    assert fed > plain
+    assert combined["image+text"] > combined["image only"]
+    assert combined["image+text"] > combined["text only"]
+
+    kb = products_system.kb
+    reference = kb.get(0)
+    query = RawQuery.from_text_and_image(
+        "classic", reference.get(Modality.IMAGE)
+    )
+    framework = products_system.coordinator.execution.framework
+    benchmark(lambda: framework.retrieve(query, k=K, budget=64))

@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures and result reporting.
+
+Each benchmark regenerates one paper artefact (Figures 1-5) or one
+extension experiment (E1-E5 from DESIGN.md).  Result tables are printed to
+stdout *and* appended to ``benchmarks/results/<experiment>.txt`` so the
+rows survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.encoders import build_encoder_set
+from repro.evaluation import ExperimentTable
+from repro.index import build_index
+from repro.retrieval import build_framework
+from repro.weights import VectorWeightLearner, WeightLearningConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FAST_LEARNING = WeightLearningConfig(steps=30, batch_size=16, n_negatives=6)
+HNSW_PARAMS = {"m": 8, "ef_construction": 48}
+
+
+def report(table: ExperimentTable) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = table.title.split(":")[0].strip().lower().replace(" ", "-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scenes_world():
+    """Scenes KB + CLIP encoders + learned weights, shared by benches."""
+    kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=500, seed=7))
+    encoder_set = build_encoder_set("clip-joint", kb, seed=3)
+    weights = VectorWeightLearner(FAST_LEARNING).fit(kb, encoder_set).weights
+    return kb, encoder_set, weights
+
+
+@pytest.fixture(scope="session")
+def frameworks(scenes_world):
+    """The three frameworks, set up over the scenes world with HNSW."""
+    kb, encoder_set, weights = scenes_world
+    built = {}
+    for name in ("mr", "je", "must"):
+        framework = build_framework(name)
+        framework.setup(
+            kb, encoder_set, lambda: build_index("hnsw", HNSW_PARAMS), weights=weights
+        )
+        built[name] = framework
+    return built

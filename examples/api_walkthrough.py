@@ -1,0 +1,70 @@
+"""Driving MQA through the backend API (the Flask stand-in).
+
+Walks the exact endpoint sequence the demo's React frontend performs:
+fetch options, configure, apply, monitor status, converse, ingest a new
+object live, and read the event log — all as JSON-dict requests against
+:class:`repro.server.ApiServer`.
+
+Run:  python examples/api_walkthrough.py
+"""
+
+import json
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server import ApiServer
+
+
+def call(server, method, path, body=None):
+    response = server.handle(method, path, body)
+    print(f"{method} {path} {'(' + json.dumps(body) + ')' if body else ''}")
+    if not response["ok"]:
+        print("  ERROR:", response["error"])
+    return response
+
+
+def main() -> None:
+    server = ApiServer(
+        MQAConfig(
+            dataset=DatasetSpec(domain="scenes", size=300, seed=7),
+            weight_learning={"steps": 25, "batch_size": 12},
+        )
+    )
+
+    # 1. The frontend populates its dropdowns.
+    options = call(server, "GET", "/options")["options"]
+    print("  frameworks:", options["framework"])
+    print("  indexes   :", options["index"])
+
+    # 2. The user flips two options and applies.
+    call(server, "POST", "/configure", {"option": "framework", "value": "must"})
+    call(server, "POST", "/configure", {"option": "result_count", "value": 4})
+    applied = call(server, "POST", "/apply")
+    print("  summary:", applied["summary"]["framework"], "/", applied["summary"]["index"])
+
+    # 3. The status panel refreshes.
+    status = call(server, "GET", "/status")
+    for milestone in status["milestones"][:3]:
+        print(f"  [{milestone['state']}] {milestone['name']} ({milestone['elapsed_ms']} ms)")
+    weights = call(server, "GET", "/weights")["weights"]
+    print("  weights:", {k: round(v, 2) for k, v in weights.items()})
+
+    # 4. A dialogue: query, click, refine.
+    answer = call(server, "POST", "/query", {"text": "foggy clouds"})["answer"]
+    print("  mqa:", answer["text"][:90], "...")
+    call(server, "POST", "/select", {"rank": 0})
+    answer = call(server, "POST", "/refine", {"text": "more of these but dramatic"})["answer"]
+    print("  mqa:", answer["text"][:90], "...")
+
+    # 5. The event log shows the architecture's data flow.
+    events = call(server, "GET", "/events")["events"]
+    print("  flow:", " -> ".join(e["kind"] for e in events[:9]))
+
+    # 6. The transcript is the QA panel's content.
+    transcript = call(server, "GET", "/transcript")["transcript"]
+    print()
+    print(transcript)
+
+
+if __name__ == "__main__":
+    main()

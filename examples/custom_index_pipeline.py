@@ -1,0 +1,66 @@
+"""Building a custom navigation graph with the five-stage pipeline.
+
+The paper: "users can modify existing navigation graphs (e.g., NSG, HNSW,
+DiskANN, Starling) or initiate custom graphs via the backend API."  This
+example composes a novel index from the stage library — random-regular
+initialisation (Vamana), exact-kNN candidates (NSG), strict-RNG selection,
+repair, and random multi-entry points — registers it, and serves it through
+the full MQA system exactly like a built-in.
+
+Run:  python examples/custom_index_pipeline.py
+"""
+
+from repro import DatasetSpec, MQAConfig, MQASystem
+from repro.index import GraphPipelineSpec, PipelineGraphIndex, register_index
+from repro.index.stages import (
+    candidates_exact_knn,
+    connect_repair,
+    entry_random,
+    init_random_regular,
+    select_mrng,
+)
+
+
+def build_custom_spec() -> GraphPipelineSpec:
+    """A hybrid graph: NSG-style edges over a Vamana-style warm start."""
+    return GraphPipelineSpec(
+        name="hybrid-demo",
+        init=init_random_regular(max_degree=12, out_degree=6, seed=0),
+        candidates=candidates_exact_knn(24),
+        selection=select_mrng(12),
+        connectivity=connect_repair(),
+        entry=entry_random(count=2, seed=0),
+    )
+
+
+def main() -> None:
+    register_index("hybrid-demo", lambda params: PipelineGraphIndex(build_custom_spec()))
+
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="movies", size=300, seed=13),
+        index="hybrid-demo",
+        weight_learning={"steps": 25, "batch_size": 16},
+    )
+    system = MQASystem.from_config(config)
+    print(system.status_report())
+
+    # Inspect the constructed graph through the framework.
+    framework = system.coordinator.execution.framework
+    index = framework._index  # the unified multi-vector index
+    print()
+    print("custom index:", index.describe())
+    print("stage execution:")
+    for report in index.stage_reports:
+        print(f"  {report.name:<14} {report.status.value:<8} {report.elapsed * 1000:7.1f} ms")
+
+    print()
+    answer = system.ask("an acclaimed dark thriller in an urban setting")
+    print("user: an acclaimed dark thriller in an urban setting")
+    print("mqa :", answer.text)
+    for item in answer.items:
+        concepts = ", ".join(system.kb.get(item.object_id).concepts)
+        print(f"    #{item.object_id:<4} [{concepts}]")
+
+
+if __name__ == "__main__":
+    main()

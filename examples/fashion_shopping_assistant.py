@@ -1,0 +1,61 @@
+"""The paper's Figure 1 scenario: a multi-round fashion shopping dialogue.
+
+A user looks for "a long-sleeved top for older women", inspects the results,
+then asks for "a floral pattern" on the item they liked.  The example prints
+the whole QA-panel transcript plus the evolving concept alignment, showing
+how each refinement round folds the selected item's image into the query.
+
+Run:  python examples/fashion_shopping_assistant.py
+"""
+
+from repro import DatasetSpec, MQAConfig, MQASystem
+
+
+def show(kb, answer) -> None:
+    for item in answer.items:
+        concepts = ", ".join(kb.get(item.object_id).concepts)
+        marker = "*" if item.preferred else " "
+        print(f"   {marker} #{item.object_id:<4} [{concepts}]")
+
+
+def main() -> None:
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="fashion", size=500, seed=11),
+        weight_learning={"steps": 30, "batch_size": 16},
+        result_count=5,
+    )
+    system = MQASystem.from_config(config)
+    kb = system.kb
+
+    print("=== round 1: text request ===")
+    request = "a long-sleeved top for older women"
+    print("user:", request)
+    answer = system.ask(request)
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+    # The user clicks the best match and asks for a floral variant.
+    print()
+    print("=== round 2: refine with a pattern ===")
+    chosen = system.select(0)
+    print(f"user: (selects #{chosen}) could you add a floral pattern to this style?")
+    answer = system.refine("could you add a floral pattern to this style")
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+    floral_hits = sum(
+        1 for item in answer.items if "floral" in kb.get(item.object_id).concepts
+    )
+    print(f"\nfloral items among results: {floral_hits}/{len(answer.items)}")
+
+    print()
+    print("=== round 3: adjust the colour ===")
+    chosen = system.select(0)
+    print(f"user: (selects #{chosen}) the same but in blue, please")
+    answer = system.refine("the same but in blue please")
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+
+if __name__ == "__main__":
+    main()

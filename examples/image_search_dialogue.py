@@ -1,0 +1,89 @@
+"""The paper's Figure 4 interaction scenarios.
+
+(a) Text-only input — "I would like some images of moldy cheese", then a
+    refinement keyed on the selected image's degree of mold.
+(b) Image-assisted input — the user uploads a reference coat photo and asks
+    for "more coats made of similar material".
+
+Run:  python examples/image_search_dialogue.py
+"""
+
+from repro import DatasetSpec, MQAConfig, MQASystem, Modality
+
+
+def show(kb, answer) -> None:
+    for item in answer.items:
+        concepts = ", ".join(kb.get(item.object_id).concepts)
+        print(f"    #{item.object_id:<4} [{concepts}]")
+
+
+def scenario_a_text_only() -> None:
+    print("=" * 60)
+    print("scenario (a): text-only input — moldy cheese")
+    print("=" * 60)
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="food", size=400, seed=5),
+        weight_learning={"steps": 30, "batch_size": 16},
+    )
+    system = MQASystem.from_config(config)
+    kb = system.kb
+
+    print("user: i would like some images of moldy cheese")
+    answer = system.ask("i would like some images of moldy cheese")
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+    system.select(0)
+    print("\nuser: i like this one, could you locate more cheese of this type")
+    print("      that has a similar degree of mold?")
+    answer = system.refine(
+        "i like this one, could you locate more cheese with a similar degree of mold"
+    )
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+
+def scenario_b_image_assisted() -> None:
+    print()
+    print("=" * 60)
+    print("scenario (b): image-assisted input — coats of similar material")
+    print("=" * 60)
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="products", size=400, seed=9),
+        weight_learning={"steps": 30, "batch_size": 16},
+    )
+    system = MQASystem.from_config(config)
+    kb = system.kb
+
+    # The user's own photo: borrow a leather coat's image as the upload.
+    reference_id = next(
+        object_id
+        for object_id in kb.store.ids()
+        if {"coat", "leather"} <= set(kb.get(object_id).concepts)
+    )
+    reference = kb.get(reference_id)
+    print(f"user uploads a photo (like object #{reference_id}:",
+          f"[{', '.join(reference.concepts)}])")
+    print("user: could you find more coats made of similar material to this one?")
+    answer = system.ask(
+        "could you find more coats made of similar material",
+        image=reference.get(Modality.IMAGE),
+    )
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+    material_hits = sum(
+        1 for item in answer.items if "leather" in kb.get(item.object_id).concepts
+    )
+    print(f"\nleather items among results: {material_hits}/{len(answer.items)}")
+
+    system.select(0)
+    print("\nuser: great — same material, but in a darker colour")
+    answer = system.refine("same material but in a darker colour like black")
+    print("mqa :", answer.text)
+    show(kb, answer)
+
+
+if __name__ == "__main__":
+    scenario_a_text_only()
+    scenario_b_image_assisted()

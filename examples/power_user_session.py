@@ -1,0 +1,81 @@
+"""A power-user session: every advanced interaction feature in one dialogue.
+
+Walks a single conversation that uses, in order: metadata-filtered search
+(`where=`), per-query modality weights, negative feedback (`reject`),
+LLM-guided query rewriting, grounded attribute QA, live ingestion, and
+deletion — the feature set a production deployment layers on top of the
+paper's core loop.
+
+Run:  python examples/power_user_session.py
+"""
+
+from repro import DatasetSpec, MQAConfig, MQASystem
+
+
+def show(kb, answer) -> None:
+    for item in answer.items:
+        concepts = ", ".join(kb.get(item.object_id).concepts)
+        print(f"    #{item.object_id:<4} [{concepts}]")
+
+
+def main() -> None:
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="products", size=400, seed=9),
+        weight_learning={"steps": 25, "batch_size": 12},
+        llm="attribute-qa",
+        query_rewriting=True,
+        result_count=4,
+    )
+    system = MQASystem.from_config(config)
+    kb = system.kb
+
+    print("=== 1. filtered search: only leather items ===")
+    answer = system.ask(
+        "a classic bag", where=lambda obj: "leather" in obj.concepts
+    )
+    show(kb, answer)
+    assert all("leather" in kb.get(i).concepts for i in answer.ids)
+
+    print("\n=== 2. per-query weights: trust the image, ignore my wording ===")
+    reference = kb.get(answer.ids[0])
+    answer = system.ask(
+        "something roughly like this",
+        image=reference.get("image"),
+        weights={"text": 0.2, "image": 1.8},
+    )
+    show(kb, answer)
+
+    print("\n=== 3. negative feedback: not that one ===")
+    rejected = system.reject(0)
+    print(f"    (user rejects #{rejected})")
+    answer = system.ask("something roughly like this", image=reference.get("image"))
+    assert rejected not in answer.ids
+    show(kb, answer)
+
+    print("\n=== 4. vague refinement, rescued by query rewriting ===")
+    system.select(0)
+    answer = system.refine("more please")  # rewriter injects carried intent
+    show(kb, answer)
+
+    print("\n=== 5. grounded attribute QA over the current results ===")
+    answer = system.ask("which of these are leather?")
+    print("    mqa:", answer.text)
+
+    print("\n=== 6. live ingestion: merchant adds a product ===")
+    new_id = system.ingest(["bag", "leather", "burgundy"], metadata={"sku": "B-77"})
+    answer = system.ask("a burgundy leather bag")
+    marker = "  <= just ingested" if new_id in answer.ids else ""
+    print(f"    results: {answer.ids}{marker}")
+
+    print("\n=== 7. deletion: product discontinued ===")
+    system.remove(new_id)
+    answer = system.ask("a burgundy leather bag")
+    assert new_id not in answer.ids
+    print(f"    results after removal: {answer.ids}")
+
+    print("\nsession transcript has", system.session.round_count, "rounds;")
+    print("cache hit rate:", round(system.coordinator.execution.cache.hit_rate, 2))
+
+
+if __name__ == "__main__":
+    main()

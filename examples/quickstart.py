@@ -1,0 +1,56 @@
+"""Quickstart: build an MQA system and hold a three-round dialogue.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DatasetSpec, MQAConfig, MQASystem
+
+
+def main() -> None:
+    # 1. Configure the system.  Every knob here maps to a control in the
+    #    paper's configuration panel; defaults give CLIP embeddings, learned
+    #    modality weights, an HNSW navigation graph, the MUST retrieval
+    #    framework, and the grounded template LLM.
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="scenes", size=400, seed=7),
+        weight_learning={"steps": 30, "batch_size": 16},
+        result_count=5,
+    )
+
+    # 2. Build: generates the knowledge base, encodes it, learns weights,
+    #    and constructs the navigation graph index.
+    system = MQASystem.from_config(config)
+    print(system.status_report())
+    print()
+    print("learned modality weights:", {str(m): round(w, 2) for m, w in system.weights.items()})
+    print()
+
+    # 3. Converse.  Round one: plain text.
+    answer = system.ask("i would like some images of foggy clouds")
+    print("user: i would like some images of foggy clouds")
+    print("mqa :", answer.text)
+    for item in answer.items:
+        print(f"      #{item.object_id}  {item.description}  (score {item.score:.3f})")
+    print()
+
+    # 4. Round two: click the top result and refine — the selected image
+    #    augments the query (the dotted arrow in the paper's Figure 2).
+    system.select(0)
+    answer = system.refine("i like this one, could you find more similar images")
+    print("user: i like this one, could you find more similar images")
+    print("mqa :", answer.text)
+    for item in answer.items:
+        print(f"      #{item.object_id}  {item.description}  (score {item.score:.3f})")
+    print()
+
+    # 5. Round three: narrow further.
+    system.select(0)
+    answer = system.refine("perfect, now only at dusk please")
+    print("user: perfect, now only at dusk please")
+    print("mqa :", answer.text)
+    for item in answer.items:
+        print(f"      #{item.object_id}  {item.description}  (score {item.score:.3f})")
+
+
+if __name__ == "__main__":
+    main()

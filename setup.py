@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so PEP 517 editable installs
+fail; keeping a ``setup.py`` lets ``pip install -e .`` use the legacy
+setuptools path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

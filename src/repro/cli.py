@@ -1,0 +1,208 @@
+"""Command-line interface: an interactive MQA shell over the API layer.
+
+Usage::
+
+    python -m repro --domain scenes --size 400          # interactive shell
+    python -m repro --domain food --ask "moldy cheese"  # one-shot query
+
+Inside the shell::
+
+    > foggy clouds over mountains        # any text = a query
+    > /select 0                          # click result card 0
+    > /refine more of these at dusk      # refine from the selection
+    > /status  /weights  /transcript     # panels
+    > /quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import MQAConfig
+from repro.data import DOMAINS, DatasetSpec
+from repro.server import ApiServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive multi-modal query answering (MQA reproduction)",
+    )
+    parser.add_argument(
+        "--domain", default="scenes", choices=sorted(DOMAINS),
+        help="knowledge-base domain",
+    )
+    parser.add_argument("--size", type=int, default=400, help="knowledge-base size")
+    parser.add_argument("--seed", type=int, default=7, help="generation seed")
+    parser.add_argument(
+        "--framework", default="must", help="retrieval framework (mr/je/must)"
+    )
+    parser.add_argument("--index", default="hnsw", help="index algorithm")
+    parser.add_argument(
+        "--encoder-set", default="clip-joint", dest="encoder_set",
+        help="encoder set name",
+    )
+    parser.add_argument("--llm", default="template", help="llm name or 'none'")
+    parser.add_argument("--k", type=int, default=5, help="results per round")
+    parser.add_argument(
+        "--ask", default=None, help="one-shot query instead of the shell"
+    )
+    return parser
+
+
+def make_server(args: argparse.Namespace) -> ApiServer:
+    """Build and apply the configured system, reporting progress."""
+    config = MQAConfig(
+        dataset=DatasetSpec(domain=args.domain, size=args.size, seed=args.seed),
+        framework=args.framework,
+        index=args.index,
+        encoder_set=args.encoder_set,
+        llm=None if args.llm == "none" else args.llm,
+        result_count=args.k,
+        weight_learning={"steps": 30, "batch_size": 16},
+    )
+    server = ApiServer(config)
+    print(f"building {args.domain} knowledge base ({args.size} objects)...")
+    response = server.handle("POST", "/apply")
+    if not response["ok"]:
+        print("setup failed:", response["error"], file=sys.stderr)
+        raise SystemExit(1)
+    for key, value in response["summary"].items():
+        print(f"  {key}: {value}")
+    return server
+
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image, width: int = 32) -> str:
+    """Render a synthetic image grid as character art for the terminal."""
+    import numpy as np
+
+    grid = np.asarray(image, dtype=float)
+    low, high = grid.min(), grid.max()
+    span = (high - low) or 1.0
+    normalised = (grid - low) / span
+    lines = []
+    for row in normalised:
+        chars = [
+            ASCII_RAMP[min(int(v * len(ASCII_RAMP)), len(ASCII_RAMP) - 1)]
+            for v in row
+        ]
+        # double each char so the aspect ratio looks square-ish
+        lines.append("".join(c * 2 for c in chars))
+    return "\n".join(lines)
+
+
+def print_answer(payload: dict) -> None:
+    """Print one answer payload (text plus ranked result cards)."""
+    print("mqa :", payload["text"])
+    for rank, item in enumerate(payload["items"]):
+        star = "*" if item["preferred"] else " "
+        print(
+            f"   {star}[{rank}] #{item['object_id']} {item['description']} "
+            f"(score {item['score']})"
+        )
+
+
+def run_shell(server: ApiServer) -> None:
+    """The interactive read-eval loop."""
+    print("\ntype a query, /select N, /reject N, /refine TEXT, /show ID,")
+    print("/ingest concept1 concept2 ..., /status, /weights, /transcript,")
+    print("/events, or /quit\n")
+    while True:
+        try:
+            line = input("> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        if not line:
+            continue
+        if line in ("/quit", "/exit"):
+            return
+        if line == "/status":
+            print(server.handle("GET", "/status").get("rendered", ""))
+            continue
+        if line == "/weights":
+            print(server.handle("GET", "/weights").get("weights", {}))
+            continue
+        if line == "/transcript":
+            print(server.handle("GET", "/transcript").get("transcript", ""))
+            continue
+        if line == "/events":
+            for event in server.handle("GET", "/events").get("events", []):
+                print(f"  {event['source']} -> {event['target']}: {event['kind']}")
+            continue
+        if line.startswith("/select"):
+            parts = line.split()
+            rank = int(parts[1]) if len(parts) > 1 else 0
+            response = server.handle("POST", "/select", {"rank": rank})
+            if response["ok"]:
+                print(f"selected #{response['selected_object_id']}")
+            else:
+                print("error:", response["error"])
+            continue
+        if line.startswith("/reject"):
+            parts = line.split()
+            rank = int(parts[1]) if len(parts) > 1 else 0
+            response = server.handle("POST", "/reject", {"rank": rank})
+            if response["ok"]:
+                print(f"rejected #{response['rejected_object_id']}")
+            else:
+                print("error:", response["error"])
+            continue
+        if line.startswith("/ingest"):
+            concepts = line.split()[1:]
+            response = server.handle("POST", "/ingest", {"concepts": concepts})
+            if response["ok"]:
+                print(f"ingested as #{response['object_id']}")
+            else:
+                print("error:", response["error"])
+            continue
+        if line.startswith("/show"):
+            parts = line.split()
+            if len(parts) < 2:
+                print("usage: /show OBJECT_ID")
+                continue
+            try:
+                obj = server._coordinator.get_object(int(parts[1]))
+                print(ascii_image(obj.get("image")))
+                print("caption:", obj.get("text"))
+            except Exception as exc:  # noqa: BLE001 - interactive surface
+                print("error:", exc)
+            continue
+        if line.startswith("/refine"):
+            text = line[len("/refine") :].strip()
+            response = server.handle("POST", "/refine", {"text": text})
+            if response["ok"]:
+                print_answer(response["answer"])
+            else:
+                print("error:", response["error"])
+            continue
+        response = server.handle("POST", "/query", {"text": line})
+        if response["ok"]:
+            print_answer(response["answer"])
+        else:
+            print("error:", response["error"])
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    server = make_server(args)
+    if args.ask is not None:
+        response = server.handle("POST", "/query", {"text": args.ask})
+        if not response["ok"]:
+            print("error:", response["error"], file=sys.stderr)
+            return 1
+        print_answer(response["answer"])
+        return 0
+    run_shell(server)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The MQA system itself — the paper's primary contribution.
+
+Mirrors Figure 2: five backend components (data preprocessing, vector
+representation, index construction, query execution, answer generation)
+orchestrated by a coordinator that is the sole conduit between frontend
+(configuration / status / QA panels) and backend.  :class:`MQASystem` is
+the one-import facade a downstream user talks to.
+"""
+
+from repro.core.answer import Answer
+from repro.core.config import MQAConfig, WeightMode
+from repro.core.coordinator import Coordinator
+from repro.core.events import Event, EventLog
+from repro.core.panels import ConfigurationPanel, QAPanel, StatusPanel
+from repro.core.session import DialogueSession, Round
+from repro.core.status import Milestone, MilestoneState, StatusBoard
+from repro.core.system import MQASystem
+
+__all__ = [
+    "Answer",
+    "ConfigurationPanel",
+    "Coordinator",
+    "DialogueSession",
+    "Event",
+    "EventLog",
+    "MQAConfig",
+    "MQASystem",
+    "Milestone",
+    "MilestoneState",
+    "QAPanel",
+    "Round",
+    "StatusBoard",
+    "WeightMode",
+]

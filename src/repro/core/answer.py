@@ -1,0 +1,58 @@
+"""The answer object a query round produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.index.base import SearchStats
+
+
+@dataclass
+class AnswerItem:
+    """One result shown to the user.
+
+    Attributes:
+        object_id: Knowledge-base id.
+        description: The object's text modality (caption under the image).
+        score: Retrieval score; smaller is better.
+        preferred: True when this item was selected in an earlier round.
+    """
+
+    object_id: int
+    description: str
+    score: float
+    preferred: bool = False
+
+
+@dataclass
+class Answer:
+    """A complete system response for one dialogue round.
+
+    Attributes:
+        text: The conversational reply (LLM summary, or a plain listing in
+            no-LLM mode).
+        items: Retrieved objects backing the reply, best first.
+        grounded: True when the reply cites only retrieved objects.
+        framework: Retrieval framework that produced the items.
+        llm: Name of the generating model ("" in no-LLM mode).
+        round_index: Zero-based dialogue round.
+        search_stats: Work counters of the retrieval step.
+    """
+
+    text: str
+    items: List[AnswerItem] = field(default_factory=list)
+    grounded: bool = True
+    framework: str = ""
+    llm: str = ""
+    round_index: int = 0
+    search_stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def ids(self) -> List[int]:
+        """Retrieved object ids, best first."""
+        return [item.object_id for item in self.items]
+
+    def item_by_rank(self, rank: int) -> AnswerItem:
+        """The item at ``rank`` (0 = best)."""
+        return self.items[rank]

@@ -1,0 +1,106 @@
+"""Query-result caching with ingestion-aware invalidation.
+
+Interactive systems see repeated queries (the user re-runs a search, the UI
+refreshes a panel); an LRU cache over retrieval responses removes the
+duplicate graph traversals.  The cache key covers everything that affects
+the result — query content, k, budget, per-query weights, exclusions — and
+the whole cache invalidates whenever the corpus changes (ingestion), so a
+cached answer can never miss a newly added object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.errors import ConfigurationError
+from repro.retrieval.base import RetrievalResponse
+
+
+def _digest_content(value: Any) -> str:
+    """Stable digest of query content (text or array)."""
+    digest = hashlib.blake2b(digest_size=12)
+    if isinstance(value, str):
+        digest.update(b"s")
+        digest.update(value.encode("utf-8"))
+    else:
+        array = np.ascontiguousarray(np.asarray(value, dtype=np.float64))
+        digest.update(b"a")
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class QueryCache:
+    """LRU cache over retrieval responses.
+
+    Args:
+        capacity: Maximum cached responses; least-recently-used evicted.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._store: "OrderedDict[Tuple, RetrievalResponse]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._generation = 0
+
+    def key_for(
+        self,
+        query: RawQuery,
+        k: int,
+        budget: int,
+        weights: "Dict[Modality, float] | None" = None,
+        exclude_ids: Tuple[int, ...] = (),
+    ) -> Tuple:
+        """Build the cache key for one retrieval call."""
+        content = tuple(
+            (modality.value, _digest_content(query.get(modality)))
+            for modality in sorted(query.modalities, key=lambda m: m.value)
+        )
+        weight_items: Tuple = ()
+        if weights is not None:
+            weight_items = tuple(
+                sorted((Modality.parse(m).value, float(w)) for m, w in weights.items())
+            )
+        return (self._generation, content, k, budget, weight_items, tuple(exclude_ids))
+
+    def get(self, key: Tuple) -> Optional[RetrievalResponse]:
+        """Cached response for ``key``, or None (counts hit/miss)."""
+        response = self._store.get(key)
+        if response is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end(key)
+        return response
+
+    def put(self, key: Tuple, response: RetrievalResponse) -> None:
+        """Store ``response`` under ``key`` (evicting LRU if full)."""
+        self._store[key] = response
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop everything (called when the corpus changes)."""
+        self._store.clear()
+        self._generation += 1
+
+    @property
+    def size(self) -> int:
+        """Number of cached responses."""
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

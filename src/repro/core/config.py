@@ -1,0 +1,148 @@
+"""System configuration — the data model behind the configuration panel."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.data.datasets import DOMAINS, DatasetSpec
+from repro.errors import ConfigurationError
+
+
+class WeightMode(str, enum.Enum):
+    """How modality weights are obtained."""
+
+    EQUAL = "equal"
+    LEARNED = "learned"
+    FIXED = "fixed"
+
+    @classmethod
+    def parse(cls, value: "str | WeightMode") -> "WeightMode":
+        """Coerce a string such as ``"learned"`` into a mode."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ConfigurationError(
+                f"unknown weight mode {value!r}; expected one of: {valid}"
+            ) from None
+
+
+@dataclass
+class MQAConfig:
+    """Every knob the configuration panel exposes.
+
+    Attributes:
+        dataset: Knowledge-base generation spec (ignored when a prebuilt
+            knowledge base is supplied to the coordinator).
+        external_knowledge: The paper's toggle — False runs LLM-only mode
+            with no retrieval at all.
+        encoder_set: Registered encoder-set name.
+        encoder_seed: Seed for encoder projections.
+        weight_mode: equal / learned / fixed.
+        fixed_weights: Modality-name -> weight mapping (fixed mode only).
+        weight_learning: Overrides for the contrastive learner
+            (steps, batch_size, ...).
+        index: Registered index-algorithm name.
+        index_params: Parameters forwarded to the index factory.
+        framework: Registered retrieval-framework name (mr / je / must).
+        framework_params: Parameters forwarded to the framework factory.
+        result_count: Default top-k shown per round.
+        search_budget: Beam width for graph searches.
+        llm: Registered LLM name, or None for the no-LLM mode.
+        llm_params: Parameters forwarded to the LLM factory.
+        temperature: LLM output variability.
+        query_rewriting: Fold dialogue intent into vague follow-up queries
+            before retrieval (the "retrieval guided by LLM" mechanism).
+        cache_queries: Serve repeated queries from an LRU response cache
+            (invalidated on ingestion).
+    """
+
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    external_knowledge: bool = True
+    encoder_set: str = "clip-joint"
+    encoder_seed: int = 0
+    weight_mode: WeightMode = WeightMode.LEARNED
+    fixed_weights: Optional[Dict[str, float]] = None
+    weight_learning: Dict[str, Any] = field(default_factory=dict)
+    index: str = "hnsw"
+    index_params: Dict[str, Any] = field(default_factory=dict)
+    framework: str = "must"
+    framework_params: Dict[str, Any] = field(default_factory=dict)
+    result_count: int = 5
+    search_budget: int = 64
+    llm: Optional[str] = "template"
+    llm_params: Dict[str, Any] = field(default_factory=dict)
+    temperature: float = 0.0
+    query_rewriting: bool = False
+    cache_queries: bool = True
+
+    def __post_init__(self) -> None:
+        self.weight_mode = WeightMode.parse(self.weight_mode)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check cross-field consistency; raises ConfigurationError."""
+        from repro.encoders import available_encoder_sets
+        from repro.index import available_indexes
+        from repro.llm import available_llms
+        from repro.retrieval import available_frameworks
+
+        if self.dataset.domain not in DOMAINS:
+            valid = ", ".join(sorted(DOMAINS))
+            raise ConfigurationError(
+                f"unknown knowledge-base domain {self.dataset.domain!r}; "
+                f"expected one of: {valid}"
+            )
+        if self.encoder_set not in available_encoder_sets():
+            raise ConfigurationError(
+                f"unknown encoder set {self.encoder_set!r}; "
+                f"available: {', '.join(available_encoder_sets())}"
+            )
+        if self.index not in available_indexes():
+            raise ConfigurationError(
+                f"unknown index {self.index!r}; "
+                f"available: {', '.join(available_indexes())}"
+            )
+        if self.framework not in available_frameworks():
+            raise ConfigurationError(
+                f"unknown framework {self.framework!r}; "
+                f"available: {', '.join(available_frameworks())}"
+            )
+        if self.llm is not None and self.llm not in available_llms():
+            raise ConfigurationError(
+                f"unknown llm {self.llm!r}; available: {', '.join(available_llms())}"
+            )
+        if self.weight_mode is WeightMode.FIXED and not self.fixed_weights:
+            raise ConfigurationError("weight_mode 'fixed' requires fixed_weights")
+        if self.result_count < 1:
+            raise ConfigurationError(
+                f"result_count must be >= 1, got {self.result_count}"
+            )
+        if self.search_budget < 1:
+            raise ConfigurationError(
+                f"search_budget must be >= 1, got {self.search_budget}"
+            )
+        if not 0.0 <= self.temperature <= 2.0:
+            raise ConfigurationError(
+                f"temperature must be in [0, 2], got {self.temperature}"
+            )
+
+    def summary(self) -> Dict[str, str]:
+        """Flat key -> value view for the status panel."""
+        return {
+            "knowledge base": f"{self.dataset.domain} ({self.dataset.size} objects)"
+            if self.external_knowledge
+            else "disabled (LLM-only mode)",
+            "encoder set": self.encoder_set,
+            "weight mode": self.weight_mode.value,
+            "index": self.index,
+            "framework": self.framework,
+            "result count": str(self.result_count),
+            "search budget": str(self.search_budget),
+            "llm": self.llm or "none",
+            "temperature": f"{self.temperature:.2f}",
+        }

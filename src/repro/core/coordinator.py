@@ -1,0 +1,352 @@
+"""The coordinator — the system's central nexus.
+
+"Both the frontend and backend exclusively interact with the coordinator,
+which functions as a conduit between them."  Setup (preprocessing ->
+representation -> index construction) runs as a DAG on the CGraph stand-in;
+each query round flows query-execution -> answer-generation.  Every data
+transition is recorded in the event log, and every stage updates the
+status board the monitoring panel renders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.answer import Answer
+from repro.core.cache import QueryCache
+from repro.core.config import MQAConfig
+from repro.core.events import EventLog
+from repro.core.execution import QueryExecution
+from repro.core.generation import AnswerGeneration
+from repro.core.indexing import IndexConstruction
+from repro.core.preprocessing import DataPreprocessing
+from repro.core.representation import RepresentationOutcome, VectorRepresentation
+from repro.core.status import StatusBoard
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.errors import CoordinatorError
+from repro.llm import QueryRewriter, build_llm
+from repro.llm.prompts import DialogueTurn
+from repro.pipeline import DagPipeline
+from repro.utils import Timer
+
+
+class Coordinator:
+    """Owns the five components and mediates every interaction."""
+
+    def __init__(
+        self,
+        config: MQAConfig,
+        knowledge_base: Optional[KnowledgeBase] = None,
+    ) -> None:
+        self.config = config
+        self._provided_kb = knowledge_base
+        self.events = EventLog()
+        self.status = StatusBoard()
+        self.kb: Optional[KnowledgeBase] = None
+        self.representation: Optional[RepresentationOutcome] = None
+        self.execution: Optional[QueryExecution] = None
+        self.generation: Optional[AnswerGeneration] = None
+        self._is_setup = False
+
+    # ------------------------------------------------------------------
+    # setup flow (preprocessing -> representation -> indexing)
+    # ------------------------------------------------------------------
+    def setup(self) -> "Coordinator":
+        """Run the backend setup pipeline; returns self for chaining.
+
+        On stage failure the corresponding milestone is marked FAILED (the
+        status panel shows ✗ plus the error) and the pipeline error
+        propagates — the system must never come up half-built.
+        """
+        stage_names = {
+            "preprocessing": "data preprocessing",
+            "representation": "vector representation",
+            "indexing": "index construction",
+        }
+
+        def guarded(node: str, fn):
+            def run(context: dict):
+                try:
+                    return fn(context)
+                except Exception as exc:
+                    milestone = stage_names.get(node)
+                    if milestone is not None:
+                        self.status.fail(milestone, f"{type(exc).__name__}: {exc}")
+                    raise
+
+            return run
+
+        pipeline = DagPipeline(name="mqa-setup")
+        pipeline.add_node("preprocessing", guarded("preprocessing", self._run_preprocessing))
+        pipeline.add_node(
+            "representation",
+            guarded("representation", self._run_representation),
+            depends_on=["preprocessing"],
+        )
+        pipeline.add_node(
+            "indexing", guarded("indexing", self._run_indexing), depends_on=["representation"]
+        )
+        pipeline.add_node("llm", self._run_llm_setup, depends_on=["indexing"])
+        pipeline.run({})
+        self._is_setup = True
+        return self
+
+    def _run_preprocessing(self, context: dict) -> Optional[KnowledgeBase]:
+        stage = "data preprocessing"
+        self.status.start(stage)
+        self.events.record("frontend", "coordinator", "configuration", "setup requested")
+        component = DataPreprocessing()
+        with Timer() as timer:
+            kb = component.run(self.config, self._provided_kb)
+        self.kb = kb
+        if kb is None:
+            self.status.finish(stage, timer.elapsed, mode="LLM-only (no external knowledge)")
+            self.events.record("coordinator", "preprocessing", "knowledge-base", "disabled")
+        else:
+            self.status.finish(
+                stage,
+                timer.elapsed,
+                objects=str(len(kb)),
+                modalities="+".join(m.value for m in kb.modalities),
+                domain=kb.name,
+            )
+            self.events.record(
+                "coordinator", "preprocessing", "knowledge-base", kb.describe()
+            )
+        return kb
+
+    def _run_representation(self, context: dict) -> Optional[RepresentationOutcome]:
+        stage = "vector representation"
+        if self.kb is None:
+            self.status.finish(stage, 0.0, mode="skipped (LLM-only)")
+            return None
+        self.status.start(stage)
+        component = VectorRepresentation()
+        with Timer() as timer:
+            outcome = component.run(self.config, self.kb)
+        self.representation = outcome
+        dims = ", ".join(
+            f"{m.value}:{d}" for m, d in outcome.encoder_set.dims().items()
+        )
+        weights = ", ".join(
+            f"{m.value}={w:.2f}" for m, w in outcome.weights.items()
+        )
+        self.status.finish(
+            stage,
+            timer.elapsed,
+            encoders=outcome.encoder_set.name,
+            modal_count=str(len(outcome.encoder_set.modalities)),
+            vector_dims=dims,
+            weights=weights,
+            weight_mode=self.config.weight_mode.value,
+        )
+        self.events.record(
+            "preprocessing", "representation", "objects", f"encoded with {dims}"
+        )
+        return outcome
+
+    def _run_indexing(self, context: dict) -> None:
+        stage = "index construction"
+        if self.kb is None or self.representation is None:
+            self.status.finish(stage, 0.0, mode="skipped (LLM-only)")
+            return None
+        self.status.start(stage)
+        component = IndexConstruction()
+        with Timer() as timer:
+            framework = component.run(
+                self.config,
+                self.kb,
+                self.representation.encoder_set,
+                self.representation.weights,
+            )
+        cache = QueryCache() if self.config.cache_queries else None
+        self.execution = QueryExecution(framework, cache=cache)
+        self.status.finish(
+            stage,
+            timer.elapsed,
+            index=self.config.index,
+            framework=framework.name,
+        )
+        self.events.record(
+            "representation", "indexing", "vectors", framework.describe()
+        )
+        return None
+
+    def _run_llm_setup(self, context: dict) -> None:
+        llm = build_llm(self.config.llm, self.config.llm_params) if self.config.llm else None
+        self.generation = AnswerGeneration(llm=llm, temperature=self.config.temperature)
+        detail = self.config.llm or "none (direct engagement mode)"
+        self.events.record("coordinator", "generation", "llm", detail)
+        return None
+
+    # ------------------------------------------------------------------
+    # query flow (execution -> generation)
+    # ------------------------------------------------------------------
+    def _require_setup(self) -> None:
+        if not self._is_setup:
+            raise CoordinatorError("coordinator has not been set up; call setup() first")
+
+    def handle_query(
+        self,
+        query: RawQuery,
+        history: Sequence[DialogueTurn] = (),
+        preferred_ids: Sequence[int] = (),
+        round_index: int = 0,
+        k: Optional[int] = None,
+        weights: "Dict[Modality, float] | None" = None,
+        exclude_ids: Sequence[int] = (),
+        where=None,
+    ) -> Answer:
+        """Run one full query round through execution and generation.
+
+        ``weights`` applies a per-query modality re-weighting (the
+        configuration box's "modality weights at the query point").
+        ``where`` filters results by a predicate over
+        :class:`~repro.data.MultiModalObject` (metadata filtering).
+        """
+        self._require_setup()
+        assert self.generation is not None
+        k = k if k is not None else self.config.result_count
+        user_text = str(query.get(Modality.TEXT)) if query.has(Modality.TEXT) else ""
+        had_image = query.has(Modality.IMAGE)
+
+        self.events.record(
+            "frontend", "coordinator", "raw-query",
+            f"round {round_index}: {user_text[:60]!r}"
+            + (" +image" if had_image else ""),
+        )
+
+        if (
+            self.config.query_rewriting
+            and self.kb is not None
+            and user_text
+            and (history or preferred_ids)
+        ):
+            rewriter = QueryRewriter(self.kb.space)
+            descriptions = []
+            for object_id in preferred_ids:
+                obj = self.kb.get(object_id)
+                if obj.has(Modality.TEXT):
+                    descriptions.append(str(obj.get(Modality.TEXT)))
+            rewritten = rewriter.rewrite(
+                user_text,
+                history_texts=[turn.user_text for turn in history],
+                selected_descriptions=descriptions,
+            )
+            if rewritten != user_text:
+                self.events.record(
+                    "generation", "execution", "rewritten-query",
+                    rewritten[:60],
+                )
+                query = query.with_content(Modality.TEXT, rewritten)
+
+        response = None
+        if self.execution is not None and self.kb is not None:
+            filter_fn = None
+            if where is not None:
+                kb = self.kb
+                filter_fn = lambda object_id: where(kb.get(object_id))  # noqa: E731
+            self.status.start("query execution")
+            self.events.record("coordinator", "execution", "query", f"k={k}")
+            with Timer() as timer:
+                response = self.execution.execute(
+                    query,
+                    k=k,
+                    budget=self.config.search_budget,
+                    weights=weights,
+                    exclude_ids=exclude_ids,
+                    filter_fn=filter_fn,
+                )
+            self.status.finish(
+                "query execution",
+                timer.elapsed,
+                results=str(len(response)),
+                framework=response.framework,
+                hops=str(response.stats.hops),
+            )
+            self.events.record(
+                "execution", "generation", "search-results",
+                f"{len(response)} items via {response.framework}",
+            )
+
+        self.status.start("answer generation")
+        with Timer() as timer:
+            answer = self.generation.generate(
+                user_text,
+                response,
+                self.kb,
+                history=history,
+                preferred_ids=preferred_ids,
+                had_image=had_image,
+                round_index=round_index,
+            )
+        self.status.finish(
+            "answer generation",
+            timer.elapsed,
+            llm=answer.llm or "none",
+            grounded=str(answer.grounded),
+        )
+        self.events.record(
+            "generation", "frontend", "answer", answer.text[:60]
+        )
+        return answer
+
+    # ------------------------------------------------------------------
+    # incremental ingestion
+    # ------------------------------------------------------------------
+    def ingest_object(
+        self,
+        concepts,
+        intensities=None,
+        metadata: "dict | None" = None,
+    ) -> int:
+        """Add one new object to the knowledge base *and* the live index.
+
+        The object is rendered into every configured modality, encoded with
+        the active encoder set, and inserted into the retrieval framework's
+        index structures — no rebuild.  Returns the new object id.
+        """
+        self._require_setup()
+        if self.kb is None or self.execution is None:
+            raise CoordinatorError("cannot ingest in LLM-only mode")
+        obj = self.kb.create_object(concepts, intensities=intensities, metadata=metadata)
+        self.execution.framework.add_object(obj)
+        if self.execution.cache is not None:
+            self.execution.cache.invalidate()
+        self.events.record(
+            "frontend", "preprocessing", "ingest",
+            f"object {obj.object_id}: {', '.join(obj.concepts)}",
+        )
+        return obj.object_id
+
+    def remove_object(self, object_id: int) -> None:
+        """Tombstone an object: it stays stored but never surfaces again."""
+        self._require_setup()
+        if self.kb is None or self.execution is None:
+            raise CoordinatorError("cannot remove objects in LLM-only mode")
+        obj = self.kb.get(object_id)  # validates the id
+        self.execution.framework.remove_object(object_id)
+        obj.metadata["deleted"] = True
+        if self.execution.cache is not None:
+            self.execution.cache.invalidate()
+        self.events.record(
+            "frontend", "preprocessing", "remove", f"object {object_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection used by the panels
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> Dict[Modality, float]:
+        """Modality weights in force (empty in LLM-only mode)."""
+        if self.representation is None:
+            return {}
+        return dict(self.representation.weights)
+
+    def get_object(self, object_id: int):
+        """Fetch a knowledge-base object through the coordinator."""
+        if self.kb is None:
+            raise CoordinatorError("no knowledge base attached")
+        return self.kb.get(object_id)

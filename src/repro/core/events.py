@@ -1,0 +1,76 @@
+"""The coordinator's event log.
+
+Every data transition between components flows through the coordinator
+(the two-way arrows of Figure 2); the event log is its flight recorder —
+the FIG2 experiment asserts the recorded flow matches the architecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded transition.
+
+    Attributes:
+        source: Component emitting the data ("frontend", "preprocessing"...)
+        target: Component receiving it.
+        kind: Short label of the payload ("raw-query", "search-results"...).
+        timestamp: Wall-clock seconds (monotonic within a log).
+        detail: Small human-readable payload summary.
+    """
+
+    source: str
+    target: str
+    kind: str
+    timestamp: float
+    detail: str = ""
+
+
+class EventLog:
+    """Append-only record of coordinator-mediated transitions."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, source: str, target: str, kind: str, detail: str = "") -> Event:
+        """Append an event and return it."""
+        event = Event(
+            source=source,
+            target=target,
+            kind=kind,
+            timestamp=time.perf_counter(),
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self) -> Tuple[Event, ...]:
+        """All events in order."""
+        return tuple(self._events)
+
+    def kinds(self) -> List[str]:
+        """The sequence of event kinds (handy for flow assertions)."""
+        return [event.kind for event in self._events]
+
+    def involving(self, component: str) -> List[Event]:
+        """Events where ``component`` is source or target."""
+        return [
+            event
+            for event in self._events
+            if component in (event.source, event.target)
+        ]
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._events.clear()

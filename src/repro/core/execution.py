@@ -1,0 +1,135 @@
+"""Component 4: query execution.
+
+Runs the merging-free multi-modal search and implements the dotted arrow of
+Figure 2: "any previous outcome can be chosen to augment the current user
+query input" — a selected result's image becomes the reference image of the
+next round's query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject, RawQuery
+from repro.errors import SearchError
+from repro.retrieval import RetrievalFramework, RetrievalResponse
+
+
+class QueryExecution:
+    """Executes queries against the framework built by index construction.
+
+    Args:
+        framework: The set-up retrieval framework.
+        cache: Optional :class:`repro.core.cache.QueryCache`; repeated
+            queries are served from it, and ingestion invalidates it.
+    """
+
+    name = "query execution"
+
+    def __init__(self, framework: RetrievalFramework, cache=None) -> None:
+        self.framework = framework
+        self.cache = cache
+
+    def execute(
+        self,
+        query: RawQuery,
+        k: int,
+        budget: int = 64,
+        weights=None,
+        exclude_ids=(),
+        filter_fn=None,
+    ) -> RetrievalResponse:
+        """Top-``k`` retrieval for ``query``.
+
+        When the query was augmented from a selected result, that reference
+        object is excluded from the response — the user asked for *more*
+        items like it, not the item itself.  ``exclude_ids`` additionally
+        drops objects the user rejected in earlier rounds (negative
+        feedback).  ``filter_fn`` restricts results by object id (metadata
+        filtering).  ``weights`` applies per-query modality re-weighting
+        (frameworks without that capability reject it).
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+
+        def retrieve(fetch: int) -> RetrievalResponse:
+            kwargs = {}
+            if weights is not None:
+                kwargs["weights"] = weights
+            if filter_fn is not None:
+                kwargs["filter_fn"] = filter_fn
+            try:
+                return self.framework.retrieve(query, k=fetch, budget=budget, **kwargs)
+            except TypeError:
+                raise SearchError(
+                    f"framework {self.framework.name!r} does not support "
+                    f"{'per-query modality weights' if weights is not None else 'filtered retrieval'}"
+                ) from None
+
+        def run(fetch: int) -> RetrievalResponse:
+            # Cache the raw (pre-exclusion) retrieval; exclusions are
+            # applied to a copy so cached entries stay pristine.  Filtered
+            # queries bypass the cache (predicates are not hashable).
+            if self.cache is None or filter_fn is not None:
+                return retrieve(fetch)
+            key = self.cache.key_for(query, fetch, budget, weights=weights)
+            cached = self.cache.get(key)
+            if cached is None:
+                cached = retrieve(fetch)
+                self.cache.put(key, cached)
+            return RetrievalResponse(
+                framework=cached.framework,
+                items=[
+                    type(item)(
+                        object_id=item.object_id, score=item.score, rank=item.rank
+                    )
+                    for item in cached.items
+                ],
+                stats=cached.stats,
+                per_modality_ids=dict(cached.per_modality_ids),
+            )
+
+        excluded = set(exclude_ids)
+        reference_id = query.metadata.get("augmented_from")
+        if reference_id is not None:
+            excluded.add(reference_id)
+        if not excluded:
+            return run(k)
+        response = run(k + len(excluded))
+        response.items = [
+            item for item in response.items if item.object_id not in excluded
+        ][:k]
+        for rank, item in enumerate(response.items):
+            item.rank = rank
+        return response
+
+    @staticmethod
+    def augment_query(
+        refinement_text: str,
+        selected: MultiModalObject,
+        base_query: "RawQuery | None" = None,
+    ) -> RawQuery:
+        """Fold a selected previous result into the next round's query.
+
+        The selected object's image modality becomes the reference image;
+        the user's new text carries the modification.  When the selected
+        object has no image, its text is appended to the refinement instead
+        so the preference still flows forward.
+        """
+        if not refinement_text:
+            raise SearchError("refinement text must be non-empty")
+        metadata = {"augmented_from": selected.object_id}
+        if selected.has(Modality.IMAGE):
+            query = RawQuery.from_text_and_image(
+                refinement_text, selected.get(Modality.IMAGE), **metadata
+            )
+        else:
+            combined = f"{refinement_text} {selected.get(Modality.TEXT)}"
+            query = RawQuery.from_text(combined, **metadata)
+        if base_query is not None:
+            query.metadata.update(
+                {k: v for k, v in base_query.metadata.items() if k not in query.metadata}
+            )
+        return query

@@ -1,0 +1,125 @@
+"""Component 5: answer generation.
+
+Assembles the prompt from query + retrieved context + dialogue history,
+invokes the configured LLM, verifies grounding, and falls back to a plain
+result listing when no LLM is configured ("users can still carry out a
+multi-modal QA procedure through direct engagement with the query
+execution module").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.core.answer import Answer, AnswerItem
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.llm.base import GenerationRequest, LanguageModel
+from repro.llm.grounding import check_grounding
+from repro.llm.prompts import ContextItem, DialogueTurn, PromptBuilder
+from repro.retrieval import RetrievalResponse
+
+
+class AnswerGeneration:
+    """Turns retrieval output into a conversational answer."""
+
+    name = "answer generation"
+
+    def __init__(
+        self,
+        llm: Optional[LanguageModel] = None,
+        temperature: float = 0.0,
+        prompt_builder: Optional[PromptBuilder] = None,
+    ) -> None:
+        self.llm = llm
+        self.temperature = temperature
+        self.prompts = prompt_builder or PromptBuilder()
+
+    def _context_items(
+        self,
+        response: RetrievalResponse,
+        kb: KnowledgeBase,
+        preferred_ids: Set[int],
+    ) -> List[ContextItem]:
+        items: List[ContextItem] = []
+        for retrieved in response.items:
+            obj = kb.get(retrieved.object_id)
+            description = (
+                obj.get(Modality.TEXT) if obj.has(Modality.TEXT) else "(no description)"
+            )
+            items.append(
+                ContextItem(
+                    object_id=retrieved.object_id,
+                    description=description,
+                    score=retrieved.score,
+                    preferred=retrieved.object_id in preferred_ids,
+                )
+            )
+        return items
+
+    def generate(
+        self,
+        user_text: str,
+        response: Optional[RetrievalResponse],
+        kb: Optional[KnowledgeBase],
+        history: Sequence[DialogueTurn] = (),
+        preferred_ids: Iterable[int] = (),
+        had_image: bool = False,
+        round_index: int = 0,
+    ) -> Answer:
+        """Produce the round's :class:`Answer`.
+
+        ``response``/``kb`` of None means LLM-only mode (no retrieval).
+        """
+        preferred = set(preferred_ids)
+        context: List[ContextItem] = []
+        if response is not None and kb is not None:
+            context = self._context_items(response, kb, preferred)
+
+        answer_items = [
+            AnswerItem(
+                object_id=item.object_id,
+                description=item.description,
+                score=item.score,
+                preferred=item.preferred,
+            )
+            for item in context
+        ]
+        framework = response.framework if response is not None else ""
+        stats = response.stats if response is not None else None
+
+        if self.llm is None:
+            if answer_items:
+                listing = "; ".join(
+                    f"#{item.object_id} {item.description}" for item in answer_items
+                )
+                text = f"Top results: {listing}."
+            else:
+                text = (
+                    "No language model or knowledge base is configured; "
+                    "nothing to answer with."
+                )
+            answer = Answer(
+                text=text,
+                items=answer_items,
+                grounded=True,
+                framework=framework,
+                round_index=round_index,
+            )
+        else:
+            request: GenerationRequest = self.prompts.build(
+                user_text, context=context, history=history, had_image=had_image
+            )
+            result = self.llm.generate(request, temperature=self.temperature)
+            check_grounding(result, (item.object_id for item in context), strict=True)
+            answer = Answer(
+                text=result.text,
+                items=answer_items,
+                grounded=result.grounded,
+                framework=framework,
+                llm=result.model,
+                round_index=round_index,
+            )
+        if stats is not None:
+            answer.search_stats = stats
+        return answer

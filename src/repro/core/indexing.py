@@ -1,0 +1,39 @@
+"""Component 3: index construction.
+
+Instantiates the configured retrieval framework and lets it build its index
+structures (one unified graph for MUST, one per modality for MR, one joint
+index for JE) over the encoded knowledge base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import MQAConfig
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.encoders import EncoderSet
+from repro.index import build_index
+from repro.retrieval import RetrievalFramework, build_framework
+
+
+class IndexConstruction:
+    """Builds the framework + index stack described by the configuration."""
+
+    name = "index construction"
+
+    def run(
+        self,
+        config: MQAConfig,
+        kb: KnowledgeBase,
+        encoder_set: EncoderSet,
+        weights: Dict[Modality, float],
+    ) -> RetrievalFramework:
+        """Set up the retrieval framework over ``kb`` and return it."""
+        framework = build_framework(config.framework, config.framework_params)
+
+        def index_builder():
+            return build_index(config.index, config.index_params)
+
+        framework.setup(kb, encoder_set, index_builder, weights=weights)
+        return framework

@@ -1,0 +1,147 @@
+"""The three frontend panels, as scriptable state machines.
+
+The real MQA frontend is React/Remix/Mantine; here each panel is a plain
+object with the same responsibilities, plus a text renderer so examples and
+the FIG3 experiment can display what a user would see.  All panel actions
+go through the coordinator — never directly to a backend component —
+matching the architecture's single-conduit rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import MQAConfig, WeightMode
+from repro.core.coordinator import Coordinator
+from repro.core.session import DialogueSession
+from repro.core.status import MilestoneState, StatusBoard
+from repro.data.datasets import DOMAINS
+from repro.data.knowledge_base import KnowledgeBase
+from repro.errors import ConfigurationError
+
+
+class ConfigurationPanel:
+    """Panel 1: choose knowledge base, encoders, weights, index, LLM.
+
+    Holds a draft :class:`MQAConfig`; :meth:`apply` validates it, builds a
+    coordinator, and returns the pop-up feedback string.
+    """
+
+    def __init__(self, config: Optional[MQAConfig] = None) -> None:
+        self.config = config or MQAConfig()
+        self.feedback: List[str] = []
+
+    def options(self) -> Dict[str, List[str]]:
+        """The choice lists the panel's dropdowns display."""
+        from repro.encoders import available_encoder_sets
+        from repro.index import available_indexes
+        from repro.llm import available_llms
+        from repro.retrieval import available_frameworks
+
+        return {
+            "knowledge_base": sorted(DOMAINS),
+            "encoder_set": list(available_encoder_sets()),
+            "weight_mode": [mode.value for mode in WeightMode],
+            "index": list(available_indexes()),
+            "framework": list(available_frameworks()),
+            "llm": ["none", *available_llms()],
+        }
+
+    def set_option(self, option: str, value: Any) -> None:
+        """Update one draft field with validation."""
+        updates: Dict[str, Any] = {}
+        if option == "knowledge_base":
+            updates["dataset"] = replace(self.config.dataset, domain=str(value))
+        elif option == "llm":
+            updates["llm"] = None if value in (None, "none") else str(value)
+        elif option in (
+            "encoder_set",
+            "weight_mode",
+            "index",
+            "framework",
+            "result_count",
+            "search_budget",
+            "temperature",
+            "external_knowledge",
+            "fixed_weights",
+            "index_params",
+            "framework_params",
+        ):
+            updates[option] = value
+        else:
+            raise ConfigurationError(f"unknown configuration option {option!r}")
+        try:
+            self.config = replace(self.config, **updates)
+        except ConfigurationError:
+            self.feedback.append(f"rejected: {option}={value!r}")
+            raise
+        self.feedback.append(f"set {option} = {value!r}")
+
+    def apply(self, knowledge_base: Optional[KnowledgeBase] = None) -> Coordinator:
+        """Validate, build and set up a coordinator from the draft config."""
+        self.config.validate()
+        coordinator = Coordinator(self.config, knowledge_base=knowledge_base)
+        coordinator.setup()
+        self.feedback.append("configuration applied; system ready")
+        return coordinator
+
+
+class StatusPanel:
+    """Panel 2: live view of the backend milestones."""
+
+    TICKS = {
+        MilestoneState.PENDING: " ",
+        MilestoneState.RUNNING: "…",
+        MilestoneState.DONE: "✓",
+        MilestoneState.FAILED: "✗",
+    }
+
+    def __init__(self, board: StatusBoard) -> None:
+        self.board = board
+
+    def render(self) -> str:
+        """Multi-line text of ticks + details, the panel's whole content."""
+        lines = ["status monitoring"]
+        for milestone in self.board.milestones():
+            tick = self.TICKS[milestone.state]
+            detail = ", ".join(f"{k}={v}" for k, v in milestone.details.items())
+            elapsed = f" [{milestone.elapsed * 1000:.0f} ms]" if milestone.elapsed else ""
+            lines.append(f" [{tick}] {milestone.name}{elapsed}" + (f": {detail}" if detail else ""))
+        return "\n".join(lines)
+
+
+class QAPanel:
+    """Panel 3: the dialogue box — submit, inspect, click, refine."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self.session = DialogueSession(coordinator)
+
+    def submit(self, text: str, image: Any = None):
+        """Send a user message (optionally with an uploaded image)."""
+        return self.session.ask(text, image=image)
+
+    def click_result(self, rank: int) -> int:
+        """Click a result card, marking it preferred."""
+        return self.session.select(rank)
+
+    def refine(self, text: str):
+        """Send a follow-up that builds on the clicked result."""
+        return self.session.refine(text)
+
+    def render_transcript(self) -> str:
+        """The dialogue box's content as text."""
+        lines = ["QA panel"]
+        for round_ in self.session.rounds:
+            image_tag = " [image]" if round_.had_image else ""
+            lines.append(f" user: {round_.user_text}{image_tag}")
+            lines.append(f" mqa:  {round_.answer.text}")
+            for item in round_.answer.items:
+                star = "*" if item.preferred else " "
+                lines.append(
+                    f"   {star} #{item.object_id} {item.description} "
+                    f"(score {item.score:.3f})"
+                )
+            if round_.selected_object_id is not None:
+                lines.append(f"   -> user selected #{round_.selected_object_id}")
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Component 1: data preprocessing.
+
+"Integrates a multi-modal knowledge base into MQA ... external knowledge
+ingestion is optional, and disabling it means MQA relies solely on chosen
+LLMs for responses."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MQAConfig
+from repro.data.datasets import generate_knowledge_base
+from repro.data.knowledge_base import KnowledgeBase
+from repro.errors import DataError
+
+
+class DataPreprocessing:
+    """Ingests (or generates) the knowledge base the config asks for."""
+
+    name = "data preprocessing"
+
+    def run(
+        self,
+        config: MQAConfig,
+        knowledge_base: Optional[KnowledgeBase] = None,
+    ) -> Optional[KnowledgeBase]:
+        """Return the knowledge base to serve, or None in LLM-only mode.
+
+        Args:
+            config: System configuration.
+            knowledge_base: A prebuilt base to ingest as-is; when omitted,
+                one is generated from ``config.dataset``.
+        """
+        if not config.external_knowledge:
+            return None
+        if knowledge_base is not None:
+            if len(knowledge_base) == 0:
+                raise DataError(
+                    f"knowledge base {knowledge_base.name!r} is empty; "
+                    "ingest objects before attaching it"
+                )
+            return knowledge_base
+        return generate_knowledge_base(config.dataset)

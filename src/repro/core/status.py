@@ -1,0 +1,89 @@
+"""Milestone tracking — the data model behind the status-monitoring panel.
+
+"Milestones such as data preprocessing, vector representation, and index
+construction are visibly tracked with tick marks and relevant details".
+:class:`StatusBoard` holds those milestones; the panel renders them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MilestoneState(str, enum.Enum):
+    """Tick-mark state of one milestone."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Milestone:
+    """One tracked backend stage.
+
+    Attributes:
+        name: Stage name ("data preprocessing", ...).
+        state: Current tick-mark state.
+        details: Key -> value facts shown next to the tick (encoder names,
+            modal counts, vector dimensions, index type, ...).
+        elapsed: Seconds the stage took (0 until done).
+    """
+
+    name: str
+    state: MilestoneState = MilestoneState.PENDING
+    details: Dict[str, str] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
+class StatusBoard:
+    """Ordered collection of milestones with simple state transitions."""
+
+    STAGES = (
+        "data preprocessing",
+        "vector representation",
+        "index construction",
+        "query execution",
+        "answer generation",
+    )
+
+    def __init__(self) -> None:
+        self._milestones: Dict[str, Milestone] = {
+            name: Milestone(name=name) for name in self.STAGES
+        }
+
+    def milestone(self, name: str) -> Milestone:
+        """The milestone called ``name`` (KeyError for unknown stages)."""
+        return self._milestones[name]
+
+    def milestones(self) -> Tuple[Milestone, ...]:
+        """All milestones in backend order."""
+        return tuple(self._milestones[name] for name in self.STAGES)
+
+    def start(self, name: str) -> None:
+        """Mark ``name`` as running."""
+        self._milestones[name].state = MilestoneState.RUNNING
+
+    def finish(self, name: str, elapsed: float, **details: str) -> None:
+        """Mark ``name`` done with ``details`` shown beside the tick."""
+        milestone = self._milestones[name]
+        milestone.state = MilestoneState.DONE
+        milestone.elapsed = elapsed
+        milestone.details.update({k: str(v) for k, v in details.items()})
+
+    def fail(self, name: str, error: str) -> None:
+        """Mark ``name`` failed, recording the error text."""
+        milestone = self._milestones[name]
+        milestone.state = MilestoneState.FAILED
+        milestone.details["error"] = error
+
+    @property
+    def ready(self) -> bool:
+        """True once the three setup stages are done."""
+        setup = self.STAGES[:3]
+        return all(
+            self._milestones[name].state is MilestoneState.DONE for name in setup
+        )

@@ -1,0 +1,44 @@
+"""Multi-modal data substrate.
+
+This package replaces the real image/text corpora used by the MQA demo with a
+generative *latent-concept world*: every object owns a ground-truth latent
+vector assembled from named concepts, and each modality (text, image, audio)
+is rendered from that latent with modality-specific projections and noise.
+
+The latent is never exposed to the retrieval stack — encoders must recover it
+from rendered content — but it gives the evaluation harness exact ground
+truth, which is what makes the paper's comparisons measurable offline.
+"""
+
+from repro.data.concepts import Concept, ConceptSpace
+from repro.data.datasets import DOMAINS, DatasetSpec, generate_knowledge_base
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject, RawQuery
+from repro.data.persistence import load_knowledge_base, save_knowledge_base
+from repro.data.rendering import (
+    AudioRenderer,
+    ImageRenderer,
+    RenderModel,
+    TextRenderer,
+)
+from repro.data.store import ObjectStore
+
+__all__ = [
+    "AudioRenderer",
+    "Concept",
+    "ConceptSpace",
+    "DOMAINS",
+    "DatasetSpec",
+    "ImageRenderer",
+    "KnowledgeBase",
+    "Modality",
+    "MultiModalObject",
+    "ObjectStore",
+    "RawQuery",
+    "RenderModel",
+    "TextRenderer",
+    "generate_knowledge_base",
+    "load_knowledge_base",
+    "save_knowledge_base",
+]

@@ -1,0 +1,166 @@
+"""Knowledge base: object store + concept world + exact ground truth.
+
+This is the unit the configuration panel lets users pick ("domain-specific
+knowledge bases").  Besides holding the objects, it knows the generative
+world they came from, which is what lets the evaluation harness compute the
+exact top-k answer to any concept-level query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.concepts import ConceptSpace
+from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject
+from repro.data.rendering import RenderModel
+from repro.data.store import ObjectStore
+from repro.errors import DataError
+
+
+class KnowledgeBase:
+    """A named multi-modal knowledge base.
+
+    Args:
+        name: Human-readable identifier (e.g. ``"fashion"``).
+        space: The concept space objects were generated from.
+        render_model: The renderers that produced (and can decode) content.
+        store: The object collection; may start empty and be filled later.
+        modalities: Modalities every object carries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: ConceptSpace,
+        render_model: RenderModel,
+        store: Optional[ObjectStore] = None,
+        modalities: Sequence[Modality] = (Modality.TEXT, Modality.IMAGE),
+    ) -> None:
+        if not name:
+            raise DataError("knowledge base needs a non-empty name")
+        self.name = name
+        self.space = space
+        self.render_model = render_model
+        self.store = store if store is not None else ObjectStore()
+        self.modalities = tuple(Modality.parse(m) for m in modalities)
+        if not self.modalities:
+            raise DataError("knowledge base needs at least one modality")
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __iter__(self):
+        return iter(self.store)
+
+    def get(self, object_id: int) -> MultiModalObject:
+        """Return the object with ``object_id``."""
+        return self.store.get(object_id)
+
+    # ------------------------------------------------------------------
+    # object creation
+    # ------------------------------------------------------------------
+    def create_object(
+        self,
+        concepts: Sequence[str],
+        intensities: "Sequence[float] | None" = None,
+        metadata: "dict | None" = None,
+    ) -> MultiModalObject:
+        """Render and store a new object for ``concepts``.
+
+        The object's content is rendered for every modality the knowledge
+        base carries, using the next dense id as the per-object noise seed.
+        """
+        latent = self.space.compose(concepts, intensities)
+        object_id = len(self.store)
+        content = {}
+        for modality in self.modalities:
+            if modality is Modality.TEXT:
+                content[modality] = self.render_model.text.render(list(concepts), object_id)
+            elif modality is Modality.IMAGE:
+                content[modality] = self.render_model.image.render(latent, object_id)
+            elif modality is Modality.AUDIO:
+                content[modality] = self.render_model.audio.render(latent, object_id)
+            else:  # pragma: no cover - enum is closed
+                raise DataError(f"no renderer for modality {modality!r}")
+        return self.store.add(
+            content=content,
+            concepts=tuple(c.lower() for c in concepts),
+            latent=latent,
+            metadata=metadata,
+        )
+
+    def render_view(self, object_id: int, view_seed: int) -> dict:
+        """Re-render an existing object's content with fresh noise.
+
+        Returns a modality -> content mapping for an *augmented view* of the
+        object: same concepts and latent, different dropped tokens, pixel
+        noise, and frame noise.  The contrastive weight learner uses pairs
+        of views as positives, so it never touches the hidden latent.
+        """
+        obj = self.store.get(object_id)
+        noise_key = ("view", object_id, view_seed)
+        content = {}
+        for modality in self.modalities:
+            if modality is Modality.TEXT:
+                content[modality] = self.render_model.text.render(
+                    list(obj.concepts), noise_key
+                )
+            elif modality is Modality.IMAGE:
+                content[modality] = self.render_model.image.render(obj.latent, noise_key)
+            elif modality is Modality.AUDIO:
+                content[modality] = self.render_model.audio.render(obj.latent, noise_key)
+        return content
+
+    # ------------------------------------------------------------------
+    # oracle ground truth (evaluation only)
+    # ------------------------------------------------------------------
+    def latent_matrix(self) -> np.ndarray:
+        """Stack all ground-truth latents into an (n, latent_dim) matrix."""
+        if len(self.store) == 0:
+            raise DataError(f"knowledge base {self.name!r} is empty")
+        return np.stack([obj.latent for obj in self.store])
+
+    def ground_truth_neighbors(
+        self,
+        target_latent: np.ndarray,
+        k: int,
+        exclude: Iterable[int] = (),
+    ) -> List[int]:
+        """Exact top-``k`` object ids by cosine similarity to a latent.
+
+        This is the oracle the paper's accuracy comparisons are scored
+        against.  ``exclude`` removes ids (e.g. the reference image's own
+        object) from consideration.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        latents = self.latent_matrix()
+        target = np.asarray(target_latent, dtype=np.float64)
+        scores = latents @ target / max(np.linalg.norm(target), 1e-12)
+        for object_id in exclude:
+            if 0 <= object_id < scores.size:
+                scores[object_id] = -np.inf
+        k = min(k, scores.size)
+        top = np.argpartition(-scores, k - 1)[:k]
+        return [int(i) for i in top[np.argsort(-scores[top])]]
+
+    def ground_truth_for_concepts(
+        self,
+        concepts: Sequence[str],
+        k: int,
+        exclude: Iterable[int] = (),
+    ) -> List[int]:
+        """Exact top-``k`` ids for a concept-level query."""
+        return self.ground_truth_neighbors(self.space.compose(concepts), k, exclude)
+
+    def describe(self) -> str:
+        """One-line summary used by the status-monitoring panel."""
+        mods = "+".join(m.value for m in self.modalities)
+        return (
+            f"knowledge base {self.name!r}: {len(self.store)} objects, "
+            f"modalities [{mods}], {len(self.space)} concepts, "
+            f"latent dim {self.space.latent_dim}"
+        )

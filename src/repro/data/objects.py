@@ -1,0 +1,122 @@
+"""Multi-modal objects and raw user queries.
+
+An object bundles all modalities of one real-world entity under a single id —
+the paper's example is a movie stored as film + poster + synopsis.  Queries
+mirror objects but may carry any subset of modalities (text only, text +
+reference image, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.modality import Modality
+from repro.errors import ModalityError
+
+
+@dataclass
+class MultiModalObject:
+    """One entity in the knowledge base.
+
+    Attributes:
+        object_id: Unique integer id assigned by the store.
+        content: Mapping from modality to rendered content (text string,
+            image array, audio array).
+        concepts: Ground-truth concept names.  Hidden from the retrieval
+            stack; used only for rendering and evaluation.
+        latent: Ground-truth unit-norm latent vector (same caveat).
+        metadata: Free-form attributes (e.g. a product title).
+    """
+
+    object_id: int
+    content: Dict[Modality, Any]
+    concepts: Tuple[str, ...] = ()
+    latent: Optional[np.ndarray] = field(default=None, repr=False)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.content = {Modality.parse(k): v for k, v in self.content.items()}
+        if not self.content:
+            raise ModalityError(f"object {self.object_id} has no modalities")
+
+    @property
+    def modalities(self) -> Tuple[Modality, ...]:
+        """Modalities this object carries, in insertion order."""
+        return tuple(self.content)
+
+    def get(self, modality: Modality) -> Any:
+        """Return the content for ``modality``.
+
+        Raises :class:`ModalityError` if the object does not carry it.
+        """
+        modality = Modality.parse(modality)
+        try:
+            return self.content[modality]
+        except KeyError:
+            carried = ", ".join(m.value for m in self.content)
+            raise ModalityError(
+                f"object {self.object_id} has no {modality.value!r} modality "
+                f"(carries: {carried})"
+            ) from None
+
+    def has(self, modality: Modality) -> bool:
+        """True if the object carries ``modality``."""
+        return Modality.parse(modality) in self.content
+
+
+@dataclass
+class RawQuery:
+    """A user query before encoding: any subset of modality content.
+
+    Attributes:
+        content: Mapping from modality to raw content.  A text-only query has
+            just a TEXT entry; an image-assisted query adds an IMAGE entry.
+        metadata: Free-form query attributes (round number, session id, ...).
+    """
+
+    content: Dict[Modality, Any]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.content = {Modality.parse(k): v for k, v in self.content.items()}
+        if not self.content:
+            raise ModalityError("query has no modalities")
+
+    @classmethod
+    def from_text(cls, text: str, **metadata: Any) -> "RawQuery":
+        """Convenience constructor for a text-only query."""
+        return cls(content={Modality.TEXT: text}, metadata=dict(metadata))
+
+    @classmethod
+    def from_text_and_image(cls, text: str, image: Any, **metadata: Any) -> "RawQuery":
+        """Convenience constructor for an image-assisted query."""
+        return cls(
+            content={Modality.TEXT: text, Modality.IMAGE: image},
+            metadata=dict(metadata),
+        )
+
+    @property
+    def modalities(self) -> Tuple[Modality, ...]:
+        """Modalities present in the query."""
+        return tuple(self.content)
+
+    def get(self, modality: Modality) -> Any:
+        """Return the query content for ``modality`` or raise ModalityError."""
+        modality = Modality.parse(modality)
+        try:
+            return self.content[modality]
+        except KeyError:
+            raise ModalityError(f"query has no {modality.value!r} modality") from None
+
+    def has(self, modality: Modality) -> bool:
+        """True if the query carries ``modality``."""
+        return Modality.parse(modality) in self.content
+
+    def with_content(self, modality: Modality, value: Any) -> "RawQuery":
+        """Return a copy of this query with ``modality`` set to ``value``."""
+        content: Dict[Modality, Any] = dict(self.content)
+        content[Modality.parse(modality)] = value
+        return RawQuery(content=content, metadata=dict(self.metadata))

@@ -1,0 +1,144 @@
+"""Saving and loading knowledge bases.
+
+The on-disk layout of a knowledge base directory is:
+
+* ``space.json`` — concept vocabulary, latent dim, seeds, renderer settings.
+* ``objects.json`` — per-object concepts, text content, and metadata.
+* ``arrays.npz`` — ground-truth latents plus image/audio tensors.
+
+Renderer projection matrices are not stored; they are deterministic in the
+seed and are re-derived on load, so saved bases stay small and loads are
+verified to reproduce identical content.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.concepts import ConceptSpace
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.rendering import AudioSpec, ImageSpec, RenderModel
+from repro.errors import DataError
+
+_SPACE_FILE = "space.json"
+_OBJECTS_FILE = "objects.json"
+_ARRAYS_FILE = "arrays.npz"
+
+
+def _vocabulary_of(space: ConceptSpace) -> Dict[str, List[str]]:
+    """Reconstruct the category -> names mapping of a concept space."""
+    vocabulary: Dict[str, List[str]] = {}
+    for category in space.categories:
+        vocabulary[category] = list(space.names_in_category(category))
+    return vocabulary
+
+
+def save_knowledge_base(kb: KnowledgeBase, directory: "str | Path") -> Path:
+    """Serialise ``kb`` under ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    space_doc = {
+        "name": kb.name,
+        "latent_dim": kb.space.latent_dim,
+        "seed": kb.space.seed,
+        "vocabulary": _vocabulary_of(kb.space),
+        "modalities": [m.value for m in kb.modalities],
+        "render_seed": kb.render_model.seed,
+        "text_drop_probability": kb.render_model.text.drop_probability,
+        "image_spec": {
+            "height": kb.render_model.image.spec.height,
+            "width": kb.render_model.image.spec.width,
+            "noise_sigma": kb.render_model.image.spec.noise_sigma,
+        },
+        "audio_spec": {
+            "frames": kb.render_model.audio.spec.frames,
+            "noise_sigma": kb.render_model.audio.spec.noise_sigma,
+            "smoothing": kb.render_model.audio.spec.smoothing,
+        },
+    }
+    (directory / _SPACE_FILE).write_text(json.dumps(space_doc, indent=2))
+
+    objects_doc = []
+    latents = []
+    images = []
+    audios = []
+    for obj in kb.store:
+        record = {
+            "object_id": obj.object_id,
+            "concepts": list(obj.concepts),
+            "metadata": obj.metadata,
+            "text": obj.content.get(Modality.TEXT),
+        }
+        objects_doc.append(record)
+        latents.append(np.asarray(obj.latent))
+        if Modality.IMAGE in obj.content:
+            images.append(np.asarray(obj.content[Modality.IMAGE]))
+        if Modality.AUDIO in obj.content:
+            audios.append(np.asarray(obj.content[Modality.AUDIO]))
+    (directory / _OBJECTS_FILE).write_text(json.dumps(objects_doc, indent=2))
+
+    arrays = {"latents": np.stack(latents) if latents else np.zeros((0, kb.space.latent_dim))}
+    if images:
+        arrays["images"] = np.stack(images)
+    if audios:
+        arrays["audios"] = np.stack(audios)
+    np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
+    return directory
+
+
+def load_knowledge_base(directory: "str | Path") -> KnowledgeBase:
+    """Load a knowledge base previously written by :func:`save_knowledge_base`."""
+    directory = Path(directory)
+    space_path = directory / _SPACE_FILE
+    if not space_path.exists():
+        raise DataError(f"no knowledge base found at {directory} (missing {_SPACE_FILE})")
+    space_doc = json.loads(space_path.read_text())
+    objects_doc = json.loads((directory / _OBJECTS_FILE).read_text())
+
+    space = ConceptSpace(
+        space_doc["vocabulary"],
+        latent_dim=space_doc["latent_dim"],
+        seed=space_doc["seed"],
+    )
+    render_model = RenderModel(
+        space,
+        seed=space_doc["render_seed"],
+        text_drop_probability=space_doc["text_drop_probability"],
+        image_spec=ImageSpec(**space_doc["image_spec"]),
+        audio_spec=AudioSpec(**space_doc["audio_spec"]),
+    )
+    modalities = [Modality.parse(m) for m in space_doc["modalities"]]
+    kb = KnowledgeBase(
+        name=space_doc["name"],
+        space=space,
+        render_model=render_model,
+        modalities=modalities,
+    )
+
+    with np.load(directory / _ARRAYS_FILE) as arrays:
+        latents = arrays["latents"]
+        images = arrays["images"] if "images" in arrays else None
+        audios = arrays["audios"] if "audios" in arrays else None
+
+    for record in objects_doc:
+        object_id = record["object_id"]
+        content = {}
+        if record["text"] is not None:
+            content[Modality.TEXT] = record["text"]
+        if images is not None and Modality.IMAGE in modalities:
+            content[Modality.IMAGE] = images[object_id]
+        if audios is not None and Modality.AUDIO in modalities:
+            content[Modality.AUDIO] = audios[object_id]
+        kb.store.add(
+            content=content,
+            concepts=tuple(record["concepts"]),
+            latent=latents[object_id],
+            metadata=record["metadata"],
+        )
+    return kb

@@ -1,0 +1,203 @@
+"""Rendering latents into modality content (and decoding them back).
+
+Each renderer owns the fixed generative parameters for one modality:
+
+* :class:`TextRenderer` — emits the object's concept names as tokens, with a
+  drop probability (descriptions are incomplete in real corpora) plus filler
+  words drawn from a domain-neutral vocabulary.
+* :class:`ImageRenderer` — projects the latent through a fixed random matrix
+  into a 2-D pixel grid and adds Gaussian noise.
+* :class:`AudioRenderer` — projects the latent into a 1-D frame sequence with
+  temporal smoothing and noise.
+
+Renderers also expose ``decode`` methods (the pseudo-inverse of the
+projection).  Encoders use these the way a pretrained model uses its learned
+weights: they are public "model parameters" of the world, not the per-object
+ground truth, which stays hidden behind noise and dropped tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.concepts import ConceptSpace
+from repro.errors import DataError
+from repro.utils import derive_rng, l2_normalize
+
+FILLER_WORDS: Tuple[str, ...] = (
+    "a", "an", "the", "photo", "picture", "image", "of", "with", "some",
+    "very", "style", "item", "shown", "featuring", "and", "quite", "nice",
+)
+"""Non-concept tokens mixed into descriptions, shared across domains."""
+
+
+class TextRenderer:
+    """Render an object's concepts as a noisy textual description."""
+
+    def __init__(
+        self,
+        space: ConceptSpace,
+        drop_probability: float = 0.15,
+        filler_count: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability}")
+        if filler_count < 0:
+            raise ValueError(f"filler_count must be >= 0, got {filler_count}")
+        self.space = space
+        self.drop_probability = drop_probability
+        self.filler_count = filler_count
+        self.seed = seed
+
+    def render(self, concepts: Sequence[str], noise_key: object) -> str:
+        """Produce a token string for ``concepts``.
+
+        At least one concept always survives the drop step so no object ends
+        up with an empty description.
+        """
+        if not concepts:
+            raise DataError("cannot render text for zero concepts")
+        rng = derive_rng(self.seed, "text", noise_key)
+        kept: List[str] = [c for c in concepts if rng.random() >= self.drop_probability]
+        if not kept:
+            kept = [concepts[int(rng.integers(len(concepts)))]]
+        fillers = [
+            FILLER_WORDS[int(rng.integers(len(FILLER_WORDS)))]
+            for _ in range(self.filler_count)
+        ]
+        tokens = kept + fillers
+        order = rng.permutation(len(tokens))
+        return " ".join(tokens[i] for i in order)
+
+    @staticmethod
+    def tokenize(text: str) -> List[str]:
+        """Split a description into lower-case tokens."""
+        return [token for token in text.lower().split() if token]
+
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """Shape and noise level of the synthetic image modality."""
+
+    height: int = 16
+    width: int = 16
+    noise_sigma: float = 0.05
+
+    @property
+    def pixels(self) -> int:
+        return self.height * self.width
+
+
+class ImageRenderer:
+    """Render latents into pixel grids via a fixed random projection."""
+
+    def __init__(self, space: ConceptSpace, spec: ImageSpec = ImageSpec(), seed: int = 0) -> None:
+        if spec.pixels < space.latent_dim:
+            raise DataError(
+                f"image has {spec.pixels} pixels but latent_dim is {space.latent_dim}; "
+                "the projection would lose rank"
+            )
+        self.space = space
+        self.spec = spec
+        self.seed = seed
+        rng = derive_rng(seed, "image-projection")
+        self._projection = rng.standard_normal((spec.pixels, space.latent_dim))
+        self._projection /= np.sqrt(space.latent_dim)
+        self._decoder = np.linalg.pinv(self._projection)
+
+    @property
+    def projection(self) -> np.ndarray:
+        """The (pixels, latent_dim) generative projection matrix."""
+        return self._projection
+
+    def render(self, latent: np.ndarray, noise_key: object) -> np.ndarray:
+        """Project ``latent`` into an image grid and add pixel noise."""
+        latent = np.asarray(latent, dtype=np.float64)
+        if latent.shape != (self.space.latent_dim,):
+            raise DataError(
+                f"latent has shape {latent.shape}, expected ({self.space.latent_dim},)"
+            )
+        rng = derive_rng(self.seed, "image-noise", noise_key)
+        flat = self._projection @ latent
+        flat = flat + self.spec.noise_sigma * rng.standard_normal(self.spec.pixels)
+        return flat.reshape(self.spec.height, self.spec.width)
+
+    def decode(self, image: np.ndarray) -> np.ndarray:
+        """Recover a latent estimate from an image (least-squares inverse)."""
+        flat = np.asarray(image, dtype=np.float64).reshape(-1)
+        if flat.size != self.spec.pixels:
+            raise DataError(
+                f"image has {flat.size} pixels, renderer expects {self.spec.pixels}"
+            )
+        return l2_normalize(self._decoder @ flat)
+
+
+@dataclass(frozen=True)
+class AudioSpec:
+    """Shape and noise level of the synthetic audio modality."""
+
+    frames: int = 128
+    noise_sigma: float = 0.1
+    smoothing: int = 4
+
+
+class AudioRenderer:
+    """Render latents into 1-D frame sequences with temporal smoothing."""
+
+    def __init__(self, space: ConceptSpace, spec: AudioSpec = AudioSpec(), seed: int = 0) -> None:
+        if spec.frames < space.latent_dim:
+            raise DataError(
+                f"audio has {spec.frames} frames but latent_dim is {space.latent_dim}"
+            )
+        self.space = space
+        self.spec = spec
+        self.seed = seed
+        rng = derive_rng(seed, "audio-projection")
+        self._projection = rng.standard_normal((spec.frames, space.latent_dim))
+        self._projection /= np.sqrt(space.latent_dim)
+        self._decoder = np.linalg.pinv(self._projection)
+
+    def render(self, latent: np.ndarray, noise_key: object) -> np.ndarray:
+        """Project ``latent`` into frames, smooth, and add noise."""
+        latent = np.asarray(latent, dtype=np.float64)
+        if latent.shape != (self.space.latent_dim,):
+            raise DataError(
+                f"latent has shape {latent.shape}, expected ({self.space.latent_dim},)"
+            )
+        rng = derive_rng(self.seed, "audio-noise", noise_key)
+        frames = self._projection @ latent
+        if self.spec.smoothing > 1:
+            kernel = np.ones(self.spec.smoothing) / self.spec.smoothing
+            frames = np.convolve(frames, kernel, mode="same")
+        return frames + self.spec.noise_sigma * rng.standard_normal(self.spec.frames)
+
+    def decode(self, audio: np.ndarray) -> np.ndarray:
+        """Recover a latent estimate from audio frames."""
+        frames = np.asarray(audio, dtype=np.float64).reshape(-1)
+        if frames.size != self.spec.frames:
+            raise DataError(
+                f"audio has {frames.size} frames, renderer expects {self.spec.frames}"
+            )
+        return l2_normalize(self._decoder @ frames)
+
+
+class RenderModel:
+    """Bundle of per-modality renderers for one knowledge base."""
+
+    def __init__(
+        self,
+        space: ConceptSpace,
+        seed: int = 0,
+        text_drop_probability: float = 0.15,
+        image_spec: ImageSpec = ImageSpec(),
+        audio_spec: AudioSpec = AudioSpec(),
+    ) -> None:
+        self.space = space
+        self.seed = seed
+        self.text = TextRenderer(space, drop_probability=text_drop_probability, seed=seed)
+        self.image = ImageRenderer(space, spec=image_spec, seed=seed)
+        self.audio = AudioRenderer(space, spec=audio_spec, seed=seed)

@@ -1,0 +1,26 @@
+"""Distance kernels, including the weighted multi-vector distance with
+incremental scanning that powers MUST's "computational pruning"."""
+
+from repro.distance.kernel import DistanceKernel, DistanceStats
+from repro.distance.metrics import (
+    Metric,
+    cosine_distance,
+    inner_product_distance,
+    pairwise_squared_l2,
+    squared_l2,
+)
+from repro.distance.multivector import MultiVectorSchema, WeightedMultiVectorKernel
+from repro.distance.single import SingleVectorKernel
+
+__all__ = [
+    "DistanceKernel",
+    "DistanceStats",
+    "Metric",
+    "MultiVectorSchema",
+    "SingleVectorKernel",
+    "WeightedMultiVectorKernel",
+    "cosine_distance",
+    "inner_product_distance",
+    "pairwise_squared_l2",
+    "squared_l2",
+]

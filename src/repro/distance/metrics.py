@@ -1,0 +1,77 @@
+"""Scalar and batch distance functions."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+
+class Metric(str, enum.Enum):
+    """Distance metric identifiers accepted by index configurations."""
+
+    SQUARED_L2 = "squared_l2"
+    COSINE = "cosine"
+    INNER_PRODUCT = "inner_product"
+
+    @classmethod
+    def parse(cls, value: "str | Metric") -> "Metric":
+        """Coerce a string such as ``"cosine"`` into a :class:`Metric`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown metric {value!r}; expected one of: {valid}") from None
+
+
+def _check_dims(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionMismatchError(
+            f"vectors have incompatible dims {a.shape[-1]} and {b.shape[-1]}"
+        )
+
+
+def squared_l2(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance between two vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_dims(a, b)
+    diff = a - b
+    return float(diff @ diff)
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - cos(a, b)``; 1.0 for orthogonal, 0.0 for parallel vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_dims(a, b)
+    denom = max(np.linalg.norm(a) * np.linalg.norm(b), 1e-12)
+    return float(1.0 - (a @ b) / denom)
+
+
+def inner_product_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Negated inner product, so that smaller still means more similar."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    _check_dims(a, b)
+    return float(-(a @ b))
+
+
+def pairwise_squared_l2(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """Squared L2 between every query row and every corpus row.
+
+    Uses the expansion ``|q - x|^2 = |q|^2 - 2 q.x + |x|^2`` so the whole
+    computation is three BLAS calls; negatives from floating-point
+    cancellation are clamped to zero.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    corpus = np.atleast_2d(np.asarray(corpus, dtype=np.float64))
+    _check_dims(queries, corpus)
+    q_norms = (queries * queries).sum(axis=1)[:, None]
+    c_norms = (corpus * corpus).sum(axis=1)[None, :]
+    distances = q_norms - 2.0 * queries @ corpus.T + c_norms
+    return np.maximum(distances, 0.0)

@@ -1,0 +1,37 @@
+"""Vector-representation substrate: simulated multi-modal encoders.
+
+Real MQA plugs in pretrained GPU models (LSTM, ResNet, CLIP).  Here each
+encoder is a deterministic numpy function that recovers a noisy estimate of
+the latent concept vector from rendered content — the renderer's public
+projection parameters play the role of pretrained weights, while per-object
+noise and dropped tokens keep the estimate imperfect.
+
+Unimodal encoders project into *separate* output spaces (the situation the
+Multi-streamed Retrieval framework must cope with); the simulated CLIP
+encoder maps text and images into one *shared* space (what Joint Embedding
+relies on).  MUST consumes either kind, one vector per modality.
+"""
+
+from repro.encoders.base import Encoder, EncoderSet
+from repro.encoders.audio import SpectralAudioEncoder
+from repro.encoders.clip import SimulatedClipEncoder
+from repro.encoders.image import PatchPoolingImageEncoder
+from repro.encoders.registry import (
+    available_encoder_sets,
+    build_encoder_set,
+    register_encoder_set,
+)
+from repro.encoders.text import BagOfTokensEncoder, SequenceTextEncoder
+
+__all__ = [
+    "BagOfTokensEncoder",
+    "Encoder",
+    "EncoderSet",
+    "PatchPoolingImageEncoder",
+    "SequenceTextEncoder",
+    "SimulatedClipEncoder",
+    "SpectralAudioEncoder",
+    "available_encoder_sets",
+    "build_encoder_set",
+    "register_encoder_set",
+]

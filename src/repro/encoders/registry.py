@@ -1,0 +1,109 @@
+"""Pluggable encoder-set registry.
+
+The paper advertises "seamless encoder integration, such as LSTM, ResNet,
+and CLIP"; this registry is that plug point.  An encoder-set factory takes a
+knowledge base (for the renderer parameters that stand in for pretrained
+weights) and a seed, and returns a fully-assigned :class:`EncoderSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.encoders.audio import SpectralAudioEncoder
+from repro.encoders.base import EncoderSet
+from repro.encoders.clip import SimulatedClipEncoder
+from repro.encoders.image import PatchPoolingImageEncoder
+from repro.encoders.text import BagOfTokensEncoder, SequenceTextEncoder
+from repro.errors import ConfigurationError
+
+EncoderSetFactory = Callable[[KnowledgeBase, int], EncoderSet]
+
+_REGISTRY: Dict[str, EncoderSetFactory] = {}
+
+
+def register_encoder_set(name: str, factory: EncoderSetFactory) -> None:
+    """Register ``factory`` under ``name`` (overwrites an existing entry)."""
+    if not name:
+        raise ConfigurationError("encoder set name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_encoder_sets() -> Tuple[str, ...]:
+    """Names of all registered encoder sets."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_encoder_set(name: str, kb: KnowledgeBase, seed: int = 0) -> EncoderSet:
+    """Instantiate the encoder set called ``name`` for ``kb``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(available_encoder_sets())
+        raise ConfigurationError(
+            f"unknown encoder set {name!r}; available: {valid}"
+        ) from None
+    return factory(kb, seed)
+
+
+# ----------------------------------------------------------------------
+# built-in encoder sets
+# ----------------------------------------------------------------------
+def _assignment_for(kb: KnowledgeBase, text, image, audio) -> dict:
+    """Assign per-modality encoders for exactly the modalities kb carries."""
+    assignment = {}
+    for modality in kb.modalities:
+        if modality is Modality.TEXT:
+            assignment[modality] = text
+        elif modality is Modality.IMAGE:
+            assignment[modality] = image
+        elif modality is Modality.AUDIO:
+            if audio is None:
+                raise ConfigurationError(
+                    "knowledge base carries audio but the encoder set has "
+                    "no audio encoder"
+                )
+            assignment[modality] = audio
+    return assignment
+
+
+def _unimodal_strong(kb: KnowledgeBase, seed: int) -> EncoderSet:
+    """Sequence text + patch image (+ audio) in separate spaces."""
+    assignment = _assignment_for(
+        kb,
+        text=SequenceTextEncoder(kb.space, seed=seed),
+        image=PatchPoolingImageEncoder(kb.render_model.image, seed=seed),
+        audio=SpectralAudioEncoder(kb.render_model.audio, seed=seed),
+    )
+    return EncoderSet(assignment, name="unimodal-strong")
+
+
+def _unimodal_basic(kb: KnowledgeBase, seed: int) -> EncoderSet:
+    """Bag-of-tokens text + patch image: the weaker unimodal stack."""
+    assignment = _assignment_for(
+        kb,
+        text=BagOfTokensEncoder(kb.space, seed=seed),
+        image=PatchPoolingImageEncoder(kb.render_model.image, seed=seed),
+        audio=SpectralAudioEncoder(kb.render_model.audio, seed=seed),
+    )
+    return EncoderSet(assignment, name="unimodal-basic")
+
+
+def _clip_joint(kb: KnowledgeBase, seed: int) -> EncoderSet:
+    """One shared-space CLIP encoder for both text and image."""
+    unsupported = [
+        m for m in kb.modalities if m not in (Modality.TEXT, Modality.IMAGE)
+    ]
+    if unsupported:
+        names = ", ".join(m.value for m in unsupported)
+        raise ConfigurationError(f"sim-clip does not support modalities: {names}")
+    clip = SimulatedClipEncoder(kb.render_model.image, seed=seed)
+    assignment = {m: clip for m in kb.modalities}
+    return EncoderSet(assignment, name="clip-joint")
+
+
+register_encoder_set("unimodal-strong", _unimodal_strong)
+register_encoder_set("unimodal-basic", _unimodal_basic)
+register_encoder_set("clip-joint", _clip_joint)

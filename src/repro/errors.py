@@ -1,0 +1,89 @@
+"""Exception hierarchy for the MQA reproduction.
+
+Every error raised by this library derives from :class:`MQAError`, so callers
+can catch one base class at the system boundary.  Subclasses are grouped by
+the component that raises them (mirroring the five backend components of the
+paper's Figure 2 plus the coordinator).
+"""
+
+from __future__ import annotations
+
+
+class MQAError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(MQAError):
+    """An invalid or inconsistent system configuration was supplied."""
+
+
+class DataError(MQAError):
+    """Raised by the data-preprocessing substrate (ingestion, storage)."""
+
+
+class UnknownObjectError(DataError):
+    """An object id was requested that is not present in the store."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"unknown object id: {object_id!r}")
+        self.object_id = object_id
+
+
+class ModalityError(DataError):
+    """An object or query referenced a modality it does not carry."""
+
+
+class EncodingError(MQAError):
+    """Raised by the vector-representation component (encoders)."""
+
+
+class DimensionMismatchError(EncodingError):
+    """Vectors of incompatible dimensionality were combined."""
+
+
+class IndexError_(MQAError):
+    """Raised by the index-construction component.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`, which has unrelated semantics.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """A search was issued against an index that has not been built."""
+
+
+class GraphConstructionError(IndexError_):
+    """A navigation-graph construction pipeline stage failed."""
+
+
+class SearchError(MQAError):
+    """Raised by the query-execution component."""
+
+
+class RetrievalError(SearchError):
+    """A retrieval framework could not execute the query."""
+
+
+class GenerationError(MQAError):
+    """Raised by the answer-generation component (LLM layer)."""
+
+
+class GroundingError(GenerationError):
+    """A generated answer referenced content outside the retrieved context."""
+
+
+class PipelineError(MQAError):
+    """Raised by the DAG execution engine (the CGraph stand-in)."""
+
+
+class CycleError(PipelineError):
+    """The DAG pipeline definition contains a dependency cycle."""
+
+
+class SessionError(MQAError):
+    """Raised by the interactive dialogue session layer."""
+
+
+class CoordinatorError(MQAError):
+    """Raised by the coordinator when component orchestration fails."""

@@ -1,0 +1,36 @@
+"""Exact nearest-neighbour ground truth in vector space.
+
+Used by the index experiments (E1, E3, E5), where "correct" means the true
+top-k under the kernel — as opposed to the concept-level oracle of
+:meth:`repro.data.KnowledgeBase.ground_truth_neighbors`, which the
+end-to-end quality experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+
+
+def exact_knn(
+    corpus: np.ndarray,
+    kernel: DistanceKernel,
+    queries: np.ndarray,
+    k: int,
+) -> List[List[int]]:
+    """True top-``k`` ids for each query row under ``kernel``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    corpus = np.atleast_2d(np.asarray(corpus, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    k = min(k, corpus.shape[0])
+    result: List[List[int]] = []
+    for query in queries:
+        distances = kernel.batch(query, corpus)
+        top = np.argpartition(distances, k - 1)[:k]
+        top = top[np.argsort(distances[top])]
+        result.append([int(i) for i in top])
+    return result

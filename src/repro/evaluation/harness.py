@@ -1,0 +1,123 @@
+"""Experiment runner + fixed-width table printer.
+
+Every benchmark regenerates its paper artefact as an
+:class:`ExperimentTable` so the printed rows look the same across
+experiments and can be diffed between runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.metrics import mean_reciprocal_rank, recall_at_k
+from repro.evaluation.workloads import EvalQuery
+from repro.retrieval.base import RetrievalFramework
+
+
+@dataclass
+class FrameworkScore:
+    """Aggregated quality/efficiency of one framework on one workload.
+
+    Attributes:
+        framework: Framework name.
+        recall: Mean recall@k.
+        mrr: Mean reciprocal rank.
+        qps: Queries per second (wall clock).
+        hops: Mean graph hops per query.
+        distance_evaluations: Mean distance computations per query.
+    """
+
+    framework: str
+    recall: float
+    mrr: float
+    qps: float
+    hops: float
+    distance_evaluations: float
+
+
+def evaluate_framework(
+    framework: RetrievalFramework,
+    workload: Sequence[EvalQuery],
+    k: int,
+    budget: int = 64,
+) -> FrameworkScore:
+    """Run ``workload`` through ``framework`` and aggregate the metrics.
+
+    Reference objects of composed queries are excluded from the retrieved
+    lists before scoring (they are excluded from the ground truth too).
+    """
+    if not workload:
+        raise ValueError("workload must be non-empty")
+    total_recall = 0.0
+    total_mrr = 0.0
+    total_hops = 0
+    total_evals = 0
+    start = time.perf_counter()
+    for query in workload:
+        fetch = k + (1 if query.reference_id is not None else 0)
+        response = framework.retrieve(query.raw, k=fetch, budget=budget)
+        ids = [i for i in response.ids if i != query.reference_id][:k]
+        total_recall += recall_at_k(ids, query.gt_ids, k)
+        total_mrr += mean_reciprocal_rank(ids, query.gt_ids)
+        total_hops += response.stats.hops
+        total_evals += response.stats.distance_evaluations
+    elapsed = time.perf_counter() - start
+    count = len(workload)
+    return FrameworkScore(
+        framework=framework.name,
+        recall=total_recall / count,
+        mrr=total_mrr / count,
+        qps=count / elapsed if elapsed > 0 else float("inf"),
+        hops=total_hops / count,
+        distance_evaluations=total_evals / count,
+    )
+
+
+class ExperimentTable:
+    """Fixed-width table accumulating experiment rows.
+
+    >>> table = ExperimentTable("demo", ["metric", "value"])
+    >>> table.add_row(["recall", 0.93])
+    >>> print(table.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append a row; floats are formatted to three decimals."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        formatted = [
+            f"{value:.3f}" if isinstance(value, float) else str(value)
+            for value in values
+        ]
+        self.rows.append(formatted)
+
+    def column(self, name: str) -> List[str]:
+        """All values of the column called ``name``."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """The table as aligned text, title first."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)

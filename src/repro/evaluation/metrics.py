@@ -1,0 +1,58 @@
+"""Ranking-quality metrics."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def recall_at_k(retrieved: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """|top-k retrieved ∩ relevant| / min(k, |relevant|).
+
+    Normalising by ``min(k, |relevant|)`` keeps the metric in [0, 1] even
+    when fewer than ``k`` items are relevant.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(relevant)
+    if not relevant_set:
+        raise ValueError("relevant set must be non-empty")
+    hits = len(set(retrieved[:k]) & relevant_set)
+    return hits / min(k, len(relevant_set))
+
+
+def precision_at_k(retrieved: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """|top-k retrieved ∩ relevant| / k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevant_set = set(relevant)
+    return len(set(retrieved[:k]) & relevant_set) / k
+
+
+def mean_reciprocal_rank(retrieved: Sequence[int], relevant: Iterable[int]) -> float:
+    """1 / rank of the first relevant item (0 when none appears)."""
+    relevant_set = set(relevant)
+    for position, object_id in enumerate(retrieved, start=1):
+        if object_id in relevant_set:
+            return 1.0 / position
+    return 0.0
+
+
+def ndcg_at_k(retrieved: Sequence[int], relevant: Sequence[int], k: int) -> float:
+    """Binary-gain nDCG@k with the relevant list's order as the ideal.
+
+    Items earlier in ``relevant`` are treated as more relevant (graded gain
+    ``|relevant| - position``), so metric order respects the oracle ranking.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    gains = {object_id: len(relevant) - i for i, object_id in enumerate(relevant)}
+    dcg = 0.0
+    for position, object_id in enumerate(retrieved[:k], start=1):
+        gain = gains.get(object_id, 0)
+        dcg += gain / np.log2(position + 1)
+    ideal = 0.0
+    for position, object_id in enumerate(relevant[:k], start=1):
+        ideal += gains[object_id] / np.log2(position + 1)
+    return dcg / ideal if ideal > 0 else 0.0

@@ -1,0 +1,93 @@
+"""Retrieval-parameter auto-tuning.
+
+The configuration panel exposes the search budget (beam width) as a raw
+knob; this helper picks the smallest budget that reaches a target recall on
+a validation workload — the standard way vector databases translate a
+quality SLO into an index parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.evaluation.harness import evaluate_framework
+from repro.evaluation.workloads import EvalQuery
+from repro.retrieval.base import RetrievalFramework
+
+
+@dataclass(frozen=True)
+class BudgetTuneResult:
+    """Outcome of a budget search.
+
+    Attributes:
+        budget: The chosen beam width.
+        recall: Recall measured at that budget.
+        target_met: Whether the target was reachable within ``max_budget``.
+        trace: (budget, recall) pairs evaluated along the way.
+    """
+
+    budget: int
+    recall: float
+    target_met: bool
+    trace: "List[tuple]"
+
+
+def tune_budget(
+    framework: RetrievalFramework,
+    workload: Sequence[EvalQuery],
+    k: int,
+    target_recall: float,
+    min_budget: int = 8,
+    max_budget: int = 512,
+) -> BudgetTuneResult:
+    """Smallest budget whose recall@k meets ``target_recall``.
+
+    Doubles the budget until the target is met (or ``max_budget`` is hit),
+    then binary-searches the interval — recall is monotone non-decreasing
+    in the beam width, which makes this sound.
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ConfigurationError(
+            f"target_recall must be in (0, 1], got {target_recall}"
+        )
+    if min_budget < 1 or max_budget < min_budget:
+        raise ConfigurationError(
+            f"need 1 <= min_budget <= max_budget, got {min_budget}..{max_budget}"
+        )
+
+    trace: List[tuple] = []
+
+    def recall_at(budget: int) -> float:
+        score = evaluate_framework(framework, workload, k=k, budget=budget)
+        trace.append((budget, score.recall))
+        return score.recall
+
+    # Exponential probe upward.
+    budget = min_budget
+    recall = recall_at(budget)
+    while recall < target_recall and budget < max_budget:
+        budget = min(budget * 2, max_budget)
+        recall = recall_at(budget)
+
+    if recall < target_recall:
+        return BudgetTuneResult(
+            budget=budget, recall=recall, target_met=False, trace=trace
+        )
+
+    # Binary search the last doubling interval for the smallest winner.
+    low = max(min_budget, budget // 2)
+    high = budget
+    best_budget, best_recall = budget, recall
+    while low < high:
+        mid = (low + high) // 2
+        mid_recall = recall_at(mid)
+        if mid_recall >= target_recall:
+            best_budget, best_recall = mid, mid_recall
+            high = mid
+        else:
+            low = mid + 1
+    return BudgetTuneResult(
+        budget=best_budget, recall=best_recall, target_met=True, trace=trace
+    )

@@ -1,0 +1,175 @@
+"""Query workload generators with exact concept-level ground truth.
+
+Each generator mirrors an interaction scenario from the paper:
+
+* :func:`text_queries` — Figure 4(a) round one: text-only requests.
+* :func:`composed_queries` — Figure 4(b): a reference image plus text
+  carrying an extra constraint.
+* :func:`refinement_scripts` — Figures 1/5: a text round, a simulated user
+  selection, and a refinement round whose ground truth combines the
+  selected object with the original intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.errors import DataError
+from repro.utils import derive_rng
+
+
+@dataclass
+class EvalQuery:
+    """One evaluable query.
+
+    Attributes:
+        raw: The query as the system receives it.
+        target_concepts: The oracle intent.
+        gt_ids: Exact top-k object ids for that intent.
+        reference_id: Object whose image the query borrowed (None for
+            text-only queries); always excluded from ``gt_ids``.
+    """
+
+    raw: RawQuery
+    target_concepts: Tuple[str, ...]
+    gt_ids: List[int]
+    reference_id: Optional[int] = None
+
+
+@dataclass
+class RefinementScript:
+    """A two-round scripted dialogue with ground truth per round.
+
+    Attributes:
+        initial: Round-one text-only query.
+        refinement_text: What the user types after selecting a result.
+        extra_concept: The concept the refinement adds.
+        k: Ground-truth depth.
+    """
+
+    initial: EvalQuery
+    refinement_text: str
+    extra_concept: str
+    k: int
+
+    def refined_ground_truth(
+        self, kb: KnowledgeBase, selected_id: int
+    ) -> List[int]:
+        """Oracle for round two: selected object's concepts + the extra one.
+
+        Computed lazily because it depends on which result the simulated
+        user actually selected.
+        """
+        selected = kb.get(selected_id)
+        concepts = list(dict.fromkeys(list(selected.concepts) + [self.extra_concept]))
+        return kb.ground_truth_for_concepts(concepts, self.k, exclude=[selected_id])
+
+
+def _query_text(concepts: Sequence[str], rng) -> str:
+    """Phrase a concept bag the way a user would type it."""
+    templates = (
+        "i would like some images of {}",
+        "could you find {} for me",
+        "show me {}",
+        "looking for {}",
+    )
+    template = templates[int(rng.integers(len(templates)))]
+    return template.format(" ".join(concepts))
+
+
+def text_queries(
+    kb: KnowledgeBase,
+    count: int,
+    k: int = 10,
+    concepts_per_query: int = 2,
+    seed: int = 0,
+) -> List[EvalQuery]:
+    """Text-only queries over random concept pairs that co-occur in data."""
+    if count < 1:
+        raise DataError(f"count must be >= 1, got {count}")
+    rng = derive_rng(seed, "workload-text", kb.name)
+    queries: List[EvalQuery] = []
+    for _ in range(count):
+        # Anchor on a real object so every query has dense relevant matter.
+        anchor = kb.get(int(rng.integers(len(kb))))
+        concepts = list(anchor.concepts[:concepts_per_query])
+        queries.append(
+            EvalQuery(
+                raw=RawQuery.from_text(_query_text(concepts, rng)),
+                target_concepts=tuple(concepts),
+                gt_ids=kb.ground_truth_for_concepts(concepts, k),
+            )
+        )
+    return queries
+
+
+def composed_queries(
+    kb: KnowledgeBase,
+    count: int,
+    k: int = 10,
+    seed: int = 0,
+) -> List[EvalQuery]:
+    """Image-assisted queries: a reference object's image + extra text."""
+    if count < 1:
+        raise DataError(f"count must be >= 1, got {count}")
+    if Modality.IMAGE not in kb.modalities:
+        raise DataError("composed queries need an image modality")
+    rng = derive_rng(seed, "workload-composed", kb.name)
+    names = kb.space.names
+    queries: List[EvalQuery] = []
+    for _ in range(count):
+        reference_id = int(rng.integers(len(kb)))
+        reference = kb.get(reference_id)
+        extra_pool = [name for name in names if name not in reference.concepts]
+        extra = extra_pool[int(rng.integers(len(extra_pool)))]
+        target = list(reference.concepts) + [extra]
+        queries.append(
+            EvalQuery(
+                raw=RawQuery.from_text_and_image(
+                    extra, reference.get(Modality.IMAGE)
+                ),
+                target_concepts=tuple(target),
+                gt_ids=kb.ground_truth_for_concepts(target, k, exclude=[reference_id]),
+                reference_id=reference_id,
+            )
+        )
+    return queries
+
+
+def refinement_scripts(
+    kb: KnowledgeBase,
+    count: int,
+    k: int = 10,
+    seed: int = 0,
+) -> List[RefinementScript]:
+    """Two-round dialogue scripts (text round, selection, refinement)."""
+    if count < 1:
+        raise DataError(f"count must be >= 1, got {count}")
+    rng = derive_rng(seed, "workload-refine", kb.name)
+    names = kb.space.names
+    scripts: List[RefinementScript] = []
+    for _ in range(count):
+        anchor = kb.get(int(rng.integers(len(kb))))
+        initial_concepts = list(anchor.concepts[:2])
+        initial = EvalQuery(
+            raw=RawQuery.from_text(_query_text(initial_concepts, rng)),
+            target_concepts=tuple(initial_concepts),
+            gt_ids=kb.ground_truth_for_concepts(initial_concepts, k),
+        )
+        extra_pool = [name for name in names if name not in anchor.concepts]
+        extra = extra_pool[int(rng.integers(len(extra_pool)))]
+        scripts.append(
+            RefinementScript(
+                initial=initial,
+                refinement_text=(
+                    f"i like this one, could you find more like it with {extra}"
+                ),
+                extra_concept=extra,
+                k=k,
+            )
+        )
+    return scripts

@@ -1,0 +1,135 @@
+"""The vector-index interface all index algorithms implement."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import IndexError_, IndexNotBuiltError
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one search.
+
+    Attributes:
+        hops: Graph vertices expanded (0 for flat scans).
+        distance_evaluations: Candidate vectors whose distance was computed.
+        block_reads: Simulated disk blocks fetched (Starling only).
+        cache_hits: Block requests served from cache (Starling only).
+    """
+
+    hops: int = 0
+    distance_evaluations: int = 0
+    block_reads: int = 0
+    cache_hits: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.hops += other.hops
+        self.distance_evaluations += other.distance_evaluations
+        self.block_reads += other.block_reads
+        self.cache_hits += other.cache_hits
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a top-k search.
+
+    Attributes:
+        ids: Object ids, closest first.
+        distances: Matching distances (same order).
+        stats: Work counters for this search.
+    """
+
+    ids: List[int]
+    distances: List[float]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def top(self) -> Optional[int]:
+        """The closest id, or None for an empty result."""
+        return self.ids[0] if self.ids else None
+
+
+class VectorIndex(abc.ABC):
+    """Searchable structure over a fixed corpus of vectors.
+
+    Lifecycle: construct with parameters, :meth:`build` once over the corpus
+    matrix and a distance kernel, then :meth:`search` any number of times.
+    """
+
+    #: Identifier used by the registry and the status panel.
+    name: str = "index"
+
+    def __init__(self) -> None:
+        self._vectors: Optional[np.ndarray] = None
+        self._kernel: Optional[DistanceKernel] = None
+        self.build_seconds: float = 0.0
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has completed."""
+        return self._vectors is not None
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors (0 before build)."""
+        return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed corpus matrix."""
+        self._require_built()
+        assert self._vectors is not None
+        return self._vectors
+
+    @property
+    def kernel(self) -> DistanceKernel:
+        """The distance kernel the index was built with."""
+        self._require_built()
+        assert self._kernel is not None
+        return self._kernel
+
+    def _require_built(self) -> None:
+        if self._vectors is None:
+            raise IndexNotBuiltError(
+                f"index {self.name!r} has not been built; call build() first"
+            )
+
+    @abc.abstractmethod
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        """Index ``vectors`` (an ``(n, d)`` matrix) under ``kernel``."""
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert one vector into the built index; returns its new id.
+
+        Optional capability — index types that cannot grow raise
+        :class:`repro.errors.IndexError_`.  Insertions keep the dense-id
+        contract: the returned id always equals the previous :attr:`size`.
+        """
+        raise IndexError_(
+            f"index {self.name!r} does not support incremental insertion"
+        )
+
+    @abc.abstractmethod
+    def search(self, query: np.ndarray, k: int, budget: int = 64) -> SearchResult:
+        """Return the approximate top-``k`` ids for ``query``.
+
+        Args:
+            query: Query vector of the kernel's dimensionality.
+            k: Result count.
+            budget: Search effort (beam width / ef); larger trades speed
+                for recall.  Ignored by exact indexes.
+        """
+
+    def describe(self) -> str:
+        """One-line summary for the status panel."""
+        state = f"{self.size} vectors" if self.is_built else "not built"
+        return f"index {self.name!r}: {state}"

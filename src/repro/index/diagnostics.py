@@ -1,0 +1,99 @@
+"""Navigation-graph diagnostics.
+
+Quality of a navigation graph is more than recall: the status panel (and
+any operator) wants degree balance, reachability, and *navigability* — how
+often pure greedy descent (beam width 1) actually lands on the true nearest
+neighbour.  These checks are also what the index tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.index.graph import NavigationGraph
+from repro.index.search import greedy_search
+from repro.utils import derive_rng
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Structural + navigability summary of one navigation graph.
+
+    Attributes:
+        n_vertices: Vertex count.
+        edge_count: Directed edge count.
+        average_degree: Mean out-degree.
+        max_degree_used: Largest out-degree present.
+        min_degree_used: Smallest out-degree present.
+        reachable_fraction: Share of vertices reachable from entry points.
+        greedy_hit_rate: Fraction of sampled self-queries where beam-1
+            greedy descent finds the queried vertex itself.
+        degree_histogram: Out-degree -> vertex count.
+    """
+
+    n_vertices: int
+    edge_count: int
+    average_degree: float
+    max_degree_used: int
+    min_degree_used: int
+    reachable_fraction: float
+    greedy_hit_rate: float
+    degree_histogram: Dict[int, int]
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"graph: {self.n_vertices} vertices, {self.edge_count} edges "
+            f"(avg degree {self.average_degree:.1f}, "
+            f"range {self.min_degree_used}-{self.max_degree_used})",
+            f"reachable from entries: {self.reachable_fraction:.1%}",
+            f"greedy self-query hit rate: {self.greedy_hit_rate:.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_graph(
+    graph: NavigationGraph,
+    vectors: np.ndarray,
+    kernel: DistanceKernel,
+    sample: int = 50,
+    seed: int = 0,
+) -> GraphReport:
+    """Compute a :class:`GraphReport` for ``graph`` over its corpus.
+
+    Args:
+        graph: The navigation graph.
+        vectors: The corpus it indexes.
+        kernel: The distance kernel it was built with.
+        sample: Number of self-queries for the navigability probe.
+        seed: Sampling seed.
+    """
+    histogram = graph.degree_histogram()
+    degrees = sorted(histogram)
+    reachable = graph.reachable_from(graph.entry_points)
+
+    rng = derive_rng(seed, "graph-diagnostics")
+    n = graph.n_vertices
+    probes = rng.choice(n, size=min(sample, n), replace=False)
+    hits = 0
+    for vertex in probes:
+        result = greedy_search(
+            graph, vectors, kernel, vectors[int(vertex)], k=1, budget=1
+        )
+        if result.ids and result.ids[0] == int(vertex):
+            hits += 1
+
+    return GraphReport(
+        n_vertices=n,
+        edge_count=graph.edge_count,
+        average_degree=graph.average_degree,
+        max_degree_used=degrees[-1] if degrees else 0,
+        min_degree_used=degrees[0] if degrees else 0,
+        reachable_fraction=len(reachable) / n,
+        greedy_hit_rate=hits / len(probes) if len(probes) else 0.0,
+        degree_histogram=histogram,
+    )

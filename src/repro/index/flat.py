@@ -1,0 +1,77 @@
+"""Exact brute-force index — the accuracy baseline every graph is judged by."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import SearchError
+from repro.index.base import SearchResult, SearchStats, VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Scans the whole corpus through the kernel's batch path.
+
+    Exact by construction; ``budget`` is ignored.  Used as the ground-truth
+    oracle in recall measurements and as the low-QPS baseline in E3.
+    """
+
+    name = "flat"
+
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        start = time.perf_counter()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] == 0:
+            raise SearchError("cannot build an index over an empty corpus")
+        if vectors.shape[1] != kernel.dim:
+            raise SearchError(
+                f"corpus dim {vectors.shape[1]} != kernel dim {kernel.dim}"
+            )
+        self._vectors = vectors
+        self._kernel = kernel
+        self.build_seconds = time.perf_counter() - start
+
+    def add(self, vector: np.ndarray) -> int:
+        self._require_built()
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        if vector.shape[1] != self.kernel.dim:
+            raise SearchError(
+                f"vector dim {vector.shape[1]} != kernel dim {self.kernel.dim}"
+            )
+        self._vectors = np.vstack([self._vectors, vector])
+        return self.size - 1
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        budget: int = 64,
+        admit=None,
+    ) -> SearchResult:
+        self._require_built()
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        distances = self.kernel.batch(np.asarray(query, dtype=np.float64), self.vectors)
+        if admit is not None:
+            mask = np.fromiter(
+                (admit(i) for i in range(distances.size)), dtype=bool,
+                count=distances.size,
+            )
+            distances = np.where(mask, distances, np.inf)
+            if not mask.any():
+                return SearchResult(
+                    ids=[], distances=[],
+                    stats=SearchStats(distance_evaluations=int(mask.size)),
+                )
+            k = min(k, int(mask.sum()))
+        k = min(k, distances.size)
+        top = np.argpartition(distances, k - 1)[:k]
+        top = top[np.argsort(distances[top])]
+        stats = SearchStats(hops=0, distance_evaluations=self.size)
+        return SearchResult(
+            ids=[int(i) for i in top],
+            distances=[float(distances[i]) for i in top],
+            stats=stats,
+        )

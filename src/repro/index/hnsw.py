@@ -1,0 +1,266 @@
+"""Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+A faithful, pure-Python HNSW: exponentially-distributed layer assignment,
+greedy descent through the upper layers, beam search with the
+``select_neighbors_heuristic`` diversification rule at the insertion layer,
+and bidirectional edge insertion with degree-bounded re-pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import GraphConstructionError, SearchError
+from repro.index.base import SearchResult, SearchStats, VectorIndex
+from repro.index.graph import NavigationGraph
+from repro.index.search import greedy_search
+from repro.utils import derive_rng
+
+
+@dataclass(frozen=True)
+class HnswParams:
+    """HNSW construction parameters.
+
+    Attributes:
+        m: Target out-degree on upper layers (base layer allows ``2 * m``).
+        ef_construction: Beam width used while inserting.
+        seed: Layer-assignment seed.
+    """
+
+    m: int = 12
+    ef_construction: int = 80
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"m must be >= 2, got {self.m}")
+        if self.ef_construction < self.m:
+            raise ValueError(
+                f"ef_construction ({self.ef_construction}) must be >= m ({self.m})"
+            )
+
+
+class HnswIndex(VectorIndex):
+    """Multi-layer navigation graph with heuristic neighbour selection."""
+
+    name = "hnsw"
+
+    def __init__(self, params: HnswParams = HnswParams()) -> None:
+        super().__init__()
+        self.params = params
+        self._layers: List[Dict[int, List[int]]] = []
+        self._node_level: List[int] = []
+        self._entry: int = 0
+        self._max_level: int = -1
+        self._base_graph: Optional[NavigationGraph] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        start = time.perf_counter()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] == 0:
+            raise GraphConstructionError("cannot build HNSW over an empty corpus")
+        if vectors.shape[1] != kernel.dim:
+            raise GraphConstructionError(
+                f"corpus dim {vectors.shape[1]} != kernel dim {kernel.dim}"
+            )
+        self._vectors = vectors
+        self._kernel = kernel
+        self._layers = []
+        self._node_level = []
+        self._entry = 0
+        self._max_level = -1
+
+        rng = derive_rng(self.params.seed, "hnsw-levels")
+        level_scale = 1.0 / np.log(self.params.m)
+        for node in range(vectors.shape[0]):
+            level = int(-np.log(max(rng.random(), 1e-12)) * level_scale)
+            self._insert(node, level)
+        self._base_graph = None
+        self.build_seconds = time.perf_counter() - start
+
+    def _neighbors(self, layer: int, node: int) -> List[int]:
+        return self._layers[layer].setdefault(node, [])
+
+    def _distance(self, a: int, b: int) -> float:
+        return float(self.kernel.single(self.vectors[a], self.vectors[b]))
+
+    def _greedy_descend(self, query: np.ndarray, start: int, layer: int) -> int:
+        """Walk layer ``layer`` greedily to the local minimum for ``query``."""
+        current = start
+        current_distance = float(self.kernel.single(query, self.vectors[current]))
+        improved = True
+        while improved:
+            improved = False
+            neighbors = self._neighbors(layer, current)
+            if not neighbors:
+                break
+            distances = self.kernel.batch(query, self.vectors[neighbors])
+            best = int(np.argmin(distances))
+            if float(distances[best]) < current_distance:
+                current, current_distance = neighbors[best], float(distances[best])
+                improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, starts: List[int], ef: int, layer: int
+    ) -> List[Tuple[float, int]]:
+        """Beam search within one layer; returns (distance, node) ascending."""
+        visited = set(starts)
+        candidates: List[Tuple[float, int]] = []
+        beam: List[Tuple[float, int]] = []
+        start_distances = self.kernel.batch(query, self.vectors[starts])
+        for node, distance in zip(starts, start_distances):
+            distance = float(distance)
+            heapq.heappush(candidates, (distance, node))
+            heapq.heappush(beam, (-distance, node))
+        while len(beam) > ef:
+            heapq.heappop(beam)
+        while candidates:
+            distance, node = heapq.heappop(candidates)
+            if beam and distance > -beam[0][0] and len(beam) >= ef:
+                break
+            fresh = [n for n in self._neighbors(layer, node) if n not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            distances = self.kernel.batch(query, self.vectors[fresh])
+            for neighbor, neighbor_distance in zip(fresh, distances):
+                neighbor_distance = float(neighbor_distance)
+                if len(beam) < ef or neighbor_distance < -beam[0][0]:
+                    heapq.heappush(candidates, (neighbor_distance, neighbor))
+                    heapq.heappush(beam, (-neighbor_distance, neighbor))
+                    if len(beam) > ef:
+                        heapq.heappop(beam)
+        return sorted((-d, n) for d, n in beam)
+
+    def _select_heuristic(
+        self, candidates: List[Tuple[float, int]], m: int
+    ) -> List[int]:
+        """Diversified neighbour selection (Algorithm 4 of the paper).
+
+        A candidate is kept only if it is closer to the inserted point than
+        to every already-selected neighbour, which spreads edges across
+        directions instead of clustering them.
+        """
+        if len(candidates) <= m:
+            return [candidate for _, candidate in candidates]
+        ids = [candidate for _, candidate in candidates]
+        pairwise = self.kernel.matrix(self.vectors[ids], self.vectors[ids])
+        selected_rows: List[int] = []
+        for row, (distance, _) in enumerate(candidates):
+            if len(selected_rows) >= m:
+                break
+            keep = all(pairwise[row, other] >= distance for other in selected_rows)
+            if keep:
+                selected_rows.append(row)
+        if len(selected_rows) < m:
+            chosen = set(selected_rows)
+            for row in range(len(candidates)):
+                if len(selected_rows) >= m:
+                    break
+                if row not in chosen:
+                    selected_rows.append(row)
+                    chosen.add(row)
+        return [ids[row] for row in selected_rows]
+
+    def _insert(self, node: int, level: int) -> None:
+        self._node_level.append(level)
+        while len(self._layers) <= level:
+            self._layers.append({})
+        for layer in range(level + 1):
+            self._layers[layer].setdefault(node, [])
+
+        if self._max_level < 0:
+            self._entry = node
+            self._max_level = level
+            return
+
+        query = self.vectors[node]
+        current = self._entry
+        for layer in range(self._max_level, level, -1):
+            current = self._greedy_descend(query, current, layer)
+
+        starts = [current]
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(
+                query, starts, self.params.ef_construction, layer
+            )
+            m = self.params.m * 2 if layer == 0 else self.params.m
+            neighbors = self._select_heuristic(candidates, m)
+            self._layers[layer][node] = list(neighbors)
+            for neighbor in neighbors:
+                row = self._neighbors(layer, neighbor)
+                if node not in row:
+                    row.append(node)
+                    if len(row) > m:
+                        row_distances = self.kernel.batch(
+                            self.vectors[neighbor], self.vectors[row]
+                        )
+                        ranked = sorted(zip((float(d) for d in row_distances), row))
+                        self._layers[layer][neighbor] = self._select_heuristic(ranked, m)
+            starts = [n for _, n in candidates] or [current]
+
+        if level > self._max_level:
+            self._entry = node
+            self._max_level = level
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert one vector (HNSW is naturally incremental)."""
+        self._require_built()
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        if vector.shape[1] != self.kernel.dim:
+            raise GraphConstructionError(
+                f"vector dim {vector.shape[1]} != kernel dim {self.kernel.dim}"
+            )
+        node = self.size
+        self._vectors = np.vstack([self._vectors, vector])
+        rng = derive_rng(self.params.seed, "hnsw-level-add", node)
+        level = int(-np.log(max(rng.random(), 1e-12)) / np.log(self.params.m))
+        self._insert(node, level)
+        self._base_graph = None
+        return node
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self, query: np.ndarray, k: int, budget: int = 64, admit=None
+    ) -> SearchResult:
+        self._require_built()
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        base = self.base_graph()
+        current = self._entry
+        for layer in range(self._max_level, 0, -1):
+            current = self._greedy_descend(query, current, layer)
+        return greedy_search(
+            base,
+            self.vectors,
+            self.kernel,
+            query,
+            k=k,
+            budget=budget,
+            entry_points=[current],
+            admit=admit,
+        )
+
+    def base_graph(self) -> NavigationGraph:
+        """Expose layer 0 as a :class:`NavigationGraph` (cached)."""
+        self._require_built()
+        if self._base_graph is None:
+            graph = NavigationGraph(self.size, max_degree=self.params.m * 2)
+            for node in range(self.size):
+                graph.set_neighbors(node, self._layers[0].get(node, []))
+            graph.entry_points = [self._entry]
+            self._base_graph = graph
+        return self._base_graph

@@ -1,0 +1,159 @@
+"""IVF (inverted-file) index — the clustering-based alternative family.
+
+Navigation graphs are not the only ANN structure the configuration panel
+could offer; IVF partitions the corpus into Voronoi cells around k-means
+centroids and scans only the ``nprobe`` closest cells per query.  Including
+it gives experiment E3 a non-graph reference point: at equal recall IVF
+scans far more vectors than a graph traverses, which is the reason the
+paper's stack is graph-based.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import GraphConstructionError, SearchError
+from repro.index.base import SearchResult, SearchStats, VectorIndex
+from repro.utils import derive_rng
+
+
+@dataclass(frozen=True)
+class IvfParams:
+    """IVF construction and search parameters.
+
+    Attributes:
+        n_lists: Number of k-means cells.
+        nprobe: Cells scanned per query (the recall/speed knob; ``budget``
+            at search time overrides it when larger).
+        kmeans_iters: Lloyd iterations.
+        seed: Centroid-init seed.
+    """
+
+    n_lists: int = 32
+    nprobe: int = 4
+    kmeans_iters: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_lists < 1:
+            raise ValueError(f"n_lists must be >= 1, got {self.n_lists}")
+        if self.nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {self.nprobe}")
+        if self.kmeans_iters < 1:
+            raise ValueError(f"kmeans_iters must be >= 1, got {self.kmeans_iters}")
+
+
+class IvfIndex(VectorIndex):
+    """Inverted-file index over k-means cells."""
+
+    name = "ivf"
+
+    def __init__(self, params: IvfParams = IvfParams()) -> None:
+        super().__init__()
+        self.params = params
+        self._centroids: Optional[np.ndarray] = None
+        self._lists: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _kmeans(self, vectors: np.ndarray, kernel: DistanceKernel) -> np.ndarray:
+        n = vectors.shape[0]
+        n_lists = min(self.params.n_lists, n)
+        rng = derive_rng(self.params.seed, "ivf-init")
+        centroids = vectors[rng.choice(n, size=n_lists, replace=False)].copy()
+        for _ in range(self.params.kmeans_iters):
+            assignment = np.empty(n, dtype=np.int64)
+            for row in range(n):
+                assignment[row] = int(np.argmin(kernel.batch(vectors[row], centroids)))
+            for cell in range(n_lists):
+                members = vectors[assignment == cell]
+                if members.shape[0]:
+                    centroids[cell] = members.mean(axis=0)
+        return centroids
+
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        start = time.perf_counter()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] == 0:
+            raise GraphConstructionError("cannot build IVF over an empty corpus")
+        if vectors.shape[1] != kernel.dim:
+            raise GraphConstructionError(
+                f"corpus dim {vectors.shape[1]} != kernel dim {kernel.dim}"
+            )
+        self._vectors = vectors
+        self._kernel = kernel
+        self._centroids = self._kmeans(vectors, kernel)
+        self._lists = [[] for _ in range(self._centroids.shape[0])]
+        for row in range(vectors.shape[0]):
+            cell = int(np.argmin(kernel.batch(vectors[row], self._centroids)))
+            self._lists[cell].append(row)
+        self.build_seconds = time.perf_counter() - start
+
+    def add(self, vector: np.ndarray) -> int:
+        self._require_built()
+        assert self._centroids is not None
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.kernel.dim:
+            raise GraphConstructionError(
+                f"vector dim {vector.shape[0]} != kernel dim {self.kernel.dim}"
+            )
+        cell = int(np.argmin(self.kernel.batch(vector, self._centroids)))
+        new_id = self.size
+        self._vectors = np.vstack([self._vectors, vector[None, :]])
+        self._lists[cell].append(new_id)
+        return new_id
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self, query: np.ndarray, k: int, budget: int = 64, admit=None
+    ) -> SearchResult:
+        """Scan the closest cells.  ``budget`` maps to extra probes: the
+        effective probe count is ``max(nprobe, budget // 8)``."""
+        self._require_built()
+        assert self._centroids is not None
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        nprobe = min(
+            max(self.params.nprobe, budget // 8), self._centroids.shape[0]
+        )
+        centroid_distances = self.kernel.batch(query, self._centroids)
+        probe_cells = np.argsort(centroid_distances)[:nprobe]
+        candidates: List[int] = []
+        for cell in probe_cells:
+            candidates.extend(self._lists[int(cell)])
+        if admit is not None:
+            candidates = [c for c in candidates if admit(c)]
+        stats = SearchStats(
+            hops=int(nprobe),
+            distance_evaluations=len(candidates) + self._centroids.shape[0],
+        )
+        if not candidates:
+            return SearchResult(ids=[], distances=[], stats=stats)
+        distances = self.kernel.batch(query, self.vectors[candidates])
+        k = min(k, len(candidates))
+        top = np.argpartition(distances, k - 1)[:k]
+        top = top[np.argsort(distances[top])]
+        return SearchResult(
+            ids=[int(candidates[i]) for i in top],
+            distances=[float(distances[i]) for i in top],
+            stats=stats,
+        )
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self._centroids is not None:
+            sizes = [len(cell) for cell in self._lists]
+            base += (
+                f", {len(self._lists)} cells "
+                f"(min {min(sizes)}, max {max(sizes)} vectors)"
+            )
+        return base

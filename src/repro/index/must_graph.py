@@ -1,0 +1,75 @@
+"""The unified multi-modal navigation graph used by MUST.
+
+The paper: "we incorporate components from several state-of-the-art
+algorithms in the context of concatenated vectors, resulting in a novel
+indexing algorithm".  This spec is that combination, assembled from the
+stage library: random-regular initialisation and beam-search candidate
+acquisition (Vamana), alpha-relaxed robust pruning with reverse edges
+(DiskANN) evaluated under the *weighted multi-vector* kernel, reachability
+repair, and a medoid entry point.  Because every distance flows through
+:class:`repro.distance.WeightedMultiVectorKernel`, edges reflect the learned
+modality weighting — the "assigns multiple vectors per object to a unified
+index" property that lets queries run merging-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.pipeline_builder import GraphPipelineSpec, PipelineGraphIndex
+from repro.index.stages import (
+    candidates_beam_search,
+    connect_repair,
+    entry_medoid,
+    init_random_regular,
+    select_alpha_rng,
+)
+
+
+@dataclass(frozen=True)
+class MustGraphParams:
+    """Parameters of the unified multi-modal navigation graph.
+
+    Attributes:
+        max_degree: Out-degree bound.
+        alpha: Robust-prune slack (1.0 = strict RNG).
+        candidate_pool: Candidate pool size per vertex.
+        build_budget: Beam width during candidate acquisition.
+        seed: Random-init seed.
+    """
+
+    max_degree: int = 16
+    alpha: float = 1.15
+    candidate_pool: int = 48
+    build_budget: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 2:
+            raise ValueError(f"max_degree must be >= 2, got {self.max_degree}")
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1.0, got {self.alpha}")
+
+
+def must_graph_spec(params: MustGraphParams = MustGraphParams()) -> GraphPipelineSpec:
+    """The composite spec of the unified multi-modal navigation graph."""
+    return GraphPipelineSpec(
+        name="nav-must",
+        init=init_random_regular(
+            params.max_degree, out_degree=params.max_degree // 2, seed=params.seed
+        ),
+        candidates=candidates_beam_search(
+            params.candidate_pool, budget=params.build_budget
+        ),
+        selection=select_alpha_rng(params.max_degree, alpha=params.alpha),
+        connectivity=connect_repair(),
+        entry=entry_medoid(),
+    )
+
+
+class MustGraphIndex(PipelineGraphIndex):
+    """The unified navigation graph, built over concatenated multi-vectors."""
+
+    def __init__(self, params: MustGraphParams = MustGraphParams()) -> None:
+        super().__init__(must_graph_spec(params))
+        self.params = params

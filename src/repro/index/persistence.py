@@ -1,0 +1,208 @@
+"""Saving and loading built navigation-graph indexes.
+
+Graph construction dominates setup time, so a built index can be frozen to
+disk and reloaded without rebuilding: the corpus matrix, the adjacency
+structure, the entry points, and the kernel's reconstruction recipe are
+stored; loading yields a :class:`FrozenGraphIndex` that searches (and even
+grows) exactly like the original.
+
+Any index exposing a graph can be saved: pipeline-built indexes (NSG,
+Vamana, nav-must) directly, HNSW through its base layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.modality import Modality
+from repro.distance import (
+    DistanceKernel,
+    Metric,
+    MultiVectorSchema,
+    SingleVectorKernel,
+    WeightedMultiVectorKernel,
+)
+from repro.errors import IndexError_
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.graph import NavigationGraph
+from repro.index.hnsw import HnswIndex
+from repro.index.pipeline_builder import PipelineGraphIndex
+from repro.index.search import greedy_search
+
+_META_FILE = "index.json"
+_ARRAYS_FILE = "index.npz"
+
+SavableIndex = Union[PipelineGraphIndex, HnswIndex, "FrozenGraphIndex"]
+
+
+class FrozenGraphIndex(VectorIndex):
+    """A searchable (and insertable) graph index restored from disk."""
+
+    name = "frozen"
+
+    def __init__(self, graph: NavigationGraph, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        super().__init__()
+        self.graph = graph
+        self._vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        self._kernel = kernel
+
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        raise IndexError_(
+            "frozen indexes are restored, not built; use load_index()"
+        )
+
+    # Insertion reuses the pipeline index's search-and-prune logic.
+    add = PipelineGraphIndex.add
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        budget: int = 64,
+        use_pruning: bool = False,
+        kernel: "DistanceKernel | None" = None,
+        admit=None,
+    ) -> SearchResult:
+        self._require_built()
+        active = kernel if kernel is not None else self.kernel
+        return greedy_search(
+            self.graph,
+            self.vectors,
+            active,
+            query,
+            k=k,
+            budget=budget,
+            use_pruning=use_pruning,
+            admit=admit,
+        )
+
+
+def _graph_of(index: SavableIndex) -> NavigationGraph:
+    if isinstance(index, HnswIndex):
+        return index.base_graph()
+    graph = index.graph
+    if graph is None:
+        raise IndexError_("index has no graph; build it before saving")
+    return graph
+
+
+def _kernel_doc(kernel: DistanceKernel) -> dict:
+    if isinstance(kernel, WeightedMultiVectorKernel):
+        return {
+            "kind": "multivector",
+            "dims": {
+                m.value: kernel.schema.dim_of(m) for m in kernel.schema.modalities
+            },
+            "weights": [float(w) for w in kernel.weights],
+            "prune": kernel.prune,
+        }
+    if isinstance(kernel, SingleVectorKernel):
+        return {
+            "kind": "single",
+            "dim": kernel.dim,
+            "metric": kernel.metric.value,
+            "chunk_size": kernel.chunk_size,
+        }
+    raise IndexError_(
+        f"cannot serialise kernel of type {type(kernel).__name__}"
+    )
+
+
+def _kernel_from_doc(doc: dict) -> DistanceKernel:
+    if doc["kind"] == "multivector":
+        schema = MultiVectorSchema(
+            {Modality.parse(name): dim for name, dim in doc["dims"].items()}
+        )
+        return WeightedMultiVectorKernel(schema, doc["weights"], prune=doc["prune"])
+    return SingleVectorKernel(
+        doc["dim"], metric=Metric.parse(doc["metric"]), chunk_size=doc["chunk_size"]
+    )
+
+
+def save_index(index: SavableIndex, directory: "str | Path") -> Path:
+    """Serialise a built index under ``directory`` (created if needed).
+
+    HNSW indexes keep their full layer hierarchy (loading restores a true
+    :class:`HnswIndex`); other graph indexes store their single graph and
+    restore as :class:`FrozenGraphIndex`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    graph = _graph_of(index)
+    offsets, targets = graph.to_arrays()
+    meta = {
+        "source": index.name,
+        "n_vertices": graph.n_vertices,
+        "max_degree": graph.max_degree,
+        "entry_points": list(graph.entry_points),
+        "kernel": _kernel_doc(index.kernel),
+    }
+    if isinstance(index, HnswIndex):
+        meta["hnsw"] = {
+            "m": index.params.m,
+            "ef_construction": index.params.ef_construction,
+            "seed": index.params.seed,
+            "entry": index._entry,
+            "max_level": index._max_level,
+            "node_levels": list(index._node_level),
+            "layers": [
+                {str(node): neighbors for node, neighbors in layer.items()}
+                for layer in index._layers
+            ],
+        }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+    np.savez_compressed(
+        directory / _ARRAYS_FILE,
+        vectors=index.vectors,
+        offsets=offsets,
+        targets=targets,
+    )
+    return directory
+
+
+def load_index(directory: "str | Path") -> "FrozenGraphIndex | HnswIndex":
+    """Restore an index saved by :func:`save_index`."""
+    directory = Path(directory)
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise IndexError_(f"no saved index at {directory} (missing {_META_FILE})")
+    meta = json.loads(meta_path.read_text())
+    with np.load(directory / _ARRAYS_FILE) as arrays:
+        vectors = arrays["vectors"]
+        offsets = arrays["offsets"]
+        targets = arrays["targets"]
+
+    if "hnsw" in meta:
+        from repro.index.hnsw import HnswParams
+
+        doc = meta["hnsw"]
+        restored = HnswIndex(
+            HnswParams(
+                m=doc["m"], ef_construction=doc["ef_construction"], seed=doc["seed"]
+            )
+        )
+        restored._vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        restored._kernel = _kernel_from_doc(meta["kernel"])
+        restored._entry = int(doc["entry"])
+        restored._max_level = int(doc["max_level"])
+        restored._node_level = [int(level) for level in doc["node_levels"]]
+        restored._layers = [
+            {int(node): [int(n) for n in neighbors] for node, neighbors in layer.items()}
+            for layer in doc["layers"]
+        ]
+        return restored
+
+    graph = NavigationGraph(meta["n_vertices"], max_degree=meta["max_degree"])
+    for vertex in range(meta["n_vertices"]):
+        graph.set_neighbors(
+            vertex, [int(t) for t in targets[offsets[vertex] : offsets[vertex + 1]]]
+        )
+    graph.entry_points = [int(e) for e in meta["entry_points"]]
+    kernel = _kernel_from_doc(meta["kernel"])
+    index = FrozenGraphIndex(graph, vectors, kernel)
+    index.name = f"frozen({meta['source']})"
+    return index

@@ -1,0 +1,222 @@
+"""Assembling the five construction stages into a DAG and running it.
+
+This is the integration point with the CGraph stand-in: the five stages of
+:mod:`repro.index.stages` become DAG nodes with explicit dependencies, and
+:func:`build_navigation_graph` executes them through
+:class:`repro.pipeline.DagPipeline`, returning both the finished graph and
+the per-stage reports the status panel displays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import GraphConstructionError, SearchError
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.graph import NavigationGraph
+from repro.index.search import greedy_search
+from repro.index.stages import StageFn
+from repro.pipeline import DagPipeline, NodeReport
+
+
+@dataclass
+class GraphPipelineSpec:
+    """A navigation-graph algorithm expressed as five pluggable stages.
+
+    Attributes:
+        name: Algorithm identifier.
+        init: Stage producing the initial :class:`NavigationGraph`.
+        candidates: Stage producing per-vertex candidate lists.
+        selection: Stage wiring selected edges into the graph.
+        connectivity: Stage repairing reachability.
+        entry: Stage choosing entry points.
+    """
+
+    name: str
+    init: StageFn
+    candidates: StageFn
+    selection: StageFn
+    connectivity: StageFn
+    entry: StageFn
+
+    def to_pipeline(self) -> DagPipeline:
+        """Materialise the spec as a DAG with stage dependencies."""
+        pipeline = DagPipeline(name=f"graph-build:{self.name}")
+
+        def run_init(context: Dict[str, Any]) -> NavigationGraph:
+            graph = self.init(context)
+            context["graph"] = graph
+            return graph
+
+        def run_candidates(context: Dict[str, Any]) -> List[List[int]]:
+            candidate_lists = self.candidates(context)
+            context["candidates"] = candidate_lists
+            return candidate_lists
+
+        def run_selection(context: Dict[str, Any]) -> NavigationGraph:
+            graph = self.selection(context)
+            context["graph"] = graph
+            return graph
+
+        def run_connectivity(context: Dict[str, Any]) -> NavigationGraph:
+            graph = self.connectivity(context)
+            context["graph"] = graph
+            return graph
+
+        def run_entry(context: Dict[str, Any]) -> List[int]:
+            return self.entry(context)
+
+        pipeline.add_node("init", run_init)
+        pipeline.add_node("candidates", run_candidates, depends_on=["init"])
+        pipeline.add_node("selection", run_selection, depends_on=["candidates"])
+        pipeline.add_node("connectivity", run_connectivity, depends_on=["selection"])
+        pipeline.add_node("entry", run_entry, depends_on=["connectivity"])
+        return pipeline
+
+
+def build_navigation_graph(
+    spec: GraphPipelineSpec,
+    vectors: np.ndarray,
+    kernel: DistanceKernel,
+) -> Tuple[NavigationGraph, List[NodeReport]]:
+    """Run ``spec`` over ``vectors`` and return (graph, stage reports)."""
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+    if vectors.shape[0] == 0:
+        raise GraphConstructionError("cannot build a graph over an empty corpus")
+    if vectors.shape[1] != kernel.dim:
+        raise GraphConstructionError(
+            f"corpus dim {vectors.shape[1]} != kernel dim {kernel.dim}"
+        )
+    pipeline = spec.to_pipeline()
+    context, reports = pipeline.run({"vectors": vectors, "kernel": kernel})
+    graph = context["graph"]
+    if not isinstance(graph, NavigationGraph):
+        raise GraphConstructionError(
+            f"pipeline {spec.name!r} did not produce a NavigationGraph"
+        )
+    return graph, reports
+
+
+class PipelineGraphIndex(VectorIndex):
+    """A vector index whose structure comes from a five-stage pipeline.
+
+    NSG, Vamana, and the unified multi-modal navigation graph are all
+    instances of this class with different specs.
+    """
+
+    def __init__(self, spec: GraphPipelineSpec) -> None:
+        super().__init__()
+        self.spec = spec
+        self.name = spec.name
+        self.graph: "NavigationGraph | None" = None
+        self.stage_reports: List[NodeReport] = []
+
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        start = time.perf_counter()
+        self.graph, self.stage_reports = build_navigation_graph(self.spec, vectors, kernel)
+        self._vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        self._kernel = kernel
+        self.build_seconds = time.perf_counter() - start
+
+    def add(
+        self,
+        vector: np.ndarray,
+        candidate_pool: int = 32,
+        alpha: float = 1.2,
+        budget: int = 48,
+    ) -> int:
+        """Insert one vector via search-and-prune (Vamana-style).
+
+        The new vertex's neighbours come from a beam search over the
+        existing graph followed by robust pruning; reverse edges are added
+        with re-pruning when a neighbour overflows.  Works for any
+        pipeline-built graph, so NSG/Vamana/nav-must indexes all grow.
+        """
+        from repro.index.stages import robust_prune
+
+        self._require_built()
+        if self.graph is None:
+            raise SearchError(f"index {self.name!r} has no graph")
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.kernel.dim:
+            raise GraphConstructionError(
+                f"vector dim {vector.shape[0]} != kernel dim {self.kernel.dim}"
+            )
+        outcome = greedy_search(
+            self.graph,
+            self.vectors,
+            self.kernel,
+            vector,
+            k=min(candidate_pool, self.size),
+            budget=max(budget, candidate_pool),
+        )
+        self._vectors = np.vstack([self._vectors, vector[None, :]])
+        vertex = self.graph.add_vertex()
+        neighbors = robust_prune(
+            vector, outcome.ids, self._vectors, self.kernel,
+            self.graph.max_degree, alpha,
+        )
+        self.graph.set_neighbors(vertex, neighbors)
+        for neighbor in neighbors:
+            row = self.graph.neighbors(neighbor)
+            if vertex in row:
+                continue
+            if len(row) < self.graph.max_degree:
+                row.append(vertex)
+            else:
+                pruned = robust_prune(
+                    self._vectors[neighbor],
+                    row + [vertex],
+                    self._vectors,
+                    self.kernel,
+                    self.graph.max_degree,
+                    alpha,
+                )
+                self.graph.set_neighbors(neighbor, pruned)
+        return vertex
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        budget: int = 64,
+        use_pruning: bool = False,
+        kernel: "DistanceKernel | None" = None,
+        admit=None,
+    ) -> SearchResult:
+        """Search the graph; ``kernel`` overrides the built kernel for this
+        query only (per-query modality re-weighting — the graph is pure
+        navigation structure, distances are always computed fresh), and
+        ``admit`` filters the result set without blocking traversal."""
+        self._require_built()
+        if self.graph is None:
+            raise SearchError(f"index {self.name!r} has no graph")
+        active = kernel if kernel is not None else self.kernel
+        if active.dim != self.kernel.dim:
+            raise SearchError(
+                f"override kernel dim {active.dim} != index dim {self.kernel.dim}"
+            )
+        return greedy_search(
+            self.graph,
+            self.vectors,
+            active,
+            query,
+            k=k,
+            budget=budget,
+            use_pruning=use_pruning,
+            admit=admit,
+        )
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.graph is not None:
+            base += (
+                f", avg degree {self.graph.average_degree:.1f}, "
+                f"{len(self.graph.entry_points)} entry point(s)"
+            )
+        return base

@@ -1,0 +1,112 @@
+"""Scalar quantization (SQ8/SQ4) for memory- and disk-bound serving.
+
+Disk-resident search (Starling) and large corpora push vector storage cost
+to the foreground; scalar quantization stores each dimension as a small
+integer code against per-dimension min/max ranges.  The quantizer here is
+symmetric-reconstruction: search runs over the *decoded* vectors, so any
+index type works unchanged and the accuracy cost of compression is directly
+measurable (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Compression accounting for one corpus.
+
+    Attributes:
+        original_bytes: float64 storage of the raw matrix.
+        quantized_bytes: code storage plus the per-dimension ranges.
+        compression_ratio: original / quantized.
+        mean_reconstruction_error: Mean L2 distance between original and
+            decoded vectors.
+    """
+
+    original_bytes: int
+    quantized_bytes: int
+    compression_ratio: float
+    mean_reconstruction_error: float
+
+
+class ScalarQuantizer:
+    """Per-dimension linear quantization to ``bits``-wide codes.
+
+    Args:
+        bits: Code width; 8 (one byte/dim) or 4 (two dims/byte when packed;
+            stored unpacked here, accounted as packed).
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        if bits not in (4, 8):
+            raise ConfigurationError(f"bits must be 4 or 8, got {bits}")
+        self.bits = bits
+        self._low: "np.ndarray | None" = None
+        self._span: "np.ndarray | None" = None
+
+    @property
+    def levels(self) -> int:
+        """Number of representable code values."""
+        return (1 << self.bits) - 1
+
+    @property
+    def is_fitted(self) -> bool:
+        """True after :meth:`fit`."""
+        return self._low is not None
+
+    def fit(self, matrix: np.ndarray) -> "ScalarQuantizer":
+        """Learn per-dimension ranges from ``matrix``; returns self."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            raise ConfigurationError("cannot fit a quantizer on an empty matrix")
+        self._low = matrix.min(axis=0)
+        span = matrix.max(axis=0) - self._low
+        # Constant dimensions quantize to code 0; avoid division by zero.
+        self._span = np.where(span > 0, span, 1.0)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("quantizer has not been fitted; call fit() first")
+
+    def encode(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantize rows of ``matrix`` to uint8 codes (clipped to range)."""
+        self._require_fitted()
+        assert self._low is not None and self._span is not None
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if matrix.shape[1] != self._low.shape[0]:
+            raise DimensionMismatchError(
+                f"matrix dim {matrix.shape[1]} != fitted dim {self._low.shape[0]}"
+            )
+        normalised = (matrix - self._low) / self._span
+        codes = np.round(np.clip(normalised, 0.0, 1.0) * self.levels)
+        return codes.astype(np.uint8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct float vectors from codes."""
+        self._require_fitted()
+        assert self._low is not None and self._span is not None
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.float64))
+        return self._low + (codes / self.levels) * self._span
+
+    def report(self, matrix: np.ndarray) -> QuantizationReport:
+        """Compression/accuracy accounting for ``matrix``."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        decoded = self.decode(self.encode(matrix))
+        error = float(np.linalg.norm(matrix - decoded, axis=1).mean())
+        original = matrix.size * 8
+        code_bytes = matrix.size * self.bits // 8
+        range_bytes = 2 * matrix.shape[1] * 8
+        quantized = code_bytes + range_bytes
+        return QuantizationReport(
+            original_bytes=original,
+            quantized_bytes=quantized,
+            compression_ratio=original / quantized,
+            mean_reconstruction_error=error,
+        )

@@ -1,0 +1,226 @@
+"""Starling-style disk-resident graph index with simulated block I/O.
+
+Starling (Wang et al., SIGMOD 2024) stores graph segments on disk and cuts
+I/O by *shuffling* vertices into blocks so that graph neighbours share
+blocks — a search that hops along edges then finds many hops already paid
+for.  Real NVMe hardware is unavailable here, so :class:`BlockDevice`
+models the disk: vectors live in fixed-size blocks, reads are counted, and
+a small LRU cache plays the role of the in-memory buffer pool.  The
+experiment E4 compares block reads under the shuffled layout vs a naive
+id-order layout — the paper's headline I/O-amplification effect.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import ConfigurationError, SearchError
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.graph import NavigationGraph
+from repro.index.search import greedy_search
+from repro.index.vamana import VamanaIndex, VamanaParams
+
+
+class BlockDevice:
+    """A counted, cached block store mapping vertices to disk blocks.
+
+    Args:
+        assignment: ``assignment[vertex]`` is the block holding that vertex.
+        cache_blocks: LRU capacity in blocks (0 disables caching).
+    """
+
+    def __init__(self, assignment: List[int], cache_blocks: int = 8) -> None:
+        if cache_blocks < 0:
+            raise ConfigurationError(f"cache_blocks must be >= 0, got {cache_blocks}")
+        self._assignment = list(assignment)
+        self.cache_blocks = cache_blocks
+        self._cache: "OrderedDict[int, None]" = OrderedDict()
+        self.block_reads = 0
+        self.cache_hits = 0
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of distinct blocks in the layout."""
+        return max(self._assignment) + 1 if self._assignment else 0
+
+    def block_of(self, vertex: int) -> int:
+        """The block holding ``vertex``."""
+        return self._assignment[vertex]
+
+    def access(self, vertex: int) -> None:
+        """Record an access to ``vertex``'s block (read or cache hit)."""
+        block = self._assignment[vertex]
+        if block in self._cache:
+            self.cache_hits += 1
+            self._cache.move_to_end(block)
+            return
+        self.block_reads += 1
+        if self.cache_blocks:
+            self._cache[block] = None
+            if len(self._cache) > self.cache_blocks:
+                self._cache.popitem(last=False)
+
+    def extend(self, block: int) -> None:
+        """Assign a newly inserted vertex to ``block``."""
+        if block < 0:
+            raise ConfigurationError(f"block must be >= 0, got {block}")
+        self._assignment.append(block)
+
+    def reset(self) -> None:
+        """Clear counters and cache (between measured searches)."""
+        self._cache.clear()
+        self.block_reads = 0
+        self.cache_hits = 0
+
+
+@dataclass(frozen=True)
+class StarlingParams:
+    """Starling layout and inner-graph parameters.
+
+    Attributes:
+        block_size: Vertices per disk block.
+        cache_blocks: Buffer-pool capacity in blocks.
+        shuffled: Use the neighbour-packing layout (False = naive id order,
+            the ablation baseline).
+        inner: Parameters for the underlying Vamana graph.
+    """
+
+    block_size: int = 16
+    cache_blocks: int = 8
+    shuffled: bool = True
+    inner: VamanaParams = VamanaParams()
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+
+
+class StarlingIndex(VectorIndex):
+    """Disk-resident navigation graph with a block-aware layout."""
+
+    name = "starling"
+
+    def __init__(self, params: StarlingParams = StarlingParams()) -> None:
+        super().__init__()
+        self.params = params
+        self._inner = VamanaIndex(params.inner)
+        self.device: Optional[BlockDevice] = None
+        self._insert_fill = 0
+
+    @property
+    def graph(self) -> NavigationGraph:
+        """The underlying navigation graph."""
+        if self._inner.graph is None:
+            raise SearchError("starling index has not been built")
+        return self._inner.graph
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _naive_layout(self, n: int) -> List[int]:
+        return [vertex // self.params.block_size for vertex in range(n)]
+
+    def _shuffled_layout(self, graph: NavigationGraph) -> List[int]:
+        """Greedy neighbour packing: BFS from the entry point fills each
+        block with a vertex and as many of its graph neighbours as fit,
+        so one block read prefetches the vertices a traversal needs next.
+        """
+        n = graph.n_vertices
+        assignment = [-1] * n
+        block = 0
+        filled = 0
+        ordering: List[int] = []
+        seen = set()
+        stack = list(graph.entry_points)
+        while stack or len(seen) < n:
+            if not stack:
+                stack.append(next(v for v in range(n) if v not in seen))
+            vertex = stack.pop()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            ordering.append(vertex)
+            for neighbor in reversed(graph.neighbors(vertex)):
+                if neighbor not in seen:
+                    stack.append(neighbor)
+        for vertex in ordering:
+            assignment[vertex] = block
+            filled += 1
+            if filled == self.params.block_size:
+                block += 1
+                filled = 0
+        return assignment
+
+    # ------------------------------------------------------------------
+    # VectorIndex interface
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
+        start = time.perf_counter()
+        self._insert_fill = 0
+        self._inner.build(vectors, kernel)
+        self._vectors = self._inner.vectors
+        self._kernel = kernel
+        graph = self._inner.graph
+        assert graph is not None
+        if self.params.shuffled:
+            assignment = self._shuffled_layout(graph)
+        else:
+            assignment = self._naive_layout(graph.n_vertices)
+        self.device = BlockDevice(assignment, cache_blocks=self.params.cache_blocks)
+        self.build_seconds = time.perf_counter() - start
+
+    def add(self, vector: np.ndarray) -> int:
+        """Insert into the inner graph; new vertices fill fresh blocks."""
+        self._require_built()
+        assert self.device is not None
+        vertex = self._inner.add(vector)
+        self._vectors = self._inner.vectors
+        block = self.device.n_blocks
+        if self._insert_fill % self.params.block_size != 0:
+            block -= 1
+        self.device.extend(block)
+        self._insert_fill += 1
+        return vertex
+
+    def search(
+        self, query: np.ndarray, k: int, budget: int = 64, admit=None
+    ) -> SearchResult:
+        self._require_built()
+        assert self.device is not None
+        reads_before = self.device.block_reads
+        hits_before = self.device.cache_hits
+        result = greedy_search(
+            self.graph,
+            self.vectors,
+            self.kernel,
+            query,
+            k=k,
+            budget=budget,
+            visit_hook=self.device.access,
+            admit=admit,
+        )
+        result.stats.block_reads = self.device.block_reads - reads_before
+        result.stats.cache_hits = self.device.cache_hits - hits_before
+        return result
+
+    def io_amplification(self, result: SearchResult) -> float:
+        """Blocks read per distance evaluation for one search."""
+        if not result.stats.distance_evaluations:
+            return 0.0
+        return result.stats.block_reads / result.stats.distance_evaluations
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.device is not None:
+            layout = "shuffled" if self.params.shuffled else "naive"
+            base += (
+                f", {self.device.n_blocks} blocks of {self.params.block_size} "
+                f"({layout} layout, cache {self.params.cache_blocks})"
+            )
+        return base

@@ -1,0 +1,71 @@
+"""Language-model interface shared by all simulated LLMs."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.llm.prompts import ContextItem, DialogueTurn
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """Everything a generation call receives.
+
+    Attributes:
+        user_query: The current user message.
+        context: Retrieved objects (empty when external knowledge is off).
+        history: Prior dialogue turns.
+        had_image: Whether the user attached an image this round.
+    """
+
+    user_query: str
+    context: Tuple[ContextItem, ...] = ()
+    history: Tuple[DialogueTurn, ...] = ()
+    had_image: bool = False
+
+
+@dataclass
+class GenerationResult:
+    """A generated answer.
+
+    Attributes:
+        text: The conversational reply shown to the user.
+        cited_object_ids: Knowledge-base ids the reply references.
+        grounded: True when every claim traces to the provided context;
+            False marks parametric (retrieval-free) answers that may
+            hallucinate.
+        model: Name of the producing model.
+    """
+
+    text: str
+    cited_object_ids: Tuple[int, ...] = ()
+    grounded: bool = True
+    model: str = ""
+
+
+class LanguageModel(abc.ABC):
+    """A conversational model consuming :class:`GenerationRequest`.
+
+    Implementations must be deterministic for a fixed ``(request, seed,
+    temperature)`` triple so dialogues replay identically in tests.
+    """
+
+    #: Registry identifier shown by the configuration panel.
+    name: str = "llm"
+
+    @abc.abstractmethod
+    def generate(self, request: GenerationRequest, temperature: float = 0.0) -> GenerationResult:
+        """Produce a reply for ``request``.
+
+        Args:
+            request: Query, retrieved context, and history.
+            temperature: Output variability in [0, 2]; 0 is deterministic.
+        """
+
+    @staticmethod
+    def _check_temperature(temperature: float) -> float:
+        if not 0.0 <= temperature <= 2.0:
+            raise ValueError(f"temperature must be in [0, 2], got {temperature}")
+        return temperature

@@ -1,0 +1,54 @@
+"""Grounding verification for generated answers.
+
+Retrieval augmentation only suppresses hallucination if the generation
+layer is *held* to the retrieved context; this module is that enforcement
+point.  The coordinator runs every LLM reply through
+:func:`check_grounding` before surfacing it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Set
+
+from repro.errors import GroundingError
+from repro.llm.base import GenerationResult
+
+_CITATION_PATTERN = re.compile(r"#(\d+)")
+
+
+def extract_citations(text: str) -> List[int]:
+    """All ``#id`` citations appearing in ``text``, in order."""
+    return [int(match) for match in _CITATION_PATTERN.findall(text)]
+
+
+def check_grounding(
+    result: GenerationResult,
+    allowed_object_ids: Iterable[int],
+    strict: bool = True,
+) -> bool:
+    """Verify ``result`` only cites objects from ``allowed_object_ids``.
+
+    Args:
+        result: The generated answer.
+        allowed_object_ids: Ids of the objects retrieval supplied.
+        strict: Raise :class:`GroundingError` on violation instead of
+            returning False.
+
+    Returns:
+        True when grounded.  A result flagged ``grounded=False`` by its own
+        model (parametric fallback) passes only if it cites nothing — an
+        honest "I don't know" is acceptable, an invented citation is not.
+    """
+    allowed: Set[int] = set(allowed_object_ids)
+    cited = set(result.cited_object_ids) | set(extract_citations(result.text))
+    stray = sorted(cited - allowed)
+    if not stray:
+        return True
+    if strict:
+        listed = ", ".join(f"#{object_id}" for object_id in stray)
+        raise GroundingError(
+            f"answer from {result.model!r} cites objects outside the retrieved "
+            f"context: {listed}"
+        )
+    return False

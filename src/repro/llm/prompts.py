@@ -1,0 +1,91 @@
+"""Prompt assembly for the answer-generation component.
+
+The paper: "The user's query is simultaneously dispatched to both the query
+execution module and the LLM as a prompt.  The search results from the query
+execution module are then redirected to the LLM.  The final user response is
+a summary from the LLM."  :class:`PromptBuilder` produces that combined
+prompt as a structured request so every simulated LLM consumes the same
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ContextItem:
+    """One retrieved object, serialised for the prompt.
+
+    Attributes:
+        object_id: Knowledge-base id (the citation target).
+        description: The object's text modality.
+        score: Retrieval score (smaller = more relevant).
+        preferred: True when the user previously selected this object —
+            the "preference markers" the paper's responses include.
+    """
+
+    object_id: int
+    description: str
+    score: float
+    preferred: bool = False
+
+
+@dataclass(frozen=True)
+class DialogueTurn:
+    """One past exchange in the conversation."""
+
+    user_text: str
+    system_text: str
+
+
+class PromptBuilder:
+    """Builds generation requests from query, context, and history."""
+
+    def __init__(self, max_context_items: int = 8, max_history_turns: int = 6) -> None:
+        if max_context_items < 1:
+            raise ValueError(f"max_context_items must be >= 1, got {max_context_items}")
+        if max_history_turns < 0:
+            raise ValueError(f"max_history_turns must be >= 0, got {max_history_turns}")
+        self.max_context_items = max_context_items
+        self.max_history_turns = max_history_turns
+
+    def build(
+        self,
+        user_query: str,
+        context: Sequence[ContextItem] = (),
+        history: Sequence[DialogueTurn] = (),
+        had_image: bool = False,
+    ) -> "GenerationRequest":
+        """Assemble a request; trims context and history to the limits."""
+        from repro.llm.base import GenerationRequest
+
+        return GenerationRequest(
+            user_query=user_query,
+            context=tuple(context[: self.max_context_items]),
+            history=tuple(history[-self.max_history_turns :]),
+            had_image=had_image,
+        )
+
+    @staticmethod
+    def render_text(request: "GenerationRequest") -> str:
+        """Flatten a request into the single prompt string an API LLM
+        would receive (also handy for logging and tests)."""
+        lines: List[str] = ["[system] Answer using only the provided context objects."]
+        for turn in request.history:
+            lines.append(f"[user] {turn.user_text}")
+            lines.append(f"[assistant] {turn.system_text}")
+        if request.context:
+            lines.append("[context]")
+            for item in request.context:
+                marker = " (user preferred)" if item.preferred else ""
+                lines.append(
+                    f"  object #{item.object_id}{marker}: {item.description} "
+                    f"(score {item.score:.3f})"
+                )
+        else:
+            lines.append("[context] (no knowledge base attached)")
+        suffix = " [image attached]" if request.had_image else ""
+        lines.append(f"[user] {request.user_query}{suffix}")
+        return "\n".join(lines)

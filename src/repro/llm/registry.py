@@ -1,0 +1,47 @@
+"""Pluggable LLM registry — the configuration panel's "LLM" options."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.llm.attribute_qa import AttributeQALLM
+from repro.llm.base import LanguageModel
+from repro.llm.markov_llm import MarkovLLM
+from repro.llm.template_llm import TemplateLLM
+
+LLMFactory = Callable[[Mapping[str, Any]], LanguageModel]
+
+_REGISTRY: Dict[str, LLMFactory] = {}
+
+
+def register_llm(name: str, factory: LLMFactory) -> None:
+    """Register ``factory`` under ``name`` (overwrites an existing entry)."""
+    if not name:
+        raise ConfigurationError("llm name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_llms() -> Tuple[str, ...]:
+    """Names of all registered language models."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_llm(name: str, params: "Mapping[str, Any] | None" = None) -> LanguageModel:
+    """Instantiate the language model called ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(available_llms())
+        raise ConfigurationError(f"unknown llm {name!r}; available: {valid}") from None
+    return factory(dict(params or {}))
+
+
+register_llm("template", lambda p: TemplateLLM(seed=int(p.get("seed", 0))))
+register_llm("attribute-qa", lambda p: AttributeQALLM(seed=int(p.get("seed", 0))))
+register_llm(
+    "markov",
+    lambda p: MarkovLLM(
+        seed=int(p.get("seed", 0)), max_words=int(p.get("max_words", 40))
+    ),
+)

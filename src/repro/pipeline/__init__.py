@@ -1,0 +1,12 @@
+"""A small dependency-resolving DAG engine (the CGraph stand-in).
+
+The paper builds its graph-construction pipeline on CGraph, a C++ DAG
+framework.  This package provides the same contract in Python: named nodes
+with declared dependencies, topological execution, per-node status and
+timing, and cycle detection — enough for any navigation-graph algorithm to
+be decomposed into pluggable stages and executed as a DAG.
+"""
+
+from repro.pipeline.dag import DagPipeline, NodeReport, NodeStatus
+
+__all__ = ["DagPipeline", "NodeReport", "NodeStatus"]

@@ -1,0 +1,167 @@
+"""Shared retrieval-framework interface and response types."""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.encoders.base import EncoderSet
+from repro.errors import RetrievalError
+from repro.index.base import SearchStats, VectorIndex
+
+IndexBuilder = Callable[[], VectorIndex]
+"""Zero-argument factory producing a fresh, unbuilt index instance."""
+
+ObjectFilter = Callable[[int], bool]
+"""Predicate over object ids used for filtered retrieval."""
+
+
+def search_capabilities(index: VectorIndex) -> Set[str]:
+    """The optional keyword arguments ``index.search`` accepts.
+
+    Frameworks use this to decide whether per-query kernels, pruning, or
+    result filters can be pushed into the traversal or need a fallback.
+    """
+    return set(inspect.signature(index.search).parameters)
+
+
+@dataclass
+class RetrievedItem:
+    """One retrieved object.
+
+    Attributes:
+        object_id: Id in the knowledge base.
+        score: Framework-specific distance/fused score; smaller is better.
+        rank: Zero-based final rank.
+    """
+
+    object_id: int
+    score: float
+    rank: int
+
+
+@dataclass
+class RetrievalResponse:
+    """Result of one retrieval call.
+
+    Attributes:
+        framework: Name of the producing framework.
+        items: Retrieved objects, best first.
+        stats: Accumulated search-work counters (all sub-searches merged).
+        per_modality_ids: For MR, the raw per-stream rankings before fusion
+            (empty for single-search frameworks) — surfaced so the UI can
+            explain where merged results came from.
+    """
+
+    framework: str
+    items: List[RetrievedItem]
+    stats: SearchStats = field(default_factory=SearchStats)
+    per_modality_ids: Dict[Modality, List[int]] = field(default_factory=dict)
+
+    @property
+    def ids(self) -> List[int]:
+        """Retrieved object ids, best first."""
+        return [item.object_id for item in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class RetrievalFramework(abc.ABC):
+    """Lifecycle: ``setup`` once over a knowledge base, then ``retrieve``.
+
+    Subclasses store whatever index structures they need during setup; the
+    base class only tracks common bookkeeping.
+    """
+
+    #: Registry identifier ("mr", "je", "must").
+    name: str = "framework"
+
+    def __init__(self) -> None:
+        self.kb: Optional[KnowledgeBase] = None
+        self.encoder_set: Optional[EncoderSet] = None
+        self.setup_seconds: float = 0.0
+        self._deleted: set = set()
+
+    @property
+    def is_ready(self) -> bool:
+        """True once :meth:`setup` has completed."""
+        return self.kb is not None
+
+    def _require_ready(self) -> None:
+        if not self.is_ready:
+            raise RetrievalError(
+                f"framework {self.name!r} has not been set up; call setup() first"
+            )
+
+    @abc.abstractmethod
+    def setup(
+        self,
+        kb: KnowledgeBase,
+        encoder_set: EncoderSet,
+        index_builder: IndexBuilder,
+        weights: "Dict[Modality, float] | None" = None,
+    ) -> None:
+        """Encode ``kb`` and build the framework's index structures.
+
+        Args:
+            kb: The knowledge base to serve.
+            encoder_set: Modality -> encoder assignment.
+            index_builder: Factory for each index instance the framework
+                needs (MR calls it once per modality).
+            weights: Modality weights; only MUST uses them, the others
+                accept and ignore them so callers can pass uniformly.
+        """
+
+    @abc.abstractmethod
+    def retrieve(self, query: RawQuery, k: int, budget: int = 64) -> RetrievalResponse:
+        """Return the top-``k`` objects for ``query``."""
+
+    def add_object(self, obj) -> int:
+        """Index one newly ingested object; returns its index id.
+
+        The object's id must equal the framework's current corpus size
+        (dense ids).  Frameworks whose indexes cannot grow propagate the
+        underlying :class:`repro.errors.IndexError_`.
+        """
+        raise RetrievalError(
+            f"framework {self.name!r} does not support incremental ingestion"
+        )
+
+    # ------------------------------------------------------------------
+    # deletion (tombstones)
+    # ------------------------------------------------------------------
+    def remove_object(self, object_id: int) -> None:
+        """Tombstone ``object_id``: it stays in the index structure (graph
+        edges may still route *through* it) but never appears in results.
+
+        Ids stay dense, so re-ingestion after deletion keeps working.
+        """
+        self._require_ready()
+        if not isinstance(object_id, int) or object_id < 0:
+            raise RetrievalError(f"invalid object id: {object_id!r}")
+        self._deleted.add(object_id)
+
+    @property
+    def deleted_ids(self) -> frozenset:
+        """The tombstoned object ids."""
+        return frozenset(self._deleted)
+
+    def _compose_filter(self, filter_fn: "ObjectFilter | None") -> "ObjectFilter | None":
+        """Fold tombstones into a result filter."""
+        if not self._deleted:
+            return filter_fn
+        deleted = self._deleted
+        if filter_fn is None:
+            return lambda object_id: object_id not in deleted
+        return lambda object_id: object_id not in deleted and filter_fn(object_id)
+
+    def describe(self) -> str:
+        """One-line summary for the status panel."""
+        state = "ready" if self.is_ready else "not set up"
+        return f"retrieval framework {self.name!r}: {state}"

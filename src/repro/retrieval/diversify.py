@@ -1,0 +1,90 @@
+"""Maximal-marginal-relevance result diversification.
+
+Interactive result panels (the QA panel shows a handful of cards) benefit
+from *varied* candidates: near-duplicates waste card slots and give the
+feedback loop nothing to choose between.  MMR re-ranks an over-fetched
+candidate list to trade relevance against novelty:
+
+    score(x) = (1 - lambda) * relevance(x) - lambda * max_sim(x, selected)
+
+with distances standing in (negated) for similarities.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.distance.kernel import DistanceKernel
+from repro.errors import RetrievalError
+from repro.retrieval.base import RetrievalResponse, RetrievedItem
+
+
+def diversify(
+    response: RetrievalResponse,
+    vectors: np.ndarray,
+    kernel: DistanceKernel,
+    k: int,
+    trade_off: float = 0.3,
+) -> RetrievalResponse:
+    """Re-rank ``response`` with MMR, keeping ``k`` items.
+
+    Args:
+        response: An over-fetched retrieval response (ideally 2-4x ``k``).
+        vectors: The corpus matrix the ids index into.
+        kernel: Distance kernel for item-item similarity.
+        k: Items to keep.
+        trade_off: 0 = pure relevance (no change beyond truncation),
+            1 = pure diversity.
+
+    Returns:
+        A new response with re-ranked items; scores become MMR scores
+        (smaller still better).
+    """
+    if not 0.0 <= trade_off <= 1.0:
+        raise RetrievalError(f"trade_off must be in [0, 1], got {trade_off}")
+    if k <= 0:
+        raise RetrievalError(f"k must be positive, got {k}")
+    if not response.items:
+        return response
+
+    ids = [item.object_id for item in response.items]
+    relevance = np.array([item.score for item in response.items])
+    # Normalise relevance to [0, 1] so the trade-off is scale-free.
+    span = relevance.max() - relevance.min()
+    relevance_norm = (relevance - relevance.min()) / (span if span > 0 else 1.0)
+    pairwise = kernel.matrix(vectors[ids], vectors[ids])
+    pair_span = pairwise.max() or 1.0
+    novelty_norm = pairwise / pair_span  # larger distance = more novel
+
+    selected: List[int] = []
+    remaining = list(range(len(ids)))
+    while remaining and len(selected) < k:
+        best_row = None
+        best_score = np.inf
+        for row in remaining:
+            if selected:
+                closest = min(float(novelty_norm[row, s]) for s in selected)
+            else:
+                closest = 1.0
+            score = (1.0 - trade_off) * float(relevance_norm[row]) + trade_off * (
+                1.0 - closest
+            )
+            if score < best_score:
+                best_score = score
+                best_row = row
+        assert best_row is not None
+        selected.append(best_row)
+        remaining.remove(best_row)
+
+    items = [
+        RetrievedItem(object_id=ids[row], score=float(relevance[row]), rank=rank)
+        for rank, row in enumerate(selected)
+    ]
+    return RetrievalResponse(
+        framework=response.framework,
+        items=items,
+        stats=response.stats,
+        per_modality_ids=response.per_modality_ids,
+    )

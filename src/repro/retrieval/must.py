@@ -1,0 +1,182 @@
+"""MUST: merging-free multi-vector retrieval over a unified graph.
+
+Objects keep one vector *per modality*; the unified navigation graph is
+built over their weighted concatenation, with the modality weights coming
+from the contrastive weight learner (or user input).  A query is encoded
+per modality, concatenated under the same schema, and resolved in a single
+graph traversal — no per-stream searches, no rank fusion, and incremental
+scanning prunes partial distance computations along the way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.distance import MultiVectorSchema, WeightedMultiVectorKernel
+from repro.encoders.base import EncoderSet
+from repro.errors import RetrievalError
+from repro.index.base import VectorIndex
+from repro.retrieval.base import (
+    IndexBuilder,
+    ObjectFilter,
+    RetrievalFramework,
+    RetrievalResponse,
+    RetrievedItem,
+    search_capabilities,
+)
+
+
+class MustRetrieval(RetrievalFramework):
+    """The paper's framework: weighted multi-vector, merging-free search.
+
+    Args:
+        use_pruning: Enable incremental-scanning early termination during
+            graph traversal (only takes effect on indexes that expose a
+            ``use_pruning`` search flag; others ignore it).
+    """
+
+    name = "must"
+
+    def __init__(self, use_pruning: bool = False) -> None:
+        super().__init__()
+        self.use_pruning = use_pruning
+        self._index: Optional[VectorIndex] = None
+        self._schema: Optional[MultiVectorSchema] = None
+        self._kernel: Optional[WeightedMultiVectorKernel] = None
+
+    @property
+    def schema(self) -> MultiVectorSchema:
+        """The concatenation schema (available after setup)."""
+        if self._schema is None:
+            raise RetrievalError("MUST has not been set up")
+        return self._schema
+
+    @property
+    def weights(self) -> Dict[Modality, float]:
+        """The modality weights in force (available after setup)."""
+        if self._kernel is None:
+            raise RetrievalError("MUST has not been set up")
+        return self._kernel.weights_by_modality()
+
+    def setup(
+        self,
+        kb: KnowledgeBase,
+        encoder_set: EncoderSet,
+        index_builder: IndexBuilder,
+        weights: "Dict[Modality, float] | None" = None,
+    ) -> None:
+        start = time.perf_counter()
+        corpus = encoder_set.encode_corpus(list(kb))
+        schema = MultiVectorSchema(encoder_set.dims())
+        kernel = WeightedMultiVectorKernel(schema, weights, prune=True)
+        matrix = kernel.stack_corpus(corpus)
+        index = index_builder()
+        index.build(matrix, kernel)
+        self._index = index
+        self._schema = schema
+        self._kernel = kernel
+        self.kb = kb
+        self.encoder_set = encoder_set
+        self.setup_seconds = time.perf_counter() - start
+
+    def add_object(self, obj) -> int:
+        """Encode and insert one new object into the unified graph."""
+        self._require_ready()
+        assert self.encoder_set is not None
+        assert self._index is not None and self._schema is not None
+        if obj.object_id != self._index.size:
+            raise RetrievalError(
+                f"object id {obj.object_id} breaks dense ids "
+                f"(index holds {self._index.size} vectors)"
+            )
+        vectors = self.encoder_set.encode_object(obj)
+        return self._index.add(self._schema.concat(vectors))
+
+    def retrieve(
+        self,
+        query: RawQuery,
+        k: int,
+        budget: int = 64,
+        weights: "Dict[Modality, float] | None" = None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> RetrievalResponse:
+        """Top-``k`` retrieval.
+
+        ``weights`` re-weights modalities for this query only ("modality
+        weights at the query point"): the navigation graph is
+        weight-agnostic structure, so per-query weights plug straight into
+        the traversal when the index supports a kernel override, and are
+        applied by re-ranking an over-fetched candidate set otherwise.
+
+        ``filter_fn`` restricts results to object ids satisfying the
+        predicate (metadata-filtered vector search); graph traversal still
+        flows through non-matching vertices.
+        """
+        self._require_ready()
+        assert self.encoder_set is not None
+        assert self._index is not None and self._schema is not None
+        assert self._kernel is not None
+        if k <= 0:
+            raise RetrievalError(f"k must be positive, got {k}")
+        query_vectors = self.encoder_set.encode_query_full(query)
+        concatenated = self._schema.concat(query_vectors)
+        override = self._kernel.with_weights(weights) if weights is not None else None
+        filter_fn = self._compose_filter(filter_fn)
+
+        capabilities = search_capabilities(self._index)
+        kwargs = {}
+        if "use_pruning" in capabilities:
+            kwargs["use_pruning"] = self.use_pruning
+        push_kernel = override is not None and "kernel" in capabilities
+        if push_kernel:
+            kwargs["kernel"] = override
+        push_filter = filter_fn is not None and "admit" in capabilities
+        if push_filter:
+            kwargs["admit"] = filter_fn
+
+        rerank = override is not None and not push_kernel
+        post_filter = filter_fn is not None and not push_filter
+        fetch = k
+        if rerank or post_filter:
+            fetch = max(4 * k, k)
+        outcome = self._index.search(concatenated, k=fetch, budget=budget, **kwargs)
+        if post_filter:
+            keep = [i for i, object_id in enumerate(outcome.ids) if filter_fn(object_id)]
+            outcome.ids = [outcome.ids[i] for i in keep]
+            outcome.distances = [outcome.distances[i] for i in keep]
+        if rerank and outcome.ids:
+            rescored = override.batch(concatenated, self._index.vectors[outcome.ids])
+            order = sorted(
+                range(len(outcome.ids)), key=lambda i: float(rescored[i])
+            )
+            outcome.ids = [outcome.ids[i] for i in order]
+            outcome.distances = [float(rescored[i]) for i in order]
+        outcome.ids = outcome.ids[:k]
+        outcome.distances = outcome.distances[:k]
+
+        items = [
+            RetrievedItem(object_id=object_id, score=distance, rank=rank)
+            for rank, (object_id, distance) in enumerate(
+                zip(outcome.ids, outcome.distances)
+            )
+        ]
+        return RetrievalResponse(framework=self.name, items=items, stats=outcome.stats)
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self._kernel is not None and self._index is not None:
+            weight_text = ", ".join(
+                f"{m.value}={w:.2f}" for m, w in self.weights.items()
+            )
+            base += (
+                f", unified index {self._index.name!r} "
+                f"(dim {self._schema.total_dim if self._schema else 0}), "
+                f"weights [{weight_text}]"
+            )
+        return base

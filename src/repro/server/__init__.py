@@ -1,0 +1,13 @@
+"""The backend API layer (the Flask stand-in).
+
+The real MQA backend is a Flask app whose endpoints "engage with a single
+reference point" — the coordinator.  This package provides the same
+endpoint surface as plain-Python request handling: JSON-dict requests in,
+JSON-dict responses out, no sockets.  A frontend (or the bundled CLI) can
+drive the whole system through it, and tests can assert the exact API
+contract.
+"""
+
+from repro.server.api import ApiError, ApiServer
+
+__all__ = ["ApiError", "ApiServer"]

@@ -1,0 +1,276 @@
+"""Endpoint routing over the coordinator.
+
+Endpoints (mirroring the demo's backend):
+
+* ``GET  /options``            — dropdown contents for the config panel.
+* ``POST /configure``          — set one configuration option.
+* ``POST /apply``              — build the system from the draft config.
+* ``GET  /status``             — status-monitoring panel content.
+* ``GET  /weights``            — modality weights in force.
+* ``POST /session/new``        — open an additional dialogue session;
+  returns its id (session ``0`` always exists after apply).
+* ``POST /query``              — submit a dialogue query (text, optional
+  reference object id standing in for an uploaded image, optional
+  ``session`` id).
+* ``POST /select``             — click a result card.
+* ``POST /reject``             — dismiss a result card (negative feedback).
+* ``POST /refine``             — refine from the selected result.
+* ``GET  /transcript``         — the QA panel transcript.
+* ``GET  /events``             — the coordinator's event log.
+* ``POST /ingest``             — add a new object to the live system.
+
+Dialogue endpoints accept an optional ``session`` field; all sessions share
+the coordinator (and therefore the index) but keep independent dialogue
+state — several users against one deployment.
+
+All responses are ``{"ok": True, ...}`` or ``{"ok": False, "error": ...}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
+from repro.core.coordinator import Coordinator
+from repro.data import KnowledgeBase, Modality
+from repro.errors import MQAError
+
+
+class ApiError(MQAError):
+    """A request that cannot be routed or is malformed."""
+
+
+class ApiServer:
+    """Routes endpoint calls to the panels and the coordinator.
+
+    Args:
+        config: Initial draft configuration (panel defaults otherwise).
+        knowledge_base: Optional prebuilt base served instead of generating
+            one at apply time.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MQAConfig] = None,
+        knowledge_base: Optional[KnowledgeBase] = None,
+    ) -> None:
+        self._panel = ConfigurationPanel(config)
+        self._knowledge_base = knowledge_base
+        self._coordinator: Optional[Coordinator] = None
+        self._sessions: Dict[int, QAPanel] = {}
+        self._routes: Dict[Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+            ("GET", "/options"): self._get_options,
+            ("POST", "/configure"): self._post_configure,
+            ("POST", "/apply"): self._post_apply,
+            ("GET", "/status"): self._get_status,
+            ("GET", "/weights"): self._get_weights,
+            ("POST", "/query"): self._post_query,
+            ("POST", "/select"): self._post_select,
+            ("POST", "/refine"): self._post_refine,
+            ("GET", "/transcript"): self._get_transcript,
+            ("GET", "/events"): self._get_events,
+            ("POST", "/ingest"): self._post_ingest,
+            ("POST", "/session/new"): self._post_session_new,
+            ("POST", "/reject"): self._post_reject,
+            ("POST", "/remove"): self._post_remove,
+            ("GET", "/metrics"): self._get_metrics,
+        }
+        self._query_count = 0
+        self._query_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: "Dict[str, Any] | None" = None) -> Dict[str, Any]:
+        """Route one request; exceptions become error responses."""
+        handler = self._routes.get((method.upper(), path))
+        if handler is None:
+            return {"ok": False, "error": f"no route for {method.upper()} {path}"}
+        try:
+            payload = handler(dict(body or {}))
+        except MQAError as exc:
+            return {"ok": False, "error": str(exc)}
+        response = {"ok": True}
+        response.update(payload)
+        return response
+
+    def _require_system(self, body: "Dict[str, Any] | None" = None) -> Tuple[Coordinator, QAPanel]:
+        if self._coordinator is None or not self._sessions:
+            raise ApiError("system not applied yet; POST /apply first")
+        session_id = int((body or {}).get("session", 0))
+        if session_id not in self._sessions:
+            known = ", ".join(str(s) for s in sorted(self._sessions))
+            raise ApiError(f"unknown session {session_id}; known sessions: {known}")
+        return self._coordinator, self._sessions[session_id]
+
+    @staticmethod
+    def _require_field(body: Dict[str, Any], field: str) -> Any:
+        if field not in body:
+            raise ApiError(f"request body is missing field {field!r}")
+        return body[field]
+
+    # ------------------------------------------------------------------
+    # configuration endpoints
+    # ------------------------------------------------------------------
+    def _get_options(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        return {"options": self._panel.options()}
+
+    def _post_configure(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        option = self._require_field(body, "option")
+        value = self._require_field(body, "value")
+        self._panel.set_option(option, value)
+        return {"feedback": self._panel.feedback[-1]}
+
+    def _post_apply(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        self._coordinator = self._panel.apply(knowledge_base=self._knowledge_base)
+        self._sessions = {0: QAPanel(self._coordinator)}
+        return {
+            "feedback": self._panel.feedback[-1],
+            "summary": self._panel.config.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # monitoring endpoints
+    # ------------------------------------------------------------------
+    def _get_status(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        milestones = [
+            {
+                "name": m.name,
+                "state": m.state.value,
+                "elapsed_ms": round(m.elapsed * 1000, 2),
+                "details": dict(m.details),
+            }
+            for m in coordinator.status.milestones()
+        ]
+        return {
+            "milestones": milestones,
+            "rendered": StatusPanel(coordinator.status).render(),
+        }
+
+    def _get_weights(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        return {
+            "weights": {m.value: w for m, w in coordinator.weights.items()}
+        }
+
+    def _get_events(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        events = [
+            {
+                "source": e.source,
+                "target": e.target,
+                "kind": e.kind,
+                "detail": e.detail,
+            }
+            for e in coordinator.events
+        ]
+        return {"events": events}
+
+    # ------------------------------------------------------------------
+    # dialogue endpoints
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _answer_payload(answer) -> Dict[str, Any]:
+        return {
+            "text": answer.text,
+            "grounded": answer.grounded,
+            "round": answer.round_index,
+            "items": [
+                {
+                    "object_id": item.object_id,
+                    "description": item.description,
+                    "score": round(item.score, 4),
+                    "preferred": item.preferred,
+                }
+                for item in answer.items
+            ],
+        }
+
+    def _post_query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, qa = self._require_system(body)
+        text = self._require_field(body, "text")
+        image = None
+        if "reference_object_id" in body and body["reference_object_id"] is not None:
+            # An uploaded image is modelled by referencing an object whose
+            # image modality stands in for the user's file.
+            reference = coordinator.get_object(int(body["reference_object_id"]))
+            image = reference.get(Modality.IMAGE)
+        weights = body.get("weights")
+        import time
+
+        start = time.perf_counter()
+        answer = qa.session.ask(text, image=image, weights=weights)
+        self._query_count += 1
+        self._query_seconds += time.perf_counter() - start
+        return {"answer": self._answer_payload(answer)}
+
+    def _post_select(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _, qa = self._require_system(body)
+        rank = int(self._require_field(body, "rank"))
+        object_id = qa.click_result(rank)
+        return {"selected_object_id": object_id}
+
+    def _post_refine(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _, qa = self._require_system(body)
+        text = self._require_field(body, "text")
+        answer = qa.refine(text)
+        return {"answer": self._answer_payload(answer)}
+
+    def _get_transcript(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _, qa = self._require_system(body)
+        return {"transcript": qa.render_transcript()}
+
+    def _post_remove(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        object_id = int(self._require_field(body, "object_id"))
+        coordinator.remove_object(object_id)
+        return {"removed_object_id": object_id}
+
+    def _get_metrics(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        cache = coordinator.execution.cache if coordinator.execution else None
+        framework = coordinator.execution.framework if coordinator.execution else None
+        mean_ms = (
+            self._query_seconds / self._query_count * 1000.0
+            if self._query_count
+            else 0.0
+        )
+        return {
+            "metrics": {
+                "queries": self._query_count,
+                "mean_query_ms": round(mean_ms, 3),
+                "sessions": len(self._sessions),
+                "kb_objects": len(coordinator.kb) if coordinator.kb else 0,
+                "deleted_objects": len(framework.deleted_ids) if framework else 0,
+                "cache": {
+                    "enabled": cache is not None,
+                    "size": cache.size if cache else 0,
+                    "hits": cache.hits if cache else 0,
+                    "misses": cache.misses if cache else 0,
+                    "hit_rate": round(cache.hit_rate, 3) if cache else 0.0,
+                },
+            }
+        }
+
+    def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        session_id = max(self._sessions) + 1
+        self._sessions[session_id] = QAPanel(coordinator)
+        return {"session": session_id}
+
+    def _post_reject(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _, qa = self._require_system(body)
+        rank = int(self._require_field(body, "rank"))
+        object_id = qa.session.reject(rank)
+        return {"rejected_object_id": object_id}
+
+    def _post_ingest(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        concepts = self._require_field(body, "concepts")
+        if not isinstance(concepts, (list, tuple)) or not concepts:
+            raise ApiError("'concepts' must be a non-empty list of concept names")
+        object_id = coordinator.ingest_object(
+            list(concepts), metadata=dict(body.get("metadata") or {})
+        )
+        return {"object_id": object_id}

@@ -1,0 +1,26 @@
+"""Vector weight learning: discovering how much each modality matters.
+
+MUST measures multi-modal similarity as a *weighted* sum of per-modality
+distances.  This package learns those weights with contrastive learning over
+augmented views of knowledge-base objects — no ground-truth latents, no
+labels — and also supports fixed, user-specified weights (the "tailored
+weight adjustments" option of the configuration panel).
+"""
+
+from repro.weights.contrastive import (
+    VectorWeightLearner,
+    WeightLearningConfig,
+    WeightLearningReport,
+)
+from repro.weights.fixed import equal_weights, fixed_weights
+from repro.weights.sampler import ContrastiveBatch, ViewPairSampler
+
+__all__ = [
+    "ContrastiveBatch",
+    "VectorWeightLearner",
+    "ViewPairSampler",
+    "WeightLearningConfig",
+    "WeightLearningReport",
+    "equal_weights",
+    "fixed_weights",
+]

@@ -1,0 +1,47 @@
+"""Fixed modality weightings (the non-learned alternative)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.data.modality import Modality
+from repro.errors import ConfigurationError
+
+
+def equal_weights(modalities: Sequence[Modality]) -> Dict[Modality, float]:
+    """Weight every modality 1.0 — the default when learning is disabled."""
+    if not modalities:
+        raise ConfigurationError("need at least one modality")
+    return {Modality.parse(m): 1.0 for m in modalities}
+
+
+def fixed_weights(
+    modalities: Sequence[Modality],
+    values: Mapping[str, float],
+) -> Dict[Modality, float]:
+    """Validate user-specified weights against the configured modalities.
+
+    Args:
+        modalities: The modalities the system is configured with.
+        values: User input, keyed by modality name.
+
+    Returns:
+        A complete modality -> weight mapping.
+
+    Raises:
+        ConfigurationError: On missing modalities, unknown extras, negative
+            values, or an all-zero weighting.
+    """
+    modalities = [Modality.parse(m) for m in modalities]
+    parsed = {Modality.parse(k): float(v) for k, v in values.items()}
+    missing = [m.value for m in modalities if m not in parsed]
+    if missing:
+        raise ConfigurationError(f"weights missing for modalities: {', '.join(missing)}")
+    extras = [m.value for m in parsed if m not in modalities]
+    if extras:
+        raise ConfigurationError(f"weights given for unconfigured modalities: {', '.join(extras)}")
+    if any(v < 0 for v in parsed.values()):
+        raise ConfigurationError("modality weights must be non-negative")
+    if all(v == 0 for v in parsed.values()):
+        raise ConfigurationError("modality weights must not all be zero")
+    return {m: parsed[m] for m in modalities}

@@ -1,0 +1,102 @@
+"""Contrastive pair sampling for the weight learner.
+
+Positives are *augmented views*: the same object re-rendered with fresh
+modality noise and re-encoded.  Negatives are other objects drawn uniformly.
+Neither uses the hidden ground-truth latent, so the learner sees exactly
+what a practitioner with an unlabelled corpus would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.knowledge_base import KnowledgeBase
+from repro.data.modality import Modality
+from repro.encoders.base import EncoderSet
+from repro.errors import DataError
+from repro.utils import derive_rng
+
+
+@dataclass
+class ContrastiveBatch:
+    """One training batch of per-modality distance features.
+
+    For each modality ``m``, ``positive[m]`` holds the anchor-to-positive
+    squared distances (shape ``(batch,)``) and ``negative[m]`` the
+    anchor-to-negative distances (shape ``(batch, n_negatives)``).  The loss
+    only needs these per-modality distances, never the vectors themselves.
+    """
+
+    positive: Dict[Modality, np.ndarray]
+    negative: Dict[Modality, np.ndarray]
+
+    @property
+    def size(self) -> int:
+        first = next(iter(self.positive.values()))
+        return int(first.shape[0])
+
+
+class ViewPairSampler:
+    """Samples contrastive batches from a knowledge base + encoder set."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        encoder_set: EncoderSet,
+        n_negatives: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if len(kb) < 2:
+            raise DataError("contrastive sampling needs at least two objects")
+        if n_negatives < 1:
+            raise ValueError(f"n_negatives must be >= 1, got {n_negatives}")
+        self.kb = kb
+        self.encoder_set = encoder_set
+        self.n_negatives = n_negatives
+        self.seed = seed
+        self._anchor_vectors = encoder_set.encode_corpus(list(kb))
+        self._modalities = list(self._anchor_vectors)
+
+    def _encode_view(self, object_id: int, view_seed: int) -> Dict[Modality, np.ndarray]:
+        content = self.kb.render_view(object_id, view_seed)
+        vectors: Dict[Modality, np.ndarray] = {}
+        for modality in self._modalities:
+            encoder = self.encoder_set.encoder_for(modality)
+            vectors[modality] = encoder.encode(modality, content[modality])
+        return vectors
+
+    def sample(self, batch_size: int, step: int) -> ContrastiveBatch:
+        """Draw a deterministic batch for training step ``step``."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        rng = derive_rng(self.seed, "contrastive-batch", step)
+        n = len(self.kb)
+        anchors = rng.integers(0, n, size=batch_size)
+
+        positive: Dict[Modality, List[float]] = {m: [] for m in self._modalities}
+        negative: Dict[Modality, List[List[float]]] = {m: [] for m in self._modalities}
+        for anchor in anchors:
+            anchor = int(anchor)
+            view = self._encode_view(anchor, view_seed=int(rng.integers(1 << 30)))
+            negatives = []
+            while len(negatives) < self.n_negatives:
+                candidate = int(rng.integers(n))
+                if candidate != anchor:
+                    negatives.append(candidate)
+            for modality in self._modalities:
+                anchor_vec = self._anchor_vectors[modality][anchor]
+                diff = anchor_vec - view[modality]
+                positive[modality].append(float(diff @ diff))
+                row = []
+                for neg in negatives:
+                    diff = anchor_vec - self._anchor_vectors[modality][neg]
+                    row.append(float(diff @ diff))
+                negative[modality].append(row)
+
+        return ContrastiveBatch(
+            positive={m: np.asarray(v) for m, v in positive.items()},
+            negative={m: np.asarray(v) for m, v in negative.items()},
+        )

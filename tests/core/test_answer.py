@@ -1,0 +1,52 @@
+"""Tests for the Answer value object and SearchStats accounting."""
+
+import pytest
+
+from repro.core import Answer
+from repro.core.answer import AnswerItem
+from repro.index import SearchStats
+
+
+class TestAnswer:
+    def test_ids_order(self):
+        answer = Answer(
+            text="x",
+            items=[
+                AnswerItem(object_id=7, description="a", score=0.1),
+                AnswerItem(object_id=3, description="b", score=0.2),
+            ],
+        )
+        assert answer.ids == [7, 3]
+
+    def test_item_by_rank(self):
+        answer = Answer(
+            text="x",
+            items=[AnswerItem(object_id=7, description="a", score=0.1)],
+        )
+        assert answer.item_by_rank(0).object_id == 7
+        with pytest.raises(IndexError):
+            answer.item_by_rank(5)
+
+    def test_defaults(self):
+        answer = Answer(text="hello")
+        assert answer.items == []
+        assert answer.grounded
+        assert answer.round_index == 0
+        assert answer.search_stats.hops == 0
+
+
+class TestSearchStats:
+    def test_merge_accumulates(self):
+        a = SearchStats(hops=2, distance_evaluations=10, block_reads=1, cache_hits=3)
+        b = SearchStats(hops=5, distance_evaluations=20, block_reads=4, cache_hits=1)
+        a.merge(b)
+        assert a.hops == 7
+        assert a.distance_evaluations == 30
+        assert a.block_reads == 5
+        assert a.cache_hits == 4
+
+    def test_merge_leaves_other_untouched(self):
+        a = SearchStats(hops=1)
+        b = SearchStats(hops=2)
+        a.merge(b)
+        assert b.hops == 2

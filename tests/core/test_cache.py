@@ -1,0 +1,106 @@
+"""Tests for the query cache and its system integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import QueryCache
+from repro.data import Modality, RawQuery
+from repro.errors import ConfigurationError
+from repro.retrieval import RetrievalResponse, RetrievedItem
+
+
+def response(ids):
+    return RetrievalResponse(
+        framework="must",
+        items=[RetrievedItem(object_id=i, score=0.1, rank=r) for r, i in enumerate(ids)],
+    )
+
+
+class TestQueryCache:
+    def test_hit_after_put(self):
+        cache = QueryCache()
+        key = cache.key_for(RawQuery.from_text("foggy"), 5, 64)
+        assert cache.get(key) is None
+        cache.put(key, response([1, 2]))
+        assert cache.get(key) is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_key_covers_query_content(self):
+        cache = QueryCache()
+        a = cache.key_for(RawQuery.from_text("foggy"), 5, 64)
+        b = cache.key_for(RawQuery.from_text("sunny"), 5, 64)
+        assert a != b
+
+    def test_key_covers_image_content(self):
+        cache = QueryCache()
+        image1 = np.zeros((4, 4))
+        image2 = np.ones((4, 4))
+        a = cache.key_for(RawQuery.from_text_and_image("x", image1), 5, 64)
+        b = cache.key_for(RawQuery.from_text_and_image("x", image2), 5, 64)
+        assert a != b
+
+    def test_key_covers_parameters(self):
+        cache = QueryCache()
+        query = RawQuery.from_text("foggy")
+        assert cache.key_for(query, 5, 64) != cache.key_for(query, 6, 64)
+        assert cache.key_for(query, 5, 64) != cache.key_for(query, 5, 128)
+        assert cache.key_for(query, 5, 64) != cache.key_for(
+            query, 5, 64, weights={Modality.TEXT: 1.0, Modality.IMAGE: 1.0}
+        )
+
+    def test_lru_eviction(self):
+        cache = QueryCache(capacity=2)
+        keys = [cache.key_for(RawQuery.from_text(t), 5, 64) for t in "abc"]
+        for key in keys:
+            cache.put(key, response([1]))
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[2]) is not None
+
+    def test_invalidate_changes_generation(self):
+        cache = QueryCache()
+        query = RawQuery.from_text("foggy")
+        key_before = cache.key_for(query, 5, 64)
+        cache.put(key_before, response([1]))
+        cache.invalidate()
+        assert cache.size == 0
+        assert cache.key_for(query, 5, 64) != key_before
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryCache(capacity=0)
+
+
+class TestSystemIntegration:
+    def test_repeated_query_hits_cache(self, scenes_kb):
+        from repro.core import MQASystem
+        from tests.core.conftest import fast_config
+
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config())
+        first = system.ask("foggy clouds")
+        system.reset_dialogue()
+        second = system.ask("foggy clouds")
+        cache = system.coordinator.execution.cache
+        assert cache.hits >= 1
+        assert first.ids == second.ids
+
+    def test_ingest_invalidates(self):
+        from repro.core import MQASystem
+        from tests.core.conftest import fast_config
+
+        system = MQASystem.from_config(fast_config())
+        system.ask("foggy clouds")
+        new_id = system.ingest(["foggy", "clouds"])
+        system.reset_dialogue()
+        answer = system.ask("foggy clouds")
+        # The freshly ingested (noise-free match) object must be visible.
+        assert new_id in answer.ids
+
+    def test_cache_disabled_by_config(self, scenes_kb):
+        from repro.core import MQASystem
+        from tests.core.conftest import fast_config
+
+        system = MQASystem.from_knowledge_base(
+            scenes_kb, fast_config(cache_queries=False)
+        )
+        assert system.coordinator.execution.cache is None

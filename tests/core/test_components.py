@@ -1,0 +1,131 @@
+"""Tests for the five backend components in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.execution import QueryExecution
+from repro.core.generation import AnswerGeneration
+from repro.core.preprocessing import DataPreprocessing
+from repro.core.representation import VectorRepresentation
+from repro.data import DatasetSpec, Modality, RawQuery
+from repro.errors import DataError, SearchError
+from repro.llm import TemplateLLM
+from repro.retrieval import RetrievalResponse, RetrievedItem
+
+from tests.core.conftest import fast_config
+
+
+class TestDataPreprocessing:
+    def test_generates_from_spec(self):
+        kb = DataPreprocessing().run(fast_config())
+        assert kb is not None
+        assert len(kb) == 120
+
+    def test_uses_provided_kb(self, scenes_kb):
+        kb = DataPreprocessing().run(fast_config(), scenes_kb)
+        assert kb is scenes_kb
+
+    def test_llm_only_mode_returns_none(self):
+        kb = DataPreprocessing().run(fast_config(external_knowledge=False))
+        assert kb is None
+
+    def test_empty_prebuilt_kb_rejected(self):
+        from repro.data.concepts import ConceptSpace
+        from repro.data.knowledge_base import KnowledgeBase
+        from repro.data.rendering import RenderModel
+
+        space = ConceptSpace({"a": ["x", "y"]}, latent_dim=16)
+        empty = KnowledgeBase("empty", space, RenderModel(space))
+        with pytest.raises(DataError, match="empty"):
+            DataPreprocessing().run(fast_config(), empty)
+
+
+class TestVectorRepresentation:
+    def test_learned_mode_reports(self, scenes_kb):
+        outcome = VectorRepresentation().run(fast_config(), scenes_kb)
+        assert outcome.learning_report is not None
+        assert sum(outcome.weights.values()) == pytest.approx(2.0)
+
+    def test_equal_mode(self, scenes_kb):
+        outcome = VectorRepresentation().run(
+            fast_config(weight_mode="equal"), scenes_kb
+        )
+        assert outcome.learning_report is None
+        assert set(outcome.weights.values()) == {1.0}
+
+    def test_fixed_mode(self, scenes_kb):
+        config = fast_config(
+            weight_mode="fixed", fixed_weights={"text": 0.5, "image": 1.5}
+        )
+        outcome = VectorRepresentation().run(config, scenes_kb)
+        assert outcome.weights[Modality.IMAGE] == 1.5
+
+
+class TestQueryExecutionAugmentation:
+    def test_augment_uses_selected_image(self, scenes_kb):
+        selected = scenes_kb.get(5)
+        query = QueryExecution.augment_query("more like this", selected)
+        assert query.has(Modality.IMAGE)
+        np.testing.assert_array_equal(
+            query.get(Modality.IMAGE), selected.get(Modality.IMAGE)
+        )
+        assert query.metadata["augmented_from"] == 5
+
+    def test_augment_text_only_object(self):
+        from repro.data import MultiModalObject
+
+        selected = MultiModalObject(object_id=9, content={"text": "foggy clouds"})
+        query = QueryExecution.augment_query("more", selected)
+        assert not query.has(Modality.IMAGE)
+        assert "foggy clouds" in query.get(Modality.TEXT)
+
+    def test_augment_requires_text(self, scenes_kb):
+        with pytest.raises(SearchError):
+            QueryExecution.augment_query("", scenes_kb.get(0))
+
+
+class TestAnswerGeneration:
+    @staticmethod
+    def response(ids):
+        return RetrievalResponse(
+            framework="must",
+            items=[
+                RetrievedItem(object_id=i, score=0.1 * rank, rank=rank)
+                for rank, i in enumerate(ids)
+            ],
+        )
+
+    def test_with_llm(self, scenes_kb):
+        component = AnswerGeneration(llm=TemplateLLM())
+        answer = component.generate(
+            "find clouds", self.response([0, 1]), scenes_kb, round_index=2
+        )
+        assert answer.grounded
+        assert answer.ids == [0, 1]
+        assert answer.round_index == 2
+        assert answer.llm == "template"
+
+    def test_without_llm_lists_results(self, scenes_kb):
+        component = AnswerGeneration(llm=None)
+        answer = component.generate("find clouds", self.response([0]), scenes_kb)
+        assert answer.text.startswith("Top results")
+        assert "#0" in answer.text
+
+    def test_llm_only_no_context(self):
+        component = AnswerGeneration(llm=TemplateLLM())
+        answer = component.generate("find clouds", None, None)
+        assert not answer.grounded
+        assert answer.items == []
+
+    def test_no_llm_no_kb(self):
+        component = AnswerGeneration(llm=None)
+        answer = component.generate("anything", None, None)
+        assert "nothing to answer" in answer.text.lower()
+
+    def test_preferred_marked(self, scenes_kb):
+        component = AnswerGeneration(llm=TemplateLLM())
+        answer = component.generate(
+            "more", self.response([3, 4]), scenes_kb, preferred_ids=[4]
+        )
+        assert answer.items[1].preferred
+        assert not answer.items[0].preferred

@@ -1,0 +1,77 @@
+"""Tests for MQAConfig validation."""
+
+import pytest
+
+from repro.core import MQAConfig, WeightMode
+from repro.data import DatasetSpec
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MQAConfig()  # must not raise
+
+    def test_unknown_domain(self):
+        with pytest.raises(ConfigurationError, match="domain"):
+            MQAConfig(dataset=DatasetSpec(domain="galaxies"))
+
+    def test_unknown_encoder_set(self):
+        with pytest.raises(ConfigurationError, match="encoder"):
+            MQAConfig(encoder_set="resnet-152")
+
+    def test_unknown_index(self):
+        with pytest.raises(ConfigurationError, match="index"):
+            MQAConfig(index="faiss")
+
+    def test_unknown_framework(self):
+        with pytest.raises(ConfigurationError, match="framework"):
+            MQAConfig(framework="colbert")
+
+    def test_unknown_llm(self):
+        with pytest.raises(ConfigurationError, match="llm"):
+            MQAConfig(llm="gpt-4")
+
+    def test_llm_none_allowed(self):
+        MQAConfig(llm=None)
+
+    def test_fixed_mode_needs_weights(self):
+        with pytest.raises(ConfigurationError, match="fixed_weights"):
+            MQAConfig(weight_mode="fixed")
+
+    def test_fixed_mode_with_weights(self):
+        config = MQAConfig(weight_mode="fixed", fixed_weights={"text": 1.0, "image": 1.0})
+        assert config.weight_mode is WeightMode.FIXED
+
+    def test_weight_mode_parsed_from_string(self):
+        assert MQAConfig(weight_mode="equal").weight_mode is WeightMode.EQUAL
+
+    def test_bad_weight_mode(self):
+        with pytest.raises(ConfigurationError):
+            MQAConfig(weight_mode="auto")
+
+    def test_bad_result_count(self):
+        with pytest.raises(ConfigurationError):
+            MQAConfig(result_count=0)
+
+    def test_bad_temperature(self):
+        with pytest.raises(ConfigurationError):
+            MQAConfig(temperature=5.0)
+
+    def test_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            MQAConfig(search_budget=0)
+
+
+class TestSummary:
+    def test_mentions_choices(self):
+        summary = MQAConfig().summary()
+        assert summary["framework"] == "must"
+        assert summary["index"] == "hnsw"
+        assert "scenes" not in summary["knowledge base"]  # default is fashion
+
+    def test_llm_only_mode(self):
+        summary = MQAConfig(external_knowledge=False).summary()
+        assert "LLM-only" in summary["knowledge base"]
+
+    def test_no_llm(self):
+        assert MQAConfig(llm=None).summary()["llm"] == "none"

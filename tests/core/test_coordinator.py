@@ -1,0 +1,78 @@
+"""Tests for the coordinator."""
+
+import pytest
+
+from repro.core import Coordinator, MilestoneState
+from repro.data import RawQuery
+from repro.errors import CoordinatorError
+
+from tests.core.conftest import fast_config
+
+
+@pytest.fixture(scope="module")
+def coordinator(scenes_kb):
+    return Coordinator(fast_config(), knowledge_base=scenes_kb).setup()
+
+
+class TestSetup:
+    def test_setup_milestones_done(self, coordinator):
+        for stage in ("data preprocessing", "vector representation", "index construction"):
+            assert coordinator.status.milestone(stage).state is MilestoneState.DONE
+        assert coordinator.status.ready
+
+    def test_setup_events_flow(self, coordinator):
+        kinds = coordinator.events.kinds()[:5]
+        assert kinds == ["configuration", "knowledge-base", "objects", "vectors", "llm"]
+
+    def test_weights_available(self, coordinator):
+        assert sum(coordinator.weights.values()) == pytest.approx(2.0)
+
+    def test_status_details_include_encoder_facts(self, coordinator):
+        details = coordinator.status.milestone("vector representation").details
+        assert details["modal_count"] == "2"
+        assert "text" in details["vector_dims"]
+
+    def test_query_before_setup_rejected(self, scenes_kb):
+        raw = Coordinator(fast_config(), knowledge_base=scenes_kb)
+        with pytest.raises(CoordinatorError):
+            raw.handle_query(RawQuery.from_text("hello"))
+
+
+class TestQueryFlow:
+    def test_round_trip(self, coordinator):
+        answer = coordinator.handle_query(RawQuery.from_text("foggy clouds"))
+        assert len(answer.items) == coordinator.config.result_count
+        assert answer.framework == "must"
+        assert answer.grounded
+
+    def test_query_events_recorded(self, coordinator):
+        before = len(coordinator.events)
+        coordinator.handle_query(RawQuery.from_text("stars at night"))
+        kinds = coordinator.events.kinds()[before:]
+        assert kinds == ["raw-query", "query", "search-results", "answer"]
+
+    def test_k_override(self, coordinator):
+        answer = coordinator.handle_query(RawQuery.from_text("foggy"), k=2)
+        assert len(answer.items) == 2
+
+    def test_get_object(self, coordinator, scenes_kb):
+        assert coordinator.get_object(0) is scenes_kb.get(0)
+
+
+class TestLlmOnlyMode:
+    def test_no_retrieval_path(self):
+        coordinator = Coordinator(fast_config(external_knowledge=False)).setup()
+        answer = coordinator.handle_query(RawQuery.from_text("tell me about fog"))
+        assert answer.items == []
+        assert not answer.grounded
+        assert coordinator.kb is None
+
+    def test_get_object_rejected(self):
+        coordinator = Coordinator(fast_config(external_knowledge=False)).setup()
+        with pytest.raises(CoordinatorError):
+            coordinator.get_object(0)
+
+    def test_skipped_milestones_marked(self):
+        coordinator = Coordinator(fast_config(external_knowledge=False)).setup()
+        details = coordinator.status.milestone("vector representation").details
+        assert "skipped" in details["mode"]

@@ -1,0 +1,98 @@
+"""Tests for object deletion (tombstones)."""
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec, RawQuery
+from repro.errors import CoordinatorError, RetrievalError, UnknownObjectError
+
+from tests.core.conftest import fast_config
+
+FAST = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 10, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture(params=["must", "mr", "je"])
+def framework_system(request):
+    return MQASystem.from_config(MQAConfig(framework=request.param, **FAST))
+
+
+class TestDeletion:
+    def test_removed_object_never_returned(self, framework_system):
+        system = framework_system
+        answer = system.ask("foggy clouds")
+        victim = answer.ids[0]
+        system.remove(victim)
+        system.reset_dialogue()
+        follow_up = system.ask("foggy clouds")
+        assert victim not in follow_up.ids
+
+    def test_result_count_preserved(self, framework_system):
+        system = framework_system
+        answer = system.ask("foggy clouds", k=4)
+        system.remove(answer.ids[0])
+        system.reset_dialogue()
+        follow_up = system.ask("foggy clouds", k=4)
+        assert len(follow_up.items) == 4
+
+    def test_metadata_marked(self, framework_system):
+        system = framework_system
+        answer = system.ask("stars at night")
+        victim = answer.ids[0]
+        system.remove(victim)
+        assert system.kb.get(victim).metadata["deleted"] is True
+
+    def test_reingest_after_delete_keeps_dense_ids(self, framework_system):
+        system = framework_system
+        answer = system.ask("foggy clouds")
+        system.remove(answer.ids[0])
+        new_id = system.ingest(["foggy", "clouds"])
+        assert new_id == 100  # next dense id, unaffected by tombstones
+
+    def test_remove_unknown_id(self, framework_system):
+        with pytest.raises(UnknownObjectError):
+            framework_system.remove(9999)
+
+    def test_remove_in_llm_only_mode(self):
+        system = MQASystem.from_config(
+            MQAConfig(external_knowledge=False, **FAST)
+        )
+        with pytest.raises(CoordinatorError):
+            system.remove(0)
+
+    def test_deleted_ids_exposed(self, framework_system):
+        system = framework_system
+        answer = system.ask("misty valley")
+        system.remove(answer.ids[0])
+        framework = system.coordinator.execution.framework
+        assert answer.ids[0] in framework.deleted_ids
+
+
+class TestDeletionViaApi:
+    def test_remove_endpoint(self):
+        from repro.server import ApiServer
+
+        server = ApiServer(MQAConfig(**FAST))
+        server.handle("POST", "/apply")
+        answer = server.handle("POST", "/query", {"text": "foggy clouds"})["answer"]
+        victim = answer["items"][0]["object_id"]
+        response = server.handle("POST", "/remove", {"object_id": victim})
+        assert response["ok"]
+        follow_up = server.handle("POST", "/query", {"text": "foggy clouds"})["answer"]
+        assert victim not in [item["object_id"] for item in follow_up["items"]]
+
+    def test_metrics_endpoint(self):
+        from repro.server import ApiServer
+
+        server = ApiServer(MQAConfig(**FAST))
+        server.handle("POST", "/apply")
+        server.handle("POST", "/query", {"text": "foggy clouds"})
+        server.handle("POST", "/query", {"text": "foggy clouds"})
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        assert metrics["queries"] == 2
+        assert metrics["mean_query_ms"] > 0
+        assert metrics["kb_objects"] == 100
+        assert metrics["cache"]["enabled"]

@@ -1,0 +1,75 @@
+"""Tests for the event log and status board."""
+
+import pytest
+
+from repro.core import EventLog, Milestone, MilestoneState, StatusBoard
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog()
+        log.record("frontend", "coordinator", "raw-query", "hello")
+        log.record("coordinator", "execution", "query")
+        assert len(log) == 2
+        assert log.kinds() == ["raw-query", "query"]
+
+    def test_timestamps_monotonic(self):
+        log = EventLog()
+        for _ in range(5):
+            log.record("a", "b", "tick")
+        times = [event.timestamp for event in log]
+        assert times == sorted(times)
+
+    def test_involving(self):
+        log = EventLog()
+        log.record("frontend", "coordinator", "x")
+        log.record("execution", "generation", "y")
+        assert len(log.involving("frontend")) == 1
+        assert len(log.involving("generation")) == 1
+        assert log.involving("nobody") == []
+
+    def test_clear(self):
+        log = EventLog()
+        log.record("a", "b", "x")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestStatusBoard:
+    def test_all_stages_pending_initially(self):
+        board = StatusBoard()
+        assert all(
+            m.state is MilestoneState.PENDING for m in board.milestones()
+        )
+        assert not board.ready
+
+    def test_lifecycle(self):
+        board = StatusBoard()
+        board.start("data preprocessing")
+        assert board.milestone("data preprocessing").state is MilestoneState.RUNNING
+        board.finish("data preprocessing", 0.5, objects="100")
+        milestone = board.milestone("data preprocessing")
+        assert milestone.state is MilestoneState.DONE
+        assert milestone.elapsed == 0.5
+        assert milestone.details["objects"] == "100"
+
+    def test_ready_after_setup_stages(self):
+        board = StatusBoard()
+        for stage in StatusBoard.STAGES[:3]:
+            board.finish(stage, 0.1)
+        assert board.ready
+
+    def test_fail_records_error(self):
+        board = StatusBoard()
+        board.fail("index construction", "boom")
+        milestone = board.milestone("index construction")
+        assert milestone.state is MilestoneState.FAILED
+        assert milestone.details["error"] == "boom"
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            StatusBoard().start("quantum stage")
+
+    def test_order_matches_backend(self):
+        names = [m.name for m in StatusBoard().milestones()]
+        assert names == list(StatusBoard.STAGES)

@@ -1,0 +1,86 @@
+"""Tests for per-query modality-weight overrides."""
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import Modality, RawQuery
+from repro.errors import SearchError
+
+from tests.core.conftest import fast_config
+
+
+class TestPerQueryWeights:
+    def test_weights_change_ranking(self, scenes_kb, clip_set):
+        from repro.index import build_index
+        from repro.retrieval import MustRetrieval
+
+        framework = MustRetrieval()
+        framework.setup(
+            scenes_kb,
+            clip_set,
+            lambda: build_index("nav-must", {"max_degree": 8, "candidate_pool": 16, "build_budget": 24}),
+        )
+        reference = scenes_kb.get(3)
+        query = RawQuery.from_text_and_image("stars", reference.get(Modality.IMAGE))
+        text_heavy = framework.retrieve(
+            query, k=5, budget=64, weights={Modality.TEXT: 1.9, Modality.IMAGE: 0.1}
+        )
+        image_heavy = framework.retrieve(
+            query, k=5, budget=64, weights={Modality.TEXT: 0.1, Modality.IMAGE: 1.9}
+        )
+        assert text_heavy.ids != image_heavy.ids
+        # image-heavy weighting should surface the reference object itself
+        assert image_heavy.ids[0] == 3
+
+    def test_flat_index_rerank_path(self, scenes_kb, clip_set):
+        from repro.index import build_index
+        from repro.retrieval import MustRetrieval
+
+        framework = MustRetrieval()
+        framework.setup(scenes_kb, clip_set, lambda: build_index("flat"))
+        reference = scenes_kb.get(3)
+        query = RawQuery.from_text_and_image("stars", reference.get(Modality.IMAGE))
+        image_heavy = framework.retrieve(
+            query, k=5, budget=64, weights={Modality.TEXT: 0.05, Modality.IMAGE: 1.95}
+        )
+        assert image_heavy.ids[0] == 3
+        scores = [item.score for item in image_heavy.items]
+        assert scores == sorted(scores)
+
+    def test_session_plumbs_weights(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(
+            scenes_kb, fast_config(index="nav-must", index_params={
+                "max_degree": 8, "candidate_pool": 16, "build_budget": 24,
+            })
+        )
+        answer = system.ask(
+            "foggy clouds", weights={"text": 1.8, "image": 0.2}
+        )
+        assert answer.items
+
+    def test_mr_applies_weights_at_fusion(self, scenes_kb, clip_set):
+        from repro.index import build_index
+        from repro.retrieval import MultiStreamedRetrieval
+
+        framework = MultiStreamedRetrieval()
+        framework.setup(
+            scenes_kb, clip_set, lambda: build_index("hnsw", {"m": 6, "ef_construction": 32})
+        )
+        reference = scenes_kb.get(3)
+        query = RawQuery.from_text_and_image("stars", reference.get(Modality.IMAGE))
+        image_heavy = framework.retrieve(
+            query, k=5, budget=64, weights={Modality.TEXT: 0.0, Modality.IMAGE: 2.0}
+        )
+        text_heavy = framework.retrieve(
+            query, k=5, budget=64, weights={Modality.TEXT: 2.0, Modality.IMAGE: 0.0}
+        )
+        # Zeroing a stream leaves only the other stream's ranking.
+        assert image_heavy.ids == framework.retrieve(query, k=5, budget=64).per_modality_ids[
+            Modality.IMAGE
+        ][:5]
+        assert image_heavy.ids != text_heavy.ids
+
+    def test_je_rejects_query_weights(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config(framework="je"))
+        with pytest.raises(SearchError, match="per-query"):
+            system.ask("foggy clouds", weights={"text": 1.0, "image": 1.0})

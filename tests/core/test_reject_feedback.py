@@ -1,0 +1,52 @@
+"""Tests for negative feedback (reject) in dialogue sessions."""
+
+import pytest
+
+from repro.errors import SessionError
+
+
+class TestReject:
+    def test_rejected_never_returns(self, system):
+        system.reset_dialogue()
+        answer = system.ask("foggy clouds")
+        rejected = system.reject(0)
+        follow_up = system.ask("foggy clouds")
+        assert rejected not in follow_up.ids
+
+    def test_rejections_accumulate_across_rounds(self, system):
+        system.reset_dialogue()
+        system.ask("foggy clouds")
+        first = system.reject(0)
+        system.ask("foggy clouds")
+        second = system.reject(0)
+        assert first != second
+        final = system.ask("foggy clouds")
+        assert first not in final.ids
+        assert second not in final.ids
+
+    def test_reject_then_select_and_refine(self, system):
+        system.reset_dialogue()
+        system.ask("foggy clouds")
+        rejected = system.reject(1)
+        system.select(0)
+        answer = system.refine("more like this one")
+        assert rejected not in answer.ids
+
+    def test_reject_out_of_range(self, system):
+        system.reset_dialogue()
+        system.ask("foggy clouds")
+        with pytest.raises(SessionError, match="out of range"):
+            system.reject(99)
+
+    def test_reject_before_any_round(self, system):
+        system.reset_dialogue()
+        with pytest.raises(SessionError):
+            system.reject(0)
+
+    def test_result_count_maintained_after_exclusions(self, system):
+        system.reset_dialogue()
+        first = system.ask("foggy clouds", k=4)
+        system.reject(0)
+        system.reject(1)
+        follow_up = system.ask("foggy clouds", k=4)
+        assert len(follow_up.items) == 4

@@ -1,0 +1,40 @@
+"""Tests for the MQASystem facade."""
+
+import pytest
+
+from repro.core import MQASystem
+
+from tests.core.conftest import fast_config
+
+
+class TestFacade:
+    def test_ask_select_refine(self, system):
+        system.reset_dialogue()
+        answer = system.ask("foggy clouds at dusk")
+        assert answer.items
+        system.select(0)
+        refined = system.refine("more of the same")
+        assert refined.round_index == 1
+        system.reset_dialogue()
+        assert system.session.round_count == 0
+
+    def test_kb_property(self, system, scenes_kb):
+        assert system.kb is scenes_kb
+
+    def test_weights_property(self, system):
+        assert sum(system.weights.values()) == pytest.approx(2.0)
+
+    def test_status_report_text(self, system):
+        report = system.status_report()
+        assert "status monitoring" in report
+        assert "✓" in report
+
+    def test_from_config_generates_kb(self):
+        system = MQASystem.from_config(fast_config())
+        assert system.kb is not None
+        assert len(system.kb) == 120
+
+    def test_k_override(self, system):
+        system.reset_dialogue()
+        answer = system.ask("stars", k=2)
+        assert len(answer.items) == 2

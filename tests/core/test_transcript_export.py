@@ -1,0 +1,34 @@
+"""Tests for dialogue transcript export."""
+
+import json
+
+import pytest
+
+
+class TestTranscriptExport:
+    def test_to_dict_structure(self, system):
+        system.reset_dialogue()
+        system.ask("foggy clouds")
+        system.select(0)
+        system.refine("more like this")
+        doc = system.session.to_dict()
+        assert len(doc["rounds"]) == 2
+        first = doc["rounds"][0]
+        assert first["user_text"] == "foggy clouds"
+        assert first["selected_object_id"] is not None
+        assert first["answer"]["grounded"]
+        assert first["answer"]["items"]
+
+    def test_export_is_valid_json(self, system, tmp_path):
+        system.reset_dialogue()
+        system.ask("stars at night")
+        path = tmp_path / "transcript.json"
+        system.session.export_transcript(path)
+        doc = json.loads(path.read_text())
+        assert doc["rounds"][0]["user_text"] == "stars at night"
+
+    def test_empty_session_exports(self, system, tmp_path):
+        system.reset_dialogue()
+        path = tmp_path / "empty.json"
+        system.session.export_transcript(path)
+        assert json.loads(path.read_text()) == {"rounds": []}

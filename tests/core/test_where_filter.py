@@ -1,0 +1,52 @@
+"""Tests for system-level metadata filtering (the `where` predicate)."""
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+
+from tests.core.conftest import fast_config
+
+
+class TestWhereFilter:
+    def test_results_satisfy_predicate(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config())
+        answer = system.ask(
+            "foggy clouds",
+            where=lambda obj: "foggy" in obj.concepts,
+        )
+        assert answer.items
+        for object_id in answer.ids:
+            assert "foggy" in scenes_kb.get(object_id).concepts
+
+    def test_metadata_predicate(self):
+        system = MQASystem.from_config(
+            fast_config(dataset=DatasetSpec(domain="scenes", size=80, seed=7))
+        )
+        tagged = system.ingest(["foggy", "clouds"], metadata={"tier": "premium"})
+        answer = system.ask(
+            "foggy clouds",
+            where=lambda obj: obj.metadata.get("tier") == "premium",
+        )
+        assert answer.ids == [tagged]
+
+    def test_where_composes_with_rejections(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config())
+        first = system.ask("foggy clouds", where=lambda obj: "foggy" in obj.concepts)
+        victim = system.reject(0)
+        follow_up = system.ask(
+            "foggy clouds", where=lambda obj: "foggy" in obj.concepts
+        )
+        assert victim not in follow_up.ids
+        for object_id in follow_up.ids:
+            assert "foggy" in scenes_kb.get(object_id).concepts
+
+    def test_where_bypasses_cache(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config())
+        cache = system.coordinator.execution.cache
+        misses_before = cache.misses
+        system.ask("foggy clouds", where=lambda obj: True)
+        system.reset_dialogue()
+        system.ask("foggy clouds", where=lambda obj: True)
+        # Filtered queries never touch the cache.
+        assert cache.misses == misses_before

@@ -1,0 +1,68 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DOMAINS, DatasetSpec, Modality, generate_knowledge_base
+from repro.errors import DataError
+
+
+class TestDomains:
+    def test_expected_domains_present(self):
+        assert {"fashion", "scenes", "food", "products", "movies"} <= set(DOMAINS)
+
+    def test_paper_concepts_exist(self):
+        # The figures' example requests must be expressible.
+        assert "floral" in DOMAINS["fashion"]["pattern"]
+        assert "long-sleeved" in DOMAINS["fashion"]["sleeve"]
+        assert "foggy" in DOMAINS["scenes"]["weather"]
+        assert "clouds" in DOMAINS["scenes"]["sky"]
+        assert "moldy" in DOMAINS["food"]["condition"]
+        assert "cheese" in DOMAINS["food"]["item"]
+        assert "coat" in DOMAINS["products"]["item"]
+
+
+class TestGeneration:
+    def test_size(self):
+        kb = generate_knowledge_base(DatasetSpec(domain="food", size=30, seed=1))
+        assert len(kb) == 30
+
+    def test_deterministic(self):
+        spec = DatasetSpec(domain="food", size=10, seed=4)
+        a = generate_knowledge_base(spec)
+        b = generate_knowledge_base(spec)
+        for object_id in range(10):
+            assert a.get(object_id).concepts == b.get(object_id).concepts
+            np.testing.assert_array_equal(
+                a.get(object_id).get(Modality.IMAGE),
+                b.get(object_id).get(Modality.IMAGE),
+            )
+
+    def test_seed_changes_content(self):
+        a = generate_knowledge_base(DatasetSpec(domain="food", size=10, seed=1))
+        b = generate_knowledge_base(DatasetSpec(domain="food", size=10, seed=2))
+        concepts_a = [a.get(i).concepts for i in range(10)]
+        concepts_b = [b.get(i).concepts for i in range(10)]
+        assert concepts_a != concepts_b
+
+    def test_concept_counts_respect_spec(self):
+        spec = DatasetSpec(domain="scenes", size=40, seed=2, min_concepts=3, max_concepts=3)
+        kb = generate_knowledge_base(spec)
+        assert all(len(kb.get(i).concepts) == 3 for i in range(40))
+
+    def test_audio_modality(self):
+        spec = DatasetSpec(
+            domain="movies",
+            size=5,
+            modalities=(Modality.TEXT, Modality.IMAGE, Modality.AUDIO),
+        )
+        kb = generate_knowledge_base(spec)
+        assert kb.get(0).has(Modality.AUDIO)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(DataError, match="unknown domain"):
+            generate_knowledge_base(DatasetSpec(domain="galaxies"))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(DataError):
+            generate_knowledge_base(DatasetSpec(domain="food", size=0))

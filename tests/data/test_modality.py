@@ -1,0 +1,28 @@
+"""Tests for the modality taxonomy."""
+
+import pytest
+
+from repro.data import Modality
+
+
+class TestModalityParse:
+    def test_parse_string(self):
+        assert Modality.parse("text") is Modality.TEXT
+
+    def test_parse_case_insensitive(self):
+        assert Modality.parse("IMAGE") is Modality.IMAGE
+
+    def test_parse_passthrough(self):
+        assert Modality.parse(Modality.AUDIO) is Modality.AUDIO
+
+    def test_parse_unknown_lists_valid(self):
+        with pytest.raises(ValueError, match="text"):
+            Modality.parse("video")
+
+    def test_str_is_value(self):
+        assert str(Modality.TEXT) == "text"
+
+    def test_json_friendly(self):
+        import json
+
+        assert json.dumps(Modality.IMAGE) == '"image"'

@@ -1,0 +1,58 @@
+"""Tests for multi-modal objects and raw queries."""
+
+import numpy as np
+import pytest
+
+from repro.data import Modality, MultiModalObject, RawQuery
+from repro.errors import ModalityError
+
+
+class TestMultiModalObject:
+    def test_string_keys_coerced(self):
+        obj = MultiModalObject(object_id=0, content={"text": "hello"})
+        assert obj.has(Modality.TEXT)
+
+    def test_get_missing_modality_raises(self):
+        obj = MultiModalObject(object_id=3, content={"text": "hello"})
+        with pytest.raises(ModalityError, match="object 3"):
+            obj.get(Modality.IMAGE)
+
+    def test_no_modalities_rejected(self):
+        with pytest.raises(ModalityError):
+            MultiModalObject(object_id=0, content={})
+
+    def test_modalities_order(self):
+        obj = MultiModalObject(
+            object_id=0, content={"image": np.zeros((2, 2)), "text": "x"}
+        )
+        assert obj.modalities == (Modality.IMAGE, Modality.TEXT)
+
+
+class TestRawQuery:
+    def test_from_text(self):
+        query = RawQuery.from_text("foggy clouds", round=1)
+        assert query.get(Modality.TEXT) == "foggy clouds"
+        assert query.metadata["round"] == 1
+        assert not query.has(Modality.IMAGE)
+
+    def test_from_text_and_image(self):
+        query = RawQuery.from_text_and_image("more like this", np.zeros((2, 2)))
+        assert query.has(Modality.TEXT)
+        assert query.has(Modality.IMAGE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModalityError):
+            RawQuery(content={})
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ModalityError):
+            RawQuery.from_text("x").get(Modality.AUDIO)
+
+    def test_with_content_copies(self):
+        original = RawQuery.from_text("x", tag="a")
+        extended = original.with_content(Modality.IMAGE, np.ones((2, 2)))
+        assert extended.has(Modality.IMAGE)
+        assert not original.has(Modality.IMAGE)
+        assert extended.metadata == original.metadata
+        extended.metadata["tag"] = "b"
+        assert original.metadata["tag"] == "a"

@@ -1,0 +1,63 @@
+"""Tests for knowledge-base save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetSpec,
+    Modality,
+    generate_knowledge_base,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.errors import DataError
+
+
+class TestRoundTrip:
+    def test_content_identical(self, tmp_path):
+        kb = generate_knowledge_base(DatasetSpec(domain="food", size=12, seed=3))
+        save_knowledge_base(kb, tmp_path / "kb")
+        loaded = load_knowledge_base(tmp_path / "kb")
+        assert len(loaded) == len(kb)
+        for object_id in range(len(kb)):
+            original = kb.get(object_id)
+            restored = loaded.get(object_id)
+            assert restored.concepts == original.concepts
+            assert restored.get(Modality.TEXT) == original.get(Modality.TEXT)
+            np.testing.assert_allclose(
+                restored.get(Modality.IMAGE), original.get(Modality.IMAGE)
+            )
+            np.testing.assert_allclose(restored.latent, original.latent)
+
+    def test_ground_truth_survives(self, tmp_path):
+        kb = generate_knowledge_base(DatasetSpec(domain="food", size=20, seed=3))
+        save_knowledge_base(kb, tmp_path / "kb")
+        loaded = load_knowledge_base(tmp_path / "kb")
+        assert loaded.ground_truth_for_concepts(["cheese"], 5) == (
+            kb.ground_truth_for_concepts(["cheese"], 5)
+        )
+
+    def test_renderers_rederived(self, tmp_path):
+        kb = generate_knowledge_base(DatasetSpec(domain="food", size=5, seed=3))
+        save_knowledge_base(kb, tmp_path / "kb")
+        loaded = load_knowledge_base(tmp_path / "kb")
+        np.testing.assert_allclose(
+            loaded.render_model.image.projection, kb.render_model.image.projection
+        )
+
+    def test_audio_round_trip(self, tmp_path):
+        spec = DatasetSpec(
+            domain="movies",
+            size=4,
+            modalities=(Modality.TEXT, Modality.IMAGE, Modality.AUDIO),
+        )
+        kb = generate_knowledge_base(spec)
+        save_knowledge_base(kb, tmp_path / "kb")
+        loaded = load_knowledge_base(tmp_path / "kb")
+        np.testing.assert_allclose(
+            loaded.get(1).get(Modality.AUDIO), kb.get(1).get(Modality.AUDIO)
+        )
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DataError, match="no knowledge base"):
+            load_knowledge_base(tmp_path / "absent")

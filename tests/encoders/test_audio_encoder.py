@@ -1,0 +1,38 @@
+"""Tests for the audio encoder."""
+
+import numpy as np
+import pytest
+
+from repro.data import Modality
+from repro.encoders import SpectralAudioEncoder
+from repro.errors import EncodingError
+
+
+@pytest.fixture(scope="module")
+def encoder(audio_kb):
+    return SpectralAudioEncoder(audio_kb.render_model.audio, seed=1)
+
+
+class TestAudioEncoder:
+    def test_unit_norm(self, encoder, audio_kb):
+        vector = encoder.encode(Modality.AUDIO, audio_kb.get(0).get(Modality.AUDIO))
+        np.testing.assert_allclose(np.linalg.norm(vector), 1.0)
+
+    def test_views_closer_than_strangers(self, encoder, audio_kb):
+        original = encoder.encode(Modality.AUDIO, audio_kb.get(0).get(Modality.AUDIO))
+        view = audio_kb.render_view(0, view_seed=2)
+        re_encoded = encoder.encode(Modality.AUDIO, view[Modality.AUDIO])
+        stranger = encoder.encode(Modality.AUDIO, audio_kb.get(1).get(Modality.AUDIO))
+        assert original @ re_encoded > original @ stranger
+
+    def test_rejects_wrong_frame_count(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(Modality.AUDIO, np.zeros(10))
+
+    def test_rejects_text(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(Modality.TEXT, "hello")
+
+    def test_bad_output_dim(self, audio_kb):
+        with pytest.raises(ValueError):
+            SpectralAudioEncoder(audio_kb.render_model.audio, output_dim=-1)

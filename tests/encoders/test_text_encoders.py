@@ -1,0 +1,81 @@
+"""Tests for the text encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data import Modality
+from repro.encoders import BagOfTokensEncoder, SequenceTextEncoder
+from repro.errors import EncodingError
+
+
+@pytest.fixture(scope="module")
+def space(scenes_kb):
+    return scenes_kb.space
+
+
+@pytest.fixture(scope="module", params=[BagOfTokensEncoder, SequenceTextEncoder])
+def encoder(request, space):
+    return request.param(space, seed=1)
+
+
+class TestCommonBehaviour:
+    def test_unit_norm_output(self, encoder):
+        vector = encoder.encode(Modality.TEXT, "foggy clouds")
+        np.testing.assert_allclose(np.linalg.norm(vector), 1.0)
+
+    def test_output_dim(self, encoder):
+        assert encoder.encode(Modality.TEXT, "foggy").shape == (encoder.output_dim,)
+
+    def test_deterministic(self, encoder):
+        a = encoder.encode(Modality.TEXT, "foggy clouds")
+        b = encoder.encode(Modality.TEXT, "foggy clouds")
+        np.testing.assert_array_equal(a, b)
+
+    def test_similar_texts_closer_than_different(self, encoder):
+        foggy = encoder.encode(Modality.TEXT, "foggy clouds")
+        foggy_variant = encoder.encode(Modality.TEXT, "clouds foggy mountains")
+        unrelated = encoder.encode(Modality.TEXT, "sunny desert noon")
+        assert foggy @ foggy_variant > foggy @ unrelated
+
+    def test_rejects_image_modality(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(Modality.IMAGE, np.zeros((2, 2)))
+
+    def test_rejects_non_string(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(Modality.TEXT, 42)
+
+    def test_rejects_empty_text(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(Modality.TEXT, "   ")
+
+
+class TestFillerRobustness:
+    def test_sequence_encoder_gates_fillers_harder(self, space):
+        bag = BagOfTokensEncoder(space, seed=1)
+        seq = SequenceTextEncoder(space, seed=1)
+        clean = "foggy clouds"
+        noisy = "a photo of some very foggy nice clouds shown"
+        bag_drift = bag.encode(Modality.TEXT, clean) @ bag.encode(Modality.TEXT, noisy)
+        seq_drift = seq.encode(Modality.TEXT, clean) @ seq.encode(Modality.TEXT, noisy)
+        assert seq_drift > bag_drift
+
+
+class TestValidation:
+    def test_bad_output_dim(self, space):
+        with pytest.raises(ValueError):
+            BagOfTokensEncoder(space, output_dim=0)
+
+    def test_bad_oov_weight(self, space):
+        with pytest.raises(ValueError):
+            BagOfTokensEncoder(space, oov_weight=-1)
+
+    def test_bad_recurrence_decay(self, space):
+        with pytest.raises(ValueError):
+            SequenceTextEncoder(space, recurrence_decay=0.0)
+
+    def test_order_sensitivity_of_sequence_encoder(self, space):
+        seq = SequenceTextEncoder(space, seed=1, recurrence_decay=0.5)
+        forward = seq.encode(Modality.TEXT, "foggy clouds mountains")
+        reversed_ = seq.encode(Modality.TEXT, "mountains clouds foggy")
+        assert not np.allclose(forward, reversed_)

@@ -1,0 +1,69 @@
+"""Tests for ranking metrics."""
+
+import pytest
+
+from repro.evaluation import (
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k([1, 9, 8], [1, 2, 3], 3) == pytest.approx(1 / 3)
+
+    def test_normalised_by_min(self):
+        assert recall_at_k([1, 9], [1], 2) == 1.0
+
+    def test_only_top_k_counted(self):
+        assert recall_at_k([9, 9, 9, 1], [1], 3) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k([1], [1], 0)
+
+    def test_empty_relevant(self):
+        with pytest.raises(ValueError):
+            recall_at_k([1], [], 1)
+
+
+class TestPrecision:
+    def test_value(self):
+        assert precision_at_k([1, 9], [1, 2], 2) == 0.5
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+
+
+class TestMRR:
+    def test_first(self):
+        assert mean_reciprocal_rank([5, 1], [5]) == 1.0
+
+    def test_second(self):
+        assert mean_reciprocal_rank([9, 5], [5]) == 0.5
+
+    def test_absent(self):
+        assert mean_reciprocal_rank([9, 8], [5]) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_order(self):
+        assert ndcg_at_k([1, 2, 3], [1, 2, 3], 3) == pytest.approx(1.0)
+
+    def test_reversed_lower(self):
+        perfect = ndcg_at_k([1, 2, 3], [1, 2, 3], 3)
+        reversed_ = ndcg_at_k([3, 2, 1], [1, 2, 3], 3)
+        assert reversed_ < perfect
+
+    def test_all_irrelevant(self):
+        assert ndcg_at_k([7, 8], [1, 2], 2) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], [1], 0)

@@ -1,0 +1,33 @@
+"""Tests for FrameworkScore aggregation fields."""
+
+import pytest
+
+from repro.evaluation import evaluate_framework, text_queries
+from repro.index import build_index
+from repro.retrieval import build_framework
+
+
+class TestFrameworkScore:
+    def test_all_fields_populated(self, scenes_kb, clip_set):
+        framework = build_framework("must")
+        framework.setup(scenes_kb, clip_set, lambda: build_index("flat"))
+        workload = text_queries(scenes_kb, 5, k=5, seed=3)
+        score = evaluate_framework(framework, workload, k=5)
+        assert score.framework == "must"
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.mrr <= 1.0
+        assert score.qps > 0.0
+        assert score.hops == 0.0  # flat index never hops
+        assert score.distance_evaluations == len(scenes_kb)
+
+    def test_graph_framework_reports_hops(self, scenes_kb, clip_set):
+        framework = build_framework("must")
+        framework.setup(
+            scenes_kb,
+            clip_set,
+            lambda: build_index("nav-must", {"max_degree": 8, "candidate_pool": 16, "build_budget": 24}),
+        )
+        workload = text_queries(scenes_kb, 5, k=5, seed=3)
+        score = evaluate_framework(framework, workload, k=5, budget=32)
+        assert score.hops > 0
+        assert score.distance_evaluations < len(scenes_kb)

@@ -1,0 +1,61 @@
+"""Tests for search-budget auto-tuning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation import text_queries, tune_budget
+from repro.index import build_index
+from repro.retrieval import build_framework
+
+
+@pytest.fixture(scope="module")
+def setup(scenes_kb, clip_set):
+    framework = build_framework("must")
+    framework.setup(
+        scenes_kb, clip_set, lambda: build_index("hnsw", {"m": 6, "ef_construction": 32})
+    )
+    workload = text_queries(scenes_kb, 10, k=5, seed=1)
+    return framework, workload
+
+
+class TestTuneBudget:
+    def test_meets_reachable_target(self, setup):
+        framework, workload = setup
+        result = tune_budget(framework, workload, k=5, target_recall=0.4)
+        assert result.target_met
+        assert result.recall >= 0.4
+        assert result.budget >= 8
+
+    def test_minimality_within_trace(self, setup):
+        framework, workload = setup
+        result = tune_budget(framework, workload, k=5, target_recall=0.4)
+        # No evaluated budget smaller than the chosen one met the target.
+        for budget, recall in result.trace:
+            if budget < result.budget:
+                assert recall < 0.4
+
+    def test_unreachable_target_flagged(self, setup):
+        framework, workload = setup
+        result = tune_budget(
+            framework, workload, k=5, target_recall=1.0, max_budget=16
+        )
+        if not result.target_met:
+            assert result.budget == 16
+
+    def test_validation(self, setup):
+        framework, workload = setup
+        with pytest.raises(ConfigurationError):
+            tune_budget(framework, workload, k=5, target_recall=0.0)
+        with pytest.raises(ConfigurationError):
+            tune_budget(framework, workload, k=5, target_recall=0.5, min_budget=0)
+        with pytest.raises(ConfigurationError):
+            tune_budget(
+                framework, workload, k=5, target_recall=0.5,
+                min_budget=64, max_budget=8,
+            )
+
+    def test_trace_recorded(self, setup):
+        framework, workload = setup
+        result = tune_budget(framework, workload, k=5, target_recall=0.3)
+        assert len(result.trace) >= 1
+        assert all(isinstance(b, int) for b, _ in result.trace)

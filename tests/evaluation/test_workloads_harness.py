@@ -1,0 +1,131 @@
+"""Tests for workload generators, exact knn, and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import Modality
+from repro.distance import SingleVectorKernel
+from repro.errors import DataError
+from repro.evaluation import (
+    ExperimentTable,
+    composed_queries,
+    evaluate_framework,
+    exact_knn,
+    refinement_scripts,
+    text_queries,
+)
+
+
+class TestExactKnn:
+    def test_matches_brute(self, unit_vectors, unit_queries):
+        corpus = unit_vectors[:100]
+        kernel = SingleVectorKernel(32)
+        results = exact_knn(corpus, kernel, unit_queries[:3], k=5)
+        for query, ids in zip(unit_queries[:3], results):
+            distances = kernel.batch(query, corpus)
+            truth = list(np.argsort(distances)[:5])
+            assert ids == truth
+
+    def test_k_clamped(self, unit_vectors):
+        kernel = SingleVectorKernel(32)
+        results = exact_knn(unit_vectors[:3], kernel, unit_vectors[:1], k=10)
+        assert len(results[0]) == 3
+
+    def test_bad_k(self, unit_vectors):
+        with pytest.raises(ValueError):
+            exact_knn(unit_vectors[:3], SingleVectorKernel(32), unit_vectors[:1], k=0)
+
+
+class TestWorkloads:
+    def test_text_queries_have_ground_truth(self, scenes_kb):
+        queries = text_queries(scenes_kb, 10, k=5, seed=0)
+        assert len(queries) == 10
+        for query in queries:
+            assert len(query.gt_ids) == 5
+            assert query.reference_id is None
+            assert query.raw.has(Modality.TEXT)
+            text = query.raw.get(Modality.TEXT)
+            for concept in query.target_concepts:
+                assert concept in text
+
+    def test_composed_queries_reference_excluded(self, scenes_kb):
+        queries = composed_queries(scenes_kb, 10, k=5, seed=0)
+        for query in queries:
+            assert query.reference_id is not None
+            assert query.reference_id not in query.gt_ids
+            assert query.raw.has(Modality.IMAGE)
+
+    def test_composed_extra_concept_is_new(self, scenes_kb):
+        for query in composed_queries(scenes_kb, 10, k=5, seed=0):
+            reference = scenes_kb.get(query.reference_id)
+            extra = query.raw.get(Modality.TEXT)
+            assert extra not in reference.concepts
+
+    def test_refinement_scripts_round2_gt(self, scenes_kb):
+        scripts = refinement_scripts(scenes_kb, 5, k=5, seed=0)
+        for script in scripts:
+            selected_id = script.initial.gt_ids[0]
+            gt = script.refined_ground_truth(scenes_kb, selected_id)
+            assert len(gt) == 5
+            assert selected_id not in gt
+
+    def test_deterministic(self, scenes_kb):
+        a = text_queries(scenes_kb, 5, seed=3)
+        b = text_queries(scenes_kb, 5, seed=3)
+        assert [q.gt_ids for q in a] == [q.gt_ids for q in b]
+
+    def test_bad_counts(self, scenes_kb):
+        with pytest.raises(DataError):
+            text_queries(scenes_kb, 0)
+        with pytest.raises(DataError):
+            composed_queries(scenes_kb, 0)
+        with pytest.raises(DataError):
+            refinement_scripts(scenes_kb, 0)
+
+
+class TestHarness:
+    def test_evaluate_framework(self, scenes_kb, clip_set):
+        from repro.index import build_index
+        from repro.retrieval import build_framework
+
+        framework = build_framework("must")
+        framework.setup(
+            scenes_kb, clip_set, lambda: build_index("flat")
+        )
+        workload = text_queries(scenes_kb, 8, k=5, seed=1)
+        score = evaluate_framework(framework, workload, k=5)
+        assert 0.0 <= score.recall <= 1.0
+        assert score.qps > 0
+        assert score.framework == "must"
+
+    def test_empty_workload_rejected(self, scenes_kb):
+        from repro.retrieval import build_framework
+
+        with pytest.raises(ValueError):
+            evaluate_framework(build_framework("must"), [], k=5)
+
+
+class TestExperimentTable:
+    def test_render_aligns(self):
+        table = ExperimentTable("demo", ["name", "value"])
+        table.add_row(["recall", 0.934567])
+        table.add_row(["a-very-long-name", 1])
+        text = table.render()
+        assert text.splitlines()[0] == "demo"
+        assert "0.935" in text
+        assert "a-very-long-name" in text
+
+    def test_column_access(self):
+        table = ExperimentTable("demo", ["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["y", 2])
+        assert table.column("name") == ["x", "y"]
+
+    def test_row_width_checked(self):
+        table = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentTable("demo", [])

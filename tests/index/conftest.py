@@ -1,0 +1,41 @@
+"""Index-test fixtures: small corpora and prebuilt indexes shared per module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.evaluation import exact_knn
+from repro.index import FlatIndex
+
+
+@pytest.fixture(scope="package")
+def corpus(unit_vectors):
+    """300 unit vectors (subset of the session corpus) in 32 dims."""
+    return unit_vectors[:300]
+
+
+@pytest.fixture(scope="package")
+def queries(unit_queries):
+    return unit_queries[:10]
+
+
+@pytest.fixture(scope="package")
+def kernel_factory():
+    return lambda: SingleVectorKernel(32)
+
+
+@pytest.fixture(scope="package")
+def ground_truth(corpus, queries, kernel_factory):
+    """True top-10 ids for each query."""
+    return exact_knn(corpus, kernel_factory(), queries, k=10)
+
+
+def mean_recall(index, queries, ground_truth, k=10, budget=48):
+    """Helper: recall@k of an index against precomputed ground truth."""
+    total = 0.0
+    for query, truth in zip(queries, ground_truth):
+        result = index.search(query, k=k, budget=budget)
+        total += len(set(result.ids) & set(truth)) / k
+    return total / len(queries)

@@ -1,0 +1,60 @@
+"""Tests for the exact flat index."""
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.errors import IndexNotBuiltError, SearchError
+from repro.index import FlatIndex
+
+
+class TestFlatIndex:
+    def test_exactness(self, corpus, queries, kernel_factory, ground_truth):
+        index = FlatIndex()
+        index.build(corpus, kernel_factory())
+        for query, truth in zip(queries, ground_truth):
+            assert index.search(query, k=10).ids == truth
+
+    def test_distances_sorted(self, corpus, kernel_factory):
+        index = FlatIndex()
+        index.build(corpus, kernel_factory())
+        result = index.search(corpus[0], k=10)
+        assert result.distances == sorted(result.distances)
+        assert result.ids[0] == 0
+        assert result.distances[0] == pytest.approx(0.0)
+
+    def test_k_clamped_to_corpus(self, kernel_factory):
+        index = FlatIndex()
+        index.build(np.eye(32)[:5], kernel_factory())
+        assert len(index.search(np.zeros(32), k=50)) == 5
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            FlatIndex().search(np.zeros(4), k=1)
+
+    def test_empty_corpus_rejected(self, kernel_factory):
+        with pytest.raises(SearchError):
+            FlatIndex().build(np.zeros((0, 32)), kernel_factory())
+
+    def test_dim_mismatch_rejected(self, kernel_factory):
+        with pytest.raises(SearchError):
+            FlatIndex().build(np.zeros((3, 8)), kernel_factory())
+
+    def test_bad_k_rejected(self, corpus, kernel_factory):
+        index = FlatIndex()
+        index.build(corpus, kernel_factory())
+        with pytest.raises(SearchError):
+            index.search(corpus[0], k=0)
+
+    def test_stats_count_full_scan(self, corpus, kernel_factory):
+        index = FlatIndex()
+        index.build(corpus, kernel_factory())
+        result = index.search(corpus[0], k=5)
+        assert result.stats.distance_evaluations == len(corpus)
+        assert result.stats.hops == 0
+
+    def test_describe(self, corpus, kernel_factory):
+        index = FlatIndex()
+        assert "not built" in index.describe()
+        index.build(corpus, kernel_factory())
+        assert str(len(corpus)) in index.describe()

@@ -1,0 +1,89 @@
+"""Tests for the navigation-graph adjacency structure."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.index import NavigationGraph
+
+
+class TestBasics:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            NavigationGraph(0, max_degree=4)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            NavigationGraph(5, max_degree=0)
+
+    def test_set_neighbors_deduplicates(self):
+        graph = NavigationGraph(5, max_degree=4)
+        graph.set_neighbors(0, [1, 1, 2, 0, 3])
+        assert graph.neighbors(0) == [1, 2, 3]  # self-loop and dup removed
+
+    def test_set_neighbors_trims_to_degree(self):
+        graph = NavigationGraph(10, max_degree=2)
+        graph.set_neighbors(0, [1, 2, 3, 4])
+        assert graph.neighbors(0) == [1, 2]
+
+    def test_add_edge(self):
+        graph = NavigationGraph(4, max_degree=2)
+        assert graph.add_edge(0, 1)
+        assert not graph.add_edge(0, 1)  # duplicate
+        assert not graph.add_edge(0, 0)  # self loop
+        assert graph.add_edge(0, 2)
+        assert not graph.add_edge(0, 3)  # over capacity
+
+    def test_edge_count_and_degree(self):
+        graph = NavigationGraph(3, max_degree=2)
+        graph.set_neighbors(0, [1, 2])
+        graph.set_neighbors(1, [2])
+        assert graph.edge_count == 3
+        assert graph.average_degree == pytest.approx(1.0)
+
+    def test_degree_histogram(self):
+        graph = NavigationGraph(3, max_degree=2)
+        graph.set_neighbors(0, [1, 2])
+        assert graph.degree_histogram() == {0: 2, 2: 1}
+
+
+class TestConnectivity:
+    def test_reachable_from(self):
+        graph = NavigationGraph(4, max_degree=2)
+        graph.set_neighbors(0, [1])
+        graph.set_neighbors(1, [2])
+        assert graph.reachable_from([0]) == {0, 1, 2}
+
+    def test_is_connected(self):
+        graph = NavigationGraph(3, max_degree=2)
+        graph.set_neighbors(0, [1, 2])
+        assert graph.is_connected()
+
+    def test_repair_connects_everything(self):
+        graph = NavigationGraph(6, max_degree=3)
+        graph.set_neighbors(0, [1])
+        # vertices 2..5 unreachable
+        added = graph.connect_unreachable()
+        assert added >= 1
+        assert graph.is_connected()
+
+    def test_repair_noop_when_connected(self):
+        graph = NavigationGraph(3, max_degree=2)
+        graph.set_neighbors(0, [1, 2])
+        assert graph.connect_unreachable() == 0
+
+    def test_repair_respects_entry_points(self):
+        graph = NavigationGraph(4, max_degree=2)
+        graph.entry_points = [3]
+        graph.set_neighbors(3, [2])
+        graph.connect_unreachable()
+        assert graph.reachable_from([3]) == {0, 1, 2, 3}
+
+
+class TestArrays:
+    def test_to_arrays_roundtrip(self):
+        graph = NavigationGraph(3, max_degree=2)
+        graph.set_neighbors(0, [1, 2])
+        graph.set_neighbors(2, [0])
+        offsets, targets = graph.to_arrays()
+        assert offsets.tolist() == [0, 2, 2, 3]
+        assert targets.tolist() == [1, 2, 0]

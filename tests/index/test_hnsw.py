@@ -1,0 +1,87 @@
+"""Tests for HNSW."""
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.errors import GraphConstructionError, IndexNotBuiltError, SearchError
+from repro.index import HnswIndex, HnswParams
+
+from tests.index.conftest import mean_recall
+
+
+@pytest.fixture(scope="module")
+def built(corpus, kernel_factory):
+    index = HnswIndex(HnswParams(m=8, ef_construction=48, seed=0))
+    index.build(corpus, kernel_factory())
+    return index
+
+
+class TestBuild:
+    def test_recall_high(self, built, queries, ground_truth):
+        assert mean_recall(built, queries, ground_truth, budget=48) >= 0.9
+
+    def test_recall_grows_with_budget(self, built, queries, ground_truth):
+        low = mean_recall(built, queries, ground_truth, budget=10)
+        high = mean_recall(built, queries, ground_truth, budget=96)
+        assert high >= low
+
+    def test_base_layer_connected(self, built):
+        graph = built.base_graph()
+        assert graph.is_connected() or len(
+            graph.reachable_from(graph.entry_points)
+        ) >= built.size * 0.99
+
+    def test_base_layer_degree_bounded(self, built):
+        graph = built.base_graph()
+        assert max(len(graph.neighbors(v)) for v in range(graph.n_vertices)) <= 16
+
+    def test_deterministic(self, corpus, kernel_factory):
+        a = HnswIndex(HnswParams(m=6, ef_construction=24, seed=1))
+        b = HnswIndex(HnswParams(m=6, ef_construction=24, seed=1))
+        a.build(corpus[:100], kernel_factory())
+        b.build(corpus[:100], kernel_factory())
+        query = corpus[200]
+        assert a.search(query, 5).ids == b.search(query, 5).ids
+
+    def test_build_seconds_recorded(self, built):
+        assert built.build_seconds > 0
+
+    def test_single_point_corpus(self, kernel_factory):
+        index = HnswIndex(HnswParams(m=4, ef_construction=8))
+        index.build(np.ones((1, 32)), kernel_factory())
+        assert index.search(np.ones(32), k=1).ids == [0]
+
+
+class TestValidation:
+    def test_params_m_too_small(self):
+        with pytest.raises(ValueError):
+            HnswParams(m=1)
+
+    def test_params_ef_smaller_than_m(self):
+        with pytest.raises(ValueError):
+            HnswParams(m=8, ef_construction=4)
+
+    def test_empty_corpus(self, kernel_factory):
+        with pytest.raises(GraphConstructionError):
+            HnswIndex().build(np.zeros((0, 32)), kernel_factory())
+
+    def test_dim_mismatch(self, kernel_factory):
+        with pytest.raises(GraphConstructionError):
+            HnswIndex().build(np.zeros((5, 8)), kernel_factory())
+
+    def test_search_before_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            HnswIndex().search(np.zeros(4), k=1)
+
+    def test_bad_k(self, built, corpus):
+        with pytest.raises(SearchError):
+            built.search(corpus[0], k=0)
+
+
+class TestSearchStats:
+    def test_counts_work(self, built, corpus):
+        result = built.search(corpus[0], k=5, budget=32)
+        assert result.stats.hops > 0
+        assert result.stats.distance_evaluations > 0
+        assert result.stats.distance_evaluations < built.size  # sublinear

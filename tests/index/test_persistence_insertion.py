@@ -1,0 +1,154 @@
+"""Tests for index save/load and incremental insertion."""
+
+import numpy as np
+import pytest
+
+from repro.data import Modality
+from repro.distance import MultiVectorSchema, SingleVectorKernel, WeightedMultiVectorKernel
+from repro.errors import IndexError_
+from repro.index import (
+    FlatIndex,
+    FrozenGraphIndex,
+    HnswIndex,
+    HnswParams,
+    StarlingIndex,
+    StarlingParams,
+    VamanaIndex,
+    VamanaParams,
+    load_index,
+    save_index,
+)
+from repro.index.vamana import VamanaParams as InnerParams
+
+FAST_VAMANA = VamanaParams(max_degree=8, candidate_pool=16, build_budget=24)
+
+
+@pytest.fixture(scope="module")
+def built_vamana(corpus, kernel_factory):
+    index = VamanaIndex(FAST_VAMANA)
+    index.build(corpus, kernel_factory())
+    return index
+
+
+class TestPersistence:
+    def test_roundtrip_search_identical(self, built_vamana, queries, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(built_vamana, directory)
+        loaded = load_index(directory)
+        for query in queries[:5]:
+            original = built_vamana.search(query, k=5, budget=32)
+            restored = loaded.search(query, k=5, budget=32)
+            assert original.ids == restored.ids
+
+    def test_kernel_restored(self, built_vamana, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(built_vamana, directory)
+        loaded = load_index(directory)
+        assert loaded.kernel.dim == built_vamana.kernel.dim
+
+    def test_multivector_kernel_roundtrip(self, tmp_path_factory):
+        schema = MultiVectorSchema({Modality.TEXT: 16, Modality.IMAGE: 16})
+        kernel = WeightedMultiVectorKernel(schema, [1.4, 0.6])
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((120, 32))
+        index = VamanaIndex(FAST_VAMANA)
+        index.build(matrix, kernel)
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(index, directory)
+        loaded = load_index(directory)
+        assert isinstance(loaded.kernel, WeightedMultiVectorKernel)
+        np.testing.assert_allclose(loaded.kernel.weights, [1.4, 0.6])
+        query = matrix[7]
+        assert loaded.search(query, k=1, budget=16).ids[0] == 7
+
+    def test_hnsw_full_hierarchy_roundtrip(self, corpus, kernel_factory, queries, tmp_path_factory):
+        index = HnswIndex(HnswParams(m=6, ef_construction=24))
+        index.build(corpus[:150], kernel_factory())
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(index, directory)
+        loaded = load_index(directory)
+        assert isinstance(loaded, HnswIndex)
+        assert loaded.size == 150
+        # Identical layer structure implies identical searches.
+        for query in queries[:5]:
+            assert (
+                loaded.search(query, k=5, budget=32).ids
+                == index.search(query, k=5, budget=32).ids
+            )
+
+    def test_restored_hnsw_can_grow(self, corpus, kernel_factory, tmp_path_factory):
+        index = HnswIndex(HnswParams(m=6, ef_construction=24))
+        index.build(corpus[:100], kernel_factory())
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(index, directory)
+        loaded = load_index(directory)
+        rng = np.random.default_rng(9)
+        vector = rng.standard_normal(32)
+        vector /= np.linalg.norm(vector)
+        new_id = loaded.add(vector)
+        assert loaded.search(vector, k=1, budget=32).ids[0] == new_id
+
+    def test_load_missing_raises(self, tmp_path_factory):
+        with pytest.raises(IndexError_, match="no saved index"):
+            load_index(tmp_path_factory.mktemp("empty"))
+
+    def test_frozen_cannot_build(self, built_vamana, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(built_vamana, directory)
+        loaded = load_index(directory)
+        with pytest.raises(IndexError_):
+            loaded.build(np.zeros((2, 32)), SingleVectorKernel(32))
+
+
+class TestInsertion:
+    def test_flat_add(self, kernel_factory):
+        index = FlatIndex()
+        rng = np.random.default_rng(0)
+        index.build(rng.standard_normal((10, 32)), kernel_factory())
+        new_vector = rng.standard_normal(32)
+        new_id = index.add(new_vector)
+        assert new_id == 10
+        assert index.search(new_vector, k=1).ids == [10]
+
+    def test_hnsw_add_findable(self, corpus, kernel_factory):
+        index = HnswIndex(HnswParams(m=6, ef_construction=24))
+        index.build(corpus[:100], kernel_factory())
+        rng = np.random.default_rng(5)
+        for expected_id in range(100, 110):
+            vector = rng.standard_normal(32)
+            vector /= np.linalg.norm(vector)
+            assert index.add(vector) == expected_id
+            assert index.search(vector, k=1, budget=32).ids[0] == expected_id
+
+    def test_pipeline_add_findable(self, built_vamana, corpus):
+        rng = np.random.default_rng(6)
+        before = built_vamana.size
+        vector = rng.standard_normal(32)
+        vector /= np.linalg.norm(vector)
+        new_id = built_vamana.add(vector)
+        assert new_id == before
+        assert built_vamana.search(vector, k=1, budget=48).ids[0] == new_id
+        # graph invariants survive insertion
+        graph = built_vamana.graph
+        assert len(graph.neighbors(new_id)) <= graph.max_degree
+        assert new_id in graph.reachable_from(graph.entry_points)
+
+    def test_starling_add_assigns_block(self, corpus, kernel_factory):
+        index = StarlingIndex(
+            StarlingParams(block_size=8, cache_blocks=4, inner=FAST_VAMANA)
+        )
+        index.build(corpus[:100], kernel_factory())
+        blocks_before = index.device.n_blocks
+        rng = np.random.default_rng(7)
+        new_id = index.add(rng.standard_normal(32))
+        assert index.device.block_of(new_id) == blocks_before
+
+    def test_frozen_add(self, built_vamana, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("idx")
+        save_index(built_vamana, directory)
+        loaded = load_index(directory)
+        rng = np.random.default_rng(8)
+        vector = rng.standard_normal(32)
+        vector /= np.linalg.norm(vector)
+        new_id = loaded.add(vector)
+        assert loaded.search(vector, k=1, budget=48).ids[0] == new_id

@@ -1,0 +1,90 @@
+"""Tests for scalar quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.index import ScalarQuantizer
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((200, 32))
+
+
+class TestQuantizer:
+    def test_roundtrip_error_small_for_sq8(self, matrix):
+        quantizer = ScalarQuantizer(bits=8).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        error = np.linalg.norm(matrix - decoded, axis=1).mean()
+        norm = np.linalg.norm(matrix, axis=1).mean()
+        assert error / norm < 0.02
+
+    def test_sq4_coarser_than_sq8(self, matrix):
+        error8 = ScalarQuantizer(8).fit(matrix).report(matrix).mean_reconstruction_error
+        error4 = ScalarQuantizer(4).fit(matrix).report(matrix).mean_reconstruction_error
+        assert error4 > error8
+
+    def test_codes_are_uint8(self, matrix):
+        codes = ScalarQuantizer(8).fit(matrix).encode(matrix)
+        assert codes.dtype == np.uint8
+
+    def test_out_of_range_clipped(self, matrix):
+        quantizer = ScalarQuantizer(8).fit(matrix)
+        wild = matrix * 100
+        codes = quantizer.encode(wild)
+        assert codes.max() <= 255
+
+    def test_constant_dimension_safe(self):
+        matrix = np.ones((10, 4))
+        quantizer = ScalarQuantizer(8).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        np.testing.assert_allclose(decoded, matrix)
+
+    def test_compression_ratio(self, matrix):
+        report8 = ScalarQuantizer(8).fit(matrix).report(matrix)
+        assert 6.0 < report8.compression_ratio <= 8.0
+        report4 = ScalarQuantizer(4).fit(matrix).report(matrix)
+        assert report4.compression_ratio > report8.compression_ratio
+
+    def test_validation(self, matrix):
+        with pytest.raises(ConfigurationError):
+            ScalarQuantizer(bits=16)
+        with pytest.raises(ConfigurationError):
+            ScalarQuantizer(8).encode(matrix)  # not fitted
+        with pytest.raises(DimensionMismatchError):
+            ScalarQuantizer(8).fit(matrix).encode(np.zeros((2, 5)))
+        with pytest.raises(ConfigurationError):
+            ScalarQuantizer(8).fit(np.zeros((0, 4)))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_decode_within_cell(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(-5, 5, size=(20, 6))
+        quantizer = ScalarQuantizer(8).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        span = matrix.max(axis=0) - matrix.min(axis=0)
+        cell = span / quantizer.levels
+        assert (np.abs(decoded - matrix) <= cell + 1e-9).all()
+
+
+class TestQuantizedSearch:
+    def test_recall_survives_sq8(self, matrix):
+        from repro.distance import SingleVectorKernel
+        from repro.evaluation import exact_knn
+        from repro.index import FlatIndex
+
+        quantizer = ScalarQuantizer(8).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        truth = exact_knn(matrix, SingleVectorKernel(32), matrix[:10], k=5)
+        index = FlatIndex()
+        index.build(decoded, SingleVectorKernel(32))
+        hits = 0
+        for query, gt in zip(matrix[:10], truth):
+            result = index.search(query, k=5)
+            hits += len(set(result.ids) & set(gt))
+        assert hits / 50 >= 0.9

@@ -1,0 +1,108 @@
+"""Tests for the Starling disk-resident index and block device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index import BlockDevice, StarlingIndex, StarlingParams
+from repro.index.vamana import VamanaParams
+
+from tests.index.conftest import mean_recall
+
+FAST_INNER = VamanaParams(max_degree=8, candidate_pool=16, build_budget=24)
+
+
+@pytest.fixture(scope="module")
+def shuffled(corpus, kernel_factory):
+    index = StarlingIndex(StarlingParams(block_size=8, cache_blocks=4, inner=FAST_INNER))
+    index.build(corpus, kernel_factory())
+    return index
+
+
+@pytest.fixture(scope="module")
+def naive(corpus, kernel_factory):
+    index = StarlingIndex(
+        StarlingParams(block_size=8, cache_blocks=4, shuffled=False, inner=FAST_INNER)
+    )
+    index.build(corpus, kernel_factory())
+    return index
+
+
+class TestBlockDevice:
+    def test_counts_reads_and_hits(self):
+        device = BlockDevice([0, 0, 1, 1], cache_blocks=2)
+        device.access(0)
+        device.access(1)  # same block -> hit
+        device.access(2)  # new block -> read
+        assert device.block_reads == 2
+        assert device.cache_hits == 1
+
+    def test_lru_eviction(self):
+        device = BlockDevice([0, 1, 2], cache_blocks=1)
+        device.access(0)
+        device.access(1)  # evicts block 0
+        device.access(0)  # must re-read
+        assert device.block_reads == 3
+        assert device.cache_hits == 0
+
+    def test_zero_cache_never_hits(self):
+        device = BlockDevice([0, 0], cache_blocks=0)
+        device.access(0)
+        device.access(1)
+        assert device.cache_hits == 0
+        assert device.block_reads == 2
+
+    def test_reset(self):
+        device = BlockDevice([0], cache_blocks=2)
+        device.access(0)
+        device.reset()
+        assert device.block_reads == 0
+        device.access(0)
+        assert device.block_reads == 1  # cache cleared too
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockDevice([0], cache_blocks=-1)
+
+
+class TestStarlingIndex:
+    def test_recall_matches_inner_graph(self, shuffled, queries, ground_truth):
+        assert mean_recall(shuffled, queries, ground_truth, budget=48) >= 0.7
+
+    def test_layout_covers_every_vertex(self, shuffled, corpus):
+        assignment = [shuffled.device.block_of(v) for v in range(len(corpus))]
+        assert all(block >= 0 for block in assignment)
+        # Each block holds at most block_size vertices.
+        from collections import Counter
+
+        counts = Counter(assignment)
+        assert max(counts.values()) <= shuffled.params.block_size
+
+    def test_search_records_block_io(self, shuffled, corpus):
+        result = shuffled.search(corpus[0], k=5, budget=32)
+        assert result.stats.block_reads > 0
+        touched = result.stats.block_reads + result.stats.cache_hits
+        assert touched >= result.stats.distance_evaluations * 0.99
+
+    def test_shuffled_layout_reads_fewer_blocks(self, shuffled, naive, queries):
+        def total_reads(index):
+            index.device.reset()
+            reads = 0
+            for query in queries:
+                reads += index.search(query, k=10, budget=48).stats.block_reads
+            return reads
+
+        assert total_reads(shuffled) < total_reads(naive)
+
+    def test_io_amplification(self, shuffled, corpus):
+        result = shuffled.search(corpus[0], k=5, budget=32)
+        amplification = shuffled.io_amplification(result)
+        assert 0.0 < amplification <= 1.0
+
+    def test_describe_mentions_layout(self, shuffled, naive):
+        assert "shuffled" in shuffled.describe()
+        assert "naive" in naive.describe()
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            StarlingParams(block_size=0)

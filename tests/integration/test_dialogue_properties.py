@@ -1,0 +1,95 @@
+"""Property-based dialogue tests: invariants hold for any action sequence.
+
+Hypothesis drives random sequences of ask / select / reject / refine against
+a live system and checks the invariants every round must preserve:
+
+* every answer is grounded (citations within the retrieved set);
+* rejected objects never reappear;
+* a refinement never re-returns its own reference object;
+* round indexes stay dense.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+from repro.llm import extract_citations
+
+CONCEPT_QUERIES = (
+    "foggy clouds",
+    "sunny desert",
+    "stormy ocean at night",
+    "misty mountains at dawn",
+    "serene lake",
+)
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("ask"), st.integers(0, len(CONCEPT_QUERIES) - 1)),
+        st.tuples(st.just("select"), st.integers(0, 2)),
+        st.tuples(st.just("reject"), st.integers(0, 2)),
+        st.tuples(st.just("refine"), st.integers(0, len(CONCEPT_QUERIES) - 1)),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def live_system():
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="scenes", size=90, seed=7),
+        weight_learning={"steps": 10, "batch_size": 8, "n_negatives": 4},
+        index_params={"m": 6, "ef_construction": 32},
+        result_count=3,
+    )
+    return MQASystem.from_config(config)
+
+
+class TestDialogueInvariants:
+    @given(script=actions)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_invariants_hold(self, live_system, script):
+        system = live_system
+        system.reset_dialogue()
+        rejected = set()
+        for action, argument in script:
+            session = system.session
+            if action == "ask":
+                answer = system.ask(CONCEPT_QUERIES[argument])
+            elif action == "select":
+                if not session.rounds or argument >= len(session.last_answer.items):
+                    continue
+                system.select(argument)
+                continue
+            elif action == "reject":
+                if not session.rounds or argument >= len(session.last_answer.items):
+                    continue
+                rejected.add(system.reject(argument))
+                continue
+            else:  # refine
+                if (
+                    not session.rounds
+                    or session.rounds[-1].selected_object_id is None
+                ):
+                    continue
+                answer = system.refine("more " + CONCEPT_QUERIES[argument])
+                reference = session.rounds[-2].selected_object_id if len(
+                    session.rounds
+                ) >= 2 else None
+                if reference is not None:
+                    assert reference not in answer.ids
+
+            # invariants after every answer-producing action
+            assert answer.grounded
+            for cited in extract_citations(answer.text):
+                assert cited in answer.ids
+            assert not (set(answer.ids) & rejected)
+            indexes = [r.index for r in session.rounds]
+            assert indexes == list(range(len(indexes)))

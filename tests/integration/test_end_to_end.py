@@ -1,0 +1,96 @@
+"""End-to-end integration: full system flows across configurations."""
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+
+FAST = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+    search_budget=48,
+)
+
+
+class TestConfigurationGrid:
+    @pytest.mark.parametrize("framework", ["mr", "je", "must"])
+    def test_frameworks_end_to_end(self, framework):
+        config = MQAConfig(framework=framework, **FAST)
+        system = MQASystem.from_config(config)
+        answer = system.ask("foggy clouds")
+        assert answer.items
+        system.select(0)
+        refined = system.refine("more similar scenes")
+        assert refined.items
+
+    @pytest.mark.parametrize(
+        "index,params",
+        [
+            ("flat", {}),
+            ("hnsw", {"m": 6, "ef_construction": 32}),
+            ("nsg", {"max_degree": 8, "knn": 16}),
+            ("vamana", {"max_degree": 8, "candidate_pool": 16, "build_budget": 24}),
+            ("nav-must", {"max_degree": 8, "candidate_pool": 16, "build_budget": 24}),
+        ],
+    )
+    def test_indexes_end_to_end(self, index, params):
+        overrides = dict(FAST)
+        overrides["index_params"] = params
+        config = MQAConfig(index=index, **overrides)
+        system = MQASystem.from_config(config)
+        assert system.ask("stormy ocean").items
+
+    @pytest.mark.parametrize("encoder_set", ["clip-joint", "unimodal-strong", "unimodal-basic"])
+    def test_encoder_sets_end_to_end(self, encoder_set):
+        framework = "must" if encoder_set != "clip-joint" else "je"
+        config = MQAConfig(encoder_set=encoder_set, framework=framework, **FAST)
+        system = MQASystem.from_config(config)
+        assert system.ask("foggy clouds").items
+
+    @pytest.mark.parametrize("llm", [None, "template", "markov"])
+    def test_llms_end_to_end(self, llm):
+        config = MQAConfig(llm=llm, **FAST)
+        system = MQASystem.from_config(config)
+        answer = system.ask("misty mountains")
+        assert answer.text
+        if llm:
+            assert answer.llm == llm
+
+    @pytest.mark.parametrize("weight_mode", ["equal", "learned"])
+    def test_weight_modes_end_to_end(self, weight_mode):
+        config = MQAConfig(weight_mode=weight_mode, **FAST)
+        system = MQASystem.from_config(config)
+        assert system.ask("serene lake").items
+
+
+class TestDomains:
+    @pytest.mark.parametrize("domain", ["fashion", "food", "products", "movies"])
+    def test_other_domains(self, domain):
+        overrides = dict(FAST)
+        overrides["dataset"] = DatasetSpec(domain=domain, size=80, seed=3)
+        system = MQASystem.from_config(MQAConfig(**overrides))
+        vocabulary = system.kb.space.names
+        answer = system.ask(f"show me {vocabulary[0]} {vocabulary[5]}")
+        assert answer.items
+
+
+class TestAnswerQuality:
+    def test_retrieved_items_relevant(self):
+        config = MQAConfig(**FAST)
+        system = MQASystem.from_config(config)
+        answer = system.ask("foggy clouds", k=5)
+        hits = sum(
+            1
+            for object_id in answer.ids
+            if {"foggy", "clouds"} & set(system.kb.get(object_id).concepts)
+        )
+        assert hits >= 3
+
+    def test_answer_cites_only_retrieved(self):
+        from repro.llm import extract_citations
+
+        system = MQASystem.from_config(MQAConfig(**FAST))
+        answer = system.ask("stormy night")
+        for cited in extract_citations(answer.text):
+            assert cited in answer.ids

@@ -1,0 +1,58 @@
+"""Integration: live knowledge ingestion reaches retrieval without rebuild."""
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+from repro.errors import CoordinatorError
+
+FAST = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture(params=["must", "mr", "je"])
+def system(request):
+    return MQASystem.from_config(MQAConfig(framework=request.param, **FAST))
+
+
+class TestIngestion:
+    def test_new_object_becomes_retrievable(self, system):
+        kb_size_before = len(system.kb)
+        new_id = system.ingest(["foggy", "rainbow"], metadata={"source": "user"})
+        assert new_id == kb_size_before
+        assert len(system.kb) == kb_size_before + 1
+
+        answer = system.ask("foggy rainbow", k=5)
+        assert new_id in answer.ids
+
+    def test_multiple_ingestions_keep_dense_ids(self, system):
+        start = len(system.kb)
+        ids = [system.ingest(["stars", "night"]) for _ in range(3)]
+        assert ids == [start, start + 1, start + 2]
+
+    def test_ingested_metadata_stored(self, system):
+        new_id = system.ingest(["sunset", "ocean"], metadata={"source": "crawler"})
+        assert system.kb.get(new_id).metadata["source"] == "crawler"
+
+    def test_ingest_event_recorded(self, system):
+        system.ingest(["misty", "valley"])
+        kinds = system.coordinator.events.kinds()
+        assert "ingest" in kinds
+
+
+class TestIngestionErrors:
+    def test_llm_only_mode_rejects_ingest(self):
+        system = MQASystem.from_config(
+            MQAConfig(external_knowledge=False, **FAST)
+        )
+        with pytest.raises(CoordinatorError, match="LLM-only"):
+            system.ingest(["foggy"])
+
+    def test_unknown_concept_rejected(self, system):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            system.ingest(["not-a-concept"])

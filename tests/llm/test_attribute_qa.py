@@ -1,0 +1,97 @@
+"""Tests for grounded attribute QA."""
+
+import pytest
+
+from repro.llm import AttributeQALLM, ContextItem, PromptBuilder, build_llm
+
+
+@pytest.fixture()
+def builder():
+    return PromptBuilder()
+
+
+def cheese_context():
+    return [
+        ContextItem(object_id=0, description="moldy french cheese creamy", score=0.1),
+        ContextItem(object_id=1, description="fresh swiss cheese hard", score=0.2),
+        ContextItem(object_id=2, description="moldy italian cheese", score=0.3),
+    ]
+
+
+class TestWhichQuestions:
+    def test_single_attribute(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("which of these are moldy?", context=cheese_context())
+        result = llm.generate(request)
+        assert result.cited_object_ids == (0, 2)
+        assert "#0" in result.text and "#2" in result.text
+        assert result.grounded
+        assert result.model == "attribute-qa"
+
+    def test_multi_word_attribute(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build(
+            "which of these are moldy french?", context=cheese_context()
+        )
+        result = llm.generate(request)
+        assert result.cited_object_ids == (0,)
+
+    def test_no_match(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("which of these are spanish?", context=cheese_context())
+        result = llm.generate(request)
+        assert result.cited_object_ids == ()
+        assert "None" in result.text
+
+
+class TestCountQuestions:
+    def test_count(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("how many are moldy?", context=cheese_context())
+        result = llm.generate(request)
+        assert result.text.startswith("2 ")
+        assert result.cited_object_ids == (0, 2)
+
+    def test_count_zero(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("how many are dutch?", context=cheese_context())
+        result = llm.generate(request)
+        assert result.text.startswith("0 ")
+
+
+class TestFallback:
+    def test_plain_request_delegates(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("find me cheese", context=cheese_context())
+        result = llm.generate(request)
+        assert result.model == "template"
+
+    def test_question_without_context_delegates(self, builder):
+        llm = AttributeQALLM()
+        request = builder.build("which of these are moldy?")
+        result = llm.generate(request)
+        assert result.model == "template"
+        assert not result.grounded
+
+    def test_registry(self):
+        assert isinstance(build_llm("attribute-qa"), AttributeQALLM)
+
+
+class TestSystemIntegration:
+    def test_attribute_question_in_dialogue(self):
+        from repro.core import MQAConfig, MQASystem
+        from repro.data import DatasetSpec
+
+        config = MQAConfig(
+            dataset=DatasetSpec(domain="food", size=120, seed=5),
+            weight_learning={"steps": 10, "batch_size": 8, "n_negatives": 4},
+            index_params={"m": 6, "ef_construction": 32},
+            llm="attribute-qa",
+        )
+        system = MQASystem.from_config(config)
+        system.ask("moldy cheese")
+        answer = system.ask("which of these are moldy?")
+        assert answer.grounded
+        assert answer.llm in ("attribute-qa", "template")
+        for cited in answer.ids:
+            assert cited in answer.ids

@@ -1,0 +1,59 @@
+"""Tests for the generative-image baseline (the DALL·E 2 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.llm import GenerativeImageModel
+
+
+@pytest.fixture(scope="module")
+def model(scenes_kb):
+    return GenerativeImageModel(scenes_kb, hallucination_rate=2, fidelity=0.75, seed=0)
+
+
+class TestGeneration:
+    def test_image_shape_matches_world(self, model, scenes_kb):
+        generated = model.generate("foggy clouds")
+        spec = scenes_kb.render_model.image.spec
+        assert generated.image.shape == (spec.height, spec.width)
+
+    def test_on_topic(self, model, scenes_kb):
+        generated = model.generate("foggy clouds")
+        target = scenes_kb.space.compose(["foggy", "clouds"])
+        assert generated.latent @ target > 0.5
+
+    def test_never_grounded(self, model):
+        assert model.generate("foggy clouds").grounded_object_id is None
+
+    def test_records_hallucinations(self, model):
+        generated = model.generate("foggy clouds")
+        assert len(generated.hallucinated_concepts) == 2
+        assert set(generated.recognised_concepts) == {"foggy", "clouds"}
+        assert not set(generated.hallucinated_concepts) & {"foggy", "clouds"}
+
+    def test_deterministic_per_round(self, model):
+        a = model.generate("foggy clouds", round_index=1)
+        b = model.generate("foggy clouds", round_index=1)
+        np.testing.assert_array_equal(a.image, b.image)
+
+    def test_rounds_differ(self, model):
+        a = model.generate("foggy clouds", round_index=1)
+        b = model.generate("foggy clouds", round_index=2)
+        assert not np.array_equal(a.image, b.image)
+
+    def test_unrecognised_text_rejected(self, model):
+        with pytest.raises(GenerationError):
+            model.generate("xyzzy plugh")
+
+    def test_full_fidelity_no_hallucination_influence(self, scenes_kb):
+        model = GenerativeImageModel(scenes_kb, hallucination_rate=0, fidelity=1.0)
+        generated = model.generate("foggy clouds")
+        target = scenes_kb.space.compose(["foggy", "clouds"])
+        assert generated.latent @ target > 0.999
+
+    def test_validation(self, scenes_kb):
+        with pytest.raises(GenerationError):
+            GenerativeImageModel(scenes_kb, hallucination_rate=-1)
+        with pytest.raises(GenerationError):
+            GenerativeImageModel(scenes_kb, fidelity=0.0)

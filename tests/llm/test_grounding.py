@@ -1,0 +1,48 @@
+"""Tests for the grounding checker."""
+
+import pytest
+
+from repro.errors import GroundingError
+from repro.llm import check_grounding, extract_citations
+from repro.llm.base import GenerationResult
+
+
+class TestExtractCitations:
+    def test_finds_all(self):
+        assert extract_citations("see #3 and #17, not #x") == [3, 17]
+
+    def test_empty(self):
+        assert extract_citations("no citations here") == []
+
+
+class TestCheckGrounding:
+    def test_grounded_passes(self):
+        result = GenerationResult(text="best is #1", cited_object_ids=(1,))
+        assert check_grounding(result, [1, 2, 3])
+
+    def test_stray_citation_in_text_caught(self):
+        result = GenerationResult(text="best is #99", cited_object_ids=(1,))
+        with pytest.raises(GroundingError, match="#99"):
+            check_grounding(result, [1, 2])
+
+    def test_stray_cited_id_caught(self):
+        result = GenerationResult(text="fine", cited_object_ids=(5,))
+        with pytest.raises(GroundingError):
+            check_grounding(result, [1])
+
+    def test_non_strict_returns_false(self):
+        result = GenerationResult(text="best is #99")
+        assert not check_grounding(result, [1], strict=False)
+
+    def test_honest_ignorance_passes(self):
+        result = GenerationResult(
+            text="I cannot point to any verified item.",
+            cited_object_ids=(),
+            grounded=False,
+        )
+        assert check_grounding(result, [])
+
+    def test_empty_allowed_set_with_citation_fails(self):
+        result = GenerationResult(text="see #1", cited_object_ids=(1,))
+        with pytest.raises(GroundingError):
+            check_grounding(result, [])

@@ -1,0 +1,37 @@
+"""Tests for the LLM registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm import MarkovLLM, TemplateLLM, available_llms, build_llm, register_llm
+
+
+class TestLlmRegistry:
+    def test_builtins(self):
+        assert {"template", "markov"} <= set(available_llms())
+
+    def test_build_types(self):
+        assert isinstance(build_llm("template"), TemplateLLM)
+        assert isinstance(build_llm("markov"), MarkovLLM)
+
+    def test_params_forwarded(self):
+        llm = build_llm("markov", {"max_words": 15, "seed": 3})
+        assert llm.max_words == 15
+        assert llm.seed == 3
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            build_llm("gpt-4")
+
+    def test_custom(self):
+        register_llm("test-llm", lambda p: TemplateLLM())
+        try:
+            assert isinstance(build_llm("test-llm"), TemplateLLM)
+        finally:
+            from repro.llm import registry
+
+            del registry._REGISTRY["test-llm"]
+
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            register_llm("", lambda p: TemplateLLM())

@@ -1,0 +1,60 @@
+"""Tests for the Markov LLM and its temperature knob."""
+
+import pytest
+
+from repro.llm import ContextItem, MarkovLLM, PromptBuilder
+
+
+@pytest.fixture()
+def builder():
+    return PromptBuilder()
+
+
+def context():
+    return [
+        ContextItem(object_id=4, description="foggy clouds over the lake", score=0.1)
+    ]
+
+
+class TestMarkov:
+    def test_deterministic_for_same_inputs(self, builder):
+        llm = MarkovLLM(seed=1)
+        request = builder.build("find scenes", context=context())
+        assert llm.generate(request, 0.8).text == llm.generate(request, 0.8).text
+
+    def test_zero_temperature_is_argmax(self, builder):
+        llm = MarkovLLM(seed=1)
+        request = builder.build("find scenes", context=context())
+        a = llm.generate(request, temperature=0.0).text
+        b = llm.generate(request, temperature=0.0).text
+        assert a == b
+
+    def test_high_temperature_changes_output(self, builder):
+        llm = MarkovLLM(seed=1)
+        request = builder.build("find scenes", context=context())
+        cold = llm.generate(request, temperature=0.0).text
+        hot_variants = {
+            llm.generate(request, temperature=t).text for t in (0.5, 1.0, 1.5)
+        }
+        assert hot_variants != {cold}
+
+    def test_cites_context(self, builder):
+        llm = MarkovLLM(seed=1)
+        result = llm.generate(builder.build("q", context=context()))
+        assert 4 in result.cited_object_ids
+        assert "#4" in result.text
+
+    def test_no_context_is_ungrounded(self, builder):
+        llm = MarkovLLM(seed=1)
+        result = llm.generate(builder.build("q"))
+        assert not result.grounded
+
+    def test_word_budget_respected(self, builder):
+        llm = MarkovLLM(seed=1, max_words=10)
+        result = llm.generate(builder.build("q", context=context()), 1.0)
+        body = result.text.split(". ", 1)[-1]
+        assert len(body.split()) <= 12
+
+    def test_bad_max_words(self):
+        with pytest.raises(ValueError):
+            MarkovLLM(max_words=2)

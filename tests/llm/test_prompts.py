@@ -1,0 +1,60 @@
+"""Tests for prompt assembly."""
+
+import pytest
+
+from repro.llm import ContextItem, PromptBuilder
+from repro.llm.prompts import DialogueTurn
+
+
+@pytest.fixture()
+def builder():
+    return PromptBuilder(max_context_items=3, max_history_turns=2)
+
+
+def items(count):
+    return [
+        ContextItem(object_id=i, description=f"item {i}", score=0.1 * i)
+        for i in range(count)
+    ]
+
+
+class TestBuild:
+    def test_trims_context(self, builder):
+        request = builder.build("query", context=items(10))
+        assert len(request.context) == 3
+
+    def test_trims_history_keeps_recent(self, builder):
+        history = [DialogueTurn(f"u{i}", f"s{i}") for i in range(5)]
+        request = builder.build("query", history=history)
+        assert [turn.user_text for turn in request.history] == ["u3", "u4"]
+
+    def test_had_image_flag(self, builder):
+        assert builder.build("q", had_image=True).had_image
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PromptBuilder(max_context_items=0)
+        with pytest.raises(ValueError):
+            PromptBuilder(max_history_turns=-1)
+
+
+class TestRenderText:
+    def test_contains_sections(self, builder):
+        request = builder.build(
+            "find cheese",
+            context=[
+                ContextItem(object_id=7, description="moldy cheese", score=0.2, preferred=True)
+            ],
+            history=[DialogueTurn("hello", "hi")],
+            had_image=True,
+        )
+        text = PromptBuilder.render_text(request)
+        assert "[system]" in text
+        assert "object #7" in text
+        assert "(user preferred)" in text
+        assert "[image attached]" in text
+        assert "[user] hello" in text
+
+    def test_no_context_notes_absence(self, builder):
+        text = PromptBuilder.render_text(builder.build("q"))
+        assert "no knowledge base" in text

@@ -1,0 +1,99 @@
+"""Tests for LLM-guided query rewriting."""
+
+import pytest
+
+from repro.llm import QueryRewriter
+
+
+@pytest.fixture(scope="module")
+def rewriter(scenes_kb):
+    return QueryRewriter(scenes_kb.space)
+
+
+class TestRewrite:
+    def test_vague_query_gains_history_concepts(self, rewriter):
+        rewritten = rewriter.rewrite(
+            "more like this one please",
+            history_texts=["show me foggy clouds"],
+        )
+        assert "foggy" in rewritten
+        assert "clouds" in rewritten
+        assert rewritten.startswith("more like this one please")
+
+    def test_specific_query_untouched(self, rewriter):
+        text = "stormy ocean at dusk"
+        assert rewriter.rewrite(text, history_texts=["foggy clouds"]) == text
+
+    def test_selected_descriptions_outrank_history(self, scenes_kb):
+        rewriter = QueryRewriter(scenes_kb.space, max_carried=1)
+        rewritten = rewriter.rewrite(
+            "more please",
+            history_texts=["show me sunny desert"],
+            selected_descriptions=["a photo of foggy mountains"],
+        )
+        carried = rewritten[len("more please") :]
+        assert "foggy" in carried or "mountains" in carried
+        assert "sunny" not in carried
+
+    def test_recent_history_wins(self, scenes_kb):
+        rewriter = QueryRewriter(scenes_kb.space, max_carried=2)
+        rewritten = rewriter.rewrite(
+            "more",
+            history_texts=["sunny desert please", "actually foggy mountains"],
+        )
+        assert "foggy" in rewritten
+
+    def test_no_duplicates(self, rewriter):
+        rewritten = rewriter.rewrite(
+            "more foggy stuff",
+            history_texts=["foggy clouds", "foggy mountains"],
+        )
+        assert rewritten.split().count("foggy") == 1
+
+    def test_max_carried_respected(self, scenes_kb):
+        rewriter = QueryRewriter(scenes_kb.space, max_carried=2)
+        rewritten = rewriter.rewrite(
+            "more",
+            history_texts=["foggy clouds mountains sunset stars"],
+        )
+        added = rewritten[len("more") :].split()
+        assert len(added) <= 2
+
+    def test_no_history_no_change(self, rewriter):
+        assert rewriter.rewrite("more please") == "more please"
+
+    def test_validation(self, scenes_kb):
+        with pytest.raises(ValueError):
+            QueryRewriter(scenes_kb.space, max_carried=-1)
+        with pytest.raises(ValueError):
+            QueryRewriter(scenes_kb.space, min_query_concepts=-1)
+
+
+class TestSystemIntegration:
+    def test_rewriting_improves_vague_refinement(self, scenes_kb):
+        from repro.core import MQAConfig, MQASystem
+        from tests.core.conftest import fast_config
+
+        def run(query_rewriting: bool):
+            config = fast_config(query_rewriting=query_rewriting)
+            system = MQASystem.from_knowledge_base(scenes_kb, config)
+            system.ask("i would like foggy clouds")
+            selected = system.select(0)
+            answer = system.refine("more please")
+            target = scenes_kb.space.compose(["foggy", "clouds"])
+            latents = scenes_kb.latent_matrix()
+            return sum(float(latents[i] @ target) for i in answer.ids) / len(answer.ids)
+
+        assert run(True) >= run(False)
+
+    def test_rewrite_event_recorded(self, scenes_kb):
+        from repro.core import MQASystem
+        from tests.core.conftest import fast_config
+
+        system = MQASystem.from_knowledge_base(
+            scenes_kb, fast_config(query_rewriting=True)
+        )
+        system.ask("foggy clouds please")
+        system.select(0)
+        system.refine("more please")
+        assert "rewritten-query" in system.coordinator.events.kinds()

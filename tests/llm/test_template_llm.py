@@ -1,0 +1,76 @@
+"""Tests for the template LLM."""
+
+import pytest
+
+from repro.llm import ContextItem, PromptBuilder, TemplateLLM
+
+
+@pytest.fixture()
+def llm():
+    return TemplateLLM(seed=0)
+
+
+@pytest.fixture()
+def builder():
+    return PromptBuilder()
+
+
+def context(count=3, preferred=()):
+    return [
+        ContextItem(
+            object_id=i,
+            description=f"thing {i}",
+            score=0.1 * i,
+            preferred=i in preferred,
+        )
+        for i in range(count)
+    ]
+
+
+class TestGrounded:
+    def test_cites_top_result(self, llm, builder):
+        request = builder.build("find things", context=context())
+        result = llm.generate(request)
+        assert "#0" in result.text
+        assert result.grounded
+        assert 0 in result.cited_object_ids
+
+    def test_mentions_alternatives(self, llm, builder):
+        request = builder.build("find things", context=context(4))
+        result = llm.generate(request)
+        assert "#1" in result.text
+
+    def test_preference_markers(self, llm, builder):
+        request = builder.build("more", context=context(3, preferred={1}))
+        result = llm.generate(request)
+        assert "Preference markers" in result.text
+
+    def test_image_acknowledged(self, llm, builder):
+        request = builder.build("more", context=context(), had_image=True)
+        assert "image" in llm.generate(request).text
+
+    def test_deterministic_at_zero_temperature(self, llm, builder):
+        request = builder.build("find things", context=context())
+        assert llm.generate(request).text == llm.generate(request).text
+
+    def test_temperature_varies_phrasing(self, builder):
+        llm = TemplateLLM(seed=0)
+        request_a = builder.build("find things alpha", context=context())
+        request_b = builder.build("find things beta", context=context())
+        texts = {
+            llm.generate(request_a, temperature=1.5).text,
+            llm.generate(request_b, temperature=1.5).text,
+        }
+        assert len(texts) == 2
+
+    def test_bad_temperature(self, llm, builder):
+        with pytest.raises(ValueError):
+            llm.generate(builder.build("q", context=context()), temperature=3.0)
+
+
+class TestParametricFallback:
+    def test_no_context_flags_ungrounded(self, llm, builder):
+        result = llm.generate(builder.build("tell me about cheese"))
+        assert not result.grounded
+        assert result.cited_object_ids == ()
+        assert "parametric" in result.text

@@ -1,0 +1,42 @@
+"""Tests for pipeline node reports and statuses."""
+
+import pytest
+
+from repro.pipeline import DagPipeline, NodeReport, NodeStatus
+
+
+class TestNodeReport:
+    def test_defaults(self):
+        report = NodeReport(name="x")
+        assert report.status is NodeStatus.PENDING
+        assert report.elapsed == 0.0
+        assert report.error is None
+
+    def test_statuses_are_strings(self):
+        assert NodeStatus.DONE.value == "done"
+        assert NodeStatus.FAILED.value == "failed"
+
+    def test_failed_report_carries_error(self):
+        pipeline = DagPipeline("p")
+        pipeline.add_node("ok", lambda ctx: 1)
+        pipeline.add_node("boom", lambda ctx: 1 / 0, depends_on=["ok"])
+        pipeline.add_node("after", lambda ctx: 2, depends_on=["boom"])
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError) as exc_info:
+            pipeline.run()
+        assert "ZeroDivisionError" in str(exc_info.value)
+        assert "boom" in str(exc_info.value)
+
+    def test_skipped_nodes_never_execute(self):
+        executed = []
+        pipeline = DagPipeline("p")
+        pipeline.add_node("boom", lambda ctx: 1 / 0)
+        pipeline.add_node(
+            "after", lambda ctx: executed.append("after"), depends_on=["boom"]
+        )
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            pipeline.run()
+        assert executed == []

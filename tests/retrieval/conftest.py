@@ -1,0 +1,40 @@
+"""Retrieval-test fixtures: frameworks set up once over the scenes base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import build_index
+from repro.retrieval import (
+    JointEmbeddingRetrieval,
+    MultiStreamedRetrieval,
+    MustRetrieval,
+)
+
+FAST_HNSW = {"m": 6, "ef_construction": 32}
+
+
+@pytest.fixture(scope="package")
+def index_builder():
+    return lambda: build_index("hnsw", FAST_HNSW)
+
+
+@pytest.fixture(scope="package")
+def mr(scenes_kb, clip_set, index_builder):
+    framework = MultiStreamedRetrieval()
+    framework.setup(scenes_kb, clip_set, index_builder)
+    return framework
+
+
+@pytest.fixture(scope="package")
+def je(scenes_kb, clip_set, index_builder):
+    framework = JointEmbeddingRetrieval()
+    framework.setup(scenes_kb, clip_set, index_builder)
+    return framework
+
+
+@pytest.fixture(scope="package")
+def must(scenes_kb, clip_set, index_builder):
+    framework = MustRetrieval()
+    framework.setup(scenes_kb, clip_set, index_builder, weights={"text": 0.8, "image": 1.2})
+    return framework

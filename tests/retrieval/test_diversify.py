@@ -1,0 +1,72 @@
+"""Tests for MMR result diversification."""
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.errors import RetrievalError
+from repro.retrieval import RetrievalResponse, RetrievedItem, diversify
+
+
+def make_response(ids, scores):
+    return RetrievalResponse(
+        framework="must",
+        items=[
+            RetrievedItem(object_id=i, score=s, rank=rank)
+            for rank, (i, s) in enumerate(zip(ids, scores))
+        ],
+    )
+
+
+@pytest.fixture()
+def clustered_vectors():
+    """Two tight clusters: ids 0-2 near e1, ids 3-5 near e2."""
+    base = np.zeros((6, 8))
+    base[0:3, 0] = 1.0
+    base[3:6, 1] = 1.0
+    rng = np.random.default_rng(0)
+    return base + 0.01 * rng.standard_normal((6, 8))
+
+
+class TestDiversify:
+    def test_pure_relevance_keeps_order(self, clustered_vectors):
+        response = make_response([0, 1, 2, 3], [0.1, 0.2, 0.3, 0.4])
+        result = diversify(
+            response, clustered_vectors, SingleVectorKernel(8), k=3, trade_off=0.0
+        )
+        assert result.ids == [0, 1, 2]
+
+    def test_diversity_breaks_up_cluster(self, clustered_vectors):
+        # Top three are near-duplicates (cluster A); item 3 is cluster B.
+        response = make_response([0, 1, 2, 3], [0.10, 0.11, 0.12, 0.40])
+        result = diversify(
+            response, clustered_vectors, SingleVectorKernel(8), k=2, trade_off=0.8
+        )
+        assert result.ids[0] == 0  # most relevant still first
+        assert result.ids[1] == 3  # novelty beats the near-duplicates
+
+    def test_k_truncates(self, clustered_vectors):
+        response = make_response([0, 1, 2], [0.1, 0.2, 0.3])
+        result = diversify(response, clustered_vectors, SingleVectorKernel(8), k=2)
+        assert len(result.items) == 2
+
+    def test_ranks_rewritten(self, clustered_vectors):
+        response = make_response([0, 1, 2, 3], [0.1, 0.2, 0.3, 0.4])
+        result = diversify(
+            response, clustered_vectors, SingleVectorKernel(8), k=4, trade_off=0.5
+        )
+        assert [item.rank for item in result.items] == [0, 1, 2, 3]
+
+    def test_empty_response_passthrough(self, clustered_vectors):
+        response = RetrievalResponse(framework="must", items=[])
+        result = diversify(response, clustered_vectors, SingleVectorKernel(8), k=3)
+        assert result.items == []
+
+    def test_validation(self, clustered_vectors):
+        response = make_response([0], [0.1])
+        with pytest.raises(RetrievalError):
+            diversify(response, clustered_vectors, SingleVectorKernel(8), k=0)
+        with pytest.raises(RetrievalError):
+            diversify(
+                response, clustered_vectors, SingleVectorKernel(8), k=1, trade_off=1.5
+            )

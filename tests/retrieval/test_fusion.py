@@ -1,0 +1,126 @@
+"""Tests for rank-fusion strategies."""
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.retrieval import FusionStrategy, fuse_rankings
+
+RANKINGS = [[1, 2, 3], [2, 1, 4]]
+DISTANCES = [[0.1, 0.2, 0.3], [0.05, 0.15, 0.4]]
+
+
+class TestRRF:
+    def test_consensus_wins(self):
+        fused = fuse_rankings(RANKINGS, DISTANCES, k=4, strategy=FusionStrategy.RRF)
+        ids = [object_id for object_id, _ in fused]
+        # 1 and 2 appear in both rankings; 3 and 4 in one each.
+        assert set(ids[:2]) == {1, 2}
+
+    def test_scores_ascending(self):
+        fused = fuse_rankings(RANKINGS, DISTANCES, k=4)
+        scores = [score for _, score in fused]
+        assert scores == sorted(scores)
+
+    def test_k_truncates(self):
+        assert len(fuse_rankings(RANKINGS, DISTANCES, k=2)) == 2
+
+    def test_deterministic_tie_break(self):
+        a = fuse_rankings([[1], [2]], [[0.1], [0.1]], k=2)
+        b = fuse_rankings([[1], [2]], [[0.1], [0.1]], k=2)
+        assert a == b
+
+
+class TestCombsum:
+    def test_normalises_per_stream(self):
+        # Stream scales differ wildly; combsum must not let stream 2 dominate.
+        rankings = [[1, 2], [1, 2]]
+        distances = [[0.01, 0.02], [100.0, 200.0]]
+        fused = fuse_rankings(
+            rankings, distances, k=2, strategy=FusionStrategy.COMBSUM
+        )
+        assert fused[0][0] == 1
+
+    def test_single_item_stream(self):
+        fused = fuse_rankings(
+            [[5]], [[0.3]], k=1, strategy=FusionStrategy.COMBSUM
+        )
+        assert fused[0][0] == 5
+
+
+class TestRoundRobin:
+    def test_interleaves(self):
+        fused = fuse_rankings(
+            [[1, 3], [2, 4]], [[0, 0], [0, 0]], k=4, strategy=FusionStrategy.ROUND_ROBIN
+        )
+        assert [object_id for object_id, _ in fused] == [1, 2, 3, 4]
+
+    def test_deduplicates(self):
+        fused = fuse_rankings(
+            [[1, 2], [1, 3]], [[0, 0], [0, 0]], k=4, strategy=FusionStrategy.ROUND_ROBIN
+        )
+        ids = [object_id for object_id, _ in fused]
+        assert ids == [1, 2, 3]
+
+    def test_stops_when_exhausted(self):
+        fused = fuse_rankings(
+            [[1]], [[0.0]], k=10, strategy=FusionStrategy.ROUND_ROBIN
+        )
+        assert len(fused) == 1
+
+
+class TestStreamWeights:
+    def test_zero_weight_silences_stream(self):
+        fused = fuse_rankings(
+            [[1, 2], [3, 4]],
+            [[0.1, 0.2], [0.1, 0.2]],
+            k=4,
+            stream_weights=[1.0, 0.0],
+        )
+        assert [object_id for object_id, _ in fused] == [1, 2]
+
+    def test_weight_shifts_consensus(self):
+        rankings = [[1, 2], [2, 1]]
+        distances = [[0.1, 0.2], [0.1, 0.2]]
+        favour_first = fuse_rankings(
+            rankings, distances, k=2, stream_weights=[3.0, 1.0]
+        )
+        favour_second = fuse_rankings(
+            rankings, distances, k=2, stream_weights=[1.0, 3.0]
+        )
+        assert favour_first[0][0] == 1
+        assert favour_second[0][0] == 2
+
+    def test_combsum_weighted(self):
+        fused = fuse_rankings(
+            [[1], [2]],
+            [[0.1], [0.1]],
+            k=2,
+            strategy=FusionStrategy.COMBSUM,
+            stream_weights=[0.5, 2.0],
+        )
+        assert fused[0][0] == 2
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(RetrievalError, match="stream weights"):
+            fuse_rankings([[1]], [[0.1]], k=1, stream_weights=[1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RetrievalError, match="non-negative"):
+            fuse_rankings([[1]], [[0.1]], k=1, stream_weights=[-1.0])
+
+
+class TestValidation:
+    def test_empty_rankings(self):
+        with pytest.raises(RetrievalError):
+            fuse_rankings([], [], k=1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(RetrievalError):
+            fuse_rankings([[1]], [], k=1)
+
+    def test_parse_unknown_strategy(self):
+        with pytest.raises(RetrievalError):
+            FusionStrategy.parse("borda")
+
+    def test_parse_string(self):
+        assert FusionStrategy.parse("combsum") is FusionStrategy.COMBSUM

@@ -1,0 +1,101 @@
+"""Tests for the backend API layer (the Flask stand-in)."""
+
+import pytest
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server import ApiServer
+
+FAST_CONFIG_KWARGS = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture(scope="module")
+def applied_server(scenes_kb):
+    server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+    response = server.handle("POST", "/apply")
+    assert response["ok"]
+    return server
+
+
+class TestRouting:
+    def test_unknown_route(self, applied_server):
+        response = applied_server.handle("GET", "/nope")
+        assert not response["ok"]
+        assert "no route" in response["error"]
+
+    def test_options(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        response = server.handle("GET", "/options")
+        assert response["ok"]
+        assert "must" in response["options"]["framework"]
+
+    def test_configure_then_apply(self, scenes_kb):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+        response = server.handle(
+            "POST", "/configure", {"option": "framework", "value": "je"}
+        )
+        assert response["ok"]
+        response = server.handle("POST", "/apply")
+        assert response["ok"]
+        assert response["summary"]["framework"] == "je"
+
+    def test_configure_bad_value_is_error_response(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        response = server.handle(
+            "POST", "/configure", {"option": "framework", "value": "bogus"}
+        )
+        assert not response["ok"]
+
+    def test_missing_field(self, applied_server):
+        response = applied_server.handle("POST", "/configure", {"option": "framework"})
+        assert not response["ok"]
+        assert "value" in response["error"]
+
+    def test_endpoints_require_apply(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        for method, path in (("GET", "/status"), ("POST", "/query"), ("GET", "/events")):
+            response = server.handle(method, path, {"text": "x"})
+            assert not response["ok"]
+            assert "apply" in response["error"]
+
+
+class TestDialogueFlow:
+    def test_query_select_refine(self, applied_server):
+        response = applied_server.handle("POST", "/query", {"text": "foggy clouds"})
+        assert response["ok"]
+        answer = response["answer"]
+        assert answer["items"] and answer["grounded"]
+
+        response = applied_server.handle("POST", "/select", {"rank": 0})
+        assert response["ok"]
+        selected = response["selected_object_id"]
+
+        response = applied_server.handle("POST", "/refine", {"text": "more like this"})
+        assert response["ok"]
+        refined_ids = [item["object_id"] for item in response["answer"]["items"]]
+        assert selected not in refined_ids
+
+        response = applied_server.handle("GET", "/transcript")
+        assert "foggy clouds" in response["transcript"]
+
+    def test_query_with_reference_object(self, applied_server):
+        response = applied_server.handle(
+            "POST", "/query", {"text": "stars", "reference_object_id": 3}
+        )
+        assert response["ok"]
+
+    def test_status_and_weights(self, applied_server):
+        status = applied_server.handle("GET", "/status")
+        assert status["ok"]
+        assert any(m["name"] == "index construction" for m in status["milestones"])
+        weights = applied_server.handle("GET", "/weights")
+        assert set(weights["weights"]) == {"text", "image"}
+
+    def test_events_flow(self, applied_server):
+        response = applied_server.handle("GET", "/events")
+        kinds = [event["kind"] for event in response["events"]]
+        assert kinds[:5] == ["configuration", "knowledge-base", "objects", "vectors", "llm"]

@@ -1,0 +1,45 @@
+"""Tests for the /ingest endpoint."""
+
+import pytest
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server import ApiServer
+
+FAST = dict(
+    dataset=DatasetSpec(domain="scenes", size=80, seed=7),
+    weight_learning={"steps": 10, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture()
+def server():
+    api = ApiServer(MQAConfig(**FAST))
+    assert api.handle("POST", "/apply")["ok"]
+    return api
+
+
+class TestIngestEndpoint:
+    def test_ingest_then_retrieve(self, server):
+        response = server.handle(
+            "POST", "/ingest",
+            {"concepts": ["foggy", "rainbow"], "metadata": {"source": "api"}},
+        )
+        assert response["ok"]
+        new_id = response["object_id"]
+        answer = server.handle("POST", "/query", {"text": "foggy rainbow"})["answer"]
+        assert new_id in [item["object_id"] for item in answer["items"]]
+
+    def test_missing_concepts_rejected(self, server):
+        response = server.handle("POST", "/ingest", {})
+        assert not response["ok"]
+
+    def test_empty_concepts_rejected(self, server):
+        response = server.handle("POST", "/ingest", {"concepts": []})
+        assert not response["ok"]
+
+    def test_unknown_concept_is_error_response(self, server):
+        response = server.handle("POST", "/ingest", {"concepts": ["warp-drive"]})
+        assert not response["ok"]
+        assert "unknown concept" in response["error"]

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_server, print_answer
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.domain == "scenes"
+        assert args.framework == "must"
+        assert args.ask is None
+
+    def test_domain_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--domain", "galaxies"])
+
+    def test_one_shot_flag(self):
+        args = build_parser().parse_args(["--ask", "moldy cheese", "--llm", "none"])
+        assert args.ask == "moldy cheese"
+        assert args.llm == "none"
+
+
+class TestOneShot:
+    def test_ask_roundtrip(self, capsys):
+        exit_code = main(
+            [
+                "--domain",
+                "food",
+                "--size",
+                "80",
+                "--ask",
+                "moldy cheese",
+                "--index",
+                "flat",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mqa :" in captured.out
+        assert "#" in captured.out
+
+    def test_no_llm_mode(self, capsys):
+        exit_code = main(
+            [
+                "--domain",
+                "food",
+                "--size",
+                "80",
+                "--llm",
+                "none",
+                "--ask",
+                "fresh bread",
+                "--index",
+                "flat",
+            ]
+        )
+        assert exit_code == 0
+        assert "Top results" in capsys.readouterr().out
+
+
+class TestShell:
+    def test_scripted_session(self, monkeypatch, capsys):
+        lines = iter(
+            [
+                "foggy clouds",
+                "/select 0",
+                "/refine more like this",
+                "/status",
+                "/weights",
+                "/transcript",
+                "/events",
+                "/quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        exit_code = main(["--domain", "scenes", "--size", "80", "--index", "flat"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "selected #" in captured.out
+        assert "status monitoring" in captured.out
+        assert "frontend -> coordinator" in captured.out

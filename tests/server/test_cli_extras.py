@@ -1,0 +1,51 @@
+"""Tests for the CLI's extra shell commands (/reject, /ingest, /show)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import ascii_image, main
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        art = ascii_image(np.zeros((4, 4)))
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 8 for line in lines)  # doubled width
+
+    def test_contrast_mapped(self):
+        grid = np.array([[0.0, 1.0]])
+        art = ascii_image(grid)
+        assert art[0] == " "   # darkest
+        assert art[-1] == "@"  # brightest
+
+    def test_constant_image_safe(self):
+        art = ascii_image(np.ones((2, 2)))
+        assert len(art.splitlines()) == 2
+
+
+class TestShellExtras:
+    def test_reject_ingest_show_flow(self, monkeypatch, capsys):
+        lines = iter(
+            [
+                "foggy clouds",
+                "/reject 0",
+                "foggy clouds",
+                "/ingest foggy rainbow",
+                "/show 0",
+                "/quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        exit_code = main(["--domain", "scenes", "--size", "80", "--index", "flat"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "rejected #" in captured.out
+        assert "ingested as #" in captured.out
+        assert "caption:" in captured.out
+
+    def test_show_usage_hint(self, monkeypatch, capsys):
+        lines = iter(["/show", "/quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        main(["--domain", "scenes", "--size", "80", "--index", "flat"])
+        assert "usage: /show" in capsys.readouterr().out

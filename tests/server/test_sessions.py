@@ -1,0 +1,80 @@
+"""Tests for multi-session dialogue and the reject endpoint."""
+
+import pytest
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server import ApiServer
+
+FAST = dict(
+    dataset=DatasetSpec(domain="scenes", size=80, seed=7),
+    weight_learning={"steps": 10, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture()
+def server():
+    api = ApiServer(MQAConfig(**FAST))
+    assert api.handle("POST", "/apply")["ok"]
+    return api
+
+
+class TestMultiSession:
+    def test_sessions_are_independent(self, server):
+        response = server.handle("POST", "/session/new")
+        assert response["ok"]
+        second = response["session"]
+        assert second == 1
+
+        server.handle("POST", "/query", {"text": "foggy clouds"})
+        server.handle("POST", "/query", {"text": "sunny desert", "session": second})
+
+        transcript0 = server.handle("GET", "/transcript")["transcript"]
+        transcript1 = server.handle("GET", "/transcript", {"session": second})["transcript"]
+        assert "foggy clouds" in transcript0
+        assert "foggy clouds" not in transcript1
+        assert "sunny desert" in transcript1
+
+    def test_sessions_share_index(self, server):
+        second = server.handle("POST", "/session/new")["session"]
+        a = server.handle("POST", "/query", {"text": "foggy clouds"})["answer"]
+        b = server.handle(
+            "POST", "/query", {"text": "foggy clouds", "session": second}
+        )["answer"]
+        assert [i["object_id"] for i in a["items"]] == [
+            i["object_id"] for i in b["items"]
+        ]
+
+    def test_unknown_session_rejected(self, server):
+        response = server.handle("POST", "/query", {"text": "x", "session": 42})
+        assert not response["ok"]
+        assert "unknown session" in response["error"]
+
+    def test_select_refine_per_session(self, server):
+        second = server.handle("POST", "/session/new")["session"]
+        server.handle("POST", "/query", {"text": "foggy clouds", "session": second})
+        assert server.handle("POST", "/select", {"rank": 0, "session": second})["ok"]
+        refined = server.handle(
+            "POST", "/refine", {"text": "more like this", "session": second}
+        )
+        assert refined["ok"]
+        # session 0 has no rounds; refine there must fail cleanly
+        response = server.handle("POST", "/refine", {"text": "more"})
+        assert not response["ok"]
+
+
+class TestRejectEndpoint:
+    def test_reject_excludes_from_followups(self, server):
+        answer = server.handle("POST", "/query", {"text": "foggy clouds"})["answer"]
+        top = answer["items"][0]["object_id"]
+        response = server.handle("POST", "/reject", {"rank": 0})
+        assert response["ok"]
+        assert response["rejected_object_id"] == top
+        follow_up = server.handle("POST", "/query", {"text": "foggy clouds"})["answer"]
+        assert top not in [item["object_id"] for item in follow_up["items"]]
+
+    def test_reject_bad_rank(self, server):
+        server.handle("POST", "/query", {"text": "foggy clouds"})
+        response = server.handle("POST", "/reject", {"rank": 99})
+        assert not response["ok"]

@@ -1,0 +1,55 @@
+"""Tests for the experiment-results digest."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import collect_results, render_digest, write_digest
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "e3.txt").write_text("E3: index comparison\nrow one\nrow two\n")
+    (directory / "fig5.txt").write_text("FIG5: frameworks\ncontent\n")
+    (directory / "extra.txt").write_text("EXTRA: custom\nstuff\n")
+    return directory
+
+
+class TestDigest:
+    def test_collect_order(self, results_dir):
+        names = [path.stem for path in collect_results(results_dir)]
+        assert names == ["fig5", "e3", "extra"]
+
+    def test_render_contains_all_tables(self, results_dir):
+        digest = render_digest(results_dir)
+        assert digest.startswith("# Experiment results digest")
+        assert "## FIG5: frameworks" in digest
+        assert "## E3: index comparison" in digest
+        assert "row one" in digest
+
+    def test_empty_dir_message(self, tmp_path):
+        assert "No experiment results" in render_digest(tmp_path / "missing")
+
+    def test_write_digest(self, results_dir, tmp_path):
+        output = write_digest(results_dir, tmp_path / "digest.md")
+        assert output.exists()
+        assert "FIG5" in output.read_text()
+
+    def test_main_prints(self, capsys):
+        from repro.reporting import main
+
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "digest" in out or "No experiment results" in out
+
+
+class TestTravelDomain:
+    def test_travel_generates(self):
+        from repro.data import DOMAINS, DatasetSpec, generate_knowledge_base
+
+        assert "travel" in DOMAINS
+        kb = generate_knowledge_base(DatasetSpec(domain="travel", size=30, seed=2))
+        assert len(kb) == 30
+        assert kb.ground_truth_for_concepts(["beach", "tropical"], 5)

@@ -1,0 +1,45 @@
+"""Tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import derive_rng, rng_from_seed, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_different_parts_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_accepts_arbitrary_objects(self):
+        assert stable_hash(("x", 2), [1, 2]) == stable_hash(("x", 2), [1, 2])
+
+    def test_result_fits_64_bits(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+
+class TestDeriveRng:
+    def test_same_scope_same_stream(self):
+        a = derive_rng(5, "text", 3).standard_normal(4)
+        b = derive_rng(5, "text", 3).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_scope_different_stream(self):
+        a = derive_rng(5, "text", 3).standard_normal(4)
+        b = derive_rng(5, "image", 3).standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = derive_rng(5, "text").standard_normal(4)
+        b = derive_rng(6, "text").standard_normal(4)
+        assert not np.allclose(a, b)
+
+
+class TestRngFromSeed:
+    def test_reproducible(self):
+        assert rng_from_seed(9).integers(1000) == rng_from_seed(9).integers(1000)

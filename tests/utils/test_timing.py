@@ -1,0 +1,30 @@
+"""Tests for the Timer helper."""
+
+import time
+
+from repro.utils import Timer
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_manual_start_stop(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        elapsed = timer.stop()
+        assert elapsed == timer.elapsed
+        assert elapsed > 0
+
+    def test_restart_resets(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        timer.stop()
+        first = timer.elapsed
+        timer.start()
+        second = timer.stop()
+        assert second < first + 0.1

@@ -1,0 +1,45 @@
+"""Tests for fixed/equal weight helpers."""
+
+import pytest
+
+from repro.data import Modality
+from repro.errors import ConfigurationError
+from repro.weights import equal_weights, fixed_weights
+
+MODALITIES = (Modality.TEXT, Modality.IMAGE)
+
+
+class TestEqualWeights:
+    def test_all_ones(self):
+        weights = equal_weights(MODALITIES)
+        assert weights == {Modality.TEXT: 1.0, Modality.IMAGE: 1.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equal_weights(())
+
+
+class TestFixedWeights:
+    def test_valid(self):
+        weights = fixed_weights(MODALITIES, {"text": 0.4, "image": 1.6})
+        assert weights[Modality.TEXT] == 0.4
+
+    def test_missing_modality_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            fixed_weights(MODALITIES, {"text": 1.0})
+
+    def test_extra_modality_rejected(self):
+        with pytest.raises(ConfigurationError, match="unconfigured"):
+            fixed_weights(MODALITIES, {"text": 1.0, "image": 1.0, "audio": 1.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_weights(MODALITIES, {"text": -1.0, "image": 1.0})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_weights(MODALITIES, {"text": 0.0, "image": 0.0})
+
+    def test_order_follows_modalities(self):
+        weights = fixed_weights(MODALITIES, {"image": 2.0, "text": 1.0})
+        assert list(weights) == [Modality.TEXT, Modality.IMAGE]

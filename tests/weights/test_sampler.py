@@ -1,0 +1,60 @@
+"""Tests for the contrastive view-pair sampler."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSpec, Modality, generate_knowledge_base
+from repro.errors import DataError
+from repro.weights import ViewPairSampler
+
+
+@pytest.fixture(scope="module")
+def sampler(scenes_kb, uni_set):
+    return ViewPairSampler(scenes_kb, uni_set, n_negatives=4, seed=0)
+
+
+class TestSampling:
+    def test_batch_shapes(self, sampler):
+        batch = sampler.sample(8, step=0)
+        assert batch.size == 8
+        for modality in (Modality.TEXT, Modality.IMAGE):
+            assert batch.positive[modality].shape == (8,)
+            assert batch.negative[modality].shape == (8, 4)
+
+    def test_deterministic_per_step(self, sampler):
+        a = sampler.sample(4, step=3)
+        b = sampler.sample(4, step=3)
+        np.testing.assert_array_equal(
+            a.positive[Modality.TEXT], b.positive[Modality.TEXT]
+        )
+
+    def test_steps_differ(self, sampler):
+        a = sampler.sample(4, step=0)
+        b = sampler.sample(4, step=1)
+        assert not np.allclose(a.positive[Modality.TEXT], b.positive[Modality.TEXT])
+
+    def test_positives_tighter_than_negatives(self, sampler):
+        batch = sampler.sample(32, step=0)
+        for modality in (Modality.TEXT, Modality.IMAGE):
+            assert batch.positive[modality].mean() < batch.negative[modality].mean()
+
+    def test_distances_non_negative(self, sampler):
+        batch = sampler.sample(16, step=0)
+        for modality in batch.positive:
+            assert (batch.positive[modality] >= 0).all()
+            assert (batch.negative[modality] >= 0).all()
+
+
+class TestValidation:
+    def test_tiny_kb_rejected(self, uni_set):
+        kb = generate_knowledge_base(DatasetSpec(domain="scenes", size=1, seed=0))
+        with pytest.raises(DataError):
+            ViewPairSampler(kb, uni_set)
+
+    def test_bad_negatives_rejected(self, scenes_kb, uni_set):
+        with pytest.raises(ValueError):
+            ViewPairSampler(scenes_kb, uni_set, n_negatives=0)
+
+    def test_bad_batch_rejected(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample(0, step=0)
