@@ -1,0 +1,161 @@
+"""PR 1 — observability overhead and amortized HNSW ingestion.
+
+Two claims pinned here:
+
+* **Zero-overhead-when-disabled.**  With tracing off (the default, which
+  is the pre-PR code path) every instrumentation point is a single
+  contextvar read returning a shared no-op singleton.  We measure that
+  per-call cost directly, multiply by the number of spans one query
+  opens, and assert the estimated per-query overhead versus the seed is
+  under 5% — alongside the directly measured noop-vs-traced gap.
+* **Amortized ingestion.**  ``HnswIndex.add`` reallocates its vector
+  buffer O(log n) times for n streamed inserts, not once per insert.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR1.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+from repro.distance import SingleVectorKernel
+from repro.evaluation import ExperimentTable
+from repro.index.hnsw import HnswIndex, HnswParams
+from repro.observability.tracing import trace_span
+from repro.utils import derive_rng
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR1.json"
+
+QUERY_TEXTS = (
+    "foggy clouds over mountains",
+    "a quiet shoreline at dusk",
+    "stars above a desert",
+    "rain on a forest trail",
+    "snow covering rooftops",
+)
+ROUNDS = 6
+CONFIG_KWARGS = dict(
+    dataset=DatasetSpec(domain="scenes", size=300, seed=7),
+    weight_learning={"steps": 15, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 8, "ef_construction": 48},
+    cache_queries=False,
+)
+
+
+@pytest.fixture(scope="module")
+def scenes_kb():
+    from repro.data import generate_knowledge_base
+
+    return generate_knowledge_base(CONFIG_KWARGS["dataset"])
+
+
+def _mean_query_seconds(system, rounds: int = ROUNDS) -> float:
+    # Warm-up pass so encoder caches and code paths are hot.
+    for text in QUERY_TEXTS:
+        system.ask(text)
+        system.reset_dialogue()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for text in QUERY_TEXTS:
+            system.ask(text)
+            system.reset_dialogue()
+    return (time.perf_counter() - start) / (rounds * len(QUERY_TEXTS))
+
+
+def _noop_span_call_seconds(calls: int = 200_000) -> float:
+    """Direct cost of one instrumentation point with no active trace."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        with trace_span("probe", modality="text"):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def test_benchmark_pr1_observability(scenes_kb):
+    noop_system = MQASystem.from_knowledge_base(
+        scenes_kb, MQAConfig(**CONFIG_KWARGS)
+    )
+    traced_system = MQASystem.from_knowledge_base(
+        scenes_kb, MQAConfig(tracing=True, **CONFIG_KWARGS)
+    )
+
+    mean_noop = _mean_query_seconds(noop_system)
+    mean_traced = _mean_query_seconds(traced_system)
+    noop_call = _noop_span_call_seconds()
+
+    # Count the instrumentation points one query exercises.
+    traced_system.ask(QUERY_TEXTS[0])
+    traced_system.reset_dialogue()
+    spans_per_query = len(list(traced_system.coordinator.tracer.last_trace.walk()))
+
+    # Overhead vs the seed: the disabled path adds `spans_per_query`
+    # no-op calls on top of the pre-PR work.
+    estimated_pct = spans_per_query * noop_call / mean_noop * 100.0
+    traced_pct = (mean_traced - mean_noop) / mean_noop * 100.0
+
+    # HNSW streamed ingestion.
+    rng = derive_rng(0, "bench-pr1-ingest")
+    dim, base, streamed = 32, 64, 512
+    vectors = rng.standard_normal((base + streamed, dim))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    index = HnswIndex(HnswParams(m=8, ef_construction=48))
+    index.build(vectors[:base], SingleVectorKernel(dim))
+    start = time.perf_counter()
+    for row in vectors[base:]:
+        index.add(row)
+    insert_seconds = (time.perf_counter() - start) / streamed
+    grow_bound = math.ceil(math.log2((base + streamed) / base)) + 1
+
+    table = ExperimentTable(
+        "PR1: observability overhead (scenes n=300, 5 queries x 6 rounds)",
+        ["metric", "value"],
+    )
+    table.add_row(["mean query ms (tracing off)", round(mean_noop * 1000, 3)])
+    table.add_row(["mean query ms (tracing on)", round(mean_traced * 1000, 3)])
+    table.add_row(["noop span call ns", round(noop_call * 1e9, 1)])
+    table.add_row(["spans per query", spans_per_query])
+    table.add_row(["est. overhead vs seed %", round(estimated_pct, 4)])
+    table.add_row(["measured traced overhead %", round(traced_pct, 2)])
+    table.add_row(["hnsw inserts", streamed])
+    table.add_row(["hnsw buffer grows", index._buffer_grows])
+    table.add_row(["hnsw mean insert ms", round(insert_seconds * 1000, 3)])
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "mean_query_ms_noop": round(mean_noop * 1000, 4),
+                "mean_query_ms_traced": round(mean_traced * 1000, 4),
+                "noop_span_call_ns": round(noop_call * 1e9, 2),
+                "spans_per_query": spans_per_query,
+                "estimated_overhead_vs_seed_pct": round(estimated_pct, 4),
+                "measured_traced_overhead_pct": round(traced_pct, 3),
+                "hnsw_ingestion": {
+                    "inserts": streamed,
+                    "buffer_grows": index._buffer_grows,
+                    "grow_bound": grow_bound,
+                    "mean_insert_ms": round(insert_seconds * 1000, 4),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert estimated_pct < 5.0, (
+        f"no-op tracer adds {estimated_pct:.3f}% per query vs seed"
+    )
+    assert index._buffer_grows <= grow_bound, (
+        f"{index._buffer_grows} reallocations for {streamed} inserts"
+    )

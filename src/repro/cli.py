@@ -50,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ask", default=None, help="one-shot query instead of the shell"
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="capture query traces and print the span tree after each answer",
+    )
     return parser
 
 
@@ -63,6 +67,7 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         llm=None if args.llm == "none" else args.llm,
         result_count=args.k,
         weight_learning={"steps": 30, "batch_size": 16},
+        tracing=getattr(args, "trace", False),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -108,7 +113,30 @@ def print_answer(payload: dict) -> None:
         )
 
 
-def run_shell(server: ApiServer) -> None:
+def format_trace(trace: dict, indent: int = 0) -> str:
+    """Render one exported span tree as an indented text block."""
+    attrs = ", ".join(f"{k}={v}" for k, v in trace.get("attributes", {}).items())
+    line = (
+        "  " * indent
+        + f"{trace['name']} [{trace['duration_ms']:.2f} ms]"
+        + (f" ({attrs})" if attrs else "")
+    )
+    lines = [line]
+    lines.extend(
+        format_trace(child, indent + 1) for child in trace.get("children", ())
+    )
+    return "\n".join(lines)
+
+
+def print_trace(server: ApiServer) -> None:
+    """Print the most recent query's span tree, if tracing captured one."""
+    response = server.handle("GET", "/trace", {"limit": 1})
+    if response.get("ok") and response.get("traces"):
+        print("trace:")
+        print(format_trace(response["traces"][-1], indent=1))
+
+
+def run_shell(server: ApiServer, show_trace: bool = False) -> None:
     """The interactive read-eval loop."""
     print("\ntype a query, /select N, /reject N, /refine TEXT, /show ID,")
     print("/ingest concept1 concept2 ..., /status, /weights, /transcript,")
@@ -179,12 +207,16 @@ def run_shell(server: ApiServer) -> None:
             response = server.handle("POST", "/refine", {"text": text})
             if response["ok"]:
                 print_answer(response["answer"])
+                if show_trace:
+                    print_trace(server)
             else:
                 print("error:", response["error"])
             continue
         response = server.handle("POST", "/query", {"text": line})
         if response["ok"]:
             print_answer(response["answer"])
+            if show_trace:
+                print_trace(server)
         else:
             print("error:", response["error"])
 
@@ -199,8 +231,10 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             print("error:", response["error"], file=sys.stderr)
             return 1
         print_answer(response["answer"])
+        if args.trace:
+            print_trace(server)
         return 0
-    run_shell(server)
+    run_shell(server, show_trace=args.trace)
     return 0
 
 

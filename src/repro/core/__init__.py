@@ -30,5 +30,6 @@ __all__ = [
     "QAPanel",
     "Round",
     "StatusBoard",
+    "StatusPanel",
     "WeightMode",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Optional
 
 from repro.data.datasets import DOMAINS, DatasetSpec
 from repro.errors import ConfigurationError
@@ -59,6 +59,14 @@ class MQAConfig:
             before retrieval (the "retrieval guided by LLM" mechanism).
         cache_queries: Serve repeated queries from an LRU response cache
             (invalidated on ingestion).
+        tracing: Capture a hierarchical span trace (encode /
+            weight-inference / index-search / fusion / generation, with
+            timings and search-work counters) for every query round.  Off
+            by default: the no-op tracer adds no measurable overhead to
+            the serving hot path.  Traces surface through ``GET /trace``,
+            the status panel, and the CLI ``--trace`` flag.
+        trace_capacity: How many finished query traces the tracer retains
+            (oldest evicted first).  Only meaningful with ``tracing``.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -79,6 +87,8 @@ class MQAConfig:
     temperature: float = 0.0
     query_rewriting: bool = False
     cache_queries: bool = True
+    tracing: bool = False
+    trace_capacity: int = 64
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -129,6 +139,10 @@ class MQAConfig:
         if not 0.0 <= self.temperature <= 2.0:
             raise ConfigurationError(
                 f"temperature must be in [0, 2], got {self.temperature}"
+            )
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
     def summary(self) -> Dict[str, str]:

@@ -28,6 +28,7 @@ from repro.data.objects import RawQuery
 from repro.errors import CoordinatorError
 from repro.llm import QueryRewriter, build_llm
 from repro.llm.prompts import DialogueTurn
+from repro.observability import NOOP_TRACER, MetricsRegistry, Tracer, trace_span
 from repro.pipeline import DagPipeline
 from repro.utils import Timer
 
@@ -44,6 +45,12 @@ class Coordinator:
         self._provided_kb = knowledge_base
         self.events = EventLog()
         self.status = StatusBoard()
+        self.metrics = MetricsRegistry()
+        self.tracer = (
+            Tracer(capacity=config.trace_capacity, metrics=self.metrics)
+            if config.tracing
+            else NOOP_TRACER
+        )
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
         self.execution: Optional[QueryExecution] = None
@@ -218,23 +225,50 @@ class Coordinator:
             + (" +image" if had_image else ""),
         )
 
+        with Timer() as round_timer, self.tracer.trace(
+            "query", round=round_index, k=k, had_image=had_image
+        ):
+            answer = self._run_query_round(
+                query, user_text, had_image, history, preferred_ids,
+                round_index, k, weights, exclude_ids, where,
+            )
+        self.metrics.inc("coordinator.queries")
+        self.metrics.observe("coordinator.query_ms", round_timer.elapsed * 1000.0)
+        return answer
+
+    def _run_query_round(
+        self,
+        query: RawQuery,
+        user_text: str,
+        had_image: bool,
+        history: Sequence[DialogueTurn],
+        preferred_ids: Sequence[int],
+        round_index: int,
+        k: int,
+        weights: "Dict[Modality, float] | None",
+        exclude_ids: Sequence[int],
+        where,
+    ) -> Answer:
+        assert self.generation is not None
         if (
             self.config.query_rewriting
             and self.kb is not None
             and user_text
             and (history or preferred_ids)
         ):
-            rewriter = QueryRewriter(self.kb.space)
-            descriptions = []
-            for object_id in preferred_ids:
-                obj = self.kb.get(object_id)
-                if obj.has(Modality.TEXT):
-                    descriptions.append(str(obj.get(Modality.TEXT)))
-            rewritten = rewriter.rewrite(
-                user_text,
-                history_texts=[turn.user_text for turn in history],
-                selected_descriptions=descriptions,
-            )
+            with trace_span("rewrite") as span:
+                rewriter = QueryRewriter(self.kb.space)
+                descriptions = []
+                for object_id in preferred_ids:
+                    obj = self.kb.get(object_id)
+                    if obj.has(Modality.TEXT):
+                        descriptions.append(str(obj.get(Modality.TEXT)))
+                rewritten = rewriter.rewrite(
+                    user_text,
+                    history_texts=[turn.user_text for turn in history],
+                    selected_descriptions=descriptions,
+                )
+                span.set(rewritten=rewritten != user_text)
             if rewritten != user_text:
                 self.events.record(
                     "generation", "execution", "rewritten-query",
@@ -272,7 +306,7 @@ class Coordinator:
             )
 
         self.status.start("answer generation")
-        with Timer() as timer:
+        with Timer() as timer, trace_span("generation") as span:
             answer = self.generation.generate(
                 user_text,
                 response,
@@ -282,6 +316,7 @@ class Coordinator:
                 had_image=had_image,
                 round_index=round_index,
             )
+            span.set(llm=answer.llm or "none", grounded=answer.grounded)
         self.status.finish(
             "answer generation",
             timer.elapsed,

@@ -8,12 +8,15 @@ next round's query.
 
 from __future__ import annotations
 
+import copy
+import inspect
+from dataclasses import replace
 from typing import Optional
 
-from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
 from repro.data.objects import MultiModalObject, RawQuery
 from repro.errors import SearchError
+from repro.observability import trace_span
 from repro.retrieval import RetrievalFramework, RetrievalResponse
 
 
@@ -31,6 +34,25 @@ class QueryExecution:
     def __init__(self, framework: RetrievalFramework, cache=None) -> None:
         self.framework = framework
         self.cache = cache
+        self._capabilities: "set | None" = None
+
+    def _retrieve_capabilities(self) -> set:
+        """Optional keyword arguments the framework's ``retrieve`` accepts.
+
+        Capability is checked by signature inspection *before* calling, so
+        a genuine ``TypeError`` raised inside retrieval propagates instead
+        of being misread as a missing capability.  Computed once per
+        framework and cached.
+        """
+        if self._capabilities is None:
+            parameters = inspect.signature(self.framework.retrieve).parameters
+            if any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+            ):
+                self._capabilities = {"weights", "filter_fn"}
+            else:
+                self._capabilities = set(parameters)
+        return self._capabilities
 
     def execute(
         self,
@@ -54,55 +76,76 @@ class QueryExecution:
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
 
+        capabilities = self._retrieve_capabilities()
+        if weights is not None and "weights" not in capabilities:
+            raise SearchError(
+                f"framework {self.framework.name!r} does not support "
+                "per-query modality weights"
+            )
+        if filter_fn is not None and "filter_fn" not in capabilities:
+            raise SearchError(
+                f"framework {self.framework.name!r} does not support "
+                "filtered retrieval"
+            )
+
         def retrieve(fetch: int) -> RetrievalResponse:
             kwargs = {}
             if weights is not None:
                 kwargs["weights"] = weights
             if filter_fn is not None:
                 kwargs["filter_fn"] = filter_fn
-            try:
-                return self.framework.retrieve(query, k=fetch, budget=budget, **kwargs)
-            except TypeError:
-                raise SearchError(
-                    f"framework {self.framework.name!r} does not support "
-                    f"{'per-query modality weights' if weights is not None else 'filtered retrieval'}"
-                ) from None
+            return self.framework.retrieve(query, k=fetch, budget=budget, **kwargs)
 
-        def run(fetch: int) -> RetrievalResponse:
+        def run(fetch: int, span) -> RetrievalResponse:
             # Cache the raw (pre-exclusion) retrieval; exclusions are
             # applied to a copy so cached entries stay pristine.  Filtered
             # queries bypass the cache (predicates are not hashable).
             if self.cache is None or filter_fn is not None:
+                span.set(cache="bypass")
                 return retrieve(fetch)
             key = self.cache.key_for(query, fetch, budget, weights=weights)
             cached = self.cache.get(key)
             if cached is None:
+                span.set(cache="miss")
                 cached = retrieve(fetch)
                 self.cache.put(key, cached)
+            else:
+                span.set(cache="hit")
+            # Deep-ish copy: ``replace`` preserves every field of
+            # ``RetrievedItem`` subclasses, and stats must not be shared —
+            # a caller merging into ``response.stats`` would otherwise
+            # corrupt the cached entry.
             return RetrievalResponse(
                 framework=cached.framework,
-                items=[
-                    type(item)(
-                        object_id=item.object_id, score=item.score, rank=item.rank
-                    )
-                    for item in cached.items
-                ],
-                stats=cached.stats,
-                per_modality_ids=dict(cached.per_modality_ids),
+                items=[replace(item) for item in cached.items],
+                stats=copy.deepcopy(cached.stats),
+                per_modality_ids={
+                    modality: list(ids)
+                    for modality, ids in cached.per_modality_ids.items()
+                },
             )
 
         excluded = set(exclude_ids)
         reference_id = query.metadata.get("augmented_from")
         if reference_id is not None:
             excluded.add(reference_id)
-        if not excluded:
-            return run(k)
-        response = run(k + len(excluded))
-        response.items = [
-            item for item in response.items if item.object_id not in excluded
-        ][:k]
-        for rank, item in enumerate(response.items):
-            item.rank = rank
+        with trace_span(
+            "retrieval", framework=self.framework.name, k=k, budget=budget
+        ) as span:
+            if not excluded:
+                response = run(k, span)
+            else:
+                response = run(k + len(excluded), span)
+                response.items = [
+                    item for item in response.items if item.object_id not in excluded
+                ][:k]
+                for rank, item in enumerate(response.items):
+                    item.rank = rank
+            span.set(
+                results=len(response.items),
+                hops=response.stats.hops,
+                distance_evaluations=response.stats.distance_evaluations,
+            )
         return response
 
     @staticmethod

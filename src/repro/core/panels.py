@@ -67,6 +67,8 @@ class ConfigurationPanel:
             "fixed_weights",
             "index_params",
             "framework_params",
+            "tracing",
+            "trace_capacity",
         ):
             updates[option] = value
         else:
@@ -88,7 +90,14 @@ class ConfigurationPanel:
 
 
 class StatusPanel:
-    """Panel 2: live view of the backend milestones."""
+    """Panel 2: live view of the backend milestones.
+
+    Args:
+        board: The coordinator's status board.
+        tracer: Optional query tracer; when it holds finished traces the
+            panel appends the most recent query's span tree, giving the
+            per-stage breakdown the milestones can't show.
+    """
 
     TICKS = {
         MilestoneState.PENDING: " ",
@@ -97,8 +106,9 @@ class StatusPanel:
         MilestoneState.FAILED: "✗",
     }
 
-    def __init__(self, board: StatusBoard) -> None:
+    def __init__(self, board: StatusBoard, tracer=None) -> None:
         self.board = board
+        self.tracer = tracer
 
     def render(self) -> str:
         """Multi-line text of ticks + details, the panel's whole content."""
@@ -108,6 +118,12 @@ class StatusPanel:
             detail = ", ".join(f"{k}={v}" for k, v in milestone.details.items())
             elapsed = f" [{milestone.elapsed * 1000:.0f} ms]" if milestone.elapsed else ""
             lines.append(f" [{tick}] {milestone.name}{elapsed}" + (f": {detail}" if detail else ""))
+        last_trace = self.tracer.last_trace if self.tracer is not None else None
+        if last_trace is not None:
+            lines.append("last query trace")
+            lines.extend(
+                " " + line for line in last_trace.render().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -125,9 +141,9 @@ class QAPanel:
         """Click a result card, marking it preferred."""
         return self.session.select(rank)
 
-    def refine(self, text: str):
+    def refine(self, text: str, weights: Optional[dict] = None):
         """Send a follow-up that builds on the clicked result."""
-        return self.session.refine(text)
+        return self.session.refine(text, weights=weights)
 
     def render_transcript(self) -> str:
         """The dialogue box's content as text."""

@@ -14,8 +14,8 @@ is shared, so every domain gets exact ground truth for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 from repro.data.concepts import ConceptSpace
 from repro.data.knowledge_base import KnowledgeBase

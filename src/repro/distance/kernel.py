@@ -8,7 +8,7 @@ searches (MR, JE) and MUST's weighted multi-vector searches with pruning.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

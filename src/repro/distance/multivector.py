@@ -21,7 +21,6 @@ import numpy as np
 from repro.data.modality import Modality
 from repro.distance.kernel import DistanceKernel
 from repro.errors import DimensionMismatchError, EncodingError
-from repro.utils import l2_normalize
 
 
 class MultiVectorSchema:

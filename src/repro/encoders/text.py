@@ -18,7 +18,7 @@ from repro.data.modality import Modality
 from repro.data.rendering import TextRenderer
 from repro.encoders.base import Encoder
 from repro.errors import EncodingError
-from repro.utils import derive_rng, l2_normalize, stable_hash
+from repro.utils import derive_rng, l2_normalize
 
 
 def _token_pseudo_embedding(token: str, dim: int, seed: int) -> np.ndarray:

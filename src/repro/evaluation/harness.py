@@ -8,8 +8,8 @@ experiments and can be diffed between runs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.evaluation.metrics import mean_reciprocal_rank, recall_at_k
 from repro.evaluation.workloads import EvalQuery

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.distance.kernel import DistanceKernel
 from repro.errors import GraphConstructionError, SearchError
-from repro.index.base import SearchResult, SearchStats, VectorIndex
+from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
 from repro.index.search import greedy_search
 from repro.utils import derive_rng
@@ -59,6 +59,9 @@ class HnswIndex(VectorIndex):
         self._entry: int = 0
         self._max_level: int = -1
         self._base_graph: Optional[NavigationGraph] = None
+        self._buffer: Optional[np.ndarray] = None
+        self._count: int = 0
+        self._buffer_grows: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -74,6 +77,11 @@ class HnswIndex(VectorIndex):
             )
         self._vectors = vectors
         self._kernel = kernel
+        # The growth buffer starts as the corpus itself; the first add()
+        # reallocates with doubled capacity (amortized O(1) per insert).
+        self._buffer = vectors
+        self._count = int(vectors.shape[0])
+        self._buffer_grows = 0
         self._layers = []
         self._node_level = []
         self._entry = 0
@@ -214,15 +222,37 @@ class HnswIndex(VectorIndex):
             self._max_level = level
 
     def add(self, vector: np.ndarray) -> int:
-        """Insert one vector (HNSW is naturally incremental)."""
+        """Insert one vector (HNSW is naturally incremental).
+
+        Vectors live in a capacity-doubling growth buffer, so streaming
+        ingestion copies each row O(log n) times overall instead of the
+        O(n²) total copying a per-insert ``vstack`` would cost.
+        ``self.vectors`` stays a view of the first ``n`` rows, which every
+        search path reads through.
+        """
         self._require_built()
+        if self._buffer is None:
+            # Restored from disk (persistence assigns _vectors directly):
+            # adopt the matrix as the initial buffer.
+            self._buffer = self._vectors
+            self._count = int(self._vectors.shape[0])
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
         if vector.shape[1] != self.kernel.dim:
             raise GraphConstructionError(
                 f"vector dim {vector.shape[1]} != kernel dim {self.kernel.dim}"
             )
-        node = self.size
-        self._vectors = np.vstack([self._vectors, vector])
+        node = self._count
+        if node == self._buffer.shape[0]:
+            grown = np.empty(
+                (max(2 * self._buffer.shape[0], 8), self._buffer.shape[1]),
+                dtype=np.float64,
+            )
+            grown[:node] = self._buffer
+            self._buffer = grown
+            self._buffer_grows += 1
+        self._buffer[node] = vector[0]
+        self._count = node + 1
+        self._vectors = self._buffer[: self._count]
         rng = derive_rng(self.params.seed, "hnsw-level-add", node)
         level = int(-np.log(max(rng.random(), 1e-12)) / np.log(self.params.m))
         self._insert(node, level)

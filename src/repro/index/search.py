@@ -18,7 +18,7 @@ Two evaluation modes are supported:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 

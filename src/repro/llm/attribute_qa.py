@@ -11,7 +11,7 @@ derived from context items, its answers always pass the grounding check.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.llm.base import GenerationRequest, GenerationResult, LanguageModel
 from repro.llm.template_llm import TemplateLLM

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 from repro.llm.prompts import ContextItem, DialogueTurn
 

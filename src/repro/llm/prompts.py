@@ -10,8 +10,8 @@ contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,31 @@
+"""End-to-end query observability: tracing spans and aggregate metrics.
+
+Mirrors the demo's status-monitoring panel at query time: a
+:class:`Tracer` captures one hierarchical span tree per query (query →
+encode → weight-inference → index-search → fusion/rerank → generation),
+and a :class:`MetricsRegistry` aggregates counters and p50/p95/p99 latency
+histograms across queries.  Instrumented call sites use
+:func:`trace_span`, which is a no-op unless a tracer is active.
+"""
+
+from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "trace_span",
+]

@@ -1,0 +1,168 @@
+"""Counters and streaming latency histograms.
+
+The :class:`MetricsRegistry` aggregates across queries what a single trace
+shows for one query: monotonically increasing counters plus bounded-memory
+:class:`Histogram` sketches reporting p50/p95/p99.  Histograms use
+reservoir sampling (Vitter's Algorithm R) with a deterministically seeded
+RNG — memory stays fixed no matter how many observations stream in, and
+identical observation sequences always produce identical summaries, so
+tests and benchmark artefacts are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.utils import derive_rng
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Histogram:
+    """Streaming distribution sketch with percentile queries.
+
+    Keeps at most ``reservoir_size`` observations via reservoir sampling;
+    below that watermark every observation is retained, so percentiles are
+    exact for small samples (the tests pin them against numpy).
+
+    Args:
+        name: Registry key (also seeds the replacement RNG, making two
+            histograms with the same name and inputs identical).
+        reservoir_size: Maximum retained observations.
+    """
+
+    def __init__(self, name: str, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._rng = derive_rng(0, "histogram", name)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+            return
+        # Algorithm R: keep each of the n observations with probability
+        # reservoir_size / n by replacing a uniformly random slot.
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.reservoir_size:
+            self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) over the retained sample."""
+        if not self._reservoir:
+            return 0.0
+        return float(np.percentile(np.asarray(self._reservoir), q))
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / min / max / p50 / p95 / p99, all rounded."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "min": round(self.min or 0.0, 3),
+            "max": round(self.max or 0.0, 3),
+            "p50": round(self.percentile(50), 3),
+            "p95": round(self.percentile(95), 3),
+            "p99": round(self.percentile(99), 3),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use.
+
+    One registry lives on each coordinator; the tracer feeds it per-stage
+    latencies and the API layer feeds it per-verb request timings, so
+    ``GET /metrics`` renders one coherent snapshot.
+    """
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        self._reservoir_size = reservoir_size
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created empty on first access)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created empty on first access)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, reservoir_size=self._reservoir_size
+            )
+        return histogram
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter called ``name``."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram called ``name``."""
+        self.histogram(name).observe(value)
+
+    def counter_value(self, name: str) -> float:
+        """Current value of ``name`` (0.0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def histogram_summaries(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Summaries of histograms whose name starts with ``prefix``.
+
+        The prefix is stripped from the returned keys, so
+        ``histogram_summaries("stage_ms.")`` maps stage names directly to
+        their latency summaries.
+        """
+        return {
+            name[len(prefix):]: histogram.summary()
+            for name, histogram in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view: all counters plus all histogram summaries."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

@@ -22,6 +22,7 @@ from repro.distance import SingleVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import VectorIndex
+from repro.observability import trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     RetrievalFramework,
@@ -95,13 +96,21 @@ class JointEmbeddingRetrieval(RetrievalFramework):
         assert self.encoder_set is not None and self._index is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        query_vectors = self.encoder_set.encode_query(query)
-        joint_query = self._fuse(query_vectors)
+        with trace_span("encode"):
+            query_vectors = self.encoder_set.encode_query(query)
+            joint_query = self._fuse(query_vectors)
         filter_fn = self._compose_filter(filter_fn)
-        if filter_fn is not None:
-            outcome = self._index.search(joint_query, k=k, budget=budget, admit=filter_fn)
-        else:
-            outcome = self._index.search(joint_query, k=k, budget=budget)
+        with trace_span("index-search", k=k, budget=budget) as span:
+            if filter_fn is not None:
+                outcome = self._index.search(
+                    joint_query, k=k, budget=budget, admit=filter_fn
+                )
+            else:
+                outcome = self._index.search(joint_query, k=k, budget=budget)
+            span.set(
+                hops=outcome.stats.hops,
+                distance_evaluations=outcome.stats.distance_evaluations,
+            )
         items = [
             RetrievedItem(object_id=object_id, score=distance, rank=rank)
             for rank, (object_id, distance) in enumerate(

@@ -11,7 +11,7 @@ mediocre in every single modality but best overall never surfaces.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
@@ -20,6 +20,7 @@ from repro.distance import SingleVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import SearchStats, VectorIndex
+from repro.observability import trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     RetrievalFramework,
@@ -103,7 +104,8 @@ class MultiStreamedRetrieval(RetrievalFramework):
         assert self.encoder_set is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        query_vectors = self.encoder_set.encode_query_full(query)
+        with trace_span("encode"):
+            query_vectors = self.encoder_set.encode_query_full(query)
         filter_fn = self._compose_filter(filter_fn)
         parsed_weights = None
         if weights is not None:
@@ -120,12 +122,20 @@ class MultiStreamedRetrieval(RetrievalFramework):
                 raise RetrievalError(
                     f"MR has no index for query modality {modality.value!r}"
                 )
-            if filter_fn is not None:
-                outcome = index.search(
-                    vector, k=fetch, budget=max(budget, fetch), admit=filter_fn
+            with trace_span(
+                "index-search", modality=modality.value, k=fetch,
+                budget=max(budget, fetch),
+            ) as span:
+                if filter_fn is not None:
+                    outcome = index.search(
+                        vector, k=fetch, budget=max(budget, fetch), admit=filter_fn
+                    )
+                else:
+                    outcome = index.search(vector, k=fetch, budget=max(budget, fetch))
+                span.set(
+                    hops=outcome.stats.hops,
+                    distance_evaluations=outcome.stats.distance_evaluations,
                 )
-            else:
-                outcome = index.search(vector, k=fetch, budget=max(budget, fetch))
             rankings.append(outcome.ids)
             distances.append(outcome.distances)
             per_modality[modality] = list(outcome.ids)
@@ -136,13 +146,14 @@ class MultiStreamedRetrieval(RetrievalFramework):
             stream_weights = [
                 parsed_weights.get(modality, 1.0) for modality in per_modality
             ]
-        fused = fuse_rankings(
-            rankings,
-            distances,
-            k,
-            strategy=self.fusion,
-            stream_weights=stream_weights,
-        )
+        with trace_span("fusion", strategy=self.fusion.value, streams=len(rankings)):
+            fused = fuse_rankings(
+                rankings,
+                distances,
+                k,
+                strategy=self.fusion,
+                stream_weights=stream_weights,
+            )
         items = [
             RetrievedItem(object_id=object_id, score=score, rank=rank)
             for rank, (object_id, score) in enumerate(fused)

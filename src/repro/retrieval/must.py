@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
@@ -22,6 +21,7 @@ from repro.distance import MultiVectorSchema, WeightedMultiVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import VectorIndex
+from repro.observability import trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     ObjectFilter,
@@ -124,9 +124,13 @@ class MustRetrieval(RetrievalFramework):
         assert self._kernel is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        query_vectors = self.encoder_set.encode_query_full(query)
-        concatenated = self._schema.concat(query_vectors)
-        override = self._kernel.with_weights(weights) if weights is not None else None
+        with trace_span("encode"):
+            query_vectors = self.encoder_set.encode_query_full(query)
+            concatenated = self._schema.concat(query_vectors)
+        override = None
+        if weights is not None:
+            with trace_span("weight-inference", modalities=len(weights)):
+                override = self._kernel.with_weights(weights)
         filter_fn = self._compose_filter(filter_fn)
 
         capabilities = search_capabilities(self._index)
@@ -145,18 +149,26 @@ class MustRetrieval(RetrievalFramework):
         fetch = k
         if rerank or post_filter:
             fetch = max(4 * k, k)
-        outcome = self._index.search(concatenated, k=fetch, budget=budget, **kwargs)
+        with trace_span("index-search", k=fetch, budget=budget) as span:
+            outcome = self._index.search(concatenated, k=fetch, budget=budget, **kwargs)
+            span.set(
+                hops=outcome.stats.hops,
+                distance_evaluations=outcome.stats.distance_evaluations,
+            )
         if post_filter:
             keep = [i for i, object_id in enumerate(outcome.ids) if filter_fn(object_id)]
             outcome.ids = [outcome.ids[i] for i in keep]
             outcome.distances = [outcome.distances[i] for i in keep]
         if rerank and outcome.ids:
-            rescored = override.batch(concatenated, self._index.vectors[outcome.ids])
-            order = sorted(
-                range(len(outcome.ids)), key=lambda i: float(rescored[i])
-            )
-            outcome.ids = [outcome.ids[i] for i in order]
-            outcome.distances = [float(rescored[i]) for i in order]
+            with trace_span("rerank", candidates=len(outcome.ids)):
+                rescored = override.batch(
+                    concatenated, self._index.vectors[outcome.ids]
+                )
+                order = sorted(
+                    range(len(outcome.ids)), key=lambda i: float(rescored[i])
+                )
+                outcome.ids = [outcome.ids[i] for i in order]
+                outcome.distances = [float(rescored[i]) for i in order]
         outcome.ids = outcome.ids[:k]
         outcome.distances = outcome.distances[:k]
 

@@ -18,6 +18,10 @@ Endpoints (mirroring the demo's backend):
 * ``GET  /transcript``         — the QA panel transcript.
 * ``GET  /events``             — the coordinator's event log.
 * ``POST /ingest``             — add a new object to the live system.
+* ``GET  /metrics``            — request counters, latency percentiles,
+  per-stage timings, and cache statistics.
+* ``GET  /trace``              — the last-N query traces as JSON span
+  trees (requires ``tracing`` enabled in the configuration).
 
 Dialogue endpoints accept an optional ``session`` field; all sessions share
 the coordinator (and therefore the index) but keep independent dialogue
@@ -28,6 +32,7 @@ All responses are ``{"ok": True, ...}`` or ``{"ok": False, "error": ...}``.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
@@ -74,8 +79,10 @@ class ApiServer:
             ("POST", "/reject"): self._post_reject,
             ("POST", "/remove"): self._post_remove,
             ("GET", "/metrics"): self._get_metrics,
+            ("GET", "/trace"): self._get_trace,
         }
         self._query_count = 0
+        self._refine_count = 0
         self._query_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -145,7 +152,7 @@ class ApiServer:
         ]
         return {
             "milestones": milestones,
-            "rendered": StatusPanel(coordinator.status).render(),
+            "rendered": StatusPanel(coordinator.status, tracer=coordinator.tracer).render(),
         }
 
     def _get_weights(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -187,6 +194,25 @@ class ApiServer:
             ],
         }
 
+    def _timed_verb(self, coordinator: Coordinator, verb: str, fn: Callable[[], Any]):
+        """Run one dialogue verb, feeding counters and latency histograms.
+
+        Both ``/query`` and ``/refine`` flow through here so ``/metrics``
+        accounts for every dialogue round, not just first questions.
+        """
+        start = time.perf_counter()
+        answer = fn()
+        elapsed = time.perf_counter() - start
+        self._query_seconds += elapsed
+        if verb == "query":
+            self._query_count += 1
+        else:
+            self._refine_count += 1
+        coordinator.metrics.inc(f"api.{verb}")
+        coordinator.metrics.observe("api.request_ms", elapsed * 1000.0)
+        coordinator.metrics.observe(f"api.{verb}_ms", elapsed * 1000.0)
+        return answer
+
     def _post_query(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, qa = self._require_system(body)
         text = self._require_field(body, "text")
@@ -197,12 +223,11 @@ class ApiServer:
             reference = coordinator.get_object(int(body["reference_object_id"]))
             image = reference.get(Modality.IMAGE)
         weights = body.get("weights")
-        import time
-
-        start = time.perf_counter()
-        answer = qa.session.ask(text, image=image, weights=weights)
-        self._query_count += 1
-        self._query_seconds += time.perf_counter() - start
+        answer = self._timed_verb(
+            coordinator,
+            "query",
+            lambda: qa.session.ask(text, image=image, weights=weights),
+        )
         return {"answer": self._answer_payload(answer)}
 
     def _post_select(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -212,9 +237,14 @@ class ApiServer:
         return {"selected_object_id": object_id}
 
     def _post_refine(self, body: Dict[str, Any]) -> Dict[str, Any]:
-        _, qa = self._require_system(body)
+        coordinator, qa = self._require_system(body)
         text = self._require_field(body, "text")
-        answer = qa.refine(text)
+        weights = body.get("weights")
+        answer = self._timed_verb(
+            coordinator,
+            "refine",
+            lambda: qa.session.refine(text, weights=weights),
+        )
         return {"answer": self._answer_payload(answer)}
 
     def _get_transcript(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -231,15 +261,17 @@ class ApiServer:
         coordinator, _ = self._require_system()
         cache = coordinator.execution.cache if coordinator.execution else None
         framework = coordinator.execution.framework if coordinator.execution else None
-        mean_ms = (
-            self._query_seconds / self._query_count * 1000.0
-            if self._query_count
-            else 0.0
-        )
+        rounds = self._query_count + self._refine_count
+        mean_ms = self._query_seconds / rounds * 1000.0 if rounds else 0.0
+        latency = coordinator.metrics.histogram("api.request_ms").summary()
+        stages = coordinator.metrics.histogram_summaries("stage_ms.")
         return {
             "metrics": {
                 "queries": self._query_count,
+                "refines": self._refine_count,
                 "mean_query_ms": round(mean_ms, 3),
+                "latency_ms": latency,
+                "stages": stages,
                 "sessions": len(self._sessions),
                 "kb_objects": len(coordinator.kb) if coordinator.kb else 0,
                 "deleted_objects": len(framework.deleted_ids) if framework else 0,
@@ -250,7 +282,24 @@ class ApiServer:
                     "misses": cache.misses if cache else 0,
                     "hit_rate": round(cache.hit_rate, 3) if cache else 0.0,
                 },
+                "trace": {
+                    "enabled": coordinator.tracer.enabled,
+                    "captured": len(coordinator.tracer.traces),
+                },
             }
+        }
+
+    def _get_trace(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        limit = body.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError):
+                raise ApiError(f"'limit' must be an integer, got {limit!r}")
+        return {
+            "enabled": coordinator.tracer.enabled,
+            "traces": coordinator.tracer.export(limit),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

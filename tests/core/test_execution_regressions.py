@@ -1,0 +1,166 @@
+"""Regression tests for query-execution correctness bugs.
+
+Two bugs fixed in PR 1:
+
+* ``execute`` used to wrap ``framework.retrieve`` in a blanket ``except
+  TypeError``, so a genuine ``TypeError`` raised deep inside retrieval was
+  swallowed and misreported as a capability error.  Capability is now
+  checked by signature inspection before the call.
+* The cache-hit copy rebuilt items with only ``(object_id, score, rank)``
+  (dropping subclass fields) and shared the mutable ``stats`` object with
+  the cached entry, so a caller merging into ``response.stats`` corrupted
+  the cache.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.cache import QueryCache
+from repro.core.execution import QueryExecution
+from repro.data.objects import RawQuery
+from repro.errors import SearchError
+from repro.index.base import SearchStats
+from repro.retrieval.base import (
+    RetrievalFramework,
+    RetrievalResponse,
+    RetrievedItem,
+)
+
+
+@dataclass
+class AnnotatedItem(RetrievedItem):
+    """A RetrievedItem subclass carrying an extra field."""
+
+    provenance: str = "index"
+
+
+class StubFramework(RetrievalFramework):
+    """Minimal framework with controllable retrieve behaviour."""
+
+    name = "stub"
+
+    def __init__(self, items=(), internal_error=None):
+        super().__init__()
+        self._items = list(items)
+        self._internal_error = internal_error
+        self.kb = object()  # mark ready
+        self.calls = 0
+
+    def setup(self, kb, encoder_set, index_builder, weights=None):
+        raise NotImplementedError
+
+    def retrieve(self, query, k, budget=64, weights=None, filter_fn=None):
+        self.calls += 1
+        if self._internal_error is not None:
+            raise self._internal_error
+        return RetrievalResponse(
+            framework=self.name,
+            items=[
+                type(item)(**vars(item))
+                for item in self._items[:k]
+            ],
+            stats=SearchStats(hops=3, distance_evaluations=17),
+        )
+
+
+class WeightlessFramework(StubFramework):
+    """Framework whose retrieve accepts no per-query weights."""
+
+    name = "weightless"
+
+    def retrieve(self, query, k, budget=64, filter_fn=None):  # no weights
+        self.calls += 1
+        return RetrievalResponse(framework=self.name, items=[])
+
+
+class TestTypeErrorPropagation:
+    def test_internal_type_error_propagates(self):
+        # Pre-PR this surfaced as SearchError("...does not support
+        # per-query modality weights"), hiding the real bug.
+        framework = StubFramework(
+            internal_error=TypeError("'NoneType' object is not subscriptable")
+        )
+        execution = QueryExecution(framework)
+        with pytest.raises(TypeError, match="not subscriptable"):
+            execution.execute(
+                RawQuery.from_text("q"), k=3, weights={"text": 1.0}
+            )
+
+    def test_missing_weights_capability_still_rejected(self):
+        framework = WeightlessFramework()
+        execution = QueryExecution(framework)
+        with pytest.raises(SearchError, match="per-query modality weights"):
+            execution.execute(RawQuery.from_text("q"), k=3, weights={"text": 1.0})
+        # Rejected by signature inspection, before any retrieval work ran.
+        assert framework.calls == 0
+
+    def test_missing_filter_capability_rejected(self):
+        class Unfilterable(StubFramework):
+            def retrieve(self, query, k, budget=64):
+                self.calls += 1
+                return RetrievalResponse(framework=self.name, items=[])
+
+        execution = QueryExecution(Unfilterable())
+        with pytest.raises(SearchError, match="filtered retrieval"):
+            execution.execute(
+                RawQuery.from_text("q"), k=3, filter_fn=lambda object_id: True
+            )
+
+    def test_var_keyword_framework_accepts_weights(self):
+        class Kwargs(StubFramework):
+            def retrieve(self, query, k, budget=64, **kwargs):
+                self.calls += 1
+                return RetrievalResponse(framework=self.name, items=[])
+
+        execution = QueryExecution(Kwargs())
+        response = execution.execute(
+            RawQuery.from_text("q"), k=3, weights={"text": 1.0}
+        )
+        assert response.framework == "stub"
+
+
+class TestCacheHitCopy:
+    def _execution(self):
+        items = [
+            AnnotatedItem(object_id=i, score=0.1 * i, rank=i, provenance="graph")
+            for i in range(3)
+        ]
+        framework = StubFramework(items=items)
+        return QueryExecution(framework, cache=QueryCache()), framework
+
+    def test_post_retrieval_stats_merge_does_not_corrupt_cache(self):
+        execution, _ = self._execution()
+        query = RawQuery.from_text("foggy")
+        first = execution.execute(query, k=3)
+        # A caller (e.g. a multi-round aggregator) merges more work into
+        # the response it got back.
+        first.stats.merge(SearchStats(hops=100, distance_evaluations=1000))
+        second = execution.execute(query, k=3)
+        assert second.stats.hops == 3
+        assert second.stats.distance_evaluations == 17
+
+    def test_cached_and_returned_stats_are_distinct_objects(self):
+        execution, _ = self._execution()
+        query = RawQuery.from_text("foggy")
+        execution.execute(query, k=3)
+        hit_a = execution.execute(query, k=3)
+        hit_b = execution.execute(query, k=3)
+        assert hit_a.stats is not hit_b.stats
+
+    def test_subclass_fields_survive_the_cache(self):
+        execution, framework = self._execution()
+        query = RawQuery.from_text("foggy")
+        execution.execute(query, k=3)
+        hit = execution.execute(query, k=3)
+        assert framework.calls == 1  # second call served from cache
+        assert all(isinstance(item, AnnotatedItem) for item in hit.items)
+        assert all(item.provenance == "graph" for item in hit.items)
+
+    def test_mutating_returned_items_leaves_cache_intact(self):
+        execution, _ = self._execution()
+        query = RawQuery.from_text("foggy")
+        first = execution.execute(query, k=3)
+        first.items[0].rank = 999
+        second = execution.execute(query, k=3)
+        assert second.items[0].rank == 0

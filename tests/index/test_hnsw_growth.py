@@ -1,0 +1,70 @@
+"""Regression tests for amortized HNSW ingestion.
+
+``add`` used to ``np.vstack`` the whole matrix on every insert — O(n²)
+total copying for a stream of n inserts.  Vectors now live in a
+capacity-doubling growth buffer; these tests pin the amortized behaviour
+and that search still reads the right rows through the view.
+"""
+
+import math
+
+import numpy as np
+
+from repro.index.hnsw import HnswIndex, HnswParams
+from repro.utils import derive_rng
+
+
+def _built_index(corpus, kernel_factory, size=64):
+    index = HnswIndex(HnswParams(m=6, ef_construction=24))
+    index.build(corpus[:size], kernel_factory())
+    return index
+
+
+class TestGrowthBuffer:
+    def test_buffer_grows_logarithmically(self, corpus, kernel_factory):
+        index = _built_index(corpus, kernel_factory, size=64)
+        added = 200
+        for row in corpus[64 : 64 + added]:
+            index.add(row)
+        # Doubling from 64 to >=264 needs ceil(log2(264/64)) = 3 grows; a
+        # vstack-per-add implementation would reallocate `added` times.
+        assert index._buffer_grows <= math.ceil(math.log2((64 + added) / 64)) + 1
+        assert index._buffer.shape[0] >= 64 + added
+
+    def test_vectors_view_tracks_inserts(self, corpus, kernel_factory):
+        index = _built_index(corpus, kernel_factory, size=64)
+        for row in corpus[64:100]:
+            index.add(row)
+        assert index.vectors.shape[0] == 100
+        np.testing.assert_allclose(index.vectors[:64], corpus[:64])
+        np.testing.assert_allclose(index.vectors[64:100], corpus[64:100])
+
+    def test_added_vectors_are_searchable(self, corpus, kernel_factory):
+        index = _built_index(corpus, kernel_factory, size=64)
+        ids = [index.add(row) for row in corpus[64:120]]
+        assert ids == list(range(64, 120))
+        for node in (70, 100, 119):
+            result = index.search(corpus[node], k=1, budget=48)
+            assert result.ids[0] == node
+
+    def test_interleaved_add_and_search(self, corpus, kernel_factory):
+        index = _built_index(corpus, kernel_factory, size=64)
+        for offset, row in enumerate(corpus[64:96]):
+            node = index.add(row)
+            result = index.search(row, k=1, budget=48)
+            assert result.ids[0] == node
+            assert index.vectors.shape[0] == 65 + offset
+
+    def test_matches_vstack_semantics(self, corpus, kernel_factory):
+        """Same ids, levels and results as rebuilding from scratch."""
+        grown = _built_index(corpus, kernel_factory, size=64)
+        for row in corpus[64:128]:
+            grown.add(row)
+        rng = derive_rng(0, "hnsw-growth-query")
+        query = rng.standard_normal(32)
+        query /= np.linalg.norm(query)
+        reference = np.vstack([corpus[:64], corpus[64:128]])
+        np.testing.assert_allclose(grown.vectors, reference)
+        result = grown.search(query, k=5, budget=64)
+        assert len(result.ids) == 5
+        assert all(0 <= node < 128 for node in result.ids)

@@ -1,0 +1,116 @@
+"""End-to-end span trees for real queries through ``MQASystem.ask``."""
+
+import pytest
+
+from repro.core import MQASystem
+
+from tests.core.conftest import fast_config
+
+
+@pytest.fixture(scope="module")
+def traced_must(scenes_kb):
+    system = MQASystem.from_knowledge_base(
+        scenes_kb, fast_config(tracing=True, cache_queries=False)
+    )
+    return system
+
+
+@pytest.fixture(scope="module")
+def traced_mr(scenes_kb):
+    system = MQASystem.from_knowledge_base(
+        scenes_kb, fast_config(framework="mr", tracing=True, cache_queries=False)
+    )
+    return system
+
+
+class TestMustSpanTree:
+    def test_single_traversal_stages(self, traced_must):
+        answer = traced_must.ask("foggy clouds over mountains")
+        assert answer.items
+        root = traced_must.coordinator.tracer.last_trace
+        assert root.name == "query"
+        retrieval = root.find("retrieval")
+        assert retrieval is not None
+        assert retrieval.attributes["framework"] == "must"
+        assert retrieval.find("encode") is not None
+        # MUST answers with ONE unified traversal — exactly one search span.
+        searches = retrieval.find_all("index-search")
+        assert len(searches) == 1
+        assert root.find("generation") is not None
+        for span in root.walk():
+            assert span.duration >= 0.0
+
+    def test_distance_evaluations_propagate_from_search_stats(self, traced_must):
+        answer = traced_must.ask("a quiet shoreline at dusk")
+        root = traced_must.coordinator.tracer.last_trace
+        search = root.find("index-search")
+        assert search.attributes["distance_evaluations"] > 0
+        assert search.attributes["hops"] > 0
+        # The retrieval span aggregates what the response stats report.
+        retrieval = root.find("retrieval")
+        assert (
+            retrieval.attributes["distance_evaluations"]
+            == answer.search_stats.distance_evaluations
+        )
+        assert retrieval.attributes["hops"] == answer.search_stats.hops
+
+    def test_weight_inference_span_on_per_query_weights(self, traced_must):
+        traced_must.ask("stars", weights={"text": 1.5, "image": 0.5})
+        root = traced_must.coordinator.tracer.last_trace
+        assert root.find("weight-inference") is not None
+
+
+class TestMrSpanTree:
+    def test_per_stream_searches_plus_fusion(self, traced_mr):
+        answer = traced_mr.ask("foggy clouds over mountains")
+        assert answer.items
+        root = traced_mr.coordinator.tracer.last_trace
+        retrieval = root.find("retrieval")
+        assert retrieval.attributes["framework"] == "mr"
+        searches = retrieval.find_all("index-search")
+        # A text-only query searches the text stream; per-stream spans are
+        # labelled with their modality.
+        assert len(searches) >= 1
+        assert all("modality" in span.attributes for span in searches)
+        assert retrieval.find("fusion") is not None
+        assert root.find("generation") is not None
+
+    def test_multimodal_query_searches_every_stream(self, traced_mr, scenes_kb):
+        from repro.data import Modality
+
+        reference = scenes_kb.get(3)
+        traced_mr.ask("stars", image=reference.get(Modality.IMAGE))
+        root = traced_mr.coordinator.tracer.last_trace
+        searches = root.find_all("index-search")
+        assert {span.attributes["modality"] for span in searches} == {
+            "text", "image",
+        }
+        total = sum(span.attributes["distance_evaluations"] for span in searches)
+        retrieval = root.find("retrieval")
+        assert retrieval.attributes["distance_evaluations"] == total
+
+
+class TestCacheAttribution:
+    def test_cache_hit_and_miss_attributed(self, scenes_kb):
+        system = MQASystem.from_knowledge_base(
+            scenes_kb, fast_config(tracing=True)
+        )
+        system.ask("foggy clouds")
+        first = system.coordinator.tracer.last_trace
+        assert first.find("retrieval").attributes["cache"] == "miss"
+        system.reset_dialogue()
+        system.ask("foggy clouds")
+        second = system.coordinator.tracer.last_trace
+        assert second.find("retrieval").attributes["cache"] == "hit"
+        # A cache hit skips the framework entirely: no search spans.
+        assert second.find("index-search") is None
+
+
+class TestNoopDefault:
+    def test_default_config_produces_zero_spans(self, scenes_kb):
+        from repro.observability import NOOP_TRACER
+
+        system = MQASystem.from_knowledge_base(scenes_kb, fast_config())
+        assert system.coordinator.tracer is NOOP_TRACER
+        system.ask("foggy clouds")
+        assert system.coordinator.tracer.traces == []

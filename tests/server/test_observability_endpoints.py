@@ -1,0 +1,142 @@
+"""Tests for the observability endpoints: /trace and the enriched /metrics."""
+
+import json
+
+import pytest
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server import ApiServer
+
+FAST_CONFIG_KWARGS = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture(scope="module")
+def traced_server(scenes_kb):
+    server = ApiServer(
+        MQAConfig(tracing=True, **FAST_CONFIG_KWARGS), knowledge_base=scenes_kb
+    )
+    assert server.handle("POST", "/apply")["ok"]
+    return server
+
+
+class TestTraceEndpoint:
+    def test_round_trip_span_tree(self, traced_server):
+        assert traced_server.handle("POST", "/query", {"text": "foggy clouds"})["ok"]
+        response = traced_server.handle("GET", "/trace")
+        assert response["ok"]
+        assert response["enabled"]
+        # The payload is plain JSON-ready data.
+        traces = json.loads(json.dumps(response["traces"]))
+        assert traces
+        root = traces[-1]
+        assert root["name"] == "query"
+        children = [child["name"] for child in root["children"]]
+        assert "retrieval" in children
+        assert "generation" in children
+        assert root["duration_ms"] >= 0.0
+
+    def test_limit(self, traced_server):
+        for text in ("stars", "shoreline", "mountain pass"):
+            assert traced_server.handle("POST", "/query", {"text": text})["ok"]
+        response = traced_server.handle("GET", "/trace", {"limit": 2})
+        assert len(response["traces"]) == 2
+
+    def test_disabled_by_default(self, scenes_kb):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+        assert server.handle("POST", "/apply")["ok"]
+        assert server.handle("POST", "/query", {"text": "foggy"})["ok"]
+        response = server.handle("GET", "/trace")
+        assert response["ok"]
+        assert not response["enabled"]
+        assert response["traces"] == []
+
+    def test_requires_apply(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        response = server.handle("GET", "/trace")
+        assert not response["ok"]
+
+    def test_malformed_limit_is_error_response(self, traced_server):
+        response = traced_server.handle("GET", "/trace", {"limit": "oops"})
+        assert not response["ok"]
+        assert "limit" in response["error"]
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture(scope="class")
+    def server(self, scenes_kb):
+        server = ApiServer(
+            MQAConfig(tracing=True, **FAST_CONFIG_KWARGS), knowledge_base=scenes_kb
+        )
+        assert server.handle("POST", "/apply")["ok"]
+        assert server.handle("POST", "/query", {"text": "foggy clouds"})["ok"]
+        assert server.handle("POST", "/select", {"rank": 0})["ok"]
+        assert server.handle("POST", "/refine", {"text": "with more snow"})["ok"]
+        return server
+
+    def test_counts_both_dialogue_verbs(self, server):
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        assert metrics["queries"] == 1
+        assert metrics["refines"] == 1
+        assert metrics["mean_query_ms"] > 0.0
+
+    def test_latency_histogram_covers_both_verbs(self, server):
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        latency = metrics["latency_ms"]
+        # One /query plus one /refine.
+        assert latency["count"] == 2
+        assert latency["p50"] > 0.0
+        assert latency["max"] >= latency["min"] > 0.0
+
+    def test_stage_timings_present(self, server):
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        stages = metrics["stages"]
+        assert "retrieval" in stages
+        assert "generation" in stages
+        # Refinement rounds are traced too: two dialogue rounds so far.
+        assert stages["query"]["count"] == 2
+
+    def test_trace_section(self, server):
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        assert metrics["trace"]["enabled"]
+        assert metrics["trace"]["captured"] == 2
+
+    def test_json_round_trip(self, server):
+        metrics = server.handle("GET", "/metrics")["metrics"]
+        assert json.loads(json.dumps(metrics)) == metrics
+
+
+class TestRefineWeights:
+    def test_refine_passes_weights_through(self, scenes_kb):
+        # JE rejects per-query weights; the error surfacing through
+        # /refine proves the field is now plumbed to the session.
+        server = ApiServer(
+            MQAConfig(framework="je", **FAST_CONFIG_KWARGS), knowledge_base=scenes_kb
+        )
+        assert server.handle("POST", "/apply")["ok"]
+        assert server.handle("POST", "/query", {"text": "foggy clouds"})["ok"]
+        assert server.handle("POST", "/select", {"rank": 0})["ok"]
+        response = server.handle(
+            "POST",
+            "/refine",
+            {"text": "with snow", "weights": {"text": 2.0, "image": 0.5}},
+        )
+        assert not response["ok"]
+        assert "per-query" in response["error"]
+
+    def test_refine_with_weights_on_capable_framework(self, scenes_kb):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+        assert server.handle("POST", "/apply")["ok"]
+        assert server.handle("POST", "/query", {"text": "foggy clouds"})["ok"]
+        assert server.handle("POST", "/select", {"rank": 0})["ok"]
+        response = server.handle(
+            "POST",
+            "/refine",
+            {"text": "with snow", "weights": {"text": 2.0, "image": 0.5}},
+        )
+        assert response["ok"]
+        assert response["answer"]["items"]
