@@ -1,0 +1,176 @@
+"""PR 2 — full observability stack overhead and recorder throughput.
+
+Claims pinned here:
+
+* **Disabled path stays free.**  With the recorder, monitoring, and
+  tracing all off (the default), every instrumentation point added by
+  this PR — including the ones now inside beam search, HNSW descent, and
+  graph construction — is a single contextvar read returning the shared
+  no-op span.  The estimated per-query overhead versus the seed must be
+  under 1%.
+* **Enabled path is cheap.**  Tracing + flight recorder + SLO/quality
+  monitoring all on costs under 10% per query, measured directly.
+* **Recorder throughput.**  The JSONL sink sustains thousands of records
+  per second, so it never becomes the serving bottleneck.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR2.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec
+from repro.evaluation import ExperimentTable
+from repro.observability import FlightRecorder
+from repro.observability.tracing import trace_span
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR2.json"
+
+QUERY_TEXTS = (
+    "foggy clouds over mountains",
+    "a quiet shoreline at dusk",
+    "stars above a desert",
+    "rain on a forest trail",
+    "snow covering rooftops",
+)
+ROUNDS = 6
+CONFIG_KWARGS = dict(
+    dataset=DatasetSpec(domain="scenes", size=300, seed=7),
+    weight_learning={"steps": 15, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 8, "ef_construction": 48},
+    cache_queries=False,
+)
+
+
+@pytest.fixture(scope="module")
+def scenes_kb():
+    from repro.data import generate_knowledge_base
+
+    return generate_knowledge_base(CONFIG_KWARGS["dataset"])
+
+
+def _block_seconds(system) -> float:
+    start = time.perf_counter()
+    for text in QUERY_TEXTS:
+        system.ask(text)
+        system.reset_dialogue()
+    return (time.perf_counter() - start) / len(QUERY_TEXTS)
+
+
+def _paired_query_seconds(plain, full, rounds: int = ROUNDS) -> "tuple[float, float]":
+    """Best-of-blocks mean query time for both systems, interleaved.
+
+    Alternating the two systems block by block and keeping each one's
+    fastest block cancels machine noise (page cache, CPU frequency) that
+    would otherwise dwarf the sub-millisecond effect under test.
+    """
+    for system in (plain, full):  # warm-up: hot caches, imported modules
+        _block_seconds(system)
+    best_plain, best_full = float("inf"), float("inf")
+    for _ in range(rounds):
+        best_plain = min(best_plain, _block_seconds(plain))
+        best_full = min(best_full, _block_seconds(full))
+    return best_plain, best_full
+
+
+def _noop_span_call_seconds(calls: int = 200_000) -> float:
+    start = time.perf_counter()
+    for _ in range(calls):
+        with trace_span("probe", k=10):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _recorder_throughput(tmp_path, records: int = 2_000) -> float:
+    """Sustained records/second for a representative flight entry."""
+    recorder = FlightRecorder(tmp_path / "bench-flight.jsonl", config={"bench": True})
+    span_tree = {
+        "name": "query",
+        "duration_ms": 4.2,
+        "attributes": {"round": 0},
+        "children": [
+            {
+                "name": "retrieval",
+                "duration_ms": 3.0,
+                "attributes": {"k": 10},
+                "children": [],
+            }
+        ],
+    }
+    request = {"text": "foggy clouds over mountains", "k": 10, "round_index": 0}
+    start = time.perf_counter()
+    for i in range(records):
+        recorder.record(request, [7, 0, 1, 38, 46], span_tree, answer={"text": "x"})
+    return records / (time.perf_counter() - start)
+
+
+def test_benchmark_pr2_observability(scenes_kb, tmp_path):
+    plain = MQASystem.from_knowledge_base(scenes_kb, MQAConfig(**CONFIG_KWARGS))
+    full = MQASystem.from_knowledge_base(
+        scenes_kb,
+        MQAConfig(
+            tracing=True,
+            recorder_path=str(tmp_path / "flight.jsonl"),
+            monitoring=True,
+            monitor_sample_rate=8,
+            **CONFIG_KWARGS,
+        ),
+    )
+
+    mean_plain, mean_full = _paired_query_seconds(plain, full)
+    noop_call = _noop_span_call_seconds()
+
+    # Instrumentation points one query exercises (tracing gives the count).
+    full.ask(QUERY_TEXTS[0])
+    full.reset_dialogue()
+    spans_per_query = len(list(full.coordinator.tracer.last_trace.walk()))
+
+    estimated_disabled_pct = spans_per_query * noop_call / mean_plain * 100.0
+    measured_enabled_pct = (mean_full - mean_plain) / mean_plain * 100.0
+    throughput = _recorder_throughput(tmp_path)
+
+    table = ExperimentTable(
+        "PR2: full observability overhead (scenes n=300, 5 queries x 6 rounds)",
+        ["metric", "value"],
+    )
+    table.add_row(["mean query ms (all off)", round(mean_plain * 1000, 3)])
+    table.add_row(["mean query ms (trace+record+monitor)", round(mean_full * 1000, 3)])
+    table.add_row(["noop span call ns", round(noop_call * 1e9, 1)])
+    table.add_row(["spans per query", spans_per_query])
+    table.add_row(["est. disabled overhead %", round(estimated_disabled_pct, 4)])
+    table.add_row(["measured enabled overhead %", round(measured_enabled_pct, 2)])
+    table.add_row(["recorder records/s", round(throughput)])
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "mean_query_ms_plain": round(mean_plain * 1000, 4),
+                "mean_query_ms_full_observability": round(mean_full * 1000, 4),
+                "noop_span_call_ns": round(noop_call * 1e9, 2),
+                "spans_per_query": spans_per_query,
+                "estimated_disabled_overhead_pct": round(estimated_disabled_pct, 4),
+                "measured_enabled_overhead_pct": round(measured_enabled_pct, 3),
+                "recorder_records_per_second": round(throughput, 1),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert estimated_disabled_pct < 1.0, (
+        f"disabled instrumentation adds {estimated_disabled_pct:.3f}% per query"
+    )
+    assert measured_enabled_pct < 10.0, (
+        f"full observability adds {measured_enabled_pct:.2f}% per query"
+    )
+    assert throughput > 1_000, f"recorder sustained only {throughput:.0f} records/s"

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro --domain scenes --size 400          # interactive shell
     python -m repro --domain food --ask "moldy cheese"  # one-shot query
+    python -m repro replay flight.jsonl                 # re-execute a recording
+    python -m repro profile flight.jsonl                # aggregate its spans
 
 Inside the shell::
 
@@ -54,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="capture query traces and print the span tree after each answer",
     )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="persist every query to a flight-recorder JSONL file "
+        "(replayable with 'repro replay PATH')",
+    )
+    parser.add_argument(
+        "--monitor", action="store_true",
+        help="enable online SLO + retrieval-quality monitoring (/health)",
+    )
     return parser
 
 
@@ -68,6 +79,8 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         result_count=args.k,
         weight_learning={"steps": 30, "batch_size": 16},
         tracing=getattr(args, "trace", False),
+        recorder_path=getattr(args, "record", None),
+        monitoring=getattr(args, "monitor", False),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -140,7 +153,7 @@ def run_shell(server: ApiServer, show_trace: bool = False) -> None:
     """The interactive read-eval loop."""
     print("\ntype a query, /select N, /reject N, /refine TEXT, /show ID,")
     print("/ingest concept1 concept2 ..., /status, /weights, /transcript,")
-    print("/events, or /quit\n")
+    print("/events, /health, /profile, or /quit\n")
     while True:
         try:
             line = input("> ").strip()
@@ -163,6 +176,31 @@ def run_shell(server: ApiServer, show_trace: bool = False) -> None:
         if line == "/events":
             for event in server.handle("GET", "/events").get("events", []):
                 print(f"  {event['source']} -> {event['target']}: {event['kind']}")
+            continue
+        if line == "/health":
+            response = server.handle("GET", "/health")
+            if not response.get("monitoring"):
+                print("monitoring disabled (start with --monitor)")
+                continue
+            slo = response.get("slo") or {}
+            print(
+                f"state: {response['state']} "
+                f"(p95 {slo.get('window_p95_ms', 0)} ms, "
+                f"errors {slo.get('window_error_rate', 0)})"
+            )
+            quality = response.get("quality")
+            if quality:
+                print(
+                    f"quality: recall@{quality['k']} {quality['mean_recall_at_k']}, "
+                    f"mrr {quality['mean_mrr']} ({quality['sampled']} sampled)"
+                )
+            continue
+        if line == "/profile":
+            response = server.handle("GET", "/profile", {"format": "table"})
+            if response.get("ok"):
+                print(response.get("table", ""))
+            else:
+                print("error:", response.get("error"))
             continue
         if line.startswith("/select"):
             parts = line.split()
@@ -221,8 +259,84 @@ def run_shell(server: ApiServer, show_trace: bool = False) -> None:
             print("error:", response["error"])
 
 
+def run_replay(argv: List[str]) -> int:
+    """``python -m repro replay <trace-file> [--trace-id N]``.
+
+    Re-executes a flight recording against a freshly built system and
+    prints the per-entry diff; exits non-zero when any replayed entry
+    drifted from its recording.
+    """
+    from repro.observability.replay import ReplayError, replay_recording
+
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Deterministically re-execute a flight recording",
+    )
+    parser.add_argument("trace_file", help="flight-recorder JSONL file")
+    parser.add_argument(
+        "--trace-id", type=int, default=None, dest="trace_id",
+        help="replay only this recorded trace id",
+    )
+    args = parser.parse_args(argv)
+    print(f"replaying {args.trace_file} (rebuilding the recorded system)...")
+    try:
+        reports = replay_recording(args.trace_file, trace_id=args.trace_id)
+    except (ReplayError, OSError, ValueError) as exc:
+        print("error:", exc, file=sys.stderr)
+        return 1
+    for report in reports:
+        print(report.render())
+    replayed = [r for r in reports if r.skipped is None]
+    drifted = [r for r in replayed if not r.clean]
+    print(
+        f"{len(replayed)} replayed, {len(reports) - len(replayed)} skipped, "
+        f"{len(drifted)} drifted"
+    )
+    return 1 if drifted else 0
+
+
+def run_profile(argv: List[str]) -> int:
+    """``python -m repro profile <trace-file> [--format table|collapsed]``.
+
+    Folds every span tree of a flight recording into the per-path
+    profile table (or collapsed-stack lines for flamegraph tooling).
+    """
+    from repro.observability import ProfileAggregator, collapse_spans, read_recording
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Aggregate the span trees of a flight recording",
+    )
+    parser.add_argument("trace_file", help="flight-recorder JSONL file")
+    parser.add_argument(
+        "--format", default="table", choices=("table", "collapsed"),
+        help="table = per-path profile, collapsed = flamegraph stacks",
+    )
+    args = parser.parse_args(argv)
+    try:
+        _, entries = read_recording(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print("error:", exc, file=sys.stderr)
+        return 1
+    trees = [e["span_tree"] for e in entries if e.get("span_tree")]
+    if not trees:
+        print(f"{args.trace_file}: no span trees recorded", file=sys.stderr)
+        return 1
+    if args.format == "collapsed":
+        print(collapse_spans(trees), end="")
+    else:
+        print(ProfileAggregator().add_traces(trees).render())
+    return 0
+
+
+SUBCOMMANDS = {"replay": run_replay, "profile": run_profile}
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     server = make_server(args)
     if args.ask is not None:

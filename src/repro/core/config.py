@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.data.datasets import DOMAINS, DatasetSpec
+from repro.data.modality import Modality
 from repro.errors import ConfigurationError
 
 
@@ -67,6 +68,24 @@ class MQAConfig:
             the status panel, and the CLI ``--trace`` flag.
         trace_capacity: How many finished query traces the tracer retains
             (oldest evicted first).  Only meaningful with ``tracing``.
+        recorder_path: Flight-recorder JSONL file; None (the default)
+            disables recording.  A non-None path implies tracing — the
+            recorder persists span trees, so the coordinator activates a
+            tracer even when ``tracing`` is False.
+        recorder_max_bytes: Rotation threshold for the active recorder
+            file.
+        recorder_max_files: Rotated recorder generations kept on disk.
+        monitoring: Master switch for online quality + SLO monitoring
+            (``GET /health``).  Off by default: the serving hot path then
+            pays nothing.
+        monitor_sample_rate: Score every Nth query against the
+            latent-concept ground truth (1 = every query).
+        slo_latency_ms: Rolling-window p95 latency target.
+        slo_error_rate: Rolling-window error-fraction target.
+        slo_window: Requests per SLO rolling window.
+        event_capacity: Ring-buffer size of the coordinator's event log
+            (oldest events evicted first so long dialogue sessions cannot
+            grow memory without bound).
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -89,6 +108,15 @@ class MQAConfig:
     cache_queries: bool = True
     tracing: bool = False
     trace_capacity: int = 64
+    recorder_path: Optional[str] = None
+    recorder_max_bytes: int = 4_000_000
+    recorder_max_files: int = 3
+    monitoring: bool = False
+    monitor_sample_rate: int = 8
+    slo_latency_ms: float = 250.0
+    slo_error_rate: float = 0.05
+    slo_window: int = 64
+    event_capacity: int = 2048
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -144,6 +172,68 @@ class MQAConfig:
             raise ConfigurationError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
+        if self.recorder_max_bytes < 1024:
+            raise ConfigurationError(
+                f"recorder_max_bytes must be >= 1024, got {self.recorder_max_bytes}"
+            )
+        if self.recorder_max_files < 1:
+            raise ConfigurationError(
+                f"recorder_max_files must be >= 1, got {self.recorder_max_files}"
+            )
+        if self.monitor_sample_rate < 1:
+            raise ConfigurationError(
+                f"monitor_sample_rate must be >= 1, got {self.monitor_sample_rate}"
+            )
+        if self.slo_latency_ms <= 0:
+            raise ConfigurationError(
+                f"slo_latency_ms must be positive, got {self.slo_latency_ms}"
+            )
+        if not 0.0 <= self.slo_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"slo_error_rate must be in [0, 1], got {self.slo_error_rate}"
+            )
+        if self.slo_window < 1:
+            raise ConfigurationError(
+                f"slo_window must be >= 1, got {self.slo_window}"
+            )
+        if self.event_capacity < 1:
+            raise ConfigurationError(
+                f"event_capacity must be >= 1, got {self.event_capacity}"
+            )
+
+    # ------------------------------------------------------------------
+    # serialisation (the flight recorder embeds the config so a replay
+    # can rebuild the exact system)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of every field (enums become their values)."""
+        data = asdict(self)
+        data["weight_mode"] = self.weight_mode.value
+        data["dataset"]["modalities"] = [
+            m.value for m in self.dataset.modalities
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MQAConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a recording from a future version
+        should fail loudly, not half-apply).
+        """
+        payload = dict(data)
+        dataset_data = dict(payload.pop("dataset", None) or {})
+        if "modalities" in dataset_data:
+            dataset_data["modalities"] = tuple(
+                Modality.parse(m) for m in dataset_data["modalities"]
+            )
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown configuration keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(dataset=DatasetSpec(**dataset_data), **payload)
 
     def summary(self) -> Dict[str, str]:
         """Flat key -> value view for the status panel."""

@@ -28,7 +28,16 @@ from repro.data.objects import RawQuery
 from repro.errors import CoordinatorError
 from repro.llm import QueryRewriter, build_llm
 from repro.llm.prompts import DialogueTurn
-from repro.observability import NOOP_TRACER, MetricsRegistry, Tracer, trace_span
+from repro.observability import (
+    NOOP_TRACER,
+    FlightRecorder,
+    MetricsRegistry,
+    QualityMonitor,
+    SLOMonitor,
+    SLOTargets,
+    Tracer,
+    trace_span,
+)
 from repro.pipeline import DagPipeline
 from repro.utils import Timer
 
@@ -43,14 +52,38 @@ class Coordinator:
     ) -> None:
         self.config = config
         self._provided_kb = knowledge_base
-        self.events = EventLog()
+        self.events = EventLog(capacity=config.event_capacity)
         self.status = StatusBoard()
         self.metrics = MetricsRegistry()
+        # A flight recorder persists span trees, so it implies tracing even
+        # when the tracing flag itself is off.
         self.tracer = (
             Tracer(capacity=config.trace_capacity, metrics=self.metrics)
-            if config.tracing
+            if config.tracing or config.recorder_path is not None
             else NOOP_TRACER
         )
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(
+                config.recorder_path,
+                config=config.to_dict(),
+                max_bytes=config.recorder_max_bytes,
+                max_files=config.recorder_max_files,
+            )
+            if config.recorder_path is not None
+            else None
+        )
+        self.slo: Optional[SLOMonitor] = (
+            SLOMonitor(
+                SLOTargets(
+                    latency_ms=config.slo_latency_ms,
+                    error_rate=config.slo_error_rate,
+                    window=config.slo_window,
+                )
+            )
+            if config.monitoring
+            else None
+        )
+        self.quality: Optional[QualityMonitor] = None  # needs the kb; see setup()
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
         self.execution: Optional[QueryExecution] = None
@@ -97,6 +130,13 @@ class Coordinator:
         )
         pipeline.add_node("llm", self._run_llm_setup, depends_on=["indexing"])
         pipeline.run({})
+        if self.config.monitoring and self.kb is not None:
+            self.quality = QualityMonitor(
+                self.kb,
+                self.metrics,
+                sample_rate=self.config.monitor_sample_rate,
+                k=self.config.result_count,
+            )
         self._is_setup = True
         return self
 
@@ -161,7 +201,9 @@ class Coordinator:
             return None
         self.status.start(stage)
         component = IndexConstruction()
-        with Timer() as timer:
+        with Timer() as timer, self.tracer.trace(
+            "index-build", index=self.config.index, objects=len(self.kb)
+        ):
             framework = component.run(
                 self.config,
                 self.kb,
@@ -234,7 +276,67 @@ class Coordinator:
             )
         self.metrics.inc("coordinator.queries")
         self.metrics.observe("coordinator.query_ms", round_timer.elapsed * 1000.0)
+        # Recording and quality scoring happen OUTSIDE the trace block: they
+        # must not add spans, or a replayed flight would never match its
+        # recording's span-tree shape.
+        if self.recorder is not None:
+            self._record_flight(
+                query, user_text, had_image, history, preferred_ids,
+                round_index, k, weights, exclude_ids, where, answer,
+            )
+        if self.quality is not None and user_text:
+            self.quality.maybe_score(user_text, answer.ids)
         return answer
+
+    def _record_flight(
+        self,
+        query: RawQuery,
+        user_text: str,
+        had_image: bool,
+        history: Sequence[DialogueTurn],
+        preferred_ids: Sequence[int],
+        round_index: int,
+        k: int,
+        weights: "Dict[Modality, float] | None",
+        exclude_ids: Sequence[int],
+        where,
+        answer: Answer,
+    ) -> None:
+        """Persist one finished round into the flight recorder."""
+        assert self.recorder is not None
+        request: Dict[str, object] = {
+            "text": user_text,
+            "k": k,
+            "round_index": round_index,
+            "preferred_ids": [int(i) for i in preferred_ids],
+            "exclude_ids": [int(i) for i in exclude_ids],
+            "history": [
+                {"user": turn.user_text, "system": turn.system_text}
+                for turn in history
+            ],
+            "metadata": dict(query.metadata),
+        }
+        if had_image:
+            request["image"] = query.get(Modality.IMAGE)
+        if weights is not None:
+            request["weights"] = {
+                (m.value if isinstance(m, Modality) else str(m)): float(w)
+                for m, w in weights.items()
+            }
+        if where is not None:
+            # Predicates are arbitrary callables; replay skips such entries.
+            request["filtered"] = True
+        last = self.tracer.last_trace
+        self.recorder.record(
+            request,
+            result_ids=list(answer.ids),
+            span_tree=last.to_dict() if last is not None else None,
+            answer={
+                "text": answer.text,
+                "grounded": answer.grounded,
+                "llm": answer.llm,
+            },
+        )
 
     def _run_query_round(
         self,

@@ -3,13 +3,21 @@
 Every data transition between components flows through the coordinator
 (the two-way arrows of Figure 2); the event log is its flight recorder —
 the FIG2 experiment asserts the recorded flow matches the architecture.
+
+The log is a *ring buffer*: it retains the newest ``capacity`` events and
+evicts the oldest, so a long-running dialogue session (or a server under
+heavy traffic) holds bounded memory.  ``total_recorded`` keeps counting
+past the cap, and ``dropped`` reports how many events were evicted —
+``GET /events`` surfaces both so a paginating client knows the window it
+is looking at.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Deque, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -32,10 +40,20 @@ class Event:
 
 
 class EventLog:
-    """Append-only record of coordinator-mediated transitions."""
+    """Append-only record of coordinator-mediated transitions.
 
-    def __init__(self) -> None:
-        self._events: List[Event] = []
+    Args:
+        capacity: Newest events retained; older ones are evicted.
+    """
+
+    DEFAULT_CAPACITY = 2048
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"event capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.total_recorded = 0
 
     def record(self, source: str, target: str, kind: str, detail: str = "") -> Event:
         """Append an event and return it."""
@@ -47,7 +65,13 @@ class EventLog:
             detail=detail,
         )
         self._events.append(event)
+        self.total_recorded += 1
         return event
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer so far."""
+        return self.total_recorded - len(self._events)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -56,15 +80,27 @@ class EventLog:
         return iter(self._events)
 
     def events(self) -> Tuple[Event, ...]:
-        """All events in order."""
+        """All retained events in order."""
         return tuple(self._events)
 
+    def page(self, offset: int = 0, limit: "int | None" = None) -> List[Event]:
+        """A slice of the retained events (``GET /events`` pagination).
+
+        ``offset`` counts from the oldest *retained* event; negative
+        offsets and limits are clamped to zero.
+        """
+        events = list(self._events)
+        offset = max(int(offset), 0)
+        if limit is None:
+            return events[offset:]
+        return events[offset : offset + max(int(limit), 0)]
+
     def kinds(self) -> List[str]:
-        """The sequence of event kinds (handy for flow assertions)."""
+        """The sequence of retained event kinds (handy for flow assertions)."""
         return [event.kind for event in self._events]
 
     def involving(self, component: str) -> List[Event]:
-        """Events where ``component`` is source or target."""
+        """Retained events where ``component`` is source or target."""
         return [
             event
             for event in self._events
@@ -72,5 +108,5 @@ class EventLog:
         ]
 
     def clear(self) -> None:
-        """Drop all events."""
+        """Drop all retained events (counters keep their totals)."""
         self._events.clear()

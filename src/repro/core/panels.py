@@ -69,6 +69,15 @@ class ConfigurationPanel:
             "framework_params",
             "tracing",
             "trace_capacity",
+            "recorder_path",
+            "recorder_max_bytes",
+            "recorder_max_files",
+            "monitoring",
+            "monitor_sample_rate",
+            "slo_latency_ms",
+            "slo_error_rate",
+            "slo_window",
+            "event_capacity",
         ):
             updates[option] = value
         else:
@@ -97,6 +106,10 @@ class StatusPanel:
         tracer: Optional query tracer; when it holds finished traces the
             panel appends the most recent query's span tree, giving the
             per-stage breakdown the milestones can't show.
+        slo: Optional :class:`~repro.observability.SLOMonitor`; adds a
+            health line grading latency/errors against targets.
+        quality: Optional :class:`~repro.observability.QualityMonitor`;
+            adds the streaming recall@k / MRR of sampled live queries.
     """
 
     TICKS = {
@@ -106,9 +119,11 @@ class StatusPanel:
         MilestoneState.FAILED: "✗",
     }
 
-    def __init__(self, board: StatusBoard, tracer=None) -> None:
+    def __init__(self, board: StatusBoard, tracer=None, slo=None, quality=None) -> None:
         self.board = board
         self.tracer = tracer
+        self.slo = slo
+        self.quality = quality
 
     def render(self) -> str:
         """Multi-line text of ticks + details, the panel's whole content."""
@@ -118,6 +133,21 @@ class StatusPanel:
             detail = ", ".join(f"{k}={v}" for k, v in milestone.details.items())
             elapsed = f" [{milestone.elapsed * 1000:.0f} ms]" if milestone.elapsed else ""
             lines.append(f" [{tick}] {milestone.name}{elapsed}" + (f": {detail}" if detail else ""))
+        if self.slo is not None:
+            snap = self.slo.snapshot()
+            lines.append(
+                f" health: {snap['state']} "
+                f"(p95 {snap['window_p95_ms']:.1f}/{snap['latency_target_ms']:.0f} ms, "
+                f"errors {snap['window_error_rate']:.1%}/{snap['error_rate_target']:.0%}, "
+                f"window {snap['window_fill']}/{snap['window']})"
+            )
+        if self.quality is not None:
+            snap = self.quality.snapshot()
+            lines.append(
+                f" quality: recall@{snap['k']} {snap['mean_recall_at_k']:.3f}, "
+                f"mrr {snap['mean_mrr']:.3f} "
+                f"({snap['sampled']} scored of {snap['queries_seen']} seen)"
+            )
         last_trace = self.tracer.last_trace if self.tracer is not None else None
         if last_trace is not None:
             lines.append("last query trace")

@@ -20,6 +20,7 @@ from repro.errors import GraphConstructionError, SearchError
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
 from repro.index.search import greedy_search
+from repro.observability import trace_span
 from repro.utils import derive_rng
 
 
@@ -89,9 +90,11 @@ class HnswIndex(VectorIndex):
 
         rng = derive_rng(self.params.seed, "hnsw-levels")
         level_scale = 1.0 / np.log(self.params.m)
-        for node in range(vectors.shape[0]):
-            level = int(-np.log(max(rng.random(), 1e-12)) * level_scale)
-            self._insert(node, level)
+        with trace_span("hnsw-insert", nodes=int(vectors.shape[0])) as span:
+            for node in range(vectors.shape[0]):
+                level = int(-np.log(max(rng.random(), 1e-12)) * level_scale)
+                self._insert(node, level)
+            span.set(layers=self._max_level + 1)
         self._base_graph = None
         self.build_seconds = time.perf_counter() - start
 
@@ -271,8 +274,10 @@ class HnswIndex(VectorIndex):
         query = np.asarray(query, dtype=np.float64)
         base = self.base_graph()
         current = self._entry
-        for layer in range(self._max_level, 0, -1):
-            current = self._greedy_descend(query, current, layer)
+        with trace_span("hnsw-descent", top_layer=self._max_level) as span:
+            for layer in range(self._max_level, 0, -1):
+                current = self._greedy_descend(query, current, layer)
+            span.set(base_entry=int(current))
         return greedy_search(
             base,
             self.vectors,

@@ -21,6 +21,7 @@ from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
 from repro.index.search import greedy_search
 from repro.index.stages import StageFn
+from repro.observability import trace_span
 from repro.pipeline import DagPipeline, NodeReport
 
 
@@ -49,27 +50,44 @@ class GraphPipelineSpec:
         pipeline = DagPipeline(name=f"graph-build:{self.name}")
 
         def run_init(context: Dict[str, Any]) -> NavigationGraph:
-            graph = self.init(context)
+            with trace_span("build-init", algorithm=self.name) as span:
+                graph = self.init(context)
+                span.set(vertices=graph.n_vertices)
             context["graph"] = graph
             return graph
 
         def run_candidates(context: Dict[str, Any]) -> List[List[int]]:
-            candidate_lists = self.candidates(context)
+            with trace_span("build-candidates", algorithm=self.name) as span:
+                candidate_lists = self.candidates(context)
+                span.set(
+                    vertices=len(candidate_lists),
+                    candidate_edges=sum(len(lst) for lst in candidate_lists),
+                )
             context["candidates"] = candidate_lists
             return candidate_lists
 
         def run_selection(context: Dict[str, Any]) -> NavigationGraph:
-            graph = self.selection(context)
+            with trace_span("build-selection", algorithm=self.name) as span:
+                graph = self.selection(context)
+                span.set(
+                    vertices=graph.n_vertices,
+                    avg_degree=round(graph.average_degree, 2),
+                )
             context["graph"] = graph
             return graph
 
         def run_connectivity(context: Dict[str, Any]) -> NavigationGraph:
-            graph = self.connectivity(context)
+            with trace_span("build-connectivity", algorithm=self.name) as span:
+                graph = self.connectivity(context)
+                span.set(vertices=graph.n_vertices)
             context["graph"] = graph
             return graph
 
         def run_entry(context: Dict[str, Any]) -> List[int]:
-            return self.entry(context)
+            with trace_span("build-entry", algorithm=self.name) as span:
+                entry_points = self.entry(context)
+                span.set(entry_points=len(entry_points))
+            return entry_points
 
         pipeline.add_node("init", run_init)
         pipeline.add_node("candidates", run_candidates, depends_on=["init"])

@@ -26,6 +26,7 @@ from repro.distance.kernel import DistanceKernel
 from repro.errors import SearchError
 from repro.index.base import SearchResult, SearchStats
 from repro.index.graph import NavigationGraph
+from repro.observability import trace_span
 
 VisitHook = Callable[[int], None]
 
@@ -92,63 +93,69 @@ def greedy_search(
             if len(results) > budget:
                 heapq.heappop(results)
 
-    unique_starts = []
-    for start in starts:
-        start = int(start)
-        if start not in visited:
-            visited.add(start)
-            unique_starts.append(start)
-            touch(start)
-    start_distances = kernel.batch(query, vectors[unique_starts])
-    stats.distance_evaluations += len(unique_starts)
-    for vertex, distance in zip(unique_starts, start_distances):
-        distance = float(distance)
-        heapq.heappush(candidates, (distance, vertex))
-        heapq.heappush(beam, (-distance, vertex))
-        collect(vertex, distance)
-    while len(beam) > budget:
-        heapq.heappop(beam)
+    with trace_span("beam-search", k=k, budget=budget, pruning=use_pruning) as span:
+        unique_starts = []
+        for start in starts:
+            start = int(start)
+            if start not in visited:
+                visited.add(start)
+                unique_starts.append(start)
+                touch(start)
+        start_distances = kernel.batch(query, vectors[unique_starts])
+        stats.distance_evaluations += len(unique_starts)
+        for vertex, distance in zip(unique_starts, start_distances):
+            distance = float(distance)
+            heapq.heappush(candidates, (distance, vertex))
+            heapq.heappush(beam, (-distance, vertex))
+            collect(vertex, distance)
+        while len(beam) > budget:
+            heapq.heappop(beam)
 
-    while candidates:
-        distance, vertex = heapq.heappop(candidates)
-        worst = -beam[0][0]
-        if distance > worst and len(beam) >= budget:
-            break
-        stats.hops += 1
-        fresh = [n for n in graph.neighbors(vertex) if n not in visited]
-        if not fresh:
-            continue
-        visited.update(fresh)
-        for neighbor in fresh:
-            touch(neighbor)
-
-        worst = -beam[0][0]
-        bound = worst if len(beam) >= budget else np.inf
-        if use_pruning:
+        while candidates:
+            distance, vertex = heapq.heappop(candidates)
+            worst = -beam[0][0]
+            if distance > worst and len(beam) >= budget:
+                break
+            stats.hops += 1
+            fresh = [n for n in graph.neighbors(vertex) if n not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
             for neighbor in fresh:
-                neighbor_distance = kernel.single(query, vectors[neighbor], bound=bound)
-                stats.distance_evaluations += 1
-                if neighbor_distance >= bound:
-                    continue
-                collect(neighbor, float(neighbor_distance))
-                heapq.heappush(candidates, (neighbor_distance, neighbor))
-                heapq.heappush(beam, (-neighbor_distance, neighbor))
-                if len(beam) > budget:
-                    heapq.heappop(beam)
-                bound = -beam[0][0] if len(beam) >= budget else np.inf
-        else:
-            distances = kernel.batch(query, vectors[fresh])
-            stats.distance_evaluations += len(fresh)
-            for neighbor, neighbor_distance in zip(fresh, distances):
-                neighbor_distance = float(neighbor_distance)
-                if results is not None:
-                    collect(neighbor, neighbor_distance)
-                if len(beam) >= budget and neighbor_distance >= -beam[0][0]:
-                    continue
-                heapq.heappush(candidates, (neighbor_distance, neighbor))
-                heapq.heappush(beam, (-neighbor_distance, neighbor))
-                if len(beam) > budget:
-                    heapq.heappop(beam)
+                touch(neighbor)
+
+            worst = -beam[0][0]
+            bound = worst if len(beam) >= budget else np.inf
+            if use_pruning:
+                for neighbor in fresh:
+                    neighbor_distance = kernel.single(query, vectors[neighbor], bound=bound)
+                    stats.distance_evaluations += 1
+                    if neighbor_distance >= bound:
+                        continue
+                    collect(neighbor, float(neighbor_distance))
+                    heapq.heappush(candidates, (neighbor_distance, neighbor))
+                    heapq.heappush(beam, (-neighbor_distance, neighbor))
+                    if len(beam) > budget:
+                        heapq.heappop(beam)
+                    bound = -beam[0][0] if len(beam) >= budget else np.inf
+            else:
+                distances = kernel.batch(query, vectors[fresh])
+                stats.distance_evaluations += len(fresh)
+                for neighbor, neighbor_distance in zip(fresh, distances):
+                    neighbor_distance = float(neighbor_distance)
+                    if results is not None:
+                        collect(neighbor, neighbor_distance)
+                    if len(beam) >= budget and neighbor_distance >= -beam[0][0]:
+                        continue
+                    heapq.heappush(candidates, (neighbor_distance, neighbor))
+                    heapq.heappush(beam, (-neighbor_distance, neighbor))
+                    if len(beam) > budget:
+                        heapq.heappop(beam)
+        span.set(
+            hops=stats.hops,
+            distance_evaluations=stats.distance_evaluations,
+            visited=len(visited),
+        )
 
     pool = beam if results is None else results
     ordered = sorted(((-d, v) for d, v in pool))

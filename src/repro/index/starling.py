@@ -25,6 +25,7 @@ from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
 from repro.index.search import greedy_search
 from repro.index.vamana import VamanaIndex, VamanaParams
+from repro.observability import trace_span
 
 
 class BlockDevice:
@@ -195,18 +196,27 @@ class StarlingIndex(VectorIndex):
         assert self.device is not None
         reads_before = self.device.block_reads
         hits_before = self.device.cache_hits
-        result = greedy_search(
-            self.graph,
-            self.vectors,
-            self.kernel,
-            query,
-            k=k,
-            budget=budget,
-            visit_hook=self.device.access,
-            admit=admit,
-        )
-        result.stats.block_reads = self.device.block_reads - reads_before
-        result.stats.cache_hits = self.device.cache_hits - hits_before
+        with trace_span(
+            "block-io",
+            blocks=self.device.n_blocks,
+            layout="shuffled" if self.params.shuffled else "naive",
+        ) as span:
+            result = greedy_search(
+                self.graph,
+                self.vectors,
+                self.kernel,
+                query,
+                k=k,
+                budget=budget,
+                visit_hook=self.device.access,
+                admit=admit,
+            )
+            result.stats.block_reads = self.device.block_reads - reads_before
+            result.stats.cache_hits = self.device.cache_hits - hits_before
+            span.set(
+                block_reads=result.stats.block_reads,
+                cache_hits=result.stats.cache_hits,
+            )
         return result
 
     def io_amplification(self, result: SearchResult) -> float:

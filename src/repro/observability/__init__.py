@@ -1,14 +1,41 @@
-"""End-to-end query observability: tracing spans and aggregate metrics.
+"""End-to-end query observability: tracing, metrics, and the durable half.
 
-Mirrors the demo's status-monitoring panel at query time: a
-:class:`Tracer` captures one hierarchical span tree per query (query →
-encode → weight-inference → index-search → fusion/rerank → generation),
-and a :class:`MetricsRegistry` aggregates counters and p50/p95/p99 latency
-histograms across queries.  Instrumented call sites use
-:func:`trace_span`, which is a no-op unless a tracer is active.
+In-process (PR 1): a :class:`Tracer` captures one hierarchical span tree
+per query (query → encode → weight-inference → index-search →
+fusion/rerank → generation), and a :class:`MetricsRegistry` aggregates
+counters and p50/p95/p99 latency histograms across queries.  Instrumented
+call sites use :func:`trace_span`, which is a no-op unless a tracer is
+active.
+
+Durable (PR 2): a :class:`FlightRecorder` persists finished traces plus
+request context to a rotating JSONL sink that
+:mod:`repro.observability.replay` can deterministically re-execute;
+:mod:`~repro.observability.exporters` renders the registry as Prometheus
+text exposition and span trees as collapsed stacks; a
+:class:`ProfileAggregator` folds many traces into a per-path self-time
+table; and :class:`SLOMonitor` / :class:`QualityMonitor` grade live
+latency, error-rate, and retrieval quality against configured targets.
+
+(:mod:`repro.observability.replay` is imported lazily — it depends on
+:mod:`repro.core`, which imports this package.)
 """
 
+from repro.observability.exporters import (
+    collapse_spans,
+    prometheus_name,
+    render_prometheus,
+)
 from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.monitoring import (
+    STATE_BREACH,
+    STATE_DEGRADED,
+    STATE_OK,
+    QualityMonitor,
+    SLOMonitor,
+    SLOTargets,
+)
+from repro.observability.profiling import ProfileAggregator
+from repro.observability.recorder import FlightRecorder, read_recording
 from repro.observability.tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
@@ -20,12 +47,24 @@ from repro.observability.tracing import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
     "NOOP_TRACER",
     "NoopTracer",
+    "ProfileAggregator",
+    "QualityMonitor",
+    "SLOMonitor",
+    "SLOTargets",
+    "STATE_BREACH",
+    "STATE_DEGRADED",
+    "STATE_OK",
     "Span",
     "Tracer",
+    "collapse_spans",
+    "prometheus_name",
+    "read_recording",
+    "render_prometheus",
     "trace_span",
 ]

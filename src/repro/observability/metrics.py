@@ -7,10 +7,24 @@ reservoir sampling (Vitter's Algorithm R) with a deterministically seeded
 RNG — memory stays fixed no matter how many observations stream in, and
 identical observation sequences always produce identical summaries, so
 tests and benchmark artefacts are reproducible.
+
+Thread safety
+-------------
+The server no longer guarantees a single request thread, so every *write*
+path (``Counter.inc``, ``Histogram.observe``, instrument creation) takes
+one :class:`threading.Lock` shared across the whole registry — a single
+lock keeps the design simple and the write critical sections are tiny
+(a float add, or one reservoir slot swap).  *Read* paths (``value``,
+``summary``, ``snapshot``) deliberately take no lock: every read is either
+one atomic attribute load or a copy of a small list under the GIL, so the
+worst case is a summary computed from a snapshot that is one observation
+stale — acceptable for monitoring output, and it keeps the serving hot
+path free of reader/writer contention.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -19,19 +33,27 @@ from repro.utils import derive_rng
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("name", "value")
+    Args:
+        name: Registry key.
+        lock: Lock guarding increments; the owning registry passes its own
+            so one lock covers every instrument it created.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: "threading.Lock | None" = None) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -45,9 +67,15 @@ class Histogram:
         name: Registry key (also seeds the replacement RNG, making two
             histograms with the same name and inputs identical).
         reservoir_size: Maximum retained observations.
+        lock: Lock guarding ``observe``; shared with the owning registry.
     """
 
-    def __init__(self, name: str, reservoir_size: int = 512) -> None:
+    def __init__(
+        self,
+        name: str,
+        reservoir_size: int = 512,
+        lock: "threading.Lock | None" = None,
+    ) -> None:
         if reservoir_size < 1:
             raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
         self.name = name
@@ -58,22 +86,24 @@ class Histogram:
         self.max: Optional[float] = None
         self._reservoir: List[float] = []
         self._rng = derive_rng(0, "histogram", name)
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if len(self._reservoir) < self.reservoir_size:
-            self._reservoir.append(value)
-            return
-        # Algorithm R: keep each of the n observations with probability
-        # reservoir_size / n by replacing a uniformly random slot.
-        slot = int(self._rng.integers(0, self.count))
-        if slot < self.reservoir_size:
-            self._reservoir[slot] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if len(self._reservoir) < self.reservoir_size:
+                self._reservoir.append(value)
+                return
+            # Algorithm R: keep each of the n observations with probability
+            # reservoir_size / n by replacing a uniformly random slot.
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
@@ -82,9 +112,12 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) over the retained sample."""
-        if not self._reservoir:
+        # list() snapshots the reservoir atomically under the GIL; a
+        # concurrent observe() costs at most one-observation staleness.
+        sample = list(self._reservoir)
+        if not sample:
             return 0.0
-        return float(np.percentile(np.asarray(self._reservoir), q))
+        return float(np.percentile(np.asarray(sample), q))
 
     def summary(self) -> Dict[str, float]:
         """count / mean / min / max / p50 / p95 / p99, all rounded."""
@@ -104,11 +137,14 @@ class MetricsRegistry:
 
     One registry lives on each coordinator; the tracer feeds it per-stage
     latencies and the API layer feeds it per-verb request timings, so
-    ``GET /metrics`` renders one coherent snapshot.
+    ``GET /metrics`` renders one coherent snapshot.  All writes serialise
+    on one registry-wide lock (see the module docstring for the
+    reader/writer contract).
     """
 
     def __init__(self, reservoir_size: int = 512) -> None:
         self._reservoir_size = reservoir_size
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
 
@@ -116,16 +152,22 @@ class MetricsRegistry:
         """The counter called ``name`` (created empty on first access)."""
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name, lock=self._lock)
         return counter
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created empty on first access)."""
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(
-                name, reservoir_size=self._reservoir_size
-            )
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(
+                        name, reservoir_size=self._reservoir_size, lock=self._lock
+                    )
         return histogram
 
     def inc(self, name: str, amount: float = 1.0) -> None:

@@ -54,6 +54,16 @@ class Span:
         """Wall-clock milliseconds."""
         return self.duration * 1000.0
 
+    @property
+    def self_ms(self) -> float:
+        """Milliseconds spent in this span excluding its children.
+
+        Clamped at zero: clock granularity can make the children sum to
+        slightly more than the parent.
+        """
+        children_ms = sum(child.duration_ms for child in self.children)
+        return max(self.duration_ms - children_ms, 0.0)
+
     def walk(self) -> Iterator["Span"]:
         """This span and every descendant, depth first."""
         yield self

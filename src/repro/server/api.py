@@ -16,12 +16,20 @@ Endpoints (mirroring the demo's backend):
 * ``POST /reject``             — dismiss a result card (negative feedback).
 * ``POST /refine``             — refine from the selected result.
 * ``GET  /transcript``         — the QA panel transcript.
-* ``GET  /events``             — the coordinator's event log.
+* ``GET  /events``             — the coordinator's event log, paginated
+  (``offset`` / ``limit``; also reports ring-buffer totals).
 * ``POST /ingest``             — add a new object to the live system.
 * ``GET  /metrics``            — request counters, latency percentiles,
-  per-stage timings, and cache statistics.
+  per-stage timings, and cache statistics; with ``format="prometheus"``
+  returns text exposition instead (``{"content_type": ..., "body": ...}``).
 * ``GET  /trace``              — the last-N query traces as JSON span
   trees (requires ``tracing`` enabled in the configuration).
+* ``GET  /profile``            — aggregated per-span-path profile over all
+  captured traces (``format="collapsed"`` returns collapsed-stack text
+  for flamegraph tooling, ``format="table"`` the rendered table).
+* ``GET  /health``             — SLO grading (ok / degraded / breach),
+  online retrieval-quality scores, and recorder state (requires
+  ``monitoring`` for the SLO/quality sections).
 
 Dialogue endpoints accept an optional ``session`` field; all sessions share
 the coordinator (and therefore the index) but keep independent dialogue
@@ -39,6 +47,12 @@ from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
 from repro.core.coordinator import Coordinator
 from repro.data import KnowledgeBase, Modality
 from repro.errors import MQAError
+from repro.observability import (
+    STATE_OK,
+    ProfileAggregator,
+    collapse_spans,
+    render_prometheus,
+)
 
 
 class ApiError(MQAError):
@@ -52,15 +66,19 @@ class ApiServer:
         config: Initial draft configuration (panel defaults otherwise).
         knowledge_base: Optional prebuilt base served instead of generating
             one at apply time.
+        clock: Time source for request latency (injectable so SLO grading
+            can be driven deterministically in tests).
     """
 
     def __init__(
         self,
         config: Optional[MQAConfig] = None,
         knowledge_base: Optional[KnowledgeBase] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._panel = ConfigurationPanel(config)
         self._knowledge_base = knowledge_base
+        self._clock = clock or time.perf_counter
         self._coordinator: Optional[Coordinator] = None
         self._sessions: Dict[int, QAPanel] = {}
         self._routes: Dict[Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]] = {
@@ -80,6 +98,8 @@ class ApiServer:
             ("POST", "/remove"): self._post_remove,
             ("GET", "/metrics"): self._get_metrics,
             ("GET", "/trace"): self._get_trace,
+            ("GET", "/profile"): self._get_profile,
+            ("GET", "/health"): self._get_health,
         }
         self._query_count = 0
         self._refine_count = 0
@@ -115,6 +135,16 @@ class ApiServer:
         if field not in body:
             raise ApiError(f"request body is missing field {field!r}")
         return body[field]
+
+    @staticmethod
+    def _int_field(body: Dict[str, Any], field: str, default: Optional[int]) -> Optional[int]:
+        value = body.get(field)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ApiError(f"{field!r} must be an integer, got {value!r}") from None
 
     # ------------------------------------------------------------------
     # configuration endpoints
@@ -152,7 +182,12 @@ class ApiServer:
         ]
         return {
             "milestones": milestones,
-            "rendered": StatusPanel(coordinator.status, tracer=coordinator.tracer).render(),
+            "rendered": StatusPanel(
+                coordinator.status,
+                tracer=coordinator.tracer,
+                slo=coordinator.slo,
+                quality=coordinator.quality,
+            ).render(),
         }
 
     def _get_weights(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -163,6 +198,8 @@ class ApiServer:
 
     def _get_events(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()
+        offset = self._int_field(body, "offset", 0)
+        limit = self._int_field(body, "limit", None)
         events = [
             {
                 "source": e.source,
@@ -170,9 +207,15 @@ class ApiServer:
                 "kind": e.kind,
                 "detail": e.detail,
             }
-            for e in coordinator.events
+            for e in coordinator.events.page(offset=offset, limit=limit)
         ]
-        return {"events": events}
+        return {
+            "events": events,
+            "offset": offset,
+            "retained": len(coordinator.events),
+            "total_recorded": coordinator.events.total_recorded,
+            "dropped": coordinator.events.dropped,
+        }
 
     # ------------------------------------------------------------------
     # dialogue endpoints
@@ -198,11 +241,19 @@ class ApiServer:
         """Run one dialogue verb, feeding counters and latency histograms.
 
         Both ``/query`` and ``/refine`` flow through here so ``/metrics``
-        accounts for every dialogue round, not just first questions.
+        accounts for every dialogue round, not just first questions — and
+        so the SLO monitor grades every round, including failed ones.
         """
-        start = time.perf_counter()
-        answer = fn()
-        elapsed = time.perf_counter() - start
+        start = self._clock()
+        try:
+            answer = fn()
+        except Exception:
+            if coordinator.slo is not None:
+                coordinator.slo.observe((self._clock() - start) * 1000.0, error=True)
+            raise
+        elapsed = self._clock() - start
+        if coordinator.slo is not None:
+            coordinator.slo.observe(elapsed * 1000.0)
         self._query_seconds += elapsed
         if verb == "query":
             self._query_count += 1
@@ -259,6 +310,14 @@ class ApiServer:
 
     def _get_metrics(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()
+        fmt = str(body.get("format", "json")).lower()
+        if fmt == "prometheus":
+            return {
+                "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                "body": render_prometheus(coordinator.metrics),
+            }
+        if fmt != "json":
+            raise ApiError(f"unknown metrics format {fmt!r}; expected json or prometheus")
         cache = coordinator.execution.cache if coordinator.execution else None
         framework = coordinator.execution.framework if coordinator.execution else None
         rounds = self._query_count + self._refine_count
@@ -300,6 +359,48 @@ class ApiServer:
         return {
             "enabled": coordinator.tracer.enabled,
             "traces": coordinator.tracer.export(limit),
+        }
+
+    def _get_profile(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        traces = coordinator.tracer.traces
+        fmt = str(body.get("format", "rows")).lower()
+        if fmt == "collapsed":
+            return {
+                "enabled": coordinator.tracer.enabled,
+                "traces": len(traces),
+                "collapsed": collapse_spans(traces),
+            }
+        aggregator = ProfileAggregator().add_traces(traces)
+        payload: Dict[str, Any] = {
+            "enabled": coordinator.tracer.enabled,
+            "traces": len(traces),
+        }
+        if fmt == "table":
+            payload["table"] = aggregator.render()
+        elif fmt == "rows":
+            payload["profile"] = aggregator.rows()
+        else:
+            raise ApiError(
+                f"unknown profile format {fmt!r}; expected rows, table or collapsed"
+            )
+        return payload
+
+    def _get_health(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        slo = coordinator.slo.snapshot() if coordinator.slo is not None else None
+        quality = (
+            coordinator.quality.snapshot() if coordinator.quality is not None else None
+        )
+        recorder = (
+            coordinator.recorder.snapshot() if coordinator.recorder is not None else None
+        )
+        return {
+            "monitoring": coordinator.slo is not None,
+            "state": slo["state"] if slo is not None else STATE_OK,
+            "slo": slo,
+            "quality": quality,
+            "recorder": recorder,
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

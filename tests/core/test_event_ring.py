@@ -1,0 +1,74 @@
+"""Tests for the bounded event log: eviction accounting and pagination."""
+
+import pytest
+
+from repro.core.events import Event, EventLog
+
+
+def fill(log: EventLog, n: int) -> None:
+    for i in range(n):
+        log.record("user", "coordinator", f"kind-{i}", detail={"i": i})
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        fill(log, 5)
+        assert len(log) == 3
+        kinds = [event.kind for event in log]
+        assert kinds == ["kind-2", "kind-3", "kind-4"]
+
+    def test_accounting_survives_eviction(self):
+        log = EventLog(capacity=3)
+        fill(log, 5)
+        assert log.total_recorded == 5
+        assert log.dropped == 2
+
+    def test_under_capacity_drops_nothing(self):
+        log = EventLog(capacity=10)
+        fill(log, 4)
+        assert log.total_recorded == 4
+        assert log.dropped == 0
+
+    def test_clear_resets_retained_but_not_totals(self):
+        log = EventLog(capacity=3)
+        fill(log, 2)
+        log.clear()
+        assert len(log) == 0
+        assert log.total_recorded == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestPagination:
+    def make(self) -> EventLog:
+        log = EventLog(capacity=10)
+        fill(log, 6)
+        return log
+
+    def test_full_page_by_default(self):
+        log = self.make()
+        page = log.page()
+        assert len(page) == 6
+        assert all(isinstance(event, Event) for event in page)
+
+    def test_offset_and_limit(self):
+        log = self.make()
+        page = log.page(offset=2, limit=3)
+        assert [event.kind for event in page] == ["kind-2", "kind-3", "kind-4"]
+
+    def test_offset_past_end_is_empty(self):
+        assert self.make().page(offset=99) == []
+
+    def test_negative_offset_clamped(self):
+        log = self.make()
+        assert log.page(offset=-5, limit=2) == log.page(offset=0, limit=2)
+
+    def test_offset_is_relative_to_retained_window(self):
+        # After eviction, offset 0 addresses the oldest *retained* event.
+        log = EventLog(capacity=3)
+        fill(log, 5)
+        page = log.page(offset=0, limit=1)
+        assert page[0].kind == "kind-2"

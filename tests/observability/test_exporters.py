@@ -1,0 +1,100 @@
+"""Golden tests for the Prometheus and collapsed-stack exporters."""
+
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    collapse_spans,
+    prometheus_name,
+    render_prometheus,
+)
+
+
+class TestPrometheusName:
+    def test_sanitises_dots_and_prefixes(self):
+        assert prometheus_name("api.query_ms") == "repro_api_query_ms"
+
+    def test_invalid_characters_become_underscores(self):
+        assert prometheus_name("stage ms/a-b") == "repro_stage_ms_a_b"
+
+    def test_no_prefix(self):
+        assert prometheus_name("9lives", prefix="") == "_lives"
+
+
+class TestRenderPrometheus:
+    def test_golden_output(self):
+        registry = MetricsRegistry()
+        registry.inc("api.query", 3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("api.request_ms", value)
+        expected = "\n".join(
+            [
+                "# HELP repro_api_query_total Monotonic counter 'api.query'.",
+                "# TYPE repro_api_query_total counter",
+                "repro_api_query_total 3",
+                "# HELP repro_api_request_ms Streaming summary 'api.request_ms'.",
+                "# TYPE repro_api_request_ms summary",
+                'repro_api_request_ms{quantile="0.5"} 2.5',
+                'repro_api_request_ms{quantile="0.95"} 3.85',
+                'repro_api_request_ms{quantile="0.99"} 3.97',
+                "repro_api_request_ms_sum 10",
+                "repro_api_request_ms_count 4",
+            ]
+        ) + "\n"
+        assert render_prometheus(registry) == expected
+
+    def test_deterministic_across_identical_registries(self):
+        outputs = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            registry.inc("a.b", 2)
+            registry.observe("c.d", 1.5)
+            registry.observe("c.d", 2.5)
+            outputs.append(render_prometheus(registry))
+        assert outputs[0] == outputs[1]
+
+    def test_families_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        body = render_prometheus(registry)
+        assert body.index("repro_alpha_total") < body.index("repro_zeta_total")
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+def _tree() -> Span:
+    # query (10 ms) -> retrieval (6 ms) -> index-search (4 ms)
+    leaf = Span(name="index-search", duration=0.004)
+    mid = Span(name="retrieval", duration=0.006, children=[leaf])
+    return Span(name="query", duration=0.010, children=[mid])
+
+
+class TestCollapseSpans:
+    def test_golden_self_time_stacks(self):
+        expected = (
+            "query 4.0\n"
+            "query;retrieval 2.0\n"
+            "query;retrieval;index-search 4.0\n"
+        )
+        assert collapse_spans([_tree()]) == expected
+
+    def test_sums_repeated_stacks_across_trees(self):
+        collapsed = collapse_spans([_tree(), _tree()])
+        assert "query 8.0" in collapsed.splitlines()[0]
+
+    def test_accepts_dict_exports(self):
+        assert collapse_spans([_tree().to_dict()]) == collapse_spans([_tree()])
+
+    def test_self_time_clamped_at_zero(self):
+        # Children summing over the parent (clock granularity) must not
+        # produce negative samples.
+        child = Span(name="inner", duration=0.012)
+        root = Span(name="outer", duration=0.010, children=[child])
+        lines = dict(
+            line.rsplit(" ", 1) for line in collapse_spans([root]).splitlines()
+        )
+        assert float(lines["outer"]) == 0.0
+
+    def test_empty_input(self):
+        assert collapse_spans([]) == ""

@@ -1,0 +1,159 @@
+"""Tests for SLO grading, online quality scoring, and reservoir statistics."""
+
+import pytest
+
+from repro.observability import (
+    STATE_BREACH,
+    STATE_DEGRADED,
+    STATE_OK,
+    Histogram,
+    MetricsRegistry,
+    QualityMonitor,
+    SLOMonitor,
+    SLOTargets,
+)
+
+
+class TestSLOTargets:
+    def test_defaults_valid(self):
+        targets = SLOTargets()
+        assert targets.latency_ms == 250.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_ms": 0.0},
+            {"error_rate": 1.5},
+            {"window": 0},
+            {"breach_factor": 1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTargets(**kwargs)
+
+
+class TestSLOMonitor:
+    def make(self, window=4):
+        return SLOMonitor(SLOTargets(latency_ms=50.0, error_rate=0.25, window=window))
+
+    def test_empty_window_is_ok(self):
+        assert self.make().state == STATE_OK
+
+    def test_latency_transitions_ok_degraded_breach(self):
+        monitor = self.make()
+        for _ in range(4):
+            monitor.observe(10.0)
+        assert monitor.state == STATE_OK
+        for _ in range(4):
+            monitor.observe(60.0)  # over 50, under 100
+        assert monitor.state == STATE_DEGRADED
+        for _ in range(4):
+            monitor.observe(200.0)  # over 2 x 50
+        assert monitor.state == STATE_BREACH
+
+    def test_recovers_as_window_rolls(self):
+        monitor = self.make()
+        for _ in range(4):
+            monitor.observe(200.0)
+        assert monitor.state == STATE_BREACH
+        for _ in range(4):
+            monitor.observe(10.0)
+        assert monitor.state == STATE_OK
+
+    def test_error_rate_grading(self):
+        monitor = self.make()
+        for _ in range(2):
+            monitor.observe(1.0, error=True)
+        for _ in range(2):
+            monitor.observe(1.0)
+        # 50% errors > 0.25 target but not > 0.5 breach threshold.
+        assert monitor.state == STATE_DEGRADED
+        for _ in range(3):
+            monitor.observe(1.0, error=True)
+        # Window is now [ok, err, err, err]: 75% > the 50% breach threshold.
+        assert monitor.window_error_rate > 0.5
+        assert monitor.state == STATE_BREACH
+
+    def test_snapshot_totals_survive_window_eviction(self):
+        monitor = self.make(window=2)
+        for i in range(5):
+            monitor.observe(1.0, error=i == 0)
+        snapshot = monitor.snapshot()
+        assert snapshot["total_requests"] == 5
+        assert snapshot["total_errors"] == 1
+        assert snapshot["window_fill"] == 2
+        assert snapshot["state"] == STATE_OK
+
+
+class TestQualityMonitor:
+    @pytest.fixture()
+    def monitor(self, scenes_kb):
+        return QualityMonitor(scenes_kb, MetricsRegistry(), sample_rate=2, k=5)
+
+    def test_samples_on_deterministic_grid(self, monitor, scenes_kb):
+        concept = scenes_kb.space.names[0]
+        ids = scenes_kb.ground_truth_for_concepts([concept], 5)
+        scored = [
+            monitor.maybe_score(f"a photo of {concept}", ids) is not None
+            for _ in range(6)
+        ]
+        # sample_rate=2: queries 0, 2, 4 are scored.
+        assert scored == [True, False, True, False, True, False]
+
+    def test_perfect_retrieval_scores_one(self, monitor, scenes_kb):
+        concept = scenes_kb.space.names[0]
+        ids = scenes_kb.ground_truth_for_concepts([concept], 5)
+        score = monitor.maybe_score(f"a photo of {concept}", ids)
+        assert score["recall_at_k"] == pytest.approx(1.0)
+        assert score["mrr"] == pytest.approx(1.0)
+        assert concept in score["concepts"]
+
+    def test_unknown_concepts_counted_unscorable(self, monitor):
+        score = monitor.maybe_score("qwertyuiop zxcvbnm", [1, 2, 3])
+        assert score is None
+        assert monitor.metrics.counter_value("quality.unscorable") == 1.0
+
+    def test_snapshot_streams_means(self, monitor, scenes_kb):
+        concept = scenes_kb.space.names[0]
+        ids = scenes_kb.ground_truth_for_concepts([concept], 5)
+        monitor.maybe_score(f"a photo of {concept}", ids)
+        snapshot = monitor.snapshot()
+        assert snapshot["sampled"] == 1
+        assert snapshot["mean_recall_at_k"] == pytest.approx(1.0)
+        assert snapshot["last_score"]["mrr"] == pytest.approx(1.0)
+
+    def test_validates_arguments(self, scenes_kb):
+        with pytest.raises(ValueError):
+            QualityMonitor(scenes_kb, MetricsRegistry(), sample_rate=0)
+        with pytest.raises(ValueError):
+            QualityMonitor(scenes_kb, MetricsRegistry(), k=0)
+
+
+class TestReservoirUniformity:
+    def test_retained_sample_is_uniform_over_the_stream(self):
+        """Algorithm R keeps each observation with probability R/n.
+
+        Pool the reservoirs of many deterministically seeded histograms
+        fed the same 0..1999 stream and check the retained values spread
+        uniformly across deciles (expected 400 per bin; bounds are ~4
+        sigma, and the seeded RNG makes the test exactly reproducible).
+        """
+        n, size, repeats = 2000, 100, 40
+        pooled = []
+        for i in range(repeats):
+            histogram = Histogram(f"uniformity-{i}", reservoir_size=size)
+            for value in range(n):
+                histogram.observe(float(value))
+            assert len(histogram._reservoir) == size
+            pooled.extend(histogram._reservoir)
+        assert len(pooled) == repeats * size
+        expected = len(pooled) / 10
+        for decile in range(10):
+            low, high = decile * 200, (decile + 1) * 200
+            count = sum(1 for value in pooled if low <= value < high)
+            assert abs(count - expected) < 0.2 * expected, (
+                f"decile {decile}: {count} retained vs expected {expected}"
+            )
+        mean = sum(pooled) / len(pooled)
+        assert abs(mean - (n - 1) / 2) < 0.05 * n

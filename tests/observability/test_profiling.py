@@ -1,0 +1,57 @@
+"""Tests for the profile aggregator (many span trees -> one table)."""
+
+import pytest
+
+from repro.observability import ProfileAggregator, Span
+
+
+def make_trace(root_ms: float, child_ms: float) -> Span:
+    child = Span(name="retrieval", duration=child_ms / 1000.0)
+    return Span(name="query", duration=root_ms / 1000.0, children=[child])
+
+
+class TestProfileAggregator:
+    def test_accumulates_counts_and_self_time(self):
+        aggregator = ProfileAggregator()
+        aggregator.add_traces([make_trace(10.0, 6.0), make_trace(20.0, 12.0)])
+        rows = {row["path"]: row for row in aggregator.rows()}
+        assert aggregator.trace_count == 2
+        assert rows["query"]["count"] == 2
+        assert rows["query"]["total_ms"] == pytest.approx(30.0)
+        # Self time excludes the child: (10-6) + (20-12).
+        assert rows["query"]["self_ms"] == pytest.approx(12.0)
+        assert rows["query"]["mean_self_ms"] == pytest.approx(6.0)
+        assert rows["query;retrieval"]["self_ms"] == pytest.approx(18.0)
+
+    def test_rows_sorted_by_self_time_descending(self):
+        aggregator = ProfileAggregator()
+        aggregator.add_trace(make_trace(10.0, 9.0))
+        rows = aggregator.rows()
+        assert rows[0]["path"] == "query;retrieval"
+        assert rows[0]["self_ms"] >= rows[-1]["self_ms"]
+
+    def test_p95_self_time_over_many_traces(self):
+        aggregator = ProfileAggregator()
+        for child_ms in range(100):
+            aggregator.add_trace(make_trace(200.0, float(child_ms)))
+        rows = {row["path"]: row for row in aggregator.rows()}
+        p95 = rows["query;retrieval"]["p95_self_ms"]
+        assert 90.0 <= p95 <= 99.0
+
+    def test_accepts_dict_exports(self):
+        direct = ProfileAggregator()
+        direct.add_trace(make_trace(10.0, 6.0))
+        exported = ProfileAggregator()
+        exported.add_trace(make_trace(10.0, 6.0).to_dict())
+        assert direct.rows() == exported.rows()
+
+    def test_render_has_header_and_all_paths(self):
+        aggregator = ProfileAggregator()
+        aggregator.add_trace(make_trace(10.0, 6.0))
+        table = aggregator.render()
+        lines = table.splitlines()
+        assert lines[0].split()[:2] == ["path", "count"]
+        assert any("query;retrieval" in line for line in lines)
+
+    def test_render_empty(self):
+        assert "no traces" in ProfileAggregator().render()

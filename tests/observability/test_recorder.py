@@ -1,0 +1,100 @@
+"""Tests for the flight recorder's JSONL sink and rotation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import FlightRecorder, read_recording
+
+SPAN = {"name": "query", "duration_ms": 1.0, "attributes": {}, "children": []}
+
+
+class TestFlightRecorder:
+    def test_header_then_entries(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(path, config={"index": "hnsw"})
+        recorder.record({"text": "hello"}, [1, 2], SPAN, answer={"text": "hi"})
+        header, entries = read_recording(path)
+        assert header["kind"] == "header"
+        assert header["version"] == 1
+        assert header["config"] == {"index": "hnsw"}
+        assert len(entries) == 1
+        assert entries[0]["trace_id"] == 0
+        assert entries[0]["result_ids"] == [1, 2]
+        assert entries[0]["span_tree"]["name"] == "query"
+
+    def test_trace_ids_increment(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "f.jsonl")
+        ids = [recorder.record({"text": str(i)}, [], None) for i in range(3)]
+        assert ids == [0, 1, 2]
+        assert recorder.records_written == 3
+
+    def test_numpy_payloads_serialise(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        recorder = FlightRecorder(path)
+        image = np.arange(6, dtype=np.float64).reshape(2, 3)
+        recorder.record({"image": image, "k": np.int64(5)}, [np.int64(7)], None)
+        _, entries = read_recording(path)
+        assert entries[0]["request"]["image"] == [[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]]
+        assert entries[0]["result_ids"] == [7]
+
+    def test_rotation_caps_active_file(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        recorder = FlightRecorder(path, config={"pad": "x" * 100}, max_bytes=1024, max_files=2)
+        for i in range(40):
+            recorder.record({"text": f"query {i}", "pad": "y" * 64}, [i], None)
+        assert recorder.rotations >= 1
+        assert (tmp_path / "f.jsonl.1").exists()
+        # Every generation is independently replayable: header present.
+        for candidate in (path, tmp_path / "f.jsonl.1"):
+            header, _ = read_recording(candidate)
+            assert header is not None
+        # No generation beyond max_files survives.
+        assert not (tmp_path / "f.jsonl.3").exists()
+
+    def test_appends_to_existing_file_without_second_header(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        FlightRecorder(path).record({"text": "a"}, [], None)
+        FlightRecorder(path).record({"text": "b"}, [], None)
+        headers = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["kind"] == "header"
+        ]
+        assert len(headers) == 1
+
+    def test_validates_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(tmp_path / "f.jsonl", max_bytes=10)
+        with pytest.raises(ValueError):
+            FlightRecorder(tmp_path / "f.jsonl", max_files=0)
+
+    def test_snapshot(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "f.jsonl")
+        recorder.record({"text": "a"}, [], None)
+        snapshot = recorder.snapshot()
+        assert snapshot["records_written"] == 1
+        assert snapshot["active_bytes"] > 0
+
+
+class TestReadRecording:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"kind": "header", "config": {}}\n\n{"kind": "query", "trace_id": 0}\n')
+        header, entries = read_recording(path)
+        assert header is not None
+        assert len(entries) == 1
+
+    def test_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"kind": "header"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            read_recording(path)
+
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"kind": "query", "trace_id": 4}\n')
+        header, entries = read_recording(path)
+        assert header is None
+        assert entries[0]["trace_id"] == 4

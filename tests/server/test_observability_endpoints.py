@@ -103,7 +103,8 @@ class TestMetricsEndpoint:
     def test_trace_section(self, server):
         metrics = server.handle("GET", "/metrics")["metrics"]
         assert metrics["trace"]["enabled"]
-        assert metrics["trace"]["captured"] == 2
+        # Index construction is traced too: one build + two dialogue rounds.
+        assert metrics["trace"]["captured"] == 3
 
     def test_json_round_trip(self, server):
         metrics = server.handle("GET", "/metrics")["metrics"]
@@ -140,3 +141,137 @@ class TestRefineWeights:
         )
         assert response["ok"]
         assert response["answer"]["items"]
+
+
+class TestPrometheusFormat:
+    def test_exposition_body(self, traced_server):
+        assert traced_server.handle("POST", "/query", {"text": "sunny dunes"})["ok"]
+        response = traced_server.handle("GET", "/metrics", {"format": "prometheus"})
+        assert response["ok"]
+        assert response["content_type"].startswith("text/plain; version=0.0.4")
+        body = response["body"]
+        assert "# TYPE repro_api_query_total counter" in body
+        assert 'repro_api_request_ms{quantile="0.95"}' in body
+        assert body.endswith("\n")
+
+    def test_unknown_format_is_error(self, traced_server):
+        response = traced_server.handle("GET", "/metrics", {"format": "xml"})
+        assert not response["ok"]
+        assert "format" in response["error"]
+
+
+class TestProfileEndpoint:
+    def test_rows(self, traced_server):
+        assert traced_server.handle("POST", "/query", {"text": "night sky"})["ok"]
+        response = traced_server.handle("GET", "/profile")
+        assert response["ok"]
+        assert response["enabled"]
+        assert response["traces"] >= 1
+        paths = [row["path"] for row in response["profile"]]
+        assert "query" in paths
+        assert any(path.startswith("query;retrieval") for path in paths)
+
+    def test_table_and_collapsed_formats(self, traced_server):
+        table = traced_server.handle("GET", "/profile", {"format": "table"})
+        assert "path" in table["table"].splitlines()[0]
+        collapsed = traced_server.handle("GET", "/profile", {"format": "collapsed"})
+        assert any(
+            line.startswith("query") for line in collapsed["collapsed"].splitlines()
+        )
+
+    def test_unknown_format_is_error(self, traced_server):
+        response = traced_server.handle("GET", "/profile", {"format": "svg"})
+        assert not response["ok"]
+
+
+class TestEventsPagination:
+    def test_offset_limit_and_accounting(self, traced_server):
+        full = traced_server.handle("GET", "/events")
+        assert full["ok"]
+        total = len(full["events"])
+        assert total >= 2
+        assert full["retained"] == total
+        assert full["dropped"] == full["total_recorded"] - full["retained"]
+        page = traced_server.handle("GET", "/events", {"offset": 1, "limit": 2})
+        assert page["events"] == full["events"][1:3]
+        assert page["offset"] == 1
+
+    def test_malformed_offset_is_error(self, traced_server):
+        response = traced_server.handle("GET", "/events", {"offset": "oops"})
+        assert not response["ok"]
+        assert "offset" in response["error"]
+
+
+class FakeClock:
+    """A clock advancing a fixed step per reading.
+
+    ``_timed_verb`` reads it twice per request, so each request appears
+    to take exactly ``step`` seconds regardless of real execution time.
+    """
+
+    def __init__(self, step: float = 0.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestHealthEndpoint:
+    @pytest.fixture()
+    def monitored(self, scenes_kb):
+        clock = FakeClock()
+        server = ApiServer(
+            MQAConfig(
+                monitoring=True,
+                slo_latency_ms=50.0,
+                slo_window=4,
+                monitor_sample_rate=1,
+                **FAST_CONFIG_KWARGS,
+            ),
+            knowledge_base=scenes_kb,
+            clock=clock,
+        )
+        assert server.handle("POST", "/apply")["ok"]
+        return server, clock
+
+    def ask(self, server, n):
+        for i in range(n):
+            assert server.handle("POST", "/query", {"text": f"foggy clouds {i}"})["ok"]
+
+    def test_slow_clock_walks_ok_degraded_breach(self, monitored):
+        server, clock = monitored
+        clock.step = 0.010  # 10 ms per round: inside the 50 ms target.
+        self.ask(server, 4)
+        assert server.handle("GET", "/health")["state"] == "ok"
+        clock.step = 0.060  # over target, under the 2x breach factor.
+        self.ask(server, 4)
+        assert server.handle("GET", "/health")["state"] == "degraded"
+        clock.step = 0.200  # over 2 x 50 ms: the window p95 breaches.
+        self.ask(server, 4)
+        response = server.handle("GET", "/health")
+        assert response["state"] == "breach"
+        assert response["monitoring"]
+        assert response["slo"]["window_p95_ms"] == pytest.approx(200.0)
+        assert response["slo"]["total_requests"] == 12
+
+    def test_quality_section_scores_sampled_queries(self, monitored):
+        server, _ = monitored
+        self.ask(server, 2)
+        quality = server.handle("GET", "/health")["quality"]
+        assert quality["queries_seen"] == 2
+        assert quality["sampled"] >= 1
+        assert 0.0 <= quality["mean_recall_at_k"] <= 1.0
+
+    def test_unmonitored_server_reports_ok(self, traced_server):
+        response = traced_server.handle("GET", "/health")
+        assert response["ok"]
+        assert not response["monitoring"]
+        assert response["state"] == "ok"
+        assert response["slo"] is None
+        assert response["quality"] is None
+
+    def test_requires_apply(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        assert not server.handle("GET", "/health")["ok"]
