@@ -4,8 +4,10 @@ Usage::
 
     python -m repro --domain scenes --size 400          # interactive shell
     python -m repro --domain food --ask "moldy cheese"  # one-shot query
+    python -m repro --workers 4 --ask "foggy peaks"     # concurrent engine
     python -m repro replay flight.jsonl                 # re-execute a recording
     python -m repro profile flight.jsonl                # aggregate its spans
+    python -m repro loadgen --workers 4 --queries 200   # throughput report
 
 Inside the shell::
 
@@ -65,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor", action="store_true",
         help="enable online SLO + retrieval-quality monitoring (/health)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="query-engine worker threads (1 = serial inline execution)",
+    )
     return parser
 
 
@@ -81,6 +87,7 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         tracing=getattr(args, "trace", False),
         recorder_path=getattr(args, "record", None),
         monitoring=getattr(args, "monitor", False),
+        workers=getattr(args, "workers", 1),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -329,7 +336,82 @@ def run_profile(argv: List[str]) -> int:
     return 0
 
 
-SUBCOMMANDS = {"replay": run_replay, "profile": run_profile}
+def run_loadgen_command(argv: List[str]) -> int:
+    """``python -m repro loadgen [--workers N] [--queries N] ...``.
+
+    Fires a deterministic mixed read/write workload at a freshly built
+    system through the concurrent query engine and prints throughput,
+    latency percentiles, and engine statistics.
+    """
+    import json
+
+    from repro.server.loadgen import run_loadgen
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Concurrent synthetic load generation",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="engine worker threads")
+    parser.add_argument("--queries", type=int, default=200, help="total operations")
+    parser.add_argument(
+        "--write-every", type=int, default=10, dest="write_every",
+        help="every Nth operation is an ingest (0 = read-only)",
+    )
+    parser.add_argument("--domain", default="scenes", help="knowledge-base domain")
+    parser.add_argument("--size", type=int, default=300, help="knowledge-base size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--llm-latency-ms", type=float, default=25.0, dest="llm_latency_ms",
+        help="simulated remote-LLM latency per generation call",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+    print(
+        f"loadgen: {args.queries} ops, workers={args.workers}, "
+        f"write every {args.write_every or 'never'}, "
+        f"llm latency {args.llm_latency_ms} ms"
+    )
+    report = run_loadgen(
+        workers=args.workers,
+        queries=args.queries,
+        write_every=args.write_every,
+        domain=args.domain,
+        size=args.size,
+        seed=args.seed,
+        llm_latency_ms=args.llm_latency_ms,
+    )
+    print(
+        f"  {report['operations']} ops ({report['reads']} reads, "
+        f"{report['writes']} writes) in {report['elapsed_s']} s"
+    )
+    print(f"  throughput: {report['throughput_qps']} ops/s")
+    latency = report["latency_ms"]
+    print(
+        f"  latency: p50 {latency['p50']} ms, p95 {latency['p95']} ms, "
+        f"max {latency['max']} ms"
+    )
+    print(f"  errors: {report['errors']}")
+    engine = report["engine"]
+    print(
+        f"  engine: workers={engine['workers']} completed={engine['completed']} "
+        f"rejected={engine['rejected']} "
+        f"queue wait p95 {engine['queue_wait_ms']['p95']} ms"
+    )
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(report, indent=2))
+        print(f"  report written to {args.json}")
+    return 1 if report["errors"] else 0
+
+
+SUBCOMMANDS = {
+    "replay": run_replay,
+    "profile": run_profile,
+    "loadgen": run_loadgen_command,
+}
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:

@@ -11,6 +11,7 @@ cached answer can never miss a newly added object.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -39,6 +40,10 @@ def _digest_content(value: Any) -> str:
 class QueryCache:
     """LRU cache over retrieval responses.
 
+    Thread-safe: concurrent searches share one cache, and the LRU
+    reordering (``move_to_end``) would corrupt the underlying ordered
+    dict if two readers raced through it unlocked.
+
     Args:
         capacity: Maximum cached responses; least-recently-used evicted.
     """
@@ -48,6 +53,7 @@ class QueryCache:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._store: "OrderedDict[Tuple, RetrievalResponse]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self._generation = 0
@@ -74,30 +80,34 @@ class QueryCache:
 
     def get(self, key: Tuple) -> Optional[RetrievalResponse]:
         """Cached response for ``key``, or None (counts hit/miss)."""
-        response = self._store.get(key)
-        if response is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._store.move_to_end(key)
-        return response
+        with self._lock:
+            response = self._store.get(key)
+            if response is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._store.move_to_end(key)
+            return response
 
     def put(self, key: Tuple, response: RetrievalResponse) -> None:
         """Store ``response`` under ``key`` (evicting LRU if full)."""
-        self._store[key] = response
-        self._store.move_to_end(key)
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = response
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
 
     def invalidate(self) -> None:
         """Drop everything (called when the corpus changes)."""
-        self._store.clear()
-        self._generation += 1
+        with self._lock:
+            self._store.clear()
+            self._generation += 1
 
     @property
     def size(self) -> int:
         """Number of cached responses."""
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     @property
     def hit_rate(self) -> float:

@@ -1,0 +1,347 @@
+"""Concurrent query serving: the read/write lock and the query engine.
+
+The paper's demo is an interactive multi-user system, and the roadmap's
+north star is production-scale serving — which means a second request must
+be able to arrive while the first is still running.  Two primitives make
+that safe:
+
+* :class:`RWLock` — a writer-preference read/write lock.  Searches are
+  pure reads over the index structures, so any number may proceed in
+  parallel; ingestion, removal, and re-apply mutate the graph and take the
+  lock exclusively.  Writer preference keeps a stream of cheap reads from
+  starving a pending ingest.
+* :class:`QueryEngine` — a bounded thread-pool dispatcher.  Every API verb
+  flows through it: reads run concurrently under the shared read lock up
+  to ``workers`` at a time, writes run exclusively, and dialogue verbs on
+  the same session serialise on a per-session lock so multi-round state
+  (history, selections, rejections) never interleaves.  The queue is
+  bounded: when ``workers`` tasks are running and ``max_queue`` more are
+  waiting, further submissions fail fast with
+  :class:`EngineSaturatedError` — backpressure instead of an unbounded
+  memory ramp.
+
+With ``workers == 1`` the engine runs tasks inline on the calling thread
+(no pool is created), still enforcing every lock — so the default
+configuration behaves exactly like the historical single-threaded server
+while remaining safe if callers share it across threads.
+
+Lock ordering, everywhere: session lock → engine RW lock → coordinator RW
+lock.  All three levels are acquired in that order only (and each at most
+once per task), so the system is deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.errors import MQAError
+
+#: Task modes accepted by :meth:`QueryEngine.submit`.
+READ = "read"
+WRITE = "write"
+
+
+class EngineSaturatedError(MQAError):
+    """The engine's bounded queue is full; the request was rejected."""
+
+
+class RWLock:
+    """A writer-preference readers/writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  A waiting writer blocks *new* readers (preference), so writes
+    cannot starve under a steady read stream.  Non-reentrant: a thread
+    must not re-acquire in either mode while already holding it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer holds or awaits the lock, then enter."""
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave the shared section; wakes writers when the last reader exits."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        """Block until all readers have drained, then enter exclusively."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive section and wake all waiters."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # context managers
+    # ------------------------------------------------------------------
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire: Callable[[], None], release: Callable[[], None]) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self) -> None:
+            self._acquire()
+
+        def __exit__(self, *exc_info: object) -> bool:
+            self._release()
+            return False
+
+    def read(self) -> "RWLock._Guard":
+        """``with lock.read():`` — shared acquisition."""
+        return RWLock._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "RWLock._Guard":
+        """``with lock.write():`` — exclusive acquisition."""
+        return RWLock._Guard(self.acquire_write, self.release_write)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Introspection for tests and ``/health``."""
+        with self._cond:
+            return {
+                "active_readers": self._readers,
+                "writer_active": int(self._writer),
+                "waiting_writers": self._waiting_writers,
+            }
+
+
+class QueryEngine:
+    """Bounded concurrent dispatcher for API verbs.
+
+    Args:
+        workers: Maximum tasks running at once.  ``1`` (the default) runs
+            tasks inline on the calling thread — no pool threads exist and
+            behaviour is byte-identical to the historical serial server.
+        max_queue: Tasks allowed to *wait* beyond the running ones before
+            :meth:`submit` rejects with :class:`EngineSaturatedError`.
+        clock: Time source for queue-wait measurement (injectable).
+
+    Reads run under the shared :attr:`rwlock` read side, writes under its
+    write side.  A task submitted with a ``session_key`` additionally
+    holds that session's lock for its whole duration, serialising dialogue
+    rounds per session while different sessions proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        max_queue: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.rwlock = RWLock()
+        self._clock = clock
+        # Slots bound total outstanding work (running + queued).
+        self._slots = threading.Semaphore(workers + max_queue)
+        # In inline mode the semaphore (not a pool) caps execution width.
+        self._exec = threading.Semaphore(workers)
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="mqa-engine")
+            if workers > 1
+            else None
+        )
+        self._session_locks: Dict[Hashable, threading.Lock] = {}
+        self._stats_lock = threading.Lock()
+        self._queued = 0
+        self._in_flight = 0
+        self._completed = 0
+        self._rejected = 0
+        self._errors = 0
+        self._reads = 0
+        self._writes = 0
+        self._waits_ms: List[float] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # session locks
+    # ------------------------------------------------------------------
+    def session_lock(self, key: Hashable) -> threading.Lock:
+        """The (lazily created) lock serialising one session's verbs."""
+        with self._stats_lock:
+            lock = self._session_locks.get(key)
+            if lock is None:
+                lock = self._session_locks[key] = threading.Lock()
+            return lock
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        *,
+        mode: str = READ,
+        session_key: Optional[Hashable] = None,
+    ) -> "Future[Any]":
+        """Schedule ``fn`` under the engine's locks; returns its future.
+
+        Raises:
+            EngineSaturatedError: All workers are busy and the wait queue
+                is full (the caller should shed load or retry later).
+        """
+        if mode not in (READ, WRITE):
+            raise ValueError(f"mode must be 'read' or 'write', got {mode!r}")
+        if self._closed:
+            raise EngineSaturatedError("engine has been shut down")
+        if not self._slots.acquire(blocking=False):
+            with self._stats_lock:
+                self._rejected += 1
+            raise EngineSaturatedError(
+                f"engine saturated: {self.workers} worker(s) busy and "
+                f"queue of {self.max_queue} full"
+            )
+        submitted = self._clock()
+        with self._stats_lock:
+            self._queued += 1
+        if self._pool is not None:
+            try:
+                return self._pool.submit(self._run_task, fn, mode, session_key, submitted)
+            except BaseException:
+                self._slots.release()
+                with self._stats_lock:
+                    self._queued -= 1
+                raise
+        # Inline mode: execute on the calling thread, still under every
+        # lock, and hand back an already-resolved future.
+        future: "Future[Any]" = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(self._run_task(fn, mode, session_key, submitted))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        *,
+        mode: str = READ,
+        session_key: Optional[Hashable] = None,
+    ) -> Any:
+        """Synchronous :meth:`submit`: dispatch and wait for the result."""
+        return self.submit(fn, mode=mode, session_key=session_key).result()
+
+    def _run_task(
+        self,
+        fn: Callable[[], Any],
+        mode: str,
+        session_key: Optional[Hashable],
+        submitted: float,
+    ) -> Any:
+        self._exec.acquire()
+        wait_ms = (self._clock() - submitted) * 1000.0
+        with self._stats_lock:
+            self._queued -= 1
+            self._in_flight += 1
+            self._waits_ms.append(wait_ms)
+            if len(self._waits_ms) > 1024:
+                del self._waits_ms[: len(self._waits_ms) - 1024]
+            if mode == READ:
+                self._reads += 1
+            else:
+                self._writes += 1
+        session_lock = (
+            self.session_lock(session_key) if session_key is not None else None
+        )
+        try:
+            if session_lock is not None:
+                session_lock.acquire()
+            try:
+                guard = self.rwlock.read() if mode == READ else self.rwlock.write()
+                with guard:
+                    return fn()
+            finally:
+                if session_lock is not None:
+                    session_lock.release()
+        except BaseException:
+            with self._stats_lock:
+                self._errors += 1
+            raise
+        finally:
+            with self._stats_lock:
+                self._in_flight -= 1
+                self._completed += 1
+            self._exec.release()
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Pool depth and queue statistics for ``GET /health``."""
+        with self._stats_lock:
+            waits = list(self._waits_ms)
+            stats = {
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "inline": self._pool is None,
+                "queued": self._queued,
+                "in_flight": self._in_flight,
+                "completed": self._completed,
+                "rejected": self._rejected,
+                "errors": self._errors,
+                "reads": self._reads,
+                "writes": self._writes,
+                "sessions_tracked": len(self._session_locks),
+            }
+        if waits:
+            sample = np.asarray(waits)
+            stats["queue_wait_ms"] = {
+                "p50": round(float(np.percentile(sample, 50)), 3),
+                "p95": round(float(np.percentile(sample, 95)), 3),
+                "max": round(float(sample.max()), 3),
+            }
+        else:
+            stats["queue_wait_ms"] = {"p50": 0.0, "p95": 0.0, "max": 0.0}
+        stats["lock"] = self.rwlock.snapshot()
+        return stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the pool to drain."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.shutdown()
+        return False

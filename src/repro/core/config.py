@@ -86,6 +86,12 @@ class MQAConfig:
         event_capacity: Ring-buffer size of the coordinator's event log
             (oldest events evicted first so long dialogue sessions cannot
             grow memory without bound).
+        workers: Query-engine worker count.  ``1`` (the default) executes
+            requests inline on the calling thread — the historical serial
+            behaviour; ``N > 1`` serves up to N requests concurrently
+            under the read/write lock.
+        engine_queue: Requests allowed to wait beyond the running ones
+            before the engine sheds load with an engine-saturated error.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -117,6 +123,8 @@ class MQAConfig:
     slo_error_rate: float = 0.05
     slo_window: int = 64
     event_capacity: int = 2048
+    workers: int = 1
+    engine_queue: int = 64
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -199,6 +207,14 @@ class MQAConfig:
         if self.event_capacity < 1:
             raise ConfigurationError(
                 f"event_capacity must be >= 1, got {self.event_capacity}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.engine_queue < 0:
+            raise ConfigurationError(
+                f"engine_queue must be >= 0, got {self.engine_queue}"
             )
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.answer import Answer
 from repro.core.cache import QueryCache
+from repro.core.concurrency import RWLock
 from repro.core.config import MQAConfig
 from repro.core.events import EventLog
 from repro.core.execution import QueryExecution
@@ -52,6 +53,11 @@ class Coordinator:
     ) -> None:
         self.config = config
         self._provided_kb = knowledge_base
+        # Queries are pure reads over the index structures; ingestion and
+        # removal mutate them.  Any number of handle_query calls share the
+        # read side while ingest_object/remove_object take the write side
+        # exclusively — a search can never observe a half-mutated graph.
+        self.rwlock = RWLock()
         self.events = EventLog(capacity=config.event_capacity)
         self.status = StatusBoard()
         self.metrics = MetricsRegistry()
@@ -267,7 +273,7 @@ class Coordinator:
             + (" +image" if had_image else ""),
         )
 
-        with Timer() as round_timer, self.tracer.trace(
+        with self.rwlock.read(), Timer() as round_timer, self.tracer.trace(
             "query", round=round_index, k=k, had_image=had_image
         ):
             answer = self._run_query_round(
@@ -448,10 +454,13 @@ class Coordinator:
         self._require_setup()
         if self.kb is None or self.execution is None:
             raise CoordinatorError("cannot ingest in LLM-only mode")
-        obj = self.kb.create_object(concepts, intensities=intensities, metadata=metadata)
-        self.execution.framework.add_object(obj)
-        if self.execution.cache is not None:
-            self.execution.cache.invalidate()
+        with self.rwlock.write():
+            obj = self.kb.create_object(
+                concepts, intensities=intensities, metadata=metadata
+            )
+            self.execution.framework.add_object(obj)
+            if self.execution.cache is not None:
+                self.execution.cache.invalidate()
         self.events.record(
             "frontend", "preprocessing", "ingest",
             f"object {obj.object_id}: {', '.join(obj.concepts)}",
@@ -463,11 +472,12 @@ class Coordinator:
         self._require_setup()
         if self.kb is None or self.execution is None:
             raise CoordinatorError("cannot remove objects in LLM-only mode")
-        obj = self.kb.get(object_id)  # validates the id
-        self.execution.framework.remove_object(object_id)
-        obj.metadata["deleted"] = True
-        if self.execution.cache is not None:
-            self.execution.cache.invalidate()
+        with self.rwlock.write():
+            obj = self.kb.get(object_id)  # validates the id
+            self.execution.framework.remove_object(object_id)
+            obj.metadata["deleted"] = True
+            if self.execution.cache is not None:
+                self.execution.cache.invalidate()
         self.events.record(
             "frontend", "preprocessing", "remove", f"object {object_id}"
         )

@@ -10,10 +10,17 @@ heavy traffic) holds bounded memory.  ``total_recorded`` keeps counting
 past the cap, and ``dropped`` reports how many events were evicted —
 ``GET /events`` surfaces both so a paginating client knows the window it
 is looking at.
+
+Every mutation and every read snapshot goes through one internal lock:
+request threads append concurrently while ``GET /events`` paginates, and
+the (retained, total_recorded, dropped) triple must be mutually
+consistent — an append observed by ``page`` but not yet by ``dropped``
+would double-count evictions under load.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -53,6 +60,7 @@ class EventLog:
             raise ValueError(f"event capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._events: Deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
         self.total_recorded = 0
 
     def record(self, source: str, target: str, kind: str, detail: str = "") -> Event:
@@ -64,24 +72,28 @@ class EventLog:
             timestamp=time.perf_counter(),
             detail=detail,
         )
-        self._events.append(event)
-        self.total_recorded += 1
+        with self._lock:
+            self._events.append(event)
+            self.total_recorded += 1
         return event
 
     @property
     def dropped(self) -> int:
         """Events evicted by the ring buffer so far."""
-        return self.total_recorded - len(self._events)
+        with self._lock:
+            return self.total_recorded - len(self._events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self):
-        return iter(self._events)
+        return iter(self.events())
 
     def events(self) -> Tuple[Event, ...]:
         """All retained events in order."""
-        return tuple(self._events)
+        with self._lock:
+            return tuple(self._events)
 
     def page(self, offset: int = 0, limit: "int | None" = None) -> List[Event]:
         """A slice of the retained events (``GET /events`` pagination).
@@ -89,24 +101,37 @@ class EventLog:
         ``offset`` counts from the oldest *retained* event; negative
         offsets and limits are clamped to zero.
         """
-        events = list(self._events)
+        with self._lock:
+            events = list(self._events)
         offset = max(int(offset), 0)
         if limit is None:
             return events[offset:]
         return events[offset : offset + max(int(limit), 0)]
 
+    def snapshot(self) -> Tuple[Tuple[Event, ...], int, int]:
+        """One consistent ``(retained, total_recorded, dropped)`` triple.
+
+        ``GET /events`` reports all three numbers alongside a page; reading
+        them through separate calls under concurrent appends could show a
+        ``dropped`` that disagrees with the page it accompanies.
+        """
+        with self._lock:
+            retained = tuple(self._events)
+            return retained, self.total_recorded, self.total_recorded - len(retained)
+
     def kinds(self) -> List[str]:
         """The sequence of retained event kinds (handy for flow assertions)."""
-        return [event.kind for event in self._events]
+        return [event.kind for event in self.events()]
 
     def involving(self, component: str) -> List[Event]:
         """Retained events where ``component`` is source or target."""
         return [
             event
-            for event in self._events
+            for event in self.events()
             if component in (event.source, event.target)
         ]
 
     def clear(self) -> None:
         """Drop all retained events (counters keep their totals)."""
-        self._events.clear()
+        with self._lock:
+            self._events.clear()

@@ -78,6 +78,8 @@ class ConfigurationPanel:
             "slo_error_rate",
             "slo_window",
             "event_capacity",
+            "workers",
+            "engine_queue",
         ):
             updates[option] = value
         else:
@@ -178,7 +180,7 @@ class QAPanel:
     def render_transcript(self) -> str:
         """The dialogue box's content as text."""
         lines = ["QA panel"]
-        for round_ in self.session.rounds:
+        for round_ in self.session.rounds_snapshot():
             image_tag = " [image]" if round_.had_image else ""
             lines.append(f" user: {round_.user_text}{image_tag}")
             lines.append(f" mqa:  {round_.answer.text}")

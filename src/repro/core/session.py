@@ -7,6 +7,7 @@ image augments the next query (the feedback loop of Figures 1 and 4).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Set
 
@@ -44,23 +45,39 @@ class Round:
 
 
 class DialogueSession:
-    """Stateful conversation against one coordinator."""
+    """Stateful conversation against one coordinator.
+
+    Thread-safe: every verb and every transcript read runs under one
+    reentrant lock, so two refines racing on the same session cannot
+    interleave their history/selection reads with each other's round
+    append, and ``to_dict`` never renders a half-appended round.  (The
+    query engine additionally serialises verbs per session; this lock
+    keeps direct library users safe too.)
+    """
 
     def __init__(self, coordinator: Coordinator) -> None:
         self.coordinator = coordinator
         self.rounds: List[Round] = []
+        self._lock = threading.RLock()
 
     @property
     def round_count(self) -> int:
         """Completed rounds so far."""
-        return len(self.rounds)
+        with self._lock:
+            return len(self.rounds)
+
+    def rounds_snapshot(self) -> List[Round]:
+        """A stable copy of the round list for lock-free iteration."""
+        with self._lock:
+            return list(self.rounds)
 
     @property
     def last_answer(self) -> Answer:
         """The most recent answer (SessionError when no round has run)."""
-        if not self.rounds:
-            raise SessionError("no dialogue round has run yet")
-        return self.rounds[-1].answer
+        with self._lock:
+            if not self.rounds:
+                raise SessionError("no dialogue round has run yet")
+            return self.rounds[-1].answer
 
     def _history(self) -> List[DialogueTurn]:
         return [
@@ -115,14 +132,16 @@ class DialogueSession:
 
         Returns the selected object id (the click on a result card).
         """
-        answer = self.last_answer
-        if not 0 <= rank < len(answer.items):
-            raise SessionError(
-                f"rank {rank} out of range; last answer has {len(answer.items)} items"
-            )
-        object_id = answer.items[rank].object_id
-        self.rounds[-1].selected_object_id = object_id
-        return object_id
+        with self._lock:
+            answer = self.last_answer
+            if not 0 <= rank < len(answer.items):
+                raise SessionError(
+                    f"rank {rank} out of range; last answer has "
+                    f"{len(answer.items)} items"
+                )
+            object_id = answer.items[rank].object_id
+            self.rounds[-1].selected_object_id = object_id
+            return object_id
 
     def reject(self, rank: int) -> int:
         """Dismiss the item at ``rank`` of the last answer ("not this one").
@@ -130,14 +149,16 @@ class DialogueSession:
         Rejected objects never reappear in later rounds of this session.
         Returns the rejected object id.
         """
-        answer = self.last_answer
-        if not 0 <= rank < len(answer.items):
-            raise SessionError(
-                f"rank {rank} out of range; last answer has {len(answer.items)} items"
-            )
-        object_id = answer.items[rank].object_id
-        self.rounds[-1].rejected_object_ids.add(object_id)
-        return object_id
+        with self._lock:
+            answer = self.last_answer
+            if not 0 <= rank < len(answer.items):
+                raise SessionError(
+                    f"rank {rank} out of range; last answer has "
+                    f"{len(answer.items)} items"
+                )
+            object_id = answer.items[rank].object_id
+            self.rounds[-1].rejected_object_ids.add(object_id)
+            return object_id
 
     def refine(
         self,
@@ -152,20 +173,25 @@ class DialogueSession:
         """
         if not text:
             raise SessionError("refinement text must be non-empty")
-        if not self.rounds:
-            raise SessionError("nothing to refine; call ask() first")
-        selected_id = self.rounds[-1].selected_object_id
-        if selected_id is None:
-            raise SessionError("select a result before refining")
-        selected = self.coordinator.get_object(selected_id)
-        query = QueryExecution.augment_query(text, selected)
-        return self._run(query, text, k=k, weights=weights)
+        with self._lock:
+            if not self.rounds:
+                raise SessionError("nothing to refine; call ask() first")
+            selected_id = self.rounds[-1].selected_object_id
+            if selected_id is None:
+                raise SessionError("select a result before refining")
+            selected = self.coordinator.get_object(selected_id)
+            query = QueryExecution.augment_query(text, selected)
+            return self._run(query, text, k=k, weights=weights)
 
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """The whole dialogue as a JSON-serialisable document."""
+        with self._lock:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> dict:
         return {
             "rounds": [
                 {
@@ -208,22 +234,23 @@ class DialogueSession:
         weights: Optional[dict] = None,
         where=None,
     ) -> Answer:
-        answer = self.coordinator.handle_query(
-            query,
-            history=self._history(),
-            preferred_ids=self._preferred_ids(),
-            round_index=len(self.rounds),
-            k=k,
-            weights=weights,
-            exclude_ids=sorted(self._rejected_ids()),
-            where=where,
-        )
-        self.rounds.append(
-            Round(
-                index=len(self.rounds),
-                user_text=text,
-                had_image=query.has(Modality.IMAGE),
-                answer=answer,
+        with self._lock:
+            answer = self.coordinator.handle_query(
+                query,
+                history=self._history(),
+                preferred_ids=self._preferred_ids(),
+                round_index=len(self.rounds),
+                k=k,
+                weights=weights,
+                exclude_ids=sorted(self._rejected_ids()),
+                where=where,
             )
-        )
-        return answer
+            self.rounds.append(
+                Round(
+                    index=len(self.rounds),
+                    user_text=text,
+                    had_image=query.has(Modality.IMAGE),
+                    answer=answer,
+                )
+            )
+            return answer

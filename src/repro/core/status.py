@@ -8,6 +8,7 @@ construction are visibly tracked with tick marks and relevant details".
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -40,7 +41,13 @@ class Milestone:
 
 
 class StatusBoard:
-    """Ordered collection of milestones with simple state transitions."""
+    """Ordered collection of milestones with simple state transitions.
+
+    Thread-safe: the query-execution and answer-generation milestones are
+    touched by every concurrent query round, and the status panel renders
+    ``details`` dicts while they update — both sides go through one lock,
+    and readers get snapshot copies so iteration never races a writer.
+    """
 
     STAGES = (
         "data preprocessing",
@@ -54,36 +61,52 @@ class StatusBoard:
         self._milestones: Dict[str, Milestone] = {
             name: Milestone(name=name) for name in self.STAGES
         }
+        self._lock = threading.Lock()
 
     def milestone(self, name: str) -> Milestone:
-        """The milestone called ``name`` (KeyError for unknown stages)."""
-        return self._milestones[name]
+        """A snapshot of the milestone called ``name`` (KeyError if unknown)."""
+        with self._lock:
+            return self._copy(self._milestones[name])
+
+    @staticmethod
+    def _copy(milestone: Milestone) -> Milestone:
+        return Milestone(
+            name=milestone.name,
+            state=milestone.state,
+            details=dict(milestone.details),
+            elapsed=milestone.elapsed,
+        )
 
     def milestones(self) -> Tuple[Milestone, ...]:
-        """All milestones in backend order."""
-        return tuple(self._milestones[name] for name in self.STAGES)
+        """Snapshots of all milestones in backend order."""
+        with self._lock:
+            return tuple(self._copy(self._milestones[name]) for name in self.STAGES)
 
     def start(self, name: str) -> None:
         """Mark ``name`` as running."""
-        self._milestones[name].state = MilestoneState.RUNNING
+        with self._lock:
+            self._milestones[name].state = MilestoneState.RUNNING
 
     def finish(self, name: str, elapsed: float, **details: str) -> None:
         """Mark ``name`` done with ``details`` shown beside the tick."""
-        milestone = self._milestones[name]
-        milestone.state = MilestoneState.DONE
-        milestone.elapsed = elapsed
-        milestone.details.update({k: str(v) for k, v in details.items()})
+        with self._lock:
+            milestone = self._milestones[name]
+            milestone.state = MilestoneState.DONE
+            milestone.elapsed = elapsed
+            milestone.details.update({k: str(v) for k, v in details.items()})
 
     def fail(self, name: str, error: str) -> None:
         """Mark ``name`` failed, recording the error text."""
-        milestone = self._milestones[name]
-        milestone.state = MilestoneState.FAILED
-        milestone.details["error"] = error
+        with self._lock:
+            milestone = self._milestones[name]
+            milestone.state = MilestoneState.FAILED
+            milestone.details["error"] = error
 
     @property
     def ready(self) -> bool:
         """True once the three setup stages are done."""
         setup = self.STAGES[:3]
-        return all(
-            self._milestones[name].state is MilestoneState.DONE for name in setup
-        )
+        with self._lock:
+            return all(
+                self._milestones[name].state is MilestoneState.DONE for name in setup
+            )

@@ -43,6 +43,24 @@ class FlatIndex(VectorIndex):
         self._vectors = np.vstack([self._vectors, vector])
         return self.size - 1
 
+    def check_invariants(self) -> None:
+        """Verify the store's structural invariants; raise on violation.
+
+        The flat index has no graph, but the property tests still assert
+        its storage stays coherent under interleaved adds: a 2-D finite
+        matrix whose width matches the kernel.
+        """
+        self._require_built()
+        vectors = self._vectors
+        if vectors.ndim != 2:
+            raise SearchError(f"corpus must be 2-D, got ndim={vectors.ndim}")
+        if vectors.shape[1] != self.kernel.dim:
+            raise SearchError(
+                f"corpus dim {vectors.shape[1]} != kernel dim {self.kernel.dim}"
+            )
+        if not np.isfinite(vectors).all():
+            raise SearchError("corpus contains non-finite values")
+
     def search(
         self,
         query: np.ndarray,

@@ -289,6 +289,89 @@ class HnswIndex(VectorIndex):
             admit=admit,
         )
 
+    # ------------------------------------------------------------------
+    # structural invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the graph's structural invariants; raise on violation.
+
+        Checked after any interleaved add/search sequence by the property
+        tests:
+
+        * bookkeeping — one level per node, vectors row per node, layer
+          count matching the max level, entry node at the max level;
+        * membership — node present in layer ``l`` iff ``l <= level(node)``;
+        * edges — every neighbour id valid, no self-loops, no duplicates,
+          rows within the degree cap (``2m`` on layer 0, ``m`` above);
+        * connectivity — for every edge ``u -> v``, either ``v -> u``
+          exists or ``v``'s row is saturated at the cap (re-pruning is the
+          only way a reverse edge disappears, and it always leaves exactly
+          ``cap`` entries).
+        """
+        self._require_built()
+        size = self.size
+        if len(self._node_level) != size:
+            raise GraphConstructionError(
+                f"{len(self._node_level)} node levels for {size} vectors"
+            )
+        if len(self._layers) != self._max_level + 1:
+            raise GraphConstructionError(
+                f"{len(self._layers)} layers but max level {self._max_level}"
+            )
+        if not 0 <= self._entry < size:
+            raise GraphConstructionError(f"entry node {self._entry} out of range")
+        if self._node_level[self._entry] != self._max_level:
+            raise GraphConstructionError(
+                f"entry node {self._entry} has level "
+                f"{self._node_level[self._entry]}, expected {self._max_level}"
+            )
+        for node, level in enumerate(self._node_level):
+            if not 0 <= level <= self._max_level:
+                raise GraphConstructionError(
+                    f"node {node} level {level} outside [0, {self._max_level}]"
+                )
+        for layer_index, layer in enumerate(self._layers):
+            cap = self.params.m * 2 if layer_index == 0 else self.params.m
+            for node in range(size):
+                present = node in layer
+                expected = self._node_level[node] >= layer_index
+                if present != expected:
+                    raise GraphConstructionError(
+                        f"node {node} (level {self._node_level[node]}) "
+                        f"{'present' if present else 'missing'} on layer {layer_index}"
+                    )
+            for node, row in layer.items():
+                if len(row) > cap:
+                    raise GraphConstructionError(
+                        f"layer {layer_index} node {node} degree {len(row)} "
+                        f"exceeds cap {cap}"
+                    )
+                if len(set(row)) != len(row):
+                    raise GraphConstructionError(
+                        f"layer {layer_index} node {node} has duplicate neighbours"
+                    )
+                for neighbor in row:
+                    if not 0 <= neighbor < size:
+                        raise GraphConstructionError(
+                            f"layer {layer_index} node {node} -> dangling id {neighbor}"
+                        )
+                    if neighbor == node:
+                        raise GraphConstructionError(
+                            f"layer {layer_index} node {node} has a self-loop"
+                        )
+                    if neighbor not in layer:
+                        raise GraphConstructionError(
+                            f"layer {layer_index} edge {node} -> {neighbor} "
+                            f"targets a node absent from the layer"
+                        )
+                    back = layer[neighbor]
+                    if node not in back and len(back) != cap:
+                        raise GraphConstructionError(
+                            f"layer {layer_index} edge {node} -> {neighbor} has no "
+                            f"reverse edge and {neighbor}'s row is unsaturated "
+                            f"({len(back)}/{cap})"
+                        )
+
     def base_graph(self) -> NavigationGraph:
         """Expose layer 0 as a :class:`NavigationGraph` (cached)."""
         self._require_built()

@@ -37,7 +37,13 @@ def build_llm(name: str, params: "Mapping[str, Any] | None" = None) -> LanguageM
     return factory(dict(params or {}))
 
 
-register_llm("template", lambda p: TemplateLLM(seed=int(p.get("seed", 0))))
+register_llm(
+    "template",
+    lambda p: TemplateLLM(
+        seed=int(p.get("seed", 0)),
+        latency_ms=float(p.get("latency_ms", 0.0)),
+    ),
+)
 register_llm("attribute-qa", lambda p: AttributeQALLM(seed=int(p.get("seed", 0))))
 register_llm(
     "markov",

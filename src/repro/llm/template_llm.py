@@ -9,8 +9,10 @@ to parametric knowledge — the behaviour the paper's "LLM-only" mode needs.
 
 from __future__ import annotations
 
+import time
 from typing import List
 
+from repro.errors import ConfigurationError
 from repro.llm.base import GenerationRequest, GenerationResult, LanguageModel
 from repro.utils import derive_rng
 
@@ -34,12 +36,23 @@ class TemplateLLM(LanguageModel):
         seed: Controls which phrasing variant a given request selects
             (temperature widens the variant pool; the choice stays a pure
             function of request + seed + temperature).
+        latency_ms: Simulated per-call generation latency.  The production
+            MQA demo calls a remote LLM (ChatGPT) over the network; this
+            knob models that downstream wait so concurrency experiments
+            exercise the regime the system actually serves in.  The sleep
+            releases the GIL, exactly as a network wait would.  ``0``
+            (the default) keeps generation instantaneous.
     """
 
     name = "template"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, latency_ms: float = 0.0) -> None:
+        if latency_ms < 0:
+            raise ConfigurationError(
+                f"latency_ms must be >= 0, got {latency_ms}"
+            )
         self.seed = seed
+        self.latency_ms = float(latency_ms)
 
     def _pick(self, options: "tuple[str, ...]", request: GenerationRequest, temperature: float) -> str:
         if temperature == 0.0:
@@ -50,6 +63,8 @@ class TemplateLLM(LanguageModel):
 
     def generate(self, request: GenerationRequest, temperature: float = 0.0) -> GenerationResult:
         temperature = self._check_temperature(temperature)
+        if self.latency_ms > 0:
+            time.sleep(self.latency_ms / 1000.0)
         if not request.context:
             text = (
                 "I do not have a knowledge base attached, so this answer relies on "

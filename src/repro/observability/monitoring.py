@@ -89,27 +89,36 @@ class SLOMonitor:
     # ------------------------------------------------------------------
     # grading
     # ------------------------------------------------------------------
-    @property
-    def window_p95_ms(self) -> float:
-        """p95 latency over the current window (0.0 when empty)."""
-        sample = list(self._latencies)
-        if not sample:
-            return 0.0
-        return float(np.percentile(np.asarray(sample), 95))
+    def _sample(self) -> Tuple[List[float], List[bool], int, int]:
+        """One consistent copy of both windows and the running totals.
 
-    @property
-    def window_error_rate(self) -> float:
-        """Error fraction over the current window (0.0 when empty)."""
-        sample = list(self._errors)
-        if not sample:
-            return 0.0
-        return sum(sample) / len(sample)
+        Every derived figure (p95, error rate, state) is computed from a
+        copy taken under the lock in a single acquisition — grading must
+        not mix a latency window that saw a request with an error window
+        that hasn't, and the lock is non-reentrant so the readers below
+        cannot simply call each other while holding it.
+        """
+        with self._lock:
+            return (
+                list(self._latencies),
+                list(self._errors),
+                self.total_requests,
+                self.total_errors,
+            )
 
-    @property
-    def state(self) -> str:
-        """``ok`` / ``degraded`` / ``breach`` under the targets."""
-        p95 = self.window_p95_ms
-        errors = self.window_error_rate
+    @staticmethod
+    def _p95(latencies: List[float]) -> float:
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), 95))
+
+    @staticmethod
+    def _error_rate(errors: List[bool]) -> float:
+        if not errors:
+            return 0.0
+        return sum(errors) / len(errors)
+
+    def _grade(self, p95: float, errors: float) -> str:
         factor = self.targets.breach_factor
         if (
             p95 > self.targets.latency_ms * factor
@@ -120,19 +129,40 @@ class SLOMonitor:
             return STATE_DEGRADED
         return STATE_OK
 
+    @property
+    def window_p95_ms(self) -> float:
+        """p95 latency over the current window (0.0 when empty)."""
+        latencies, _, _, _ = self._sample()
+        return self._p95(latencies)
+
+    @property
+    def window_error_rate(self) -> float:
+        """Error fraction over the current window (0.0 when empty)."""
+        _, errors, _, _ = self._sample()
+        return self._error_rate(errors)
+
+    @property
+    def state(self) -> str:
+        """``ok`` / ``degraded`` / ``breach`` under the targets."""
+        latencies, errors, _, _ = self._sample()
+        return self._grade(self._p95(latencies), self._error_rate(errors))
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready grading report for ``/health``."""
+        latencies, errors, total_requests, total_errors = self._sample()
+        p95 = self._p95(latencies)
+        error_rate = self._error_rate(errors)
         return {
-            "state": self.state,
-            "window_p95_ms": round(self.window_p95_ms, 3),
+            "state": self._grade(p95, error_rate),
+            "window_p95_ms": round(p95, 3),
             "latency_target_ms": self.targets.latency_ms,
-            "window_error_rate": round(self.window_error_rate, 4),
+            "window_error_rate": round(error_rate, 4),
             "error_rate_target": self.targets.error_rate,
             "window": self.targets.window,
-            "window_fill": len(self._latencies),
+            "window_fill": len(latencies),
             "breach_factor": self.targets.breach_factor,
-            "total_requests": self.total_requests,
-            "total_errors": self.total_errors,
+            "total_requests": total_requests,
+            "total_errors": total_errors,
         }
 
 

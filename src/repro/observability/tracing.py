@@ -20,6 +20,7 @@ the ``/trace`` endpoint, the status panel, and the CLI ``--trace`` flag.
 from __future__ import annotations
 
 import contextvars
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -231,13 +232,17 @@ class Tracer:
         self.metrics = metrics
         self._clock = clock
         self._traces: Deque[Span] = deque(maxlen=capacity)
+        # Concurrent queries finish traces while /trace exports them;
+        # iterating a deque during an append raises RuntimeError.
+        self._lock = threading.Lock()
 
     def trace(self, name: str, **attributes: Any) -> _TraceContext:
         """Open a root span and make this tracer ambient for its duration."""
         return _TraceContext(self, name, dict(attributes))
 
     def _finish(self, root: Span) -> None:
-        self._traces.append(root)
+        with self._lock:
+            self._traces.append(root)
         if self.metrics is not None:
             for span in root.walk():
                 self.metrics.observe(f"stage_ms.{span.name}", span.duration_ms)
@@ -245,12 +250,14 @@ class Tracer:
     @property
     def traces(self) -> List[Span]:
         """Finished traces, oldest first."""
-        return list(self._traces)
+        with self._lock:
+            return list(self._traces)
 
     @property
     def last_trace(self) -> Optional[Span]:
         """The most recently finished trace, if any."""
-        return self._traces[-1] if self._traces else None
+        with self._lock:
+            return self._traces[-1] if self._traces else None
 
     def export(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
         """The last ``limit`` traces (all when None) as JSON-ready dicts."""
@@ -261,7 +268,8 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all collected traces."""
-        self._traces.clear()
+        with self._lock:
+            self._traces.clear()
 
 
 class NoopTracer:

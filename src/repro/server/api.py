@@ -40,10 +40,13 @@ All responses are ``{"ok": True, ...}`` or ``{"ok": False, "error": ...}``.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
+from repro.core.concurrency import READ, WRITE, EngineSaturatedError, QueryEngine
 from repro.core.coordinator import Coordinator
 from repro.data import KnowledgeBase, Modality
 from repro.errors import MQAError
@@ -62,25 +65,69 @@ class ApiError(MQAError):
 class ApiServer:
     """Routes endpoint calls to the panels and the coordinator.
 
+    Every request dispatches through a :class:`QueryEngine`: reads (query,
+    refine, transcript, metrics, ...) run concurrently under the engine's
+    shared read lock, writes (configure, apply, ingest, remove,
+    session/new) run exclusively, and dialogue verbs carrying a ``session``
+    id serialise per session.  With the default ``workers=1`` the engine
+    executes inline on the calling thread — identical behaviour to the
+    historical serial server, no pool threads.
+
     Args:
         config: Initial draft configuration (panel defaults otherwise).
         knowledge_base: Optional prebuilt base served instead of generating
             one at apply time.
         clock: Time source for request latency (injectable so SLO grading
             can be driven deterministically in tests).
+        workers: Engine worker count; overrides ``config.workers`` when
+            given (as the CLI ``--workers`` flag does).
+        engine_queue: Bounded-queue depth; overrides ``config.engine_queue``.
     """
+
+    #: Verbs that mutate shared state — exclusive under the engine lock.
+    _WRITE_ROUTES: FrozenSet[Tuple[str, str]] = frozenset(
+        {
+            ("POST", "/configure"),
+            ("POST", "/apply"),
+            ("POST", "/ingest"),
+            ("POST", "/remove"),
+            ("POST", "/session/new"),
+        }
+    )
+    #: Verbs whose dialogue state must not interleave within one session.
+    _SESSION_ROUTES: FrozenSet[Tuple[str, str]] = frozenset(
+        {
+            ("POST", "/query"),
+            ("POST", "/select"),
+            ("POST", "/refine"),
+            ("POST", "/reject"),
+            ("GET", "/transcript"),
+        }
+    )
 
     def __init__(
         self,
         config: Optional[MQAConfig] = None,
         knowledge_base: Optional[KnowledgeBase] = None,
         clock: Optional[Callable[[], float]] = None,
+        workers: Optional[int] = None,
+        engine_queue: Optional[int] = None,
     ) -> None:
         self._panel = ConfigurationPanel(config)
         self._knowledge_base = knowledge_base
         self._clock = clock or time.perf_counter
         self._coordinator: Optional[Coordinator] = None
         self._sessions: Dict[int, QAPanel] = {}
+        # Explicit constructor/CLI settings pin the engine; otherwise it
+        # follows the (possibly reconfigured) panel config.
+        self._engine_pinned = workers is not None or engine_queue is not None
+        draft = self._panel.config
+        self.engine = QueryEngine(
+            workers=workers if workers is not None else draft.workers,
+            max_queue=engine_queue if engine_queue is not None else draft.engine_queue,
+        )
+        self._engine_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
         self._routes: Dict[Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]] = {
             ("GET", "/options"): self._get_options,
             ("POST", "/configure"): self._post_configure,
@@ -109,7 +156,39 @@ class ApiServer:
     # dispatch
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, body: "Dict[str, Any] | None" = None) -> Dict[str, Any]:
-        """Route one request; exceptions become error responses."""
+        """Route one request through the engine; exceptions become error
+        responses, including engine saturation (``"saturated": True``)."""
+        try:
+            return self.handle_async(method, path, body).result()
+        except EngineSaturatedError as exc:
+            return {"ok": False, "error": str(exc), "saturated": True}
+
+    def handle_async(
+        self, method: str, path: str, body: "Dict[str, Any] | None" = None
+    ) -> "Future[Dict[str, Any]]":
+        """Submit one request to the engine; the future resolves to the
+        response dict.
+
+        Raises:
+            EngineSaturatedError: The bounded queue is full — callers doing
+                their own dispatch decide whether to retry or shed.
+        """
+        route = (method.upper(), path)
+        mode = WRITE if route in self._WRITE_ROUTES else READ
+        session_key = None
+        if route in self._SESSION_ROUTES:
+            try:
+                session_key = int((body or {}).get("session", 0))
+            except (TypeError, ValueError):
+                session_key = None  # the handler raises the proper ApiError
+        self._maybe_resize_engine()
+        return self.engine.submit(
+            lambda: self._dispatch(method, path, body),
+            mode=mode,
+            session_key=session_key,
+        )
+
+    def _dispatch(self, method: str, path: str, body: "Dict[str, Any] | None") -> Dict[str, Any]:
         handler = self._routes.get((method.upper(), path))
         if handler is None:
             return {"ok": False, "error": f"no route for {method.upper()} {path}"}
@@ -120,6 +199,37 @@ class ApiServer:
         response = {"ok": True}
         response.update(payload)
         return response
+
+    def _maybe_resize_engine(self) -> None:
+        """Follow ``POST /configure`` engine settings (unless pinned).
+
+        The swap happens here — on the submitting thread, outside any
+        engine task — because a task cannot shut down the pool it is
+        running on.
+        """
+        if self._engine_pinned:
+            return
+        draft = self._panel.config
+        desired = (draft.workers, draft.engine_queue)
+        if desired == (self.engine.workers, self.engine.max_queue):
+            return
+        with self._engine_lock:
+            if desired == (self.engine.workers, self.engine.max_queue):
+                return
+            old = self.engine
+            self.engine = QueryEngine(workers=desired[0], max_queue=desired[1])
+            old.shutdown(wait=False)
+
+    def close(self) -> None:
+        """Shut the engine down (stops accepting work, drains the pool)."""
+        self.engine.shutdown()
+
+    def __enter__(self) -> "ApiServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
 
     def _require_system(self, body: "Dict[str, Any] | None" = None) -> Tuple[Coordinator, QAPanel]:
         if self._coordinator is None or not self._sessions:
@@ -200,6 +310,14 @@ class ApiServer:
         coordinator, _ = self._require_system()
         offset = self._int_field(body, "offset", 0)
         limit = self._int_field(body, "limit", None)
+        # One snapshot call: the page and its ring-buffer totals must
+        # describe the same instant even while appends continue.
+        retained, total_recorded, dropped = coordinator.events.snapshot()
+        offset = max(int(offset), 0)
+        if limit is None:
+            page = retained[offset:]
+        else:
+            page = retained[offset : offset + max(int(limit), 0)]
         events = [
             {
                 "source": e.source,
@@ -207,14 +325,14 @@ class ApiServer:
                 "kind": e.kind,
                 "detail": e.detail,
             }
-            for e in coordinator.events.page(offset=offset, limit=limit)
+            for e in page
         ]
         return {
             "events": events,
             "offset": offset,
-            "retained": len(coordinator.events),
-            "total_recorded": coordinator.events.total_recorded,
-            "dropped": coordinator.events.dropped,
+            "retained": len(retained),
+            "total_recorded": total_recorded,
+            "dropped": dropped,
         }
 
     # ------------------------------------------------------------------
@@ -243,22 +361,31 @@ class ApiServer:
         Both ``/query`` and ``/refine`` flow through here so ``/metrics``
         accounts for every dialogue round, not just first questions — and
         so the SLO monitor grades every round, including failed ones.
+
+        The SLO observation and the server's own latency counters update
+        together under one lock: with concurrent rounds, interleaved
+        read-modify-write on ``_query_seconds`` loses updates, and an SLO
+        window that saw a request the counters haven't would let
+        ``/metrics`` and ``/health`` disagree about the same traffic.
         """
         start = self._clock()
         try:
             answer = fn()
         except Exception:
-            if coordinator.slo is not None:
-                coordinator.slo.observe((self._clock() - start) * 1000.0, error=True)
+            elapsed = self._clock() - start
+            with self._metrics_lock:
+                if coordinator.slo is not None:
+                    coordinator.slo.observe(elapsed * 1000.0, error=True)
             raise
         elapsed = self._clock() - start
-        if coordinator.slo is not None:
-            coordinator.slo.observe(elapsed * 1000.0)
-        self._query_seconds += elapsed
-        if verb == "query":
-            self._query_count += 1
-        else:
-            self._refine_count += 1
+        with self._metrics_lock:
+            if coordinator.slo is not None:
+                coordinator.slo.observe(elapsed * 1000.0)
+            self._query_seconds += elapsed
+            if verb == "query":
+                self._query_count += 1
+            else:
+                self._refine_count += 1
         coordinator.metrics.inc(f"api.{verb}")
         coordinator.metrics.observe("api.request_ms", elapsed * 1000.0)
         coordinator.metrics.observe(f"api.{verb}_ms", elapsed * 1000.0)
@@ -320,14 +447,18 @@ class ApiServer:
             raise ApiError(f"unknown metrics format {fmt!r}; expected json or prometheus")
         cache = coordinator.execution.cache if coordinator.execution else None
         framework = coordinator.execution.framework if coordinator.execution else None
-        rounds = self._query_count + self._refine_count
-        mean_ms = self._query_seconds / rounds * 1000.0 if rounds else 0.0
+        with self._metrics_lock:
+            query_count = self._query_count
+            refine_count = self._refine_count
+            query_seconds = self._query_seconds
+        rounds = query_count + refine_count
+        mean_ms = query_seconds / rounds * 1000.0 if rounds else 0.0
         latency = coordinator.metrics.histogram("api.request_ms").summary()
         stages = coordinator.metrics.histogram_summaries("stage_ms.")
         return {
             "metrics": {
-                "queries": self._query_count,
-                "refines": self._refine_count,
+                "queries": query_count,
+                "refines": refine_count,
                 "mean_query_ms": round(mean_ms, 3),
                 "latency_ms": latency,
                 "stages": stages,
@@ -401,6 +532,7 @@ class ApiServer:
             "slo": slo,
             "quality": quality,
             "recorder": recorder,
+            "engine": self.engine.snapshot(),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -420,7 +552,16 @@ class ApiServer:
         concepts = self._require_field(body, "concepts")
         if not isinstance(concepts, (list, tuple)) or not concepts:
             raise ApiError("'concepts' must be a non-empty list of concept names")
+        intensities = body.get("intensities")
+        if intensities is not None:
+            if not isinstance(intensities, (list, tuple)) or len(intensities) != len(concepts):
+                raise ApiError(
+                    "'intensities' must be a list matching 'concepts' in length"
+                )
+            intensities = [float(v) for v in intensities]
         object_id = coordinator.ingest_object(
-            list(concepts), metadata=dict(body.get("metadata") or {})
+            list(concepts),
+            intensities=intensities,
+            metadata=dict(body.get("metadata") or {}),
         )
         return {"object_id": object_id}

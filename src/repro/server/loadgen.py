@@ -1,0 +1,188 @@
+"""Concurrent synthetic load generation against a live :class:`ApiServer`.
+
+``python -m repro loadgen`` (and ``benchmarks/bench_pr3_concurrency.py``)
+drive a deterministic mixed read/write workload through the full API
+stack — dialogue queries under the shared read lock, periodic ingests
+under the exclusive write lock — and report throughput and latency
+percentiles.
+
+Determinism under concurrency is engineered, not hoped for: the read
+queries draw their concepts from one half of the corpus vocabulary and
+the ingested objects from the *other* half (at deliberately low
+intensity), so no ingested object can enter a read's top-k regardless of
+how reads and writes interleave.  That makes every read's result ids a
+pure function of the query alone — the benchmark asserts the concurrent
+run returns exactly the serial run's ids, and that no ingested id ever
+surfaces.
+
+The simulated LLM latency (``llm_latency_ms``) models the production
+deployment's remote generation call (the MQA demo uses ChatGPT); the
+sleep releases the GIL exactly as the network wait would, which is the
+regime where a thread pool multiplies throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.server.api import ApiServer
+
+#: Low intensity keeps ingested objects' vectors far from every read
+#: query, preserving read determinism (see module docstring).
+_INGEST_INTENSITY = 0.35
+
+
+def build_workload(
+    concepts: Sequence[str],
+    queries: int,
+    write_every: int,
+    seed: int,
+    sessions: int,
+) -> List[Dict[str, Any]]:
+    """The deterministic operation list for one run.
+
+    Every ``write_every``-th operation is an ingest drawing concepts from
+    the back half of the vocabulary; all others are dialogue reads over
+    the front half, round-robined across ``sessions`` session ids.
+    """
+    if len(concepts) < 4:
+        raise ValueError(
+            f"need at least 4 distinct corpus concepts, got {len(concepts)}"
+        )
+    rng = np.random.default_rng(seed)
+    half = len(concepts) // 2
+    read_pool = list(concepts[:half])
+    write_pool = list(concepts[half:])
+    ops: List[Dict[str, Any]] = []
+    for i in range(queries):
+        if write_every and i % write_every == write_every - 1:
+            pair = rng.choice(len(write_pool), size=min(2, len(write_pool)), replace=False)
+            chosen = [write_pool[int(j)] for j in pair]
+            ops.append(
+                {
+                    "op": "ingest",
+                    "body": {
+                        "concepts": chosen,
+                        "intensities": [_INGEST_INTENSITY] * len(chosen),
+                        "metadata": {"source": "loadgen"},
+                    },
+                }
+            )
+        else:
+            pair = rng.choice(len(read_pool), size=min(2, len(read_pool)), replace=False)
+            text = " ".join(read_pool[int(j)] for j in pair)
+            ops.append(
+                {
+                    "op": "query",
+                    "body": {"text": text, "session": i % sessions},
+                }
+            )
+    return ops
+
+
+def run_loadgen(
+    workers: int = 1,
+    queries: int = 200,
+    write_every: int = 10,
+    domain: str = "scenes",
+    size: int = 300,
+    seed: int = 7,
+    llm_latency_ms: float = 25.0,
+    k: int = 5,
+    sessions: int = 4,
+) -> Dict[str, Any]:
+    """Build a system, fire the workload, and report the results.
+
+    The client side uses ``workers`` threads calling the blocking
+    :meth:`ApiServer.handle`, matching the engine's worker count so the
+    bounded queue never rejects — rejections under deliberate over-drive
+    are exercised by the concurrency tests instead.
+    """
+    config = MQAConfig(
+        dataset=DatasetSpec(domain=domain, size=size, seed=seed),
+        workers=workers,
+        llm_params={"latency_ms": llm_latency_ms},
+        result_count=k,
+        cache_queries=False,  # uniform read cost; no cross-run cache skew
+        weight_learning={"steps": 20, "batch_size": 16},
+    )
+    server = ApiServer(config)
+    try:
+        applied = server.handle("POST", "/apply")
+        if not applied.get("ok"):
+            raise RuntimeError(f"apply failed: {applied.get('error')}")
+        kb = server._coordinator.kb
+        assert kb is not None
+        initial_size = len(kb)
+        concepts = sorted({c for obj in kb for c in obj.concepts})
+        for _ in range(1, sessions):
+            server.handle("POST", "/session/new")
+        ops = build_workload(concepts, queries, write_every, seed, sessions)
+
+        results: List[Dict[str, Any]] = [{} for _ in ops]
+
+        def fire(index: int) -> None:
+            op = ops[index]
+            started = time.perf_counter()
+            if op["op"] == "ingest":
+                response = server.handle("POST", "/ingest", dict(op["body"]))
+            else:
+                response = server.handle("POST", "/query", dict(op["body"]))
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            entry: Dict[str, Any] = {
+                "op": op["op"],
+                "ok": bool(response.get("ok")),
+                "latency_ms": elapsed_ms,
+            }
+            if not entry["ok"]:
+                entry["error"] = response.get("error")
+            elif op["op"] == "query":
+                entry["ids"] = [
+                    item["object_id"] for item in response["answer"]["items"]
+                ]
+            else:
+                entry["object_id"] = response["object_id"]
+            results[index] = entry
+
+        started = time.perf_counter()
+        if workers == 1:
+            for i in range(len(ops)):
+                fire(i)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="loadgen"
+            ) as pool:
+                list(pool.map(fire, range(len(ops))))
+        elapsed_s = time.perf_counter() - started
+
+        latencies = [r["latency_ms"] for r in results]
+        sample = np.asarray(latencies) if latencies else np.asarray([0.0])
+        read_ids = [r["ids"] for r in results if r["op"] == "query" and r["ok"]]
+        ingested = [r["object_id"] for r in results if r["op"] == "ingest" and r["ok"]]
+        return {
+            "workers": workers,
+            "operations": len(ops),
+            "reads": sum(1 for r in results if r["op"] == "query"),
+            "writes": sum(1 for r in results if r["op"] == "ingest"),
+            "errors": sum(1 for r in results if not r["ok"]),
+            "error_messages": [r["error"] for r in results if not r.get("ok")][:5],
+            "elapsed_s": round(elapsed_s, 3),
+            "throughput_qps": round(len(ops) / elapsed_s, 2) if elapsed_s else 0.0,
+            "latency_ms": {
+                "p50": round(float(np.percentile(sample, 50)), 2),
+                "p95": round(float(np.percentile(sample, 95)), 2),
+                "max": round(float(sample.max()), 2),
+            },
+            "initial_corpus_size": initial_size,
+            "read_ids": read_ids,
+            "ingested_ids": ingested,
+            "engine": server.engine.snapshot(),
+        }
+    finally:
+        server.close()

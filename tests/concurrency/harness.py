@@ -1,0 +1,172 @@
+"""Deterministic interleaving harness for concurrency tests.
+
+Forcing a specific interleaving ("the search arrives while the ingest is
+mid-write") with sleeps is flaky by construction.  This harness does it
+with events instead:
+
+* :class:`Gate` — a rendezvous point.  Instrumented code calls
+  :meth:`Gate.block`; the first caller signals arrival and parks until
+  the test calls :meth:`Gate.release` (later callers pass straight
+  through).  The test meanwhile :meth:`Gate.wait_arrived`\\ s, so it
+  *knows* the thread is parked at the exact line under test.
+* :class:`StepScheduler` — owns gates and method patches.  Use
+  :meth:`StepScheduler.pause_before` to make ``obj.attr`` block at a gate
+  before running; every patch is undone on context exit.
+* :func:`spawn` — run a callable on a named thread, capturing its result
+  or exception for the main thread to re-raise on :meth:`Handle.join`.
+
+The pattern for a forced interleaving::
+
+    with StepScheduler() as sched:
+        gate = sched.pause_before(framework, "add_object", "mid-ingest")
+        writer = spawn(lambda: coordinator.ingest_object([...]))
+        gate.wait_arrived()            # writer now parked inside the write lock
+        reader = spawn(lambda: coordinator.handle_query(query))
+        assert not reader.join_within(0.15)   # reader provably blocked
+        gate.release()
+        writer.join(); answer = reader.join()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+DEFAULT_TIMEOUT = 10.0
+
+
+class Gate:
+    """One rendezvous point inside instrumented code.
+
+    Only the first :meth:`block` caller parks (subsequent calls pass
+    through) so a patched method stays usable after the forced moment.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._arrived = threading.Event()
+        self._released = threading.Event()
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def block(self) -> None:
+        """Called from the instrumented thread; parks the first caller."""
+        with self._lock:
+            self.hits += 1
+            first = self.hits == 1
+        if not first:
+            return
+        self._arrived.set()
+        if not self._released.wait(DEFAULT_TIMEOUT):
+            raise TimeoutError(f"gate {self.name!r} was never released")
+
+    def wait_arrived(self, timeout: float = DEFAULT_TIMEOUT) -> None:
+        """Block the test until the instrumented thread is parked here."""
+        if not self._arrived.wait(timeout):
+            raise TimeoutError(f"no thread arrived at gate {self.name!r}")
+
+    def release(self) -> None:
+        """Let the parked thread continue."""
+        self._released.set()
+
+
+class StepScheduler:
+    """Owns gates and method patches; restores everything on exit."""
+
+    def __init__(self) -> None:
+        self._gates: Dict[str, Gate] = {}
+        self._patches: List[Tuple[Any, str, Any]] = []
+
+    def gate(self, name: str) -> Gate:
+        """The gate called ``name`` (created on first use)."""
+        if name not in self._gates:
+            self._gates[name] = Gate(name)
+        return self._gates[name]
+
+    def pause_before(self, obj: Any, attr: str, gate_name: str) -> Gate:
+        """Patch ``obj.attr`` so its next call parks at a gate first."""
+        gate = self.gate(gate_name)
+        original = getattr(obj, attr)
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            gate.block()
+            return original(*args, **kwargs)
+
+        self._patches.append((obj, attr, original))
+        setattr(obj, attr, wrapper)
+        return gate
+
+    def release_all(self) -> None:
+        """Open every gate (used in teardown so no thread stays parked)."""
+        for gate in self._gates.values():
+            gate.release()
+
+    def restore(self) -> None:
+        """Undo all patches in reverse order."""
+        while self._patches:
+            obj, attr, original = self._patches.pop()
+            setattr(obj, attr, original)
+
+    def __enter__(self) -> "StepScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.release_all()
+        self.restore()
+        return False
+
+
+class Handle:
+    """A spawned thread's future: join re-raises its exception."""
+
+    def __init__(self, thread: threading.Thread, box: Dict[str, Any]) -> None:
+        self._thread = thread
+        self._box = box
+
+    def done(self) -> bool:
+        """True once the thread has finished (success or failure)."""
+        return not self._thread.is_alive()
+
+    def join_within(self, seconds: float) -> bool:
+        """Wait up to ``seconds``; True if the thread finished in time."""
+        self._thread.join(seconds)
+        return self.done()
+
+    def join(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
+        """Wait for completion; return the result or re-raise the error."""
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"thread {self._thread.name!r} did not finish")
+        if "error" in self._box:
+            raise self._box["error"]
+        return self._box.get("result")
+
+
+def spawn(fn: Callable[[], Any], name: Optional[str] = None) -> Handle:
+    """Run ``fn`` on a daemon thread, capturing result or exception."""
+    box: Dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in join()
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, name=name or "concurrency-test", daemon=True)
+    thread.start()
+    return Handle(thread, box)
+
+
+def eventually(
+    predicate: Callable[[], bool],
+    timeout: float = DEFAULT_TIMEOUT,
+    interval: float = 0.005,
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

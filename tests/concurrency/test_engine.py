@@ -1,0 +1,153 @@
+"""Unit interleavings for :class:`RWLock` and the bounded :class:`QueryEngine`."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.concurrency import (
+    READ,
+    WRITE,
+    EngineSaturatedError,
+    QueryEngine,
+    RWLock,
+)
+
+from tests.concurrency.harness import eventually, spawn
+
+
+def _read_once(lock: RWLock) -> None:
+    lock.acquire_read()
+    lock.release_read()
+
+
+def _write_once(lock: RWLock) -> None:
+    lock.acquire_write()
+    lock.release_write()
+
+
+def test_parallel_readers_share_the_lock():
+    lock = RWLock()
+    lock.acquire_read()
+    try:
+        other = spawn(lambda: _read_once(lock), name="reader-2")
+        assert other.join_within(1.0), "second reader blocked behind the first"
+    finally:
+        lock.release_read()
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = RWLock()
+    lock.acquire_write()
+    reader = spawn(lambda: _read_once(lock), name="reader")
+    writer = spawn(lambda: _write_once(lock), name="writer-2")
+    assert not reader.join_within(0.15), "reader entered alongside a writer"
+    assert not writer.join_within(0.05), "two writers held the lock at once"
+    lock.release_write()
+    reader.join()
+    writer.join()
+    assert lock.snapshot() == {
+        "active_readers": 0, "writer_active": 0, "waiting_writers": 0,
+    }
+
+
+def test_waiting_writer_blocks_new_readers():
+    """Writer preference: a queued writer starves no matter how many reads."""
+    lock = RWLock()
+    lock.acquire_read()
+    writer = spawn(lambda: _write_once(lock), name="writer")
+    assert eventually(lambda: lock.snapshot()["waiting_writers"] == 1)
+    late_reader = spawn(lambda: _read_once(lock), name="late-reader")
+    assert not late_reader.join_within(0.15), "new reader jumped the queued writer"
+    lock.release_read()
+    writer.join()
+    late_reader.join()
+
+
+def test_engine_rejects_when_workers_and_queue_full():
+    release = threading.Event()
+    with QueryEngine(workers=2, max_queue=1) as engine:
+        held = [engine.submit(lambda: release.wait(5)) for _ in range(3)]
+        with pytest.raises(EngineSaturatedError):
+            engine.submit(lambda: None)
+        assert engine.snapshot()["rejected"] == 1
+        release.set()
+        assert all(future.result(timeout=5) for future in held)
+        snapshot = engine.snapshot()
+        assert snapshot["completed"] == 3
+        assert snapshot["errors"] == 0
+
+
+def test_inline_engine_runs_on_calling_thread():
+    with QueryEngine(workers=1) as engine:
+        assert engine.snapshot()["inline"] is True
+        ident = engine.submit(lambda: threading.get_ident()).result()
+        assert ident == threading.get_ident()
+        assert engine.snapshot()["completed"] == 1
+
+
+def test_engine_write_mode_is_exclusive():
+    entered = threading.Event()
+    hold = threading.Event()
+
+    def writer() -> str:
+        entered.set()
+        hold.wait(5)
+        return "write"
+
+    with QueryEngine(workers=2, max_queue=4) as engine:
+        write_future = engine.submit(writer, mode=WRITE)
+        assert entered.wait(2)
+        read_future = engine.submit(lambda: "read", mode=READ)
+        time.sleep(0.15)
+        assert not read_future.done(), "read ran alongside an active write"
+        hold.set()
+        assert write_future.result(timeout=5) == "write"
+        assert read_future.result(timeout=5) == "read"
+        snapshot = engine.snapshot()
+        assert snapshot["reads"] == 1
+        assert snapshot["writes"] == 1
+
+
+def test_engine_serialises_same_session_but_not_different_sessions():
+    first_entered = threading.Event()
+    hold = threading.Event()
+
+    def blocked() -> str:
+        first_entered.set()
+        hold.wait(5)
+        return "first"
+
+    with QueryEngine(workers=3, max_queue=4) as engine:
+        first = engine.submit(blocked, session_key=7)
+        assert first_entered.wait(2)
+        same = engine.submit(lambda: "same", session_key=7)
+        other = engine.submit(lambda: "other", session_key=8)
+        assert other.result(timeout=5) == "other", "different session was blocked"
+        time.sleep(0.15)
+        assert not same.done(), "same-session task ran alongside its sibling"
+        hold.set()
+        assert first.result(timeout=5) == "first"
+        assert same.result(timeout=5) == "same"
+        assert engine.snapshot()["sessions_tracked"] == 2
+
+
+def test_engine_counts_task_errors():
+    def boom() -> None:
+        raise ValueError("task exploded")
+
+    with QueryEngine(workers=1) as engine:
+        with pytest.raises(ValueError, match="task exploded"):
+            engine.submit(boom).result()
+        snapshot = engine.snapshot()
+        assert snapshot["errors"] == 1
+        assert snapshot["completed"] == 1
+
+
+def test_engine_rejects_after_shutdown():
+    engine = QueryEngine(workers=2)
+    engine.shutdown()
+    with pytest.raises(EngineSaturatedError):
+        engine.submit(lambda: None)

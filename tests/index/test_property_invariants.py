@@ -1,0 +1,134 @@
+"""Property-based structural invariants for the index layer.
+
+Hypothesis drives random interleavings of add / remove / search against
+:class:`HnswIndex` and :class:`FlatIndex` and asserts, after every
+operation, the invariants the concurrency work leans on:
+
+* the HNSW graph stays structurally sound — bidirectional links (or a
+  saturated row where re-pruning dropped the reverse edge), no dangling
+  neighbour ids, degree caps respected, layer membership consistent with
+  node levels (:meth:`HnswIndex.check_invariants`);
+* tombstoned ("removed") ids never surface from a search, matching the
+  framework's admit-filter deletion model;
+* after any interleaving, HNSW recall@10 against an exact flat scan over
+  the identical corpus stays above the seed floor.
+
+``derandomize=True`` keeps every CI run on the same example set — the
+suite is deterministic, per the concurrency harness's requirements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import SingleVectorKernel
+from repro.index import FlatIndex
+from repro.index.hnsw import HnswIndex, HnswParams
+
+DIM = 16
+INITIAL = 40
+RECALL_FLOOR = 0.85
+K = 10
+BUDGET = 64
+
+
+def _unit_rows(rng: np.random.Generator, n: int) -> np.ndarray:
+    rows = rng.normal(size=(n, DIM))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+@st.composite
+def interleavings(draw):
+    """A seed plus a random add/remove/search operation sequence."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["add", "remove", "search"]),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    return seed, ops
+
+
+def _apply(index, rng: np.random.Generator, op: str, removed: set) -> None:
+    if op == "add":
+        node = index.add(_unit_rows(rng, 1)[0])
+        assert node == index.size - 1
+    elif op == "remove":
+        # Deletion is tombstoning (the framework's admit filter); the
+        # graph keeps the node, searches must never surface it.
+        removed.add(int(rng.integers(index.size)))
+    else:
+        query = _unit_rows(rng, 1)[0]
+        result = index.search(
+            query, k=5, budget=BUDGET, admit=lambda i: i not in removed
+        )
+        assert len(result.ids) == len(set(result.ids)), "duplicate result ids"
+        assert not (set(result.ids) & removed), "tombstoned id surfaced"
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(interleavings())
+def test_hnsw_invariants_under_interleaving(case):
+    seed, ops = case
+    rng = np.random.default_rng(seed)
+    kernel = SingleVectorKernel(DIM)
+    index = HnswIndex(HnswParams(m=6, ef_construction=32, seed=seed % 7))
+    index.build(_unit_rows(rng, INITIAL), kernel)
+    index.check_invariants()
+    removed: set = set()
+    for op in ops:
+        _apply(index, rng, op, removed)
+        index.check_invariants()
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(interleavings())
+def test_flat_invariants_under_interleaving(case):
+    seed, ops = case
+    rng = np.random.default_rng(seed)
+    kernel = SingleVectorKernel(DIM)
+    index = FlatIndex()
+    index.build(_unit_rows(rng, INITIAL), kernel)
+    index.check_invariants()
+    removed: set = set()
+    for op in ops:
+        _apply(index, rng, op, removed)
+        index.check_invariants()
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(st.integers(min_value=0, max_value=2**16))
+def test_hnsw_recall_vs_flat_after_interleaving(seed):
+    """After random grow + tombstone churn, graph recall holds the floor."""
+    rng = np.random.default_rng(seed)
+    kernel = SingleVectorKernel(DIM)
+    initial = _unit_rows(rng, INITIAL + 20)
+    grown = _unit_rows(rng, 40)
+
+    hnsw = HnswIndex(HnswParams(m=8, ef_construction=48, seed=seed % 7))
+    hnsw.build(initial, kernel)
+    flat = FlatIndex()
+    flat.build(initial, kernel)
+    for row in grown:
+        hnsw.add(row)
+        flat.add(row)
+    hnsw.check_invariants()
+    flat.check_invariants()
+    assert hnsw.size == flat.size
+
+    removed = {int(i) for i in rng.choice(hnsw.size, size=10, replace=False)}
+    admit = lambda i: i not in removed  # noqa: E731
+
+    total = 0.0
+    queries = _unit_rows(rng, 8)
+    for query in queries:
+        truth = flat.search(query, k=K, admit=admit)
+        got = hnsw.search(query, k=K, budget=BUDGET, admit=admit)
+        assert not (set(got.ids) & removed)
+        total += len(set(got.ids) & set(truth.ids)) / K
+    recall = total / len(queries)
+    assert recall >= RECALL_FLOOR, f"recall@{K} {recall:.3f} under churn (seed {seed})"
