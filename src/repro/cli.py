@@ -71,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="query-engine worker threads (1 = serial inline execution)",
     )
+    parser.add_argument(
+        "--max-batch", type=int, default=1, dest="max_batch",
+        help="micro-batch size cap for POST /search "
+        "(1 = no coalescing, the serial behaviour)",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0, dest="batch_window_ms",
+        help="how long the micro-batch collector waits for the batch to fill",
+    )
     return parser
 
 
@@ -88,6 +97,8 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         recorder_path=getattr(args, "record", None),
         monitoring=getattr(args, "monitor", False),
         workers=getattr(args, "workers", 1),
+        max_batch=getattr(args, "max_batch", 1),
+        batch_window_ms=getattr(args, "batch_window_ms", 2.0),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -365,6 +376,15 @@ def run_loadgen_command(argv: List[str]) -> int:
         help="simulated remote-LLM latency per generation call",
     )
     parser.add_argument(
+        "--batch", type=int, default=1,
+        help="micro-batch size cap: reads become raw POST /search requests "
+        "that coalesce server-side (1 = dialogue /query verbs, no batching)",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0, dest="batch_window_ms",
+        help="micro-batch collector window",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the full report as JSON"
     )
     args = parser.parse_args(argv)
@@ -381,6 +401,8 @@ def run_loadgen_command(argv: List[str]) -> int:
         size=args.size,
         seed=args.seed,
         llm_latency_ms=args.llm_latency_ms,
+        batch=args.batch,
+        batch_window_ms=args.batch_window_ms,
     )
     print(
         f"  {report['operations']} ops ({report['reads']} reads, "
@@ -399,6 +421,13 @@ def run_loadgen_command(argv: List[str]) -> int:
         f"rejected={engine['rejected']} "
         f"queue wait p95 {engine['queue_wait_ms']['p95']} ms"
     )
+    batching = report.get("batching") or {}
+    if batching.get("enabled"):
+        print(
+            f"  batching: max={batching['max_batch']} "
+            f"batches={batching['batches']} queries={batching['queries']} "
+            f"histogram={batching['histogram']}"
+        )
     if args.json:
         from pathlib import Path
 

@@ -137,6 +137,170 @@ class RWLock:
             }
 
 
+class _BatchSlot:
+    """One submitter's parking spot while the batcher coalesces requests."""
+
+    __slots__ = ("item", "done", "result", "error")
+
+    def __init__(self, item: Any) -> None:
+        self.item = item
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent single-item calls into one batched call.
+
+    Concurrent searches arriving within ``window_ms`` of each other are
+    collected (up to ``max_batch``) and handed to ``runner`` as one list;
+    each submitter receives exactly its own element of the runner's result
+    list.  The batched execution path is bit-identical to the serial one,
+    so coalescing changes throughput, never results.
+
+    Leadership rotates: the first submitter to find no active collector
+    becomes the leader, waits out the window (or until the batch fills),
+    takes the oldest ``max_batch`` pending slots, and executes the runner
+    *outside* the internal lock so the next leader can start collecting
+    while the batch runs.  A leader whose own slot was swept into an
+    earlier batch simply leads on behalf of the remaining waiters.
+
+    With ``max_batch <= 1`` submissions run inline immediately — no
+    waiting, no condition variable — preserving the exact pre-batching
+    serving behaviour.
+
+    Args:
+        runner: Takes the batched items, returns one result per item
+            (``len(results) == len(items)``, positionally matched).
+        max_batch: Largest batch handed to ``runner``.
+        window_ms: How long a leader waits for the batch to fill.
+        clock: Injectable time source (monotonic seconds).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[Any]], List[Any]],
+        max_batch: int = 1,
+        window_ms: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        self._runner = runner
+        self.max_batch = max_batch
+        self.window_ms = window_ms
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._pending: List[_BatchSlot] = []
+        self._leader_active = False
+        self._histogram: Dict[int, int] = {}
+        self._flushes: Dict[str, int] = {
+            "full": 0, "window": 0, "inline": 0, "explicit": 0,
+        }
+        self._batches = 0
+        self._items = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when coalescing can actually happen (``max_batch > 1``)."""
+        return self.max_batch > 1
+
+    def submit(self, item: Any) -> Any:
+        """Run ``item`` through the runner, possibly batched with others.
+
+        Blocks until the item's result is available; re-raises the runner's
+        exception if its batch failed.
+        """
+        if self.max_batch <= 1:
+            result = self._runner([item])[0]
+            with self._cond:
+                self._record(1, "inline")
+            return result
+        slot = _BatchSlot(item)
+        with self._cond:
+            self._pending.append(slot)
+            self._cond.notify_all()
+            while not slot.done:
+                if not self._leader_active and self._pending:
+                    self._lead()
+                else:
+                    self._cond.wait(0.05)
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    def _lead(self) -> None:
+        """Collect and execute one batch.  Caller holds the lock."""
+        self._leader_active = True
+        deadline = self._clock() + self.window_ms / 1000.0
+        while len(self._pending) < self.max_batch:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            self._cond.wait(remaining)
+        batch = self._pending[: self.max_batch]
+        del self._pending[: self.max_batch]
+        reason = "full" if len(batch) >= self.max_batch else "window"
+        self._record(len(batch), reason)
+        # Hand leadership back before running so the next batch can start
+        # collecting while this one executes (batches pipeline under the
+        # coordinator's shared read lock).
+        self._leader_active = False
+        self._cond.notify_all()
+        self._cond.release()
+        try:
+            results = None
+            error: Optional[BaseException] = None
+            try:
+                results = self._runner([slot.item for slot in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"micro-batch runner returned {len(results)} results "
+                        f"for {len(batch)} items"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - mirrored to waiters
+                error = exc
+        finally:
+            self._cond.acquire()
+        for position, slot in enumerate(batch):
+            if error is not None:
+                slot.error = error
+            else:
+                slot.result = results[position]
+            slot.done = True
+        self._cond.notify_all()
+
+    def note(self, size: int, reason: str = "explicit") -> None:
+        """Record an externally-executed batch (e.g. an explicit list
+        request that bypassed the collector) in the statistics."""
+        with self._cond:
+            self._record(size, reason)
+
+    def _record(self, size: int, reason: str) -> None:
+        self._histogram[size] = self._histogram.get(size, 0) + 1
+        self._flushes[reason] = self._flushes.get(reason, 0) + 1
+        self._batches += 1
+        self._items += size
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Batch-size histogram and flush reasons for ``GET /health``."""
+        with self._cond:
+            return {
+                "enabled": self.enabled,
+                "max_batch": self.max_batch,
+                "window_ms": self.window_ms,
+                "batches": self._batches,
+                "queries": self._items,
+                "histogram": {
+                    str(size): count
+                    for size, count in sorted(self._histogram.items())
+                },
+                "flushes": dict(self._flushes),
+            }
+
+
 class QueryEngine:
     """Bounded concurrent dispatcher for API verbs.
 

@@ -92,6 +92,13 @@ class MQAConfig:
             under the read/write lock.
         engine_queue: Requests allowed to wait beyond the running ones
             before the engine sheds load with an engine-saturated error.
+        max_batch: Upper bound on how many concurrent ``/search`` requests
+            the server micro-batches into one batched retrieval.  ``1``
+            (the default) disables coalescing entirely — every request runs
+            alone, exactly the pre-batching behaviour.
+        batch_window_ms: How long the micro-batch collector waits for
+            additional requests before flushing a partial batch.  Only
+            meaningful with ``max_batch > 1``.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -125,6 +132,8 @@ class MQAConfig:
     event_capacity: int = 2048
     workers: int = 1
     engine_queue: int = 64
+    max_batch: int = 1
+    batch_window_ms: float = 2.0
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -215,6 +224,14 @@ class MQAConfig:
         if self.engine_queue < 0:
             raise ConfigurationError(
                 f"engine_queue must be >= 0, got {self.engine_queue}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
             )
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ status board the monitoring panel renders.
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Optional, Sequence
 
 from repro.core.answer import Answer
@@ -293,6 +294,57 @@ class Coordinator:
         if self.quality is not None and user_text:
             self.quality.maybe_score(user_text, answer.ids)
         return answer
+
+    def retrieve_batch(
+        self,
+        queries: Sequence[RawQuery],
+        k: Optional[int] = None,
+        weights: "Dict[Modality, float] | None" = None,
+    ):
+        """Raw batched retrieval for a set of independent queries.
+
+        The fast path behind server micro-batching: no dialogue state, no
+        query rewriting, no answer generation, and no response cache — just
+        the framework's batched search under one shared read-lock
+        acquisition.  Element ``i`` of the returned list is bit-identical
+        (ids and scores) to a serial ``retrieve`` of ``queries[i]``.
+        """
+        self._require_setup()
+        if self.execution is None or self.kb is None:
+            raise CoordinatorError("cannot retrieve in LLM-only mode")
+        k = k if k is not None else self.config.result_count
+        queries = list(queries)
+        if not queries:
+            return []
+        framework = self.execution.framework
+        kwargs = {}
+        if weights is not None:
+            parameters = inspect.signature(framework.retrieve_batch).parameters
+            supported = "weights" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+            if not supported:
+                raise CoordinatorError(
+                    f"framework {framework.name!r} does not support "
+                    "per-query modality weights"
+                )
+            kwargs["weights"] = weights
+        with self.rwlock.read(), Timer() as timer, self.tracer.trace(
+            "query-batch", queries=len(queries), k=k
+        ):
+            responses = framework.retrieve_batch(
+                queries, k=k, budget=self.config.search_budget, **kwargs
+            )
+        self.metrics.inc("coordinator.queries", len(queries))
+        self.metrics.observe(
+            "coordinator.batch_query_ms", timer.elapsed * 1000.0
+        )
+        self.events.record(
+            "coordinator", "execution", "query-batch",
+            f"{len(queries)} queries, k={k}",
+        )
+        return responses
 
     def _record_flight(
         self,

@@ -80,6 +80,8 @@ class ConfigurationPanel:
             "event_capacity",
             "workers",
             "engine_queue",
+            "max_batch",
+            "batch_window_ms",
         ):
             updates[option] = value
         else:

@@ -135,6 +135,15 @@ class ImageRenderer:
             )
         return l2_normalize(self._decoder @ flat)
 
+    def decode_batch(self, images: np.ndarray) -> np.ndarray:
+        """Decode ``(n, pixels)`` (or ``(n, h, w)``) images in one gemm."""
+        flat = np.asarray(images, dtype=np.float64).reshape(len(images), -1)
+        if flat.shape[1] != self.spec.pixels:
+            raise DataError(
+                f"images have {flat.shape[1]} pixels, renderer expects {self.spec.pixels}"
+            )
+        return l2_normalize(flat @ self._decoder.T)
+
 
 @dataclass(frozen=True)
 class AudioSpec:
@@ -183,6 +192,15 @@ class AudioRenderer:
                 f"audio has {frames.size} frames, renderer expects {self.spec.frames}"
             )
         return l2_normalize(self._decoder @ frames)
+
+    def decode_batch(self, audios: np.ndarray) -> np.ndarray:
+        """Decode ``(n, frames)`` clips in one gemm."""
+        frames = np.asarray(audios, dtype=np.float64).reshape(len(audios), -1)
+        if frames.shape[1] != self.spec.frames:
+            raise DataError(
+                f"audio has {frames.shape[1]} frames, renderer expects {self.spec.frames}"
+            )
+        return l2_normalize(frames @ self._decoder.T)
 
 
 class RenderModel:

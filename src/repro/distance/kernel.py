@@ -82,3 +82,37 @@ class DistanceKernel(abc.ABC):
         """
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         return np.stack([self.batch(row, cols) for row in rows])
+
+    def batch_many(self, queries: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Distances from every query row to every ``matrix`` row.
+
+        The batched search path's entry point.  Contract: row ``i`` of the
+        result is *bit-identical* to ``batch(queries[i], matrix)`` — not
+        merely close — so batched searches return exactly the serial ids
+        and distances.  Concrete kernels override this with a vectorised
+        form that preserves that guarantee; the default simply loops.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return np.stack([self.batch(query, matrix) for query in queries])
+
+    def batch_paired(
+        self, queries: np.ndarray, matrix: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        """Distances for the pairs ``(queries[owners[i]], matrix[i])``.
+
+        The ragged companion to :meth:`batch_many`: where ``batch_many``
+        scores every query against every row, this scores each row against
+        exactly one owning query — which is what a lockstep beam search
+        needs, since each beam only cares about its *own* frontier.  Same
+        contract: entry ``i`` is bit-identical to
+        ``batch(queries[owners[i]], matrix[i:i+1])[0]``.  The default
+        loops per owner run; concrete kernels override with one vectorised
+        gather + rowwise evaluation.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        owners = np.asarray(owners, dtype=np.intp)
+        out = np.empty(matrix.shape[0], dtype=np.float64)
+        for i in range(matrix.shape[0]):
+            out[i] = self.batch(queries[owners[i]], matrix[i : i + 1])[0]
+        return out

@@ -190,6 +190,68 @@ class WeightedMultiVectorKernel(DistanceKernel):
         self.stats.segments_total += n_segments
         return total
 
+    def batch_many(self, queries: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if matrix.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"matrix dim {matrix.shape[1]} != schema dim {self.dim}"
+            )
+        n_queries = queries.shape[0]
+        n_rows = matrix.shape[0]
+        out = np.empty((n_queries, n_rows), dtype=np.float64)
+        # Segments tile the concatenated vector, so one full-width
+        # subtract + square per query covers every segment in two dense
+        # 2-D ufunc passes; the per-segment reduces then run over column
+        # slices of that scratch.  The diff/square values, each segment's
+        # pairwise-sum order, the weight scaling, and the segment
+        # accumulation order all match batch() exactly, so each output
+        # row is bit-identical to the serial evaluation of that query
+        # (the dropped leading ``0 +`` is exact: every term is >= +0.0).
+        scratch = np.empty((n_rows, self.dim), dtype=np.float64)
+        acc = np.empty(n_rows, dtype=np.float64)
+        for q in range(n_queries):
+            np.subtract(matrix, queries[q], out=scratch)
+            np.multiply(scratch, scratch, out=scratch)
+            row = out[q]
+            for i, weight in enumerate(self._weights):
+                seg = self.schema.segment(i)
+                np.add.reduce(scratch[:, seg], axis=1, out=acc)
+                if i == 0:
+                    np.multiply(acc, weight, out=row)
+                else:
+                    np.multiply(acc, weight, out=acc)
+                    np.add(row, acc, out=row)
+        count = n_queries * n_rows
+        self.stats.calls += count
+        self.stats.segments_evaluated += count * len(self._weights)
+        self.stats.segments_total += count * len(self._weights)
+        return out
+
+    def batch_paired(
+        self, queries: np.ndarray, matrix: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if matrix.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"matrix dim {matrix.shape[1]} != schema dim {self.dim}"
+            )
+        gathered = queries[np.asarray(owners, dtype=np.intp)]
+        # Same segment order and multiply-then-reduce arithmetic as
+        # batch(), so entry i is bit-identical to the serial evaluation of
+        # (queries[owners[i]], matrix[i]).
+        total = np.zeros(matrix.shape[0])
+        for i, weight in enumerate(self._weights):
+            seg = self.schema.segment(i)
+            diff = matrix[:, seg] - gathered[:, seg]
+            total += weight * (diff * diff).sum(axis=1)
+        n_segments = len(self._weights) * matrix.shape[0]
+        self.stats.calls += matrix.shape[0]
+        self.stats.segments_evaluated += n_segments
+        self.stats.segments_total += n_segments
+        return total
+
     def matrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         from repro.distance.metrics import pairwise_squared_l2
 

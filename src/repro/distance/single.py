@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distance.kernel import DistanceKernel
-from repro.distance.metrics import Metric, pairwise_squared_l2
+from repro.distance.metrics import (
+    Metric,
+    paired_inner_product_distance,
+    paired_squared_l2,
+    pairwise_squared_l2,
+    rowwise_inner_product_distance,
+    rowwise_squared_l2,
+)
 from repro.errors import DimensionMismatchError
 from repro.utils import l2_normalize
 
@@ -49,15 +56,46 @@ class SingleVectorKernel(DistanceKernel):
         return vectors
 
     def batch(self, query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        # The rowwise forms (not the gemm expansion) keep batch() and
+        # batch_many() bitwise interchangeable — see rowwise_squared_l2.
         query = np.asarray(query, dtype=np.float64)
         matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
         if self.metric is Metric.INNER_PRODUCT:
-            distances = -(matrix @ query)
+            distances = rowwise_inner_product_distance(query[None, :], matrix)[0]
         else:
-            distances = pairwise_squared_l2(query[None, :], matrix)[0]
+            distances = rowwise_squared_l2(query[None, :], matrix)[0]
         self.stats.calls += matrix.shape[0]
         self.stats.segments_evaluated += matrix.shape[0]
         self.stats.segments_total += matrix.shape[0]
+        return distances
+
+    def batch_many(self, queries: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        if self.metric is Metric.INNER_PRODUCT:
+            distances = rowwise_inner_product_distance(queries, matrix)
+        else:
+            distances = rowwise_squared_l2(queries, matrix)
+        count = queries.shape[0] * matrix.shape[0]
+        self.stats.calls += count
+        self.stats.segments_evaluated += count
+        self.stats.segments_total += count
+        return distances
+
+    def batch_paired(
+        self, queries: np.ndarray, matrix: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        gathered = queries[np.asarray(owners, dtype=np.intp)]
+        if self.metric is Metric.INNER_PRODUCT:
+            distances = paired_inner_product_distance(gathered, matrix)
+        else:
+            distances = paired_squared_l2(gathered, matrix)
+        count = matrix.shape[0]
+        self.stats.calls += count
+        self.stats.segments_evaluated += count
+        self.stats.segments_total += count
         return distances
 
     def matrix(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:

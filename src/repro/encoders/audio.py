@@ -52,3 +52,19 @@ class SpectralAudioEncoder(Encoder):
             )
         latent_estimate = self.renderer.decode(frames)
         return l2_normalize(self._projection @ latent_estimate)
+
+    def encode_batch(self, modality: Modality, contents) -> np.ndarray:
+        """Whole-corpus encoding as two gemms (decode, project)."""
+        self._require_support(modality)
+        if not len(contents):
+            return np.empty((0, self._output_dim))
+        frames = np.stack(
+            [np.asarray(content, dtype=np.float64).reshape(-1) for content in contents]
+        )
+        if frames.shape[1] != self.renderer.spec.frames:
+            raise EncodingError(
+                f"{self.name} expects {self.renderer.spec.frames} frames, "
+                f"got {frames.shape[1]}"
+            )
+        latent_estimates = self.renderer.decode_batch(frames)
+        return l2_normalize(latent_estimates @ self._projection.T)

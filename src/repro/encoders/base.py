@@ -37,6 +37,18 @@ class Encoder(abc.ABC):
     def encode(self, modality: Modality, content: Any) -> np.ndarray:
         """Encode ``content`` of ``modality`` into a unit-norm vector."""
 
+    def encode_batch(self, modality: Modality, contents: Sequence[Any]) -> np.ndarray:
+        """Encode many contents of one modality into an ``(n, d)`` matrix.
+
+        The default loops over :meth:`encode`; encoders whose pipeline is a
+        linear map override it with one matrix multiply over the whole
+        batch.  Batched corpus vectors may differ from the looped ones at
+        the last-ulp level (gemm accumulation order), which is why only
+        corpus encoding uses this path — query encoding stays per-query so
+        batched retrieval matches serial retrieval bit-for-bit.
+        """
+        return np.stack([self.encode(modality, content) for content in contents])
+
     def supports(self, modality: Modality) -> bool:
         """True if this encoder accepts ``modality``."""
         return Modality.parse(modality) in self.modalities
@@ -154,16 +166,39 @@ class EncoderSet:
             vectors[modality] = donor.copy()
         return vectors
 
+    def encode_query_batch(self, queries: Sequence[RawQuery]) -> list:
+        """Encode many queries; element ``i`` is ``encode_query_full(queries[i])``.
+
+        Deliberately per-query underneath: the batched retrieval path
+        promises results id-identical to serial retrieval, so query vectors
+        must be the exact same floats either way.  Encoding is a handful of
+        gemv calls per query — batching it would change bits for a
+        negligible saving next to the search itself.
+        """
+        return [self.encode_query_full(query) for query in queries]
+
     def encode_corpus(self, objects: Sequence[MultiModalObject]) -> Dict[Modality, np.ndarray]:
-        """Encode a corpus into per-modality matrices (row i = object i)."""
+        """Encode a corpus into per-modality matrices (row i = object i).
+
+        Each modality's column is produced by one :meth:`Encoder.encode_batch`
+        call, so encoders with a vectorised override pay one matrix multiply
+        per modality instead of a Python loop over objects.
+        """
         if not objects:
             raise EncodingError("cannot encode an empty corpus")
-        columns: Dict[Modality, list] = {m: [] for m in self._assignment}
         for obj in objects:
-            vectors = self.encode_object(obj)
-            for modality, vector in vectors.items():
-                columns[modality].append(vector)
-        return {m: np.stack(vs) for m, vs in columns.items()}
+            for modality in self._assignment:
+                if not obj.has(modality):
+                    raise EncodingError(
+                        f"object {obj.object_id} lacks modality {modality.value!r} "
+                        f"required by encoder set {self.name!r}"
+                    )
+        return {
+            modality: encoder.encode_batch(
+                modality, [obj.get(modality) for obj in objects]
+            )
+            for modality, encoder in self._assignment.items()
+        }
 
     def describe(self) -> str:
         """Status-panel summary: encoder and dimension per modality."""

@@ -123,6 +123,31 @@ class SimulatedClipEncoder(Encoder):
         projected = self._projection @ latent_estimate
         return l2_normalize(projected + self.modality_gap * self._gap[modality])
 
+    def encode_batch(self, modality: Modality, contents) -> np.ndarray:
+        """Batched branch: latents per item (text) or one gemm (images),
+        then one shared projection gemm and a broadcast modality-gap add."""
+        modality = self._require_support(modality)
+        if not len(contents):
+            return np.empty((0, self._output_dim))
+        if modality is Modality.TEXT:
+            latents = np.stack([self._encode_text(content) for content in contents])
+        else:
+            images = np.stack(
+                [
+                    np.asarray(content, dtype=np.float64).reshape(-1)
+                    for content in contents
+                ]
+            )
+            if images.shape[1] != self.image_renderer.spec.pixels:
+                raise EncodingError(
+                    f"{self.name} image branch expects "
+                    f"{self.image_renderer.spec.pixels} pixels, "
+                    f"got {images.shape[1]}"
+                )
+            latents = self.image_renderer.decode_batch(images)
+        projected = latents @ self._projection.T
+        return l2_normalize(projected + self.modality_gap * self._gap[modality])
+
     def encode_joint(self, vectors: Dict[Modality, np.ndarray]) -> np.ndarray:
         """Fuse per-modality CLIP vectors into one joint vector.
 

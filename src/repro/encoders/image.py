@@ -101,3 +101,21 @@ class PatchPoolingImageEncoder(Encoder):
         pooled = self._pool @ image.reshape(-1)
         latent_estimate = l2_normalize(self._decoder @ pooled)
         return l2_normalize(self._projection @ latent_estimate)
+
+    def encode_batch(self, modality: Modality, contents) -> np.ndarray:
+        """Whole-corpus encoding as three gemms (pool, decode, project)."""
+        self._require_support(modality)
+        if not len(contents):
+            return np.empty((0, self._output_dim))
+        images = np.stack(
+            [np.asarray(content, dtype=np.float64).reshape(-1) for content in contents]
+        )
+        spec = self.renderer.spec
+        if images.shape[1] != spec.pixels:
+            raise EncodingError(
+                f"{self.name} expects a {spec.height}x{spec.width} image, "
+                f"got {images.shape[1]} pixels"
+            )
+        pooled = images @ self._pool.T
+        latent_estimates = l2_normalize(pooled @ self._decoder.T)
+        return l2_normalize(latent_estimates @ self._projection.T)

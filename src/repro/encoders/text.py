@@ -73,6 +73,16 @@ class BagOfTokensEncoder(Encoder):
         tokens = TextRenderer.tokenize(content)
         if not tokens:
             raise EncodingError(f"{self.name} cannot encode empty text")
+        return l2_normalize(self._projection @ self._latent(content))
+
+    def _latent(self, content: object) -> np.ndarray:
+        if not isinstance(content, str):
+            raise EncodingError(
+                f"{self.name} expects a string, got {type(content).__name__}"
+            )
+        tokens = TextRenderer.tokenize(content)
+        if not tokens:
+            raise EncodingError(f"{self.name} cannot encode empty text")
         accumulated = np.zeros(self.space.latent_dim)
         for token in tokens:
             if token in self.space:
@@ -81,7 +91,15 @@ class BagOfTokensEncoder(Encoder):
                 accumulated += self.oov_weight * _token_pseudo_embedding(
                     token, self.space.latent_dim, self.seed
                 )
-        return l2_normalize(self._projection @ l2_normalize(accumulated))
+        return l2_normalize(accumulated)
+
+    def encode_batch(self, modality: Modality, contents) -> np.ndarray:
+        """Token accumulation stays per-string; projection is one gemm."""
+        self._require_support(modality)
+        if not len(contents):
+            return np.empty((0, self._output_dim))
+        latents = np.stack([self._latent(content) for content in contents])
+        return l2_normalize(latents @ self._projection.T)
 
 
 class SequenceTextEncoder(Encoder):
@@ -134,6 +152,16 @@ class SequenceTextEncoder(Encoder):
         tokens = TextRenderer.tokenize(content)
         if not tokens:
             raise EncodingError(f"{self.name} cannot encode empty text")
+        return l2_normalize(self._projection @ self._latent(content))
+
+    def _latent(self, content: object) -> np.ndarray:
+        if not isinstance(content, str):
+            raise EncodingError(
+                f"{self.name} expects a string, got {type(content).__name__}"
+            )
+        tokens = TextRenderer.tokenize(content)
+        if not tokens:
+            raise EncodingError(f"{self.name} cannot encode empty text")
         state = np.zeros(self.space.latent_dim)
         for token in tokens:
             if token in self.space:
@@ -143,4 +171,12 @@ class SequenceTextEncoder(Encoder):
                     token, self.space.latent_dim, self.seed
                 )
             state = self.recurrence_decay * state + step
-        return l2_normalize(self._projection @ l2_normalize(state))
+        return l2_normalize(state)
+
+    def encode_batch(self, modality: Modality, contents) -> np.ndarray:
+        """The recurrence stays per-string; projection is one gemm."""
+        self._require_support(modality)
+        if not len(contents):
+            return np.empty((0, self._output_dim))
+        latents = np.stack([self._latent(content) for content in contents])
+        return l2_normalize(latents @ self._projection.T)

@@ -58,6 +58,19 @@ class SearchResult:
         return self.ids[0] if self.ids else None
 
 
+def _per_query_admits(admit, n_queries: int) -> List:
+    """Normalise an admit argument (None / shared callable / per-query
+    sequence) into a list with one entry per query."""
+    if admit is None or callable(admit):
+        return [admit] * n_queries
+    admits = list(admit)
+    if len(admits) != n_queries:
+        raise IndexError_(
+            f"got {len(admits)} admit predicates for {n_queries} queries"
+        )
+    return admits
+
+
 class VectorIndex(abc.ABC):
     """Searchable structure over a fixed corpus of vectors.
 
@@ -128,6 +141,29 @@ class VectorIndex(abc.ABC):
             budget: Search effort (beam width / ef); larger trades speed
                 for recall.  Ignored by exact indexes.
         """
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, budget: int = 64, **kwargs
+    ) -> List[SearchResult]:
+        """Top-``k`` for every row of ``queries``; results in input order.
+
+        Contract: element ``i`` is identical (same ids, same distances) to
+        ``search(queries[i], ...)`` — batching is a throughput optimisation,
+        never a behaviour change.  The default simply loops; concrete
+        indexes override it with vectorised or lockstep implementations.
+        Keyword arguments are forwarded to :meth:`search`; an ``admit``
+        kwarg may be a single predicate shared by all queries or a sequence
+        with one (possibly ``None``) predicate per query.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        admits = _per_query_admits(kwargs.pop("admit", None), queries.shape[0])
+        out: List[SearchResult] = []
+        for i in range(queries.shape[0]):
+            call_kwargs = dict(kwargs)
+            if admits[i] is not None:
+                call_kwargs["admit"] = admits[i]
+            out.append(self.search(queries[i], k, budget, **call_kwargs))
+        return out
 
     def describe(self) -> str:
         """One-line summary for the status panel."""

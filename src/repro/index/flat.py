@@ -8,7 +8,12 @@ import numpy as np
 
 from repro.distance.kernel import DistanceKernel
 from repro.errors import SearchError
-from repro.index.base import SearchResult, SearchStats, VectorIndex
+from repro.index.base import (
+    SearchResult,
+    SearchStats,
+    VectorIndex,
+    _per_query_admits,
+)
 
 
 class FlatIndex(VectorIndex):
@@ -93,3 +98,67 @@ class FlatIndex(VectorIndex):
             distances=[float(distances[i]) for i in top],
             stats=stats,
         )
+
+    def search_batch(self, queries, k: int, budget: int = 64, admit=None):
+        """All queries scanned with one kernel dispatch.
+
+        Row ``i`` of the batched distance matrix is bit-identical to the
+        serial ``kernel.batch`` scan, and the per-row top-k selection code
+        is the same — so ids and distances match :meth:`search` exactly.
+        """
+        self._require_built()
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        admits = _per_query_admits(admit, n_queries)
+        all_distances = self.kernel.batch_many(queries, self.vectors)
+        if all(a is None for a in admits):
+            # Unfiltered fast path: one axis-wise argpartition + argsort
+            # selects every row's top-k.  Partition and sort run per row on
+            # the same values the serial path sees, so ids and distances
+            # are identical to per-query search().
+            row_k = min(k, all_distances.shape[1])
+            top = np.argpartition(all_distances, row_k - 1, axis=1)[:, :row_k]
+            picked = np.take_along_axis(all_distances, top, axis=1)
+            order = np.argsort(picked, axis=1)
+            top = np.take_along_axis(top, order, axis=1)
+            picked = np.take_along_axis(picked, order, axis=1)
+            stats_size = self.size
+            return [
+                SearchResult(
+                    ids=top[i].tolist(),
+                    distances=picked[i].tolist(),
+                    stats=SearchStats(hops=0, distance_evaluations=stats_size),
+                )
+                for i in range(n_queries)
+            ]
+        out = []
+        for i in range(n_queries):
+            distances = all_distances[i]
+            row_k = k
+            if admits[i] is not None:
+                predicate = admits[i]
+                mask = np.fromiter(
+                    (predicate(j) for j in range(distances.size)), dtype=bool,
+                    count=distances.size,
+                )
+                distances = np.where(mask, distances, np.inf)
+                if not mask.any():
+                    out.append(SearchResult(
+                        ids=[], distances=[],
+                        stats=SearchStats(distance_evaluations=int(mask.size)),
+                    ))
+                    continue
+                row_k = min(row_k, int(mask.sum()))
+            row_k = min(row_k, distances.size)
+            top = np.argpartition(distances, row_k - 1)[:row_k]
+            top = top[np.argsort(distances[top])]
+            out.append(SearchResult(
+                ids=[int(j) for j in top],
+                distances=[float(distances[j]) for j in top],
+                stats=SearchStats(hops=0, distance_evaluations=self.size),
+            ))
+        return out

@@ -19,7 +19,7 @@ from repro.distance.kernel import DistanceKernel
 from repro.errors import GraphConstructionError, SearchError
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
-from repro.index.search import greedy_search
+from repro.index.search import greedy_search, greedy_search_batch
 from repro.observability import trace_span
 from repro.utils import derive_rng
 
@@ -286,6 +286,87 @@ class HnswIndex(VectorIndex):
             k=k,
             budget=budget,
             entry_points=[current],
+            admit=admit,
+        )
+
+    def _greedy_descend_batch(
+        self, queries: np.ndarray, currents: List[int], layer: int
+    ) -> List[int]:
+        """Lockstep :meth:`_greedy_descend` for every query on one layer.
+
+        Each query replays exactly the serial walk — same ``kernel.single``
+        initialisation, same per-step argmin over its own neighbour list —
+        but all still-walking queries share one ragged ``batch_paired``
+        dispatch per step (each neighbour scored against its own query).
+        """
+        n_queries = queries.shape[0]
+        currents = list(currents)
+        best_distances = [
+            float(self.kernel.single(queries[i], self.vectors[currents[i]]))
+            for i in range(n_queries)
+        ]
+        active = list(range(n_queries))
+        while active:
+            neighbor_lists: Dict[int, List[int]] = {}
+            walking: List[int] = []
+            for i in active:
+                neighbors = self._neighbors(layer, currents[i])
+                if neighbors:
+                    neighbor_lists[i] = neighbors
+                    walking.append(i)
+            if not walking:
+                break
+            flat: List[int] = []
+            owners: List[int] = []
+            for i in walking:
+                flat.extend(neighbor_lists[i])
+                owners.extend([i] * len(neighbor_lists[i]))
+            frontier = self.kernel.batch_paired(
+                queries, self.vectors[flat], owners
+            )
+            cursor = 0
+            improved: List[int] = []
+            for i in walking:
+                neighbors = neighbor_lists[i]
+                distances = frontier[cursor : cursor + len(neighbors)]
+                cursor += len(neighbors)
+                best = int(np.argmin(distances))
+                if float(distances[best]) < best_distances[i]:
+                    currents[i] = neighbors[best]
+                    best_distances[i] = float(distances[best])
+                    improved.append(i)
+            active = improved
+        return currents
+
+    def search_batch(self, queries, k: int, budget: int = 64, admit=None):
+        """Batched search: lockstep descent, then lockstep beam search.
+
+        Per-query ids and distances are identical to :meth:`search`; only
+        the number of kernel dispatches changes.
+        """
+        self._require_built()
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        base = self.base_graph()
+        currents = [self._entry] * n_queries
+        with trace_span(
+            "hnsw-descent", top_layer=self._max_level, queries=n_queries
+        ) as span:
+            for layer in range(self._max_level, 0, -1):
+                currents = self._greedy_descend_batch(queries, currents, layer)
+            span.set(base_entries=len(set(currents)))
+        return greedy_search_batch(
+            base,
+            self.vectors,
+            self.kernel,
+            queries,
+            k=k,
+            budget=budget,
+            entry_points=[[current] for current in currents],
             admit=admit,
         )
 

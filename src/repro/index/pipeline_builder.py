@@ -19,7 +19,7 @@ from repro.distance.kernel import DistanceKernel
 from repro.errors import GraphConstructionError, SearchError
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
-from repro.index.search import greedy_search
+from repro.index.search import greedy_search, greedy_search_batch
 from repro.index.stages import StageFn
 from repro.observability import trace_span
 from repro.pipeline import DagPipeline, NodeReport
@@ -227,6 +227,51 @@ class PipelineGraphIndex(VectorIndex):
             k=k,
             budget=budget,
             use_pruning=use_pruning,
+            admit=admit,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        budget: int = 64,
+        use_pruning: bool = False,
+        kernel: "DistanceKernel | None" = None,
+        admit=None,
+    ) -> List[SearchResult]:
+        """Lockstep batched :meth:`search` with the same keyword surface.
+
+        ``use_pruning`` scores neighbours one at a time with a bound — a
+        per-query scalar loop with nothing to batch — so that mode falls
+        back to serial searches (identical results either way).
+        """
+        self._require_built()
+        if self.graph is None:
+            raise SearchError(f"index {self.name!r} has no graph")
+        active = kernel if kernel is not None else self.kernel
+        if active.dim != self.kernel.dim:
+            raise SearchError(
+                f"override kernel dim {active.dim} != index dim {self.kernel.dim}"
+            )
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if use_pruning:
+            from repro.index.base import _per_query_admits
+
+            admits = _per_query_admits(admit, queries.shape[0])
+            return [
+                greedy_search(
+                    self.graph, self.vectors, active, queries[i],
+                    k=k, budget=budget, use_pruning=True, admit=admits[i],
+                )
+                for i in range(queries.shape[0])
+            ]
+        return greedy_search_batch(
+            self.graph,
+            self.vectors,
+            active,
+            queries,
+            k=k,
+            budget=budget,
             admit=admit,
         )
 

@@ -29,6 +29,8 @@ from repro.index.graph import NavigationGraph
 from repro.observability import trace_span
 
 VisitHook = Callable[[int], None]
+#: Batched variant: called with ``(beam_index, vertex)`` per vector access.
+BatchVisitHook = Callable[[int, int], None]
 
 
 def greedy_search(
@@ -141,16 +143,23 @@ def greedy_search(
             else:
                 distances = kernel.batch(query, vectors[fresh])
                 stats.distance_evaluations += len(fresh)
+                # Hot inner loop: np.float64 scalars go straight into the
+                # heaps (they compare exactly like float), and a full beam
+                # is updated with one heapreplace instead of push+pop.
+                # A displacing neighbour is strictly better than the root
+                # (equal distances take the `continue`), so the replaced
+                # content is identical to the old push-then-pop form.
                 for neighbor, neighbor_distance in zip(fresh, distances):
-                    neighbor_distance = float(neighbor_distance)
                     if results is not None:
                         collect(neighbor, neighbor_distance)
-                    if len(beam) >= budget and neighbor_distance >= -beam[0][0]:
-                        continue
-                    heapq.heappush(candidates, (neighbor_distance, neighbor))
-                    heapq.heappush(beam, (-neighbor_distance, neighbor))
-                    if len(beam) > budget:
-                        heapq.heappop(beam)
+                    if len(beam) >= budget:
+                        if neighbor_distance >= -beam[0][0]:
+                            continue
+                        heapq.heappush(candidates, (neighbor_distance, neighbor))
+                        heapq.heapreplace(beam, (-neighbor_distance, neighbor))
+                    else:
+                        heapq.heappush(candidates, (neighbor_distance, neighbor))
+                        heapq.heappush(beam, (-neighbor_distance, neighbor))
         span.set(
             hops=stats.hops,
             distance_evaluations=stats.distance_evaluations,
@@ -165,3 +174,215 @@ def greedy_search(
         distances=[float(d) for d, _ in top],
         stats=stats,
     )
+
+
+def _normalise_starts(
+    graph: NavigationGraph,
+    entry_points,
+    n_queries: int,
+) -> List[List[int]]:
+    """Per-beam start lists from shared, per-beam, or default entry points."""
+    if entry_points is None:
+        shared = [int(v) for v in graph.entry_points]
+        return [list(shared) for _ in range(n_queries)]
+    eps = list(entry_points)
+    if eps and isinstance(eps[0], (int, np.integer)):
+        shared = [int(v) for v in eps]
+        return [list(shared) for _ in range(n_queries)]
+    per_beam = [[int(v) for v in ep] for ep in eps]
+    if len(per_beam) != n_queries:
+        raise SearchError(
+            f"got {len(per_beam)} entry-point lists for {n_queries} queries"
+        )
+    return per_beam
+
+
+def greedy_search_batch(
+    graph: NavigationGraph,
+    vectors: np.ndarray,
+    kernel: DistanceKernel,
+    queries: np.ndarray,
+    k: int,
+    budget: int = 64,
+    entry_points=None,
+    visit_hook: "BatchVisitHook | None" = None,
+    admit=None,
+) -> List[SearchResult]:
+    """Run Q greedy searches in lockstep, batching distance evaluations.
+
+    Each query gets its own beam, candidate heap, and a preallocated numpy
+    bool ``visited`` row.  Per round, every still-active beam pops
+    candidates until it either finds a vertex with unvisited neighbours or
+    terminates, exactly as the serial loop would; then all frontier
+    neighbours across the expanding beams are scored with **one** ragged
+    ``kernel.batch_paired`` call — each neighbour against its own beam's
+    query, so the pair count matches the serial loop exactly — and the
+    result vector is split back per beam.  Because the kernel's batched
+    entries are bit-identical to its serial evaluations,
+    every beam makes exactly the decisions :func:`greedy_search` would —
+    result ids and distances are identical, only the number of numpy
+    dispatches changes.
+
+    Args:
+        entry_points: ``None`` (graph defaults), a flat sequence of vertex
+            ids shared by all beams, or one sequence per query.
+        visit_hook: Called with ``(beam_index, vertex)`` per vector access.
+        admit: ``None``, a single predicate shared by every beam, or one
+            optional predicate per query.
+
+    Returns:
+        One :class:`SearchResult` per query row, in input order.
+    """
+    if k <= 0:
+        raise SearchError(f"k must be positive, got {k}")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries = queries.shape[0]
+    if n_queries == 0:
+        return []
+    budget = max(budget, k)
+    per_beam_starts = _normalise_starts(graph, entry_points, n_queries)
+    if any(not starts for starts in per_beam_starts):
+        raise SearchError("search needs at least one entry point")
+    if admit is None or callable(admit):
+        admits: List = [admit] * n_queries
+    else:
+        admits = list(admit)
+        if len(admits) != n_queries:
+            raise SearchError(
+                f"got {len(admits)} admit predicates for {n_queries} queries"
+            )
+
+    stats = [SearchStats() for _ in range(n_queries)]
+    visited = np.zeros((n_queries, vectors.shape[0]), dtype=bool)
+    candidates: List[List] = [[] for _ in range(n_queries)]
+    beams: List[List] = [[] for _ in range(n_queries)]
+    results: List = [([] if admits[b] is not None else None) for b in range(n_queries)]
+
+    def touch(beam_index: int, vertex: int) -> None:
+        if visit_hook is not None:
+            visit_hook(beam_index, vertex)
+
+    def collect(beam_index: int, vertex: int, distance) -> None:
+        pool = results[beam_index]
+        if pool is None:
+            return
+        if admits[beam_index](vertex):
+            heapq.heappush(pool, (-distance, vertex))
+            if len(pool) > budget:
+                heapq.heappop(pool)
+
+    with trace_span(
+        "beam-search-batch", queries=n_queries, k=k, budget=budget
+    ) as span:
+        # Seed phase: dedupe each beam's starts, score all of them in one
+        # ragged dispatch (each start against its own beam's query).
+        seed_lists: List[List[int]] = []
+        seed_flat: List[int] = []
+        seed_owners: List[int] = []
+        for b in range(n_queries):
+            unique: List[int] = []
+            for start in per_beam_starts[b]:
+                if not visited[b, start]:
+                    visited[b, start] = True
+                    unique.append(start)
+                    touch(b, start)
+            seed_lists.append(unique)
+            seed_flat.extend(unique)
+            seed_owners.extend([b] * len(unique))
+        seed_distances = kernel.batch_paired(
+            queries, vectors[seed_flat], seed_owners
+        )
+        cursor = 0
+        for b in range(n_queries):
+            stats[b].distance_evaluations += len(seed_lists[b])
+            for vertex in seed_lists[b]:
+                distance = float(seed_distances[cursor])
+                cursor += 1
+                heapq.heappush(candidates[b], (distance, vertex))
+                heapq.heappush(beams[b], (-distance, vertex))
+                collect(b, vertex, distance)
+            while len(beams[b]) > budget:
+                heapq.heappop(beams[b])
+
+        alive = list(range(n_queries))
+        while alive:
+            # Advance each live beam to its next expansion (or retire it).
+            expanding: List[int] = []
+            fresh_lists: dict = {}
+            survivors: List[int] = []
+            for b in alive:
+                fresh = None
+                row_visited = visited[b]
+                while candidates[b]:
+                    distance, vertex = heapq.heappop(candidates[b])
+                    if distance > -beams[b][0][0] and len(beams[b]) >= budget:
+                        break
+                    stats[b].hops += 1
+                    neighbors = [
+                        n for n in graph.neighbors(vertex) if not row_visited[n]
+                    ]
+                    if not neighbors:
+                        continue
+                    row_visited[neighbors] = True
+                    for neighbor in neighbors:
+                        touch(b, neighbor)
+                    fresh = neighbors
+                    break
+                if fresh is not None:
+                    expanding.append(b)
+                    fresh_lists[b] = fresh
+                    survivors.append(b)
+            alive = survivors
+            if not expanding:
+                break
+
+            # One ragged kernel dispatch scores every frontier neighbour of
+            # every expanding beam against exactly its own query — the same
+            # pair count as the serial loop, not queries x union.
+            flat: List[int] = []
+            owners: List[int] = []
+            for b in expanding:
+                fresh = fresh_lists[b]
+                flat.extend(fresh)
+                owners.extend([b] * len(fresh))
+            frontier = kernel.batch_paired(queries, vectors[flat], owners)
+            cursor = 0
+            for b in expanding:
+                fresh = fresh_lists[b]
+                row = frontier[cursor : cursor + len(fresh)]
+                cursor += len(fresh)
+                beam = beams[b]
+                cands = candidates[b]
+                stats[b].distance_evaluations += len(fresh)
+                track = results[b] is not None
+                for neighbor, neighbor_distance in zip(fresh, row):
+                    if track:
+                        collect(b, neighbor, neighbor_distance)
+                    if len(beam) >= budget:
+                        if neighbor_distance >= -beam[0][0]:
+                            continue
+                        heapq.heappush(cands, (neighbor_distance, neighbor))
+                        heapq.heapreplace(beam, (-neighbor_distance, neighbor))
+                    else:
+                        heapq.heappush(cands, (neighbor_distance, neighbor))
+                        heapq.heappush(beam, (-neighbor_distance, neighbor))
+
+        span.set(
+            hops=sum(s.hops for s in stats),
+            distance_evaluations=sum(s.distance_evaluations for s in stats),
+            visited=int(visited.sum()),
+        )
+
+    out: List[SearchResult] = []
+    for b in range(n_queries):
+        pool = beams[b] if results[b] is None else results[b]
+        ordered = sorted(((-d, v) for d, v in pool))
+        top = ordered[:k]
+        out.append(
+            SearchResult(
+                ids=[int(v) for _, v in top],
+                distances=[float(d) for d, _ in top],
+                stats=stats[b],
+            )
+        )
+    return out

@@ -23,7 +23,7 @@ from repro.distance.kernel import DistanceKernel
 from repro.errors import ConfigurationError, SearchError
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
-from repro.index.search import greedy_search
+from repro.index.search import greedy_search, greedy_search_batch
 from repro.index.vamana import VamanaIndex, VamanaParams
 from repro.observability import trace_span
 
@@ -218,6 +218,56 @@ class StarlingIndex(VectorIndex):
                 cache_hits=result.stats.cache_hits,
             )
         return result
+
+    def search_batch(self, queries, k: int, budget: int = 64, admit=None):
+        """Lockstep batched search over the disk-resident graph.
+
+        Ids and distances match :meth:`search` per query.  Block accesses
+        are charged to the shared device in lockstep (interleaved) order,
+        so per-query ``block_reads``/``cache_hits`` describe this batch's
+        cache timeline rather than replaying each query against a cold
+        interleaving — totals are exact, the split is attributed per beam
+        via the visit hook.
+        """
+        self._require_built()
+        assert self.device is not None
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return []
+        reads = [0] * n_queries
+        hits = [0] * n_queries
+        device = self.device
+
+        def charge(beam: int, vertex: int) -> None:
+            reads_before = device.block_reads
+            device.access(vertex)
+            if device.block_reads > reads_before:
+                reads[beam] += 1
+            else:
+                hits[beam] += 1
+
+        with trace_span(
+            "block-io",
+            blocks=device.n_blocks,
+            layout="shuffled" if self.params.shuffled else "naive",
+            queries=n_queries,
+        ) as span:
+            results = greedy_search_batch(
+                self.graph,
+                self.vectors,
+                self.kernel,
+                queries,
+                k=k,
+                budget=budget,
+                visit_hook=charge,
+                admit=admit,
+            )
+            for i, result in enumerate(results):
+                result.stats.block_reads = reads[i]
+                result.stats.cache_hits = hits[i]
+            span.set(block_reads=sum(reads), cache_hits=sum(hits))
+        return results
 
     def io_amplification(self, result: SearchResult) -> float:
         """Blocks read per distance evaluation for one search."""

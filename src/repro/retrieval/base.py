@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
@@ -28,6 +28,21 @@ def search_capabilities(index: VectorIndex) -> Set[str]:
     result filters can be pushed into the traversal or need a fallback.
     """
     return set(inspect.signature(index.search).parameters)
+
+
+def search_batch_capabilities(index: VectorIndex) -> Set[str]:
+    """The optional keyword arguments ``index.search_batch`` accepts.
+
+    The base-class default forwards ``**kwargs`` to :meth:`search`, so when
+    a var-keyword parameter is present the serial capabilities apply too.
+    """
+    parameters = inspect.signature(index.search_batch).parameters
+    names = set(parameters)
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        names |= search_capabilities(index)
+    return names
 
 
 @dataclass
@@ -121,6 +136,18 @@ class RetrievalFramework(abc.ABC):
     @abc.abstractmethod
     def retrieve(self, query: RawQuery, k: int, budget: int = 64) -> RetrievalResponse:
         """Return the top-``k`` objects for ``query``."""
+
+    def retrieve_batch(
+        self, queries: Sequence[RawQuery], k: int, budget: int = 64, **kwargs
+    ) -> List[RetrievalResponse]:
+        """Top-``k`` for every query; element ``i`` matches
+        ``retrieve(queries[i], ...)`` exactly (same ids, same scores).
+
+        Keyword arguments (``filter_fn``, ``weights``, ...) apply to the
+        whole batch.  The default loops; the concrete frameworks override
+        this to share encode and index dispatches across the batch.
+        """
+        return [self.retrieve(query, k, budget=budget, **kwargs) for query in queries]
 
     def add_object(self, obj) -> int:
         """Index one newly ingested object; returns its index id.

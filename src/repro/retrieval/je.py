@@ -11,7 +11,7 @@ constraints (the paper's round-two refinements) lose precision.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -118,6 +118,60 @@ class JointEmbeddingRetrieval(RetrievalFramework):
             )
         ]
         return RetrievalResponse(framework=self.name, items=items, stats=outcome.stats)
+
+    def retrieve_batch(
+        self,
+        queries: Sequence[RawQuery],
+        k: int,
+        budget: int = 64,
+        filter_fn=None,
+    ) -> List[RetrievalResponse]:
+        """Batched :meth:`retrieve`: queries are fused per-query (the exact
+        serial floats), stacked, and resolved with one ``search_batch``."""
+        self._require_ready()
+        assert self.encoder_set is not None and self._index is not None
+        if k <= 0:
+            raise RetrievalError(f"k must be positive, got {k}")
+        queries = list(queries)
+        if not queries:
+            return []
+        with trace_span("encode", queries=len(queries)):
+            joint_queries = np.stack(
+                [
+                    self._fuse(self.encoder_set.encode_query(query))
+                    for query in queries
+                ]
+            )
+        filter_fn = self._compose_filter(filter_fn)
+        with trace_span(
+            "index-search", k=k, budget=budget, queries=len(queries)
+        ) as span:
+            if filter_fn is not None:
+                outcomes = self._index.search_batch(
+                    joint_queries, k=k, budget=budget, admit=filter_fn
+                )
+            else:
+                outcomes = self._index.search_batch(joint_queries, k=k, budget=budget)
+            span.set(
+                hops=sum(o.stats.hops for o in outcomes),
+                distance_evaluations=sum(
+                    o.stats.distance_evaluations for o in outcomes
+                ),
+            )
+        responses: List[RetrievalResponse] = []
+        for outcome in outcomes:
+            items = [
+                RetrievedItem(object_id=object_id, score=distance, rank=rank)
+                for rank, (object_id, distance) in enumerate(
+                    zip(outcome.ids, outcome.distances)
+                )
+            ]
+            responses.append(
+                RetrievalResponse(
+                    framework=self.name, items=items, stats=outcome.stats
+                )
+            )
+        return responses
 
     def describe(self) -> str:
         base = super().describe()

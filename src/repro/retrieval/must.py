@@ -11,8 +11,9 @@ scanning prunes partial distance computations along the way.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
+import numpy as np
 
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
@@ -28,6 +29,7 @@ from repro.retrieval.base import (
     RetrievalFramework,
     RetrievalResponse,
     RetrievedItem,
+    search_batch_capabilities,
     search_capabilities,
 )
 
@@ -164,9 +166,9 @@ class MustRetrieval(RetrievalFramework):
                 rescored = override.batch(
                     concatenated, self._index.vectors[outcome.ids]
                 )
-                order = sorted(
-                    range(len(outcome.ids)), key=lambda i: float(rescored[i])
-                )
+                # kind="stable" preserves candidate order on score ties,
+                # exactly like the sorted(..., key=...) this replaces.
+                order = np.argsort(rescored, kind="stable")
                 outcome.ids = [outcome.ids[i] for i in order]
                 outcome.distances = [float(rescored[i]) for i in order]
         outcome.ids = outcome.ids[:k]
@@ -179,6 +181,102 @@ class MustRetrieval(RetrievalFramework):
             )
         ]
         return RetrievalResponse(framework=self.name, items=items, stats=outcome.stats)
+
+    def retrieve_batch(
+        self,
+        queries: Sequence[RawQuery],
+        k: int,
+        budget: int = 64,
+        weights: "Dict[Modality, float] | None" = None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> List[RetrievalResponse]:
+        """Batched :meth:`retrieve`: the whole batch is concatenated under
+        one schema and resolved by a single lockstep graph traversal, with
+        the same kernel-override / rerank / post-filter decisions as the
+        serial path (reranks stay per-query — they already operate on a
+        short candidate list)."""
+        self._require_ready()
+        assert self.encoder_set is not None
+        assert self._index is not None and self._schema is not None
+        assert self._kernel is not None
+        if k <= 0:
+            raise RetrievalError(f"k must be positive, got {k}")
+        queries = list(queries)
+        if not queries:
+            return []
+        with trace_span("encode", queries=len(queries)):
+            query_vectors_list = self.encoder_set.encode_query_batch(queries)
+            concatenated = np.stack(
+                [
+                    self._schema.concat(query_vectors)
+                    for query_vectors in query_vectors_list
+                ]
+            )
+        override = None
+        if weights is not None:
+            with trace_span("weight-inference", modalities=len(weights)):
+                override = self._kernel.with_weights(weights)
+        filter_fn = self._compose_filter(filter_fn)
+
+        capabilities = search_batch_capabilities(self._index)
+        kwargs = {}
+        if "use_pruning" in capabilities:
+            kwargs["use_pruning"] = self.use_pruning
+        push_kernel = override is not None and "kernel" in capabilities
+        if push_kernel:
+            kwargs["kernel"] = override
+        push_filter = filter_fn is not None and "admit" in capabilities
+        if push_filter:
+            kwargs["admit"] = filter_fn
+
+        rerank = override is not None and not push_kernel
+        post_filter = filter_fn is not None and not push_filter
+        fetch = k
+        if rerank or post_filter:
+            fetch = max(4 * k, k)
+        with trace_span(
+            "index-search", k=fetch, budget=budget, queries=len(queries)
+        ) as span:
+            outcomes = self._index.search_batch(
+                concatenated, k=fetch, budget=budget, **kwargs
+            )
+            span.set(
+                hops=sum(o.stats.hops for o in outcomes),
+                distance_evaluations=sum(
+                    o.stats.distance_evaluations for o in outcomes
+                ),
+            )
+        responses: List[RetrievalResponse] = []
+        for position, outcome in enumerate(outcomes):
+            if post_filter:
+                keep = [
+                    i for i, object_id in enumerate(outcome.ids)
+                    if filter_fn(object_id)
+                ]
+                outcome.ids = [outcome.ids[i] for i in keep]
+                outcome.distances = [outcome.distances[i] for i in keep]
+            if rerank and outcome.ids:
+                with trace_span("rerank", candidates=len(outcome.ids)):
+                    rescored = override.batch(
+                        concatenated[position], self._index.vectors[outcome.ids]
+                    )
+                    order = np.argsort(rescored, kind="stable")
+                    outcome.ids = [outcome.ids[i] for i in order]
+                    outcome.distances = [float(rescored[i]) for i in order]
+            outcome.ids = outcome.ids[:k]
+            outcome.distances = outcome.distances[:k]
+            items = [
+                RetrievedItem(object_id=object_id, score=distance, rank=rank)
+                for rank, (object_id, distance) in enumerate(
+                    zip(outcome.ids, outcome.distances)
+                )
+            ]
+            responses.append(
+                RetrievalResponse(
+                    framework=self.name, items=items, stats=outcome.stats
+                )
+            )
+        return responses
 
     def describe(self) -> str:
         base = super().describe()

@@ -27,9 +27,14 @@ Endpoints (mirroring the demo's backend):
 * ``GET  /profile``            — aggregated per-span-path profile over all
   captured traces (``format="collapsed"`` returns collapsed-stack text
   for flamegraph tooling, ``format="table"`` the rendered table).
+* ``POST /search``             — raw batched retrieval, no dialogue state
+  and no answer generation.  A single-query body (``{"text": ...}``) may
+  be micro-batched with concurrent requests when ``max_batch > 1``; a
+  list body (``{"queries": [...]}``) runs as one explicit batch.
 * ``GET  /health``             — SLO grading (ok / degraded / breach),
-  online retrieval-quality scores, and recorder state (requires
-  ``monitoring`` for the SLO/quality sections).
+  online retrieval-quality scores, recorder state, and the micro-batch
+  collector's batch-size histogram (requires ``monitoring`` for the
+  SLO/quality sections).
 
 Dialogue endpoints accept an optional ``session`` field; all sessions share
 the coordinator (and therefore the index) but keep independent dialogue
@@ -46,9 +51,15 @@ from concurrent.futures import Future
 from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.core import ConfigurationPanel, MQAConfig, QAPanel, StatusPanel
-from repro.core.concurrency import READ, WRITE, EngineSaturatedError, QueryEngine
+from repro.core.concurrency import (
+    READ,
+    WRITE,
+    EngineSaturatedError,
+    MicroBatcher,
+    QueryEngine,
+)
 from repro.core.coordinator import Coordinator
-from repro.data import KnowledgeBase, Modality
+from repro.data import KnowledgeBase, Modality, RawQuery
 from repro.errors import MQAError
 from repro.observability import (
     STATE_OK,
@@ -82,6 +93,12 @@ class ApiServer:
         workers: Engine worker count; overrides ``config.workers`` when
             given (as the CLI ``--workers`` flag does).
         engine_queue: Bounded-queue depth; overrides ``config.engine_queue``.
+        max_batch: Micro-batch size cap for ``POST /search``; overrides
+            ``config.max_batch`` when given (as ``--max-batch`` does).
+            ``1`` disables coalescing — identical serving behaviour to the
+            pre-batching server.
+        batch_window_ms: Collector wait window; overrides
+            ``config.batch_window_ms``.
     """
 
     #: Verbs that mutate shared state — exclusive under the engine lock.
@@ -112,6 +129,8 @@ class ApiServer:
         clock: Optional[Callable[[], float]] = None,
         workers: Optional[int] = None,
         engine_queue: Optional[int] = None,
+        max_batch: Optional[int] = None,
+        batch_window_ms: Optional[float] = None,
     ) -> None:
         self._panel = ConfigurationPanel(config)
         self._knowledge_base = knowledge_base
@@ -125,6 +144,16 @@ class ApiServer:
         self.engine = QueryEngine(
             workers=workers if workers is not None else draft.workers,
             max_queue=engine_queue if engine_queue is not None else draft.engine_queue,
+        )
+        self._batcher_pinned = max_batch is not None or batch_window_ms is not None
+        self.batcher = MicroBatcher(
+            self._run_search_batch,
+            max_batch=max_batch if max_batch is not None else draft.max_batch,
+            window_ms=(
+                batch_window_ms
+                if batch_window_ms is not None
+                else draft.batch_window_ms
+            ),
         )
         self._engine_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
@@ -143,6 +172,7 @@ class ApiServer:
             ("POST", "/session/new"): self._post_session_new,
             ("POST", "/reject"): self._post_reject,
             ("POST", "/remove"): self._post_remove,
+            ("POST", "/search"): self._post_search,
             ("GET", "/metrics"): self._get_metrics,
             ("GET", "/trace"): self._get_trace,
             ("GET", "/profile"): self._get_profile,
@@ -182,6 +212,7 @@ class ApiServer:
             except (TypeError, ValueError):
                 session_key = None  # the handler raises the proper ApiError
         self._maybe_resize_engine()
+        self._maybe_resize_batcher()
         return self.engine.submit(
             lambda: self._dispatch(method, path, body),
             mode=mode,
@@ -219,6 +250,28 @@ class ApiServer:
             old = self.engine
             self.engine = QueryEngine(workers=desired[0], max_queue=desired[1])
             old.shutdown(wait=False)
+
+    def _maybe_resize_batcher(self) -> None:
+        """Follow ``POST /configure`` batching settings (unless pinned).
+
+        Swapping in a fresh collector is safe at any point: waiters on the
+        old instance elect leaders among themselves, so every in-flight
+        submission still completes.
+        """
+        if self._batcher_pinned:
+            return
+        draft = self._panel.config
+        desired = (draft.max_batch, draft.batch_window_ms)
+        if desired == (self.batcher.max_batch, self.batcher.window_ms):
+            return
+        with self._engine_lock:
+            if desired == (self.batcher.max_batch, self.batcher.window_ms):
+                return
+            self.batcher = MicroBatcher(
+                self._run_search_batch,
+                max_batch=desired[0],
+                window_ms=desired[1],
+            )
 
     def close(self) -> None:
         """Shut the engine down (stops accepting work, drains the pool)."""
@@ -435,6 +488,86 @@ class ApiServer:
         coordinator.remove_object(object_id)
         return {"removed_object_id": object_id}
 
+    # ------------------------------------------------------------------
+    # raw batched retrieval
+    # ------------------------------------------------------------------
+    def _search_query(self, coordinator: Coordinator, spec: Dict[str, Any]) -> RawQuery:
+        """Build one :class:`RawQuery` from a ``/search`` request spec."""
+        text = str(self._require_field(spec, "text"))
+        reference_id = spec.get("reference_object_id")
+        if reference_id is not None:
+            reference = coordinator.get_object(int(reference_id))
+            return RawQuery.from_text_and_image(text, reference.get(Modality.IMAGE))
+        return RawQuery.from_text(text)
+
+    @staticmethod
+    def _search_payload(response) -> Dict[str, Any]:
+        return {
+            "framework": response.framework,
+            "items": [
+                {
+                    "object_id": item.object_id,
+                    "score": round(item.score, 6),
+                    "rank": item.rank,
+                }
+                for item in response.items
+            ],
+            "stats": {
+                "hops": response.stats.hops,
+                "distance_evaluations": response.stats.distance_evaluations,
+            },
+        }
+
+    @staticmethod
+    def _weights_key(weights) -> "Tuple | None":
+        if weights is None:
+            return None
+        return tuple(sorted((str(m), float(w)) for m, w in weights.items()))
+
+    def _run_search_batch(self, items):
+        """Micro-batch runner: group compatible requests, one batched
+        retrieval per group.
+
+        Requests coalesce only when they share ``k`` and ``weights`` —
+        mixed groups split into separate ``retrieve_batch`` calls, each
+        still amortising encode and traversal across its members.
+        """
+        coordinator = self._coordinator
+        if coordinator is None:
+            raise ApiError("system not applied yet; POST /apply first")
+        results: list = [None] * len(items)
+        groups: Dict[Any, list] = {}
+        for position, (query, k, weights_key, _weights) in enumerate(items):
+            groups.setdefault((k, weights_key), []).append(position)
+        for (k, _weights_key), members in groups.items():
+            weights = items[members[0]][3]
+            responses = coordinator.retrieve_batch(
+                [items[m][0] for m in members], k=k, weights=weights
+            )
+            for member, response in zip(members, responses):
+                results[member] = response
+        return results
+
+    def _post_search(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        k = self._int_field(body, "k", None)
+        weights = body.get("weights")
+        if "queries" in body:
+            specs = body["queries"]
+            if not isinstance(specs, (list, tuple)) or not specs:
+                raise ApiError("'queries' must be a non-empty list")
+            queries = [
+                self._search_query(coordinator, dict(spec)) for spec in specs
+            ]
+            responses = coordinator.retrieve_batch(queries, k=k, weights=weights)
+            self.batcher.note(len(queries))
+            return {"results": [self._search_payload(r) for r in responses]}
+        query = self._search_query(coordinator, body)
+        response = self.batcher.submit(
+            (query, k, self._weights_key(weights), weights)
+        )
+        return {"result": self._search_payload(response)}
+
     def _get_metrics(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()
         fmt = str(body.get("format", "json")).lower()
@@ -533,6 +666,7 @@ class ApiServer:
             "quality": quality,
             "recorder": recorder,
             "engine": self.engine.snapshot(),
+            "batching": self.batcher.snapshot(),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

@@ -96,6 +96,8 @@ def run_loadgen(
     llm_latency_ms: float = 25.0,
     k: int = 5,
     sessions: int = 4,
+    batch: int = 1,
+    batch_window_ms: float = 2.0,
 ) -> Dict[str, Any]:
     """Build a system, fire the workload, and report the results.
 
@@ -103,6 +105,12 @@ def run_loadgen(
     :meth:`ApiServer.handle`, matching the engine's worker count so the
     bounded queue never rejects — rejections under deliberate over-drive
     are exercised by the concurrency tests instead.
+
+    ``batch > 1`` switches read operations from the dialogue ``/query``
+    verb to raw ``POST /search`` requests and enables server-side
+    micro-batching with that cap: concurrent searches coalesce into one
+    batched retrieval.  Results stay bit-identical to serial execution —
+    only throughput changes.
     """
     config = MQAConfig(
         dataset=DatasetSpec(domain=domain, size=size, seed=seed),
@@ -111,7 +119,10 @@ def run_loadgen(
         result_count=k,
         cache_queries=False,  # uniform read cost; no cross-run cache skew
         weight_learning={"steps": 20, "batch_size": 16},
+        max_batch=batch,
+        batch_window_ms=batch_window_ms,
     )
+    use_search = batch > 1
     server = ApiServer(config)
     try:
         applied = server.handle("POST", "/apply")
@@ -132,6 +143,10 @@ def run_loadgen(
             started = time.perf_counter()
             if op["op"] == "ingest":
                 response = server.handle("POST", "/ingest", dict(op["body"]))
+            elif use_search:
+                response = server.handle(
+                    "POST", "/search", {"text": op["body"]["text"], "k": k}
+                )
             else:
                 response = server.handle("POST", "/query", dict(op["body"]))
             elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -142,12 +157,16 @@ def run_loadgen(
             }
             if not entry["ok"]:
                 entry["error"] = response.get("error")
-            elif op["op"] == "query":
+            elif op["op"] != "query":
+                entry["object_id"] = response["object_id"]
+            elif use_search:
+                entry["ids"] = [
+                    item["object_id"] for item in response["result"]["items"]
+                ]
+            else:
                 entry["ids"] = [
                     item["object_id"] for item in response["answer"]["items"]
                 ]
-            else:
-                entry["object_id"] = response["object_id"]
             results[index] = entry
 
         started = time.perf_counter()
@@ -183,6 +202,7 @@ def run_loadgen(
             "read_ids": read_ids,
             "ingested_ids": ingested,
             "engine": server.engine.snapshot(),
+            "batching": server.batcher.snapshot(),
         }
     finally:
         server.close()

@@ -1,0 +1,119 @@
+"""Property tests: ``batch_many`` row-identity against the serial path.
+
+The batched execution tentpole rests on one contract: for every kernel,
+``batch_many(queries, matrix)[i]`` is *bit-identical* to
+``batch(queries[i], matrix)`` — not merely close.  Everything downstream
+(lockstep beam search, batched retrieval, server micro-batching) inherits
+its "batched results equal serial results" guarantee from this layer, so
+the assertions here compare raw float bytes, and a chunk-forcing test
+pins that corpus-block streaming cannot perturb a single bit either.
+
+``derandomize=True`` keeps CI runs on a fixed example set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import (
+    Metric,
+    MultiVectorSchema,
+    SingleVectorKernel,
+    WeightedMultiVectorKernel,
+)
+from repro.errors import DimensionMismatchError
+
+DIM = 12
+CORPUS = 57
+
+
+def _rows(seed: int, n: int, dim: int = DIM) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_queries=st.integers(min_value=1, max_value=32),
+    metric=st.sampled_from([Metric.SQUARED_L2, Metric.INNER_PRODUCT]),
+)
+def test_single_kernel_batch_many_bit_identical(seed, n_queries, metric):
+    corpus = _rows(seed, CORPUS)
+    queries = _rows(seed + 1, n_queries)
+    kernel = SingleVectorKernel(DIM, metric=metric)
+    stacked = kernel.batch_many(queries, corpus)
+    assert stacked.shape == (n_queries, CORPUS)
+    for i in range(n_queries):
+        serial = kernel.batch(queries[i], corpus)
+        assert stacked[i].tobytes() == serial.tobytes(), (
+            f"row {i} differs from serial batch() under {metric}"
+        )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_queries=st.integers(min_value=1, max_value=32),
+    weights=st.tuples(
+        st.sampled_from([0.3, 0.8, 1.0, 1.7]),
+        st.sampled_from([0.5, 1.0, 2.0]),
+        st.sampled_from([0.25, 1.0, 1.4]),
+    ),
+)
+def test_multivector_batch_many_bit_identical(seed, n_queries, weights):
+    schema = MultiVectorSchema({"text": 5, "image": 4, "audio": 3})
+    kernel = WeightedMultiVectorKernel(
+        schema, dict(zip(("text", "image", "audio"), weights))
+    )
+    corpus = _rows(seed, CORPUS, schema.total_dim)
+    queries = _rows(seed + 1, n_queries, schema.total_dim)
+    stacked = kernel.batch_many(queries, corpus)
+    assert stacked.shape == (n_queries, CORPUS)
+    for i in range(n_queries):
+        serial = kernel.batch(queries[i], corpus)
+        assert stacked[i].tobytes() == serial.tobytes(), (
+            f"row {i} differs from serial batch() under weights {weights}"
+        )
+
+
+@pytest.mark.parametrize("block_rows", [1, 3, 8])
+def test_batch_many_invariant_under_corpus_chunking(monkeypatch, block_rows):
+    """Streaming the corpus through tiny blocks must not move a single bit
+    (rowwise broadcast arithmetic is block-decomposable exactly)."""
+    import repro.distance.metrics as metrics_mod
+
+    corpus = _rows(11, CORPUS)
+    queries = _rows(13, 9)
+    single = SingleVectorKernel(DIM)
+    schema = MultiVectorSchema({"text": 7, "image": 5})
+    multi = WeightedMultiVectorKernel(schema, {"text": 0.8, "image": 1.2})
+    multi_corpus = _rows(17, CORPUS, schema.total_dim)
+    multi_queries = _rows(19, 9, schema.total_dim)
+
+    whole_single = single.batch_many(queries, corpus)
+    whole_multi = multi.batch_many(multi_queries, multi_corpus)
+    monkeypatch.setattr(
+        metrics_mod, "_corpus_chunk_rows", lambda n, d: block_rows
+    )
+    chunked_single = SingleVectorKernel(DIM).batch_many(queries, corpus)
+    chunked_multi = WeightedMultiVectorKernel(
+        schema, {"text": 0.8, "image": 1.2}
+    ).batch_many(multi_queries, multi_corpus)
+    assert chunked_single.tobytes() == whole_single.tobytes()
+    assert chunked_multi.tobytes() == whole_multi.tobytes()
+
+
+def test_batch_many_counts_all_pairs():
+    kernel = SingleVectorKernel(DIM)
+    kernel.batch_many(_rows(3, 5), _rows(4, CORPUS))
+    assert kernel.stats.calls == 5 * CORPUS
+    assert kernel.stats.segments_evaluated == 5 * CORPUS
+
+
+def test_batch_many_rejects_dim_mismatch():
+    kernel = SingleVectorKernel(DIM)
+    with pytest.raises(DimensionMismatchError):
+        kernel.batch_many(_rows(3, 2, DIM + 1), _rows(4, CORPUS))

@@ -1,0 +1,138 @@
+"""Property tests: ``search_batch`` equals per-query serial ``search``.
+
+The lockstep multi-beam traversal (and the trivially vectorised flat/IVF
+scans) must be *behaviour-preserving*: identical result ids, bit-identical
+distances, and identical search-work counters (hops, distance
+evaluations) to running the serial path once per query.  Hypothesis draws
+query subsets, ``k``, and admit-filter shapes (none / shared / per-query)
+against every index family; ``derandomize=True`` keeps CI deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import SingleVectorKernel
+from repro.index import FlatIndex
+from repro.index.hnsw import HnswIndex, HnswParams
+from repro.index.ivf import IvfIndex, IvfParams
+from repro.index.starling import StarlingIndex, StarlingParams
+from repro.index.vamana import VamanaIndex, VamanaParams
+
+DIM = 16
+CORPUS = 220
+N_QUERIES = 24
+BUDGET = 48
+
+FAST_VAMANA = VamanaParams(max_degree=10, candidate_pool=24, build_budget=32)
+
+
+def _unit_rows(seed: int, n: int) -> np.ndarray:
+    rows = np.random.default_rng(seed).normal(size=(n, DIM))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _unit_rows(0, CORPUS)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return _unit_rows(1, N_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def built_indexes(corpus):
+    kernel = SingleVectorKernel(DIM)
+    builders = {
+        "flat": lambda: FlatIndex(),
+        "ivf": lambda: IvfIndex(IvfParams(n_lists=12, nprobe=4, kmeans_iters=4)),
+        "hnsw": lambda: HnswIndex(HnswParams(m=6, ef_construction=32, seed=3)),
+        "vamana": lambda: VamanaIndex(FAST_VAMANA),
+        "starling": lambda: StarlingIndex(
+            StarlingParams(block_size=8, cache_blocks=4, inner=FAST_VAMANA)
+        ),
+    }
+    built = {}
+    for name, builder in builders.items():
+        index = builder()
+        index.build(corpus, SingleVectorKernel(DIM))
+        built[name] = index
+    return built
+
+
+def _admit_from(shape, positions):
+    """None, one shared predicate, or one predicate per query."""
+    if shape is None:
+        return None
+    if shape == "shared":
+        return lambda object_id: object_id % 3 != 0
+    return [
+        (lambda m: (lambda object_id: object_id % m != 0))(2 + (p % 3))
+        for p in positions
+    ]
+
+
+@pytest.mark.parametrize("name", ["flat", "ivf", "hnsw", "vamana", "starling"])
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(data=st.data())
+def test_search_batch_matches_serial(name, built_indexes, queries, data):
+    index = built_indexes[name]
+    positions = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=N_QUERIES - 1),
+            min_size=1,
+            max_size=32,
+        ),
+        label="query positions",
+    )
+    k = data.draw(st.integers(min_value=1, max_value=10), label="k")
+    admit = _admit_from(
+        data.draw(st.sampled_from([None, "shared", "per-query"]), label="admit"),
+        positions,
+    )
+
+    batched = index.search_batch(
+        queries[positions], k=k, budget=BUDGET, admit=admit
+    )
+    assert len(batched) == len(positions)
+    for row, (outcome, position) in enumerate(zip(batched, positions)):
+        one = admit[row] if isinstance(admit, list) else admit
+        if one is None:
+            serial = index.search(queries[position], k=k, budget=BUDGET)
+        else:
+            serial = index.search(queries[position], k=k, budget=BUDGET, admit=one)
+        assert outcome.ids == serial.ids, f"{name} row {row} ids diverged"
+        assert (
+            np.asarray(outcome.distances).tobytes()
+            == np.asarray(serial.distances).tobytes()
+        ), f"{name} row {row} distances diverged"
+        # Identical search work, not merely identical answers: the lockstep
+        # traversal expands exactly the serial frontier.
+        assert outcome.stats.hops == serial.stats.hops
+        assert (
+            outcome.stats.distance_evaluations
+            == serial.stats.distance_evaluations
+        )
+
+
+@pytest.mark.parametrize("name", ["flat", "ivf", "hnsw", "vamana", "starling"])
+def test_search_batch_single_query_equals_search(built_indexes, queries, name):
+    """A batch of one is the serial search, exactly."""
+    index = built_indexes[name]
+    serial = index.search(queries[0], k=5, budget=BUDGET)
+    batched = index.search_batch(queries[:1], k=5, budget=BUDGET)
+    assert len(batched) == 1
+    assert batched[0].ids == serial.ids
+    assert batched[0].distances == serial.distances
+
+
+def test_search_batch_per_query_admit_length_mismatch(built_indexes, queries):
+    with pytest.raises(Exception):
+        built_indexes["flat"].search_batch(
+            queries[:3], k=2, admit=[lambda i: True] * 2
+        )
