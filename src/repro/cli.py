@@ -80,11 +80,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=2.0, dest="batch_window_ms",
         help="how long the micro-batch collector waits for the batch to fill",
     )
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="enable the resilience layer (retries, deadlines, circuit "
+        "breakers, graceful degradation)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help="per-request latency budget in milliseconds (implies --resilience)",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=1, dest="retry_attempts",
+        help="attempts per guarded component call (1 = no retries)",
+    )
+    parser.add_argument(
+        "--inject", action="append", default=None, metavar="SPEC",
+        dest="inject",
+        help="seeded fault injection, repeatable; SPEC is "
+        "'site:key=value[,key=value...]', e.g. "
+        "'llm.generate:error_rate=0.2' or 'encoder:latency_ms=50,"
+        "latency_rate=0.5' (implies --resilience)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, dest="fault_seed",
+        help="seed for the deterministic fault injector",
+    )
     return parser
+
+
+def parse_fault_specs(specs: "Optional[List[str]]") -> dict:
+    """Parse repeated ``--inject site:key=value,...`` flags into a faults dict.
+
+    Raises SystemExit with a usage message on malformed specs; validation
+    of the keys/values themselves happens in ``MQAConfig.validate``.
+    """
+    faults: dict = {}
+    for spec in specs or []:
+        site, sep, body = spec.partition(":")
+        site = site.strip()
+        if not sep or not site or not body.strip():
+            raise SystemExit(
+                f"--inject {spec!r}: expected 'site:key=value[,key=value...]'"
+            )
+        entry = faults.setdefault(site, {})
+        for pair in body.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise SystemExit(
+                    f"--inject {spec!r}: malformed 'key=value' pair {pair!r}"
+                )
+            try:
+                entry[key] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--inject {spec!r}: value for {key!r} must be numeric"
+                ) from None
+    return faults
 
 
 def make_server(args: argparse.Namespace) -> ApiServer:
     """Build and apply the configured system, reporting progress."""
+    faults = parse_fault_specs(getattr(args, "inject", None))
+    deadline_ms = getattr(args, "deadline_ms", None)
+    resilience = bool(
+        getattr(args, "resilience", False) or faults or deadline_ms
+    )
     config = MQAConfig(
         dataset=DatasetSpec(domain=args.domain, size=args.size, seed=args.seed),
         framework=args.framework,
@@ -99,6 +160,11 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         workers=getattr(args, "workers", 1),
         max_batch=getattr(args, "max_batch", 1),
         batch_window_ms=getattr(args, "batch_window_ms", 2.0),
+        resilience=resilience,
+        retry_attempts=getattr(args, "retry_attempts", 1),
+        deadline_ms=deadline_ms,
+        fault_seed=getattr(args, "fault_seed", 0),
+        faults=faults,
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -165,6 +231,29 @@ def print_trace(server: ApiServer) -> None:
     if response.get("ok") and response.get("traces"):
         print("trace:")
         print(format_trace(response["traces"][-1], indent=1))
+
+
+def report_shell_error(server: ApiServer, command: str, exc: BaseException) -> None:
+    """Report a shell-command failure without losing the traceback.
+
+    Prints a one-line error for the user, records the full traceback in
+    the coordinator event log, and increments the ``cli.errors`` metric,
+    so interactive failures are observable via ``/events`` and
+    ``/metrics`` rather than silently swallowed.
+    """
+    import traceback
+
+    print(f"error: {type(exc).__name__}: {exc}")
+    coordinator = server._coordinator
+    if coordinator is None:
+        return
+    coordinator.events.record(
+        "qa", "coordinator", "cli-error",
+        f"{command}: " + "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ).strip(),
+    )
+    coordinator.metrics.inc("cli.errors")
 
 
 def run_shell(server: ApiServer, show_trace: bool = False) -> None:
@@ -256,7 +345,7 @@ def run_shell(server: ApiServer, show_trace: bool = False) -> None:
                 print(ascii_image(obj.get("image")))
                 print("caption:", obj.get("text"))
             except Exception as exc:  # noqa: BLE001 - interactive surface
-                print("error:", exc)
+                report_shell_error(server, "/show", exc)
             continue
         if line.startswith("/refine"):
             text = line[len("/refine") :].strip()

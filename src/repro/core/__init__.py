@@ -12,22 +12,36 @@ from repro.core.config import MQAConfig, WeightMode
 from repro.core.coordinator import Coordinator
 from repro.core.events import Event, EventLog
 from repro.core.panels import ConfigurationPanel, QAPanel, StatusPanel
+from repro.core.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultSpec,
+    ResilienceManager,
+    RetryPolicy,
+)
 from repro.core.session import DialogueSession, Round
 from repro.core.status import Milestone, MilestoneState, StatusBoard
 from repro.core.system import MQASystem
 
 __all__ = [
     "Answer",
+    "CircuitBreaker",
     "ConfigurationPanel",
     "Coordinator",
+    "Deadline",
     "DialogueSession",
     "Event",
     "EventLog",
+    "FaultInjector",
+    "FaultSpec",
     "MQAConfig",
     "MQASystem",
     "Milestone",
     "MilestoneState",
     "QAPanel",
+    "ResilienceManager",
+    "RetryPolicy",
     "Round",
     "StatusBoard",
     "StatusPanel",

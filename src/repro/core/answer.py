@@ -38,6 +38,10 @@ class Answer:
         llm: Name of the generating model ("" in no-LLM mode).
         round_index: Zero-based dialogue round.
         search_stats: Work counters of the retrieval step.
+        degraded: True when the resilience layer delivered this answer in
+            a reduced form (LLM fallback, dropped modality, retrieval
+            unavailable) instead of failing the round.
+        degraded_reasons: Human-readable reason per degradation applied.
     """
 
     text: str
@@ -47,6 +51,8 @@ class Answer:
     llm: str = ""
     round_index: int = 0
     search_stats: SearchStats = field(default_factory=SearchStats)
+    degraded: bool = False
+    degraded_reasons: List[str] = field(default_factory=list)
 
     @property
     def ids(self) -> List[int]:

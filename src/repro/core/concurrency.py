@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
-from repro.errors import MQAError
+from repro.errors import DeadlineExceededError, MQAError
 
 #: Task modes accepted by :meth:`QueryEngine.submit`.
 READ = "read"
@@ -347,6 +347,7 @@ class QueryEngine:
         self._in_flight = 0
         self._completed = 0
         self._rejected = 0
+        self._shed = 0
         self._errors = 0
         self._reads = 0
         self._writes = 0
@@ -373,8 +374,15 @@ class QueryEngine:
         *,
         mode: str = READ,
         session_key: Optional[Hashable] = None,
+        deadline: Optional[Any] = None,
     ) -> "Future[Any]":
         """Schedule ``fn`` under the engine's locks; returns its future.
+
+        ``deadline`` (a :class:`repro.core.resilience.Deadline`) lets the
+        engine shed a request whose latency budget already expired while
+        it waited in the queue — the task fails with
+        :class:`~repro.errors.DeadlineExceededError` instead of running
+        work whose caller has given up.
 
         Raises:
             EngineSaturatedError: All workers are busy and the wait queue
@@ -396,7 +404,9 @@ class QueryEngine:
             self._queued += 1
         if self._pool is not None:
             try:
-                return self._pool.submit(self._run_task, fn, mode, session_key, submitted)
+                return self._pool.submit(
+                    self._run_task, fn, mode, session_key, submitted, deadline
+                )
             except BaseException:
                 self._slots.release()
                 with self._stats_lock:
@@ -407,7 +417,9 @@ class QueryEngine:
         future: "Future[Any]" = Future()
         future.set_running_or_notify_cancel()
         try:
-            future.set_result(self._run_task(fn, mode, session_key, submitted))
+            future.set_result(
+                self._run_task(fn, mode, session_key, submitted, deadline)
+            )
         except BaseException as exc:  # noqa: BLE001 - mirrored into the future
             future.set_exception(exc)
         return future
@@ -428,6 +440,7 @@ class QueryEngine:
         mode: str,
         session_key: Optional[Hashable],
         submitted: float,
+        deadline: Optional[Any] = None,
     ) -> Any:
         self._exec.acquire()
         wait_ms = (self._clock() - submitted) * 1000.0
@@ -445,6 +458,13 @@ class QueryEngine:
             self.session_lock(session_key) if session_key is not None else None
         )
         try:
+            if deadline is not None and deadline.expired:
+                with self._stats_lock:
+                    self._shed += 1
+                raise DeadlineExceededError(
+                    f"request deadline of {deadline.budget_ms:.0f} ms expired "
+                    f"after {wait_ms:.1f} ms in the engine queue"
+                )
             if session_lock is not None:
                 session_lock.acquire()
             try:
@@ -480,6 +500,7 @@ class QueryEngine:
                 "in_flight": self._in_flight,
                 "completed": self._completed,
                 "rejected": self._rejected,
+                "shed": self._shed,
                 "errors": self._errors,
                 "reads": self._reads,
                 "writes": self._writes,

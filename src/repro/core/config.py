@@ -99,6 +99,27 @@ class MQAConfig:
         batch_window_ms: How long the micro-batch collector waits for
             additional requests before flushing a partial batch.  Only
             meaningful with ``max_batch > 1``.
+        resilience: Master switch for the fault-tolerance layer (retries,
+            deadlines, circuit breakers, graceful degradation).  Off by
+            default: every guarded boundary then takes the exact
+            pre-resilience code path.
+        retry_attempts: Total tries per guarded call (1 = no retries).
+        retry_backoff_ms: Backoff before the first retry.
+        retry_multiplier: Exponential backoff growth factor.
+        retry_max_backoff_ms: Backoff ceiling.
+        deadline_ms: Default per-request latency budget; None disables
+            deadlines (requests may override per call).
+        breaker_threshold: Consecutive failures that open a site's
+            circuit breaker.
+        breaker_reset_ms: How long an open breaker waits before letting
+            half-open probe calls through.
+        breaker_half_open_probes: Probe calls allowed in half-open; all
+            succeeding closes the breaker again.
+        fault_seed: Master seed for the deterministic fault injector.
+        faults: Fault-injection specs keyed by call site (or site prefix,
+            e.g. ``"encoder"`` covers ``encoder.text``); each value maps
+            to :class:`~repro.core.resilience.FaultSpec` kwargs.  Inert
+            unless ``resilience`` is on.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -134,6 +155,17 @@ class MQAConfig:
     engine_queue: int = 64
     max_batch: int = 1
     batch_window_ms: float = 2.0
+    resilience: bool = False
+    retry_attempts: int = 1
+    retry_backoff_ms: float = 10.0
+    retry_multiplier: float = 2.0
+    retry_max_backoff_ms: float = 1000.0
+    deadline_ms: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_reset_ms: float = 1000.0
+    breaker_half_open_probes: int = 1
+    fault_seed: int = 0
+    faults: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -233,6 +265,46 @@ class MQAConfig:
             raise ConfigurationError(
                 f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
             )
+        if self.retry_attempts < 1:
+            raise ConfigurationError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.retry_backoff_ms < 0:
+            raise ConfigurationError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.retry_multiplier < 1.0:
+            raise ConfigurationError(
+                f"retry_multiplier must be >= 1, got {self.retry_multiplier}"
+            )
+        if self.retry_max_backoff_ms < self.retry_backoff_ms:
+            raise ConfigurationError(
+                "retry_max_backoff_ms must be >= retry_backoff_ms, got "
+                f"{self.retry_max_backoff_ms} < {self.retry_backoff_ms}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive or None, got {self.deadline_ms}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_ms <= 0:
+            raise ConfigurationError(
+                f"breaker_reset_ms must be positive, got {self.breaker_reset_ms}"
+            )
+        if self.breaker_half_open_probes < 1:
+            raise ConfigurationError(
+                "breaker_half_open_probes must be >= 1, got "
+                f"{self.breaker_half_open_probes}"
+            )
+        if self.faults:
+            # Reuse the injector's own validation so the config panel and
+            # CLI reject bad specs at configuration time, not mid-query.
+            from repro.core.resilience import FaultInjector
+
+            FaultInjector(seed=self.fault_seed, specs=self.faults)
 
     # ------------------------------------------------------------------
     # serialisation (the flight recorder embeds the config so a replay

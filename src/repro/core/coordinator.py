@@ -11,7 +11,7 @@ status board the monitoring panel renders.
 from __future__ import annotations
 
 import inspect
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.answer import Answer
 from repro.core.cache import QueryCache
@@ -23,11 +23,12 @@ from repro.core.generation import AnswerGeneration
 from repro.core.indexing import IndexConstruction
 from repro.core.preprocessing import DataPreprocessing
 from repro.core.representation import RepresentationOutcome, VectorRepresentation
+from repro.core.resilience import Deadline, ResilienceManager
 from repro.core.status import StatusBoard
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
 from repro.data.objects import RawQuery
-from repro.errors import CoordinatorError
+from repro.errors import CoordinatorError, MQAError
 from repro.llm import QueryRewriter, build_llm
 from repro.llm.prompts import DialogueTurn
 from repro.observability import (
@@ -91,10 +92,12 @@ class Coordinator:
             else None
         )
         self.quality: Optional[QualityMonitor] = None  # needs the kb; see setup()
+        self.resilience = ResilienceManager.from_config(config, metrics=self.metrics)
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
         self.execution: Optional[QueryExecution] = None
         self.generation: Optional[AnswerGeneration] = None
+        self._fallback_generation: Optional[AnswerGeneration] = None
         self._is_setup = False
 
     # ------------------------------------------------------------------
@@ -233,6 +236,11 @@ class Coordinator:
     def _run_llm_setup(self, context: dict) -> None:
         llm = build_llm(self.config.llm, self.config.llm_params) if self.config.llm else None
         self.generation = AnswerGeneration(llm=llm, temperature=self.config.temperature)
+        # The degradation target when the real LLM fails: same component,
+        # no model — produces the grounded retrieval-only listing.
+        self._fallback_generation = AnswerGeneration(
+            llm=None, temperature=self.config.temperature
+        )
         detail = self.config.llm or "none (direct engagement mode)"
         self.events.record("coordinator", "generation", "llm", detail)
         return None
@@ -254,6 +262,7 @@ class Coordinator:
         weights: "Dict[Modality, float] | None" = None,
         exclude_ids: Sequence[int] = (),
         where=None,
+        deadline_ms: Optional[float] = None,
     ) -> Answer:
         """Run one full query round through execution and generation.
 
@@ -261,12 +270,15 @@ class Coordinator:
         configuration box's "modality weights at the query point").
         ``where`` filters results by a predicate over
         :class:`~repro.data.MultiModalObject` (metadata filtering).
+        ``deadline_ms`` overrides the configured per-request latency
+        budget (resilience mode only; None uses ``config.deadline_ms``).
         """
         self._require_setup()
         assert self.generation is not None
         k = k if k is not None else self.config.result_count
         user_text = str(query.get(Modality.TEXT)) if query.has(Modality.TEXT) else ""
         had_image = query.has(Modality.IMAGE)
+        deadline = self.resilience.deadline(deadline_ms)
 
         self.events.record(
             "frontend", "coordinator", "raw-query",
@@ -279,9 +291,11 @@ class Coordinator:
         ):
             answer = self._run_query_round(
                 query, user_text, had_image, history, preferred_ids,
-                round_index, k, weights, exclude_ids, where,
+                round_index, k, weights, exclude_ids, where, deadline,
             )
         self.metrics.inc("coordinator.queries")
+        if answer.degraded:
+            self.metrics.inc("coordinator.degraded")
         self.metrics.observe("coordinator.query_ms", round_timer.elapsed * 1000.0)
         # Recording and quality scoring happen OUTSIDE the trace block: they
         # must not add spans, or a replayed flight would never match its
@@ -308,6 +322,16 @@ class Coordinator:
         the framework's batched search under one shared read-lock
         acquisition.  Element ``i`` of the returned list is bit-identical
         (ids and scores) to a serial ``retrieve`` of ``queries[i]``.
+
+        Cache interaction (audited, intentional): this path neither reads
+        nor writes :class:`~repro.core.cache.QueryCache`.  Bypassing is
+        consistent with the serial path because the cache is *transparent*
+        there — a serial hit returns the same items a fresh search would,
+        and every ingestion/removal invalidates the whole cache under the
+        write lock.  A serial query after a batch therefore cannot observe
+        stale or divergent results: both paths always reflect the current
+        index generation.  Populating the cache from batches would only
+        add churn (batch traffic is ad-hoc search, not dialogue rounds).
         """
         self._require_setup()
         if self.execution is None or self.kb is None:
@@ -408,8 +432,10 @@ class Coordinator:
         weights: "Dict[Modality, float] | None",
         exclude_ids: Sequence[int],
         where,
+        deadline: Optional[Deadline] = None,
     ) -> Answer:
         assert self.generation is not None
+        degraded_reasons: List[str] = []
         if (
             self.config.query_rewriting
             and self.kb is not None
@@ -436,8 +462,17 @@ class Coordinator:
                 )
                 query = query.with_content(Modality.TEXT, rewritten)
 
+        if (
+            self.resilience.enabled
+            and self.representation is not None
+            and self.kb is not None
+        ):
+            query, weights = self._drop_failing_modalities(
+                query, weights, deadline, degraded_reasons
+            )
+
         response = None
-        if self.execution is not None and self.kb is not None:
+        if self.execution is not None and self.kb is not None and query is not None:
             filter_fn = None
             if where is not None:
                 kb = self.kb
@@ -445,36 +480,59 @@ class Coordinator:
             self.status.start("query execution")
             self.events.record("coordinator", "execution", "query", f"k={k}")
             with Timer() as timer:
-                response = self.execution.execute(
-                    query,
-                    k=k,
-                    budget=self.config.search_budget,
-                    weights=weights,
-                    exclude_ids=exclude_ids,
-                    filter_fn=filter_fn,
+                if not self.resilience.enabled:
+                    response = self.execution.execute(
+                        query,
+                        k=k,
+                        budget=self.config.search_budget,
+                        weights=weights,
+                        exclude_ids=exclude_ids,
+                        filter_fn=filter_fn,
+                    )
+                else:
+                    try:
+                        response = self.resilience.call(
+                            "index.search",
+                            lambda: self.execution.execute(
+                                query,
+                                k=k,
+                                budget=self.config.search_budget,
+                                weights=weights,
+                                exclude_ids=exclude_ids,
+                                filter_fn=filter_fn,
+                            ),
+                            deadline=deadline,
+                        )
+                    except MQAError as exc:
+                        degraded_reasons.append(
+                            f"retrieval unavailable ({type(exc).__name__})"
+                        )
+                        self.resilience.record_fallback("retrieval_unavailable")
+                        self.status.fail(
+                            "query execution", f"{type(exc).__name__}: {exc}"
+                        )
+                        self.events.record(
+                            "execution", "generation", "search-failed",
+                            f"{type(exc).__name__}: {exc}"[:80],
+                        )
+            if response is not None:
+                self.status.finish(
+                    "query execution",
+                    timer.elapsed,
+                    results=str(len(response)),
+                    framework=response.framework,
+                    hops=str(response.stats.hops),
                 )
-            self.status.finish(
-                "query execution",
-                timer.elapsed,
-                results=str(len(response)),
-                framework=response.framework,
-                hops=str(response.stats.hops),
-            )
-            self.events.record(
-                "execution", "generation", "search-results",
-                f"{len(response)} items via {response.framework}",
-            )
+                self.events.record(
+                    "execution", "generation", "search-results",
+                    f"{len(response)} items via {response.framework}",
+                )
 
         self.status.start("answer generation")
         with Timer() as timer, trace_span("generation") as span:
-            answer = self.generation.generate(
-                user_text,
-                response,
-                self.kb,
-                history=history,
-                preferred_ids=preferred_ids,
-                had_image=had_image,
-                round_index=round_index,
+            answer = self._generate_answer(
+                user_text, response, history, preferred_ids, had_image,
+                round_index, deadline, degraded_reasons,
             )
             span.set(llm=answer.llm or "none", grounded=answer.grounded)
         self.status.finish(
@@ -486,7 +544,149 @@ class Coordinator:
         self.events.record(
             "generation", "frontend", "answer", answer.text[:60]
         )
+        if degraded_reasons:
+            answer.degraded = True
+            answer.degraded_reasons = degraded_reasons
         return answer
+
+    # ------------------------------------------------------------------
+    # graceful degradation (resilience mode only)
+    # ------------------------------------------------------------------
+    def _drop_failing_modalities(
+        self,
+        query: RawQuery,
+        weights: "Dict[Modality, float] | None",
+        deadline: Optional[Deadline],
+        degraded_reasons: List[str],
+    ) -> "Tuple[RawQuery | None, Dict[Modality, float] | None]":
+        """Probe each query modality's encoder; drop the ones that fail.
+
+        Encoders are pure functions of their content, so a successful
+        probe guarantees the framework's own encode of the same content
+        succeeds identically.  Returns the (possibly reduced) query — or
+        None when no modality survives — plus weights renormalised over
+        the surviving modalities.
+        """
+        assert self.representation is not None
+        encoder_set = self.representation.encoder_set
+        dropped: List[Modality] = []
+        for modality in query.modalities:
+            if modality not in encoder_set.modalities:
+                continue
+            encoder = encoder_set.encoder_for(modality)
+            content = query.get(modality)
+            try:
+                self.resilience.call(
+                    f"encoder.{modality.value}",
+                    lambda enc=encoder, m=modality, c=content: enc.encode(m, c),
+                    deadline=deadline,
+                )
+            except MQAError as exc:
+                dropped.append(modality)
+                degraded_reasons.append(
+                    f"modality {modality.value} dropped ({type(exc).__name__})"
+                )
+                self.resilience.record_fallback("modality_dropped")
+                self.events.record(
+                    "representation", "execution", "modality-dropped",
+                    f"{modality.value}: {type(exc).__name__}: {exc}"[:80],
+                )
+        if not dropped:
+            return query, weights
+        remaining = {
+            modality: query.get(modality)
+            for modality in query.modalities
+            if modality not in dropped
+        }
+        if not remaining:
+            degraded_reasons.append("retrieval skipped (no encodable modality)")
+            self.resilience.record_fallback("retrieval_unavailable")
+            return None, weights
+        reduced = RawQuery(content=remaining, metadata=dict(query.metadata))
+        return reduced, self._renormalised_weights(weights, dropped)
+
+    def _renormalised_weights(
+        self,
+        weights: "Dict[Modality, float] | None",
+        dropped: Sequence[Modality],
+    ) -> "Dict[Modality, float] | None":
+        """Redistribute the dropped modalities' weight over the survivors.
+
+        The distance kernels expect a weight for *every* schema modality,
+        so dropped modalities stay in the map pinned to 0.0 while the
+        survivors are rescaled to sum to 1.  Frameworks without a
+        per-query ``weights`` capability (joint embedding) fuse with
+        their built-in weighting, so they get None.
+        """
+        if self.execution is None or "weights" not in self.execution.capabilities:
+            return None
+        if weights is not None:
+            base = {Modality.parse(m): float(w) for m, w in weights.items()}
+        elif self.representation is not None:
+            base = dict(self.representation.weights)
+        else:
+            return None
+        kept_total = sum(w for m, w in base.items() if m not in dropped)
+        if kept_total <= 0:
+            return None
+        return {
+            m: (0.0 if m in dropped else w / kept_total)
+            for m, w in base.items()
+        }
+
+    def _generate_answer(
+        self,
+        user_text: str,
+        response,
+        history: Sequence[DialogueTurn],
+        preferred_ids: Sequence[int],
+        had_image: bool,
+        round_index: int,
+        deadline: Optional[Deadline],
+        degraded_reasons: List[str],
+    ) -> Answer:
+        """Generation with LLM fallback: a failing or out-of-budget LLM
+        degrades to the retrieval-only listing instead of failing the
+        round."""
+        assert self.generation is not None
+
+        def generate(component: AnswerGeneration) -> Answer:
+            return component.generate(
+                user_text,
+                response,
+                self.kb,
+                history=history,
+                preferred_ids=preferred_ids,
+                had_image=had_image,
+                round_index=round_index,
+            )
+
+        guarded = self.resilience.enabled and self.generation.llm is not None
+        if not guarded:
+            return generate(self.generation)
+        assert self._fallback_generation is not None
+        if deadline is not None and deadline.expired:
+            degraded_reasons.append("llm skipped (deadline exhausted)")
+            self.resilience.record_fallback("llm_fallback")
+            self.events.record(
+                "generation", "frontend", "generation-fallback",
+                "deadline exhausted before LLM call",
+            )
+            return generate(self._fallback_generation)
+        try:
+            return self.resilience.call(
+                "llm.generate",
+                lambda: generate(self.generation),
+                deadline=deadline,
+            )
+        except MQAError as exc:
+            degraded_reasons.append(f"llm fallback ({type(exc).__name__})")
+            self.resilience.record_fallback("llm_fallback")
+            self.events.record(
+                "generation", "frontend", "generation-fallback",
+                f"{type(exc).__name__}: {exc}"[:80],
+            )
+            return generate(self._fallback_generation)
 
     # ------------------------------------------------------------------
     # incremental ingestion
@@ -502,6 +702,13 @@ class Coordinator:
         The object is rendered into every configured modality, encoded with
         the active encoder set, and inserted into the retrieval framework's
         index structures — no rebuild.  Returns the new object id.
+
+        Exception safety: if the index insertion fails, the freshly
+        created knowledge-base object is discarded and the query cache is
+        invalidated before the error propagates, so no reader can ever
+        observe an object that exists in the store but not in the index.
+        Events are recorded while the write lock is still held, keeping
+        the event log's ordering consistent with the mutation order.
         """
         self._require_setup()
         if self.kb is None or self.execution is None:
@@ -510,29 +717,68 @@ class Coordinator:
             obj = self.kb.create_object(
                 concepts, intensities=intensities, metadata=metadata
             )
-            self.execution.framework.add_object(obj)
+            try:
+                self.resilience.call(
+                    "store.ingest",
+                    lambda: self.execution.framework.add_object(obj),
+                    retryable=False,
+                )
+            except BaseException as exc:
+                self.kb.discard_object(obj.object_id)
+                if self.execution.cache is not None:
+                    self.execution.cache.invalidate()
+                self.events.record(
+                    "preprocessing", "coordinator", "ingest-failed",
+                    f"object {obj.object_id} rolled back: "
+                    f"{type(exc).__name__}: {exc}"[:80],
+                )
+                self.metrics.inc("coordinator.ingest_errors")
+                raise
             if self.execution.cache is not None:
                 self.execution.cache.invalidate()
-        self.events.record(
-            "frontend", "preprocessing", "ingest",
-            f"object {obj.object_id}: {', '.join(obj.concepts)}",
-        )
+            self.events.record(
+                "frontend", "preprocessing", "ingest",
+                f"object {obj.object_id}: {', '.join(obj.concepts)}",
+            )
         return obj.object_id
 
     def remove_object(self, object_id: int) -> None:
-        """Tombstone an object: it stays stored but never surfaces again."""
+        """Tombstone an object: it stays stored but never surfaces again.
+
+        Exception safety: the tombstone, the ``deleted`` metadata flag,
+        and the cache invalidation apply atomically under the write lock —
+        a failed framework removal restores the tombstone set before the
+        error propagates, so the store's metadata never disagrees with
+        the index's view of which objects are live.
+        """
         self._require_setup()
         if self.kb is None or self.execution is None:
             raise CoordinatorError("cannot remove objects in LLM-only mode")
         with self.rwlock.write():
             obj = self.kb.get(object_id)  # validates the id
-            self.execution.framework.remove_object(object_id)
+            already_deleted = object_id in self.execution.framework.deleted_ids
+            try:
+                self.resilience.call(
+                    "store.remove",
+                    lambda: self.execution.framework.remove_object(object_id),
+                    retryable=False,
+                )
+            except BaseException as exc:
+                if not already_deleted:
+                    self.execution.framework.restore_object(object_id)
+                self.events.record(
+                    "preprocessing", "coordinator", "remove-failed",
+                    f"object {object_id} rolled back: "
+                    f"{type(exc).__name__}: {exc}"[:80],
+                )
+                self.metrics.inc("coordinator.remove_errors")
+                raise
             obj.metadata["deleted"] = True
             if self.execution.cache is not None:
                 self.execution.cache.invalidate()
-        self.events.record(
-            "frontend", "preprocessing", "remove", f"object {object_id}"
-        )
+            self.events.record(
+                "frontend", "preprocessing", "remove", f"object {object_id}"
+            )
 
     # ------------------------------------------------------------------
     # introspection used by the panels

@@ -54,6 +54,16 @@ class QueryExecution:
                 self._capabilities = set(parameters)
         return self._capabilities
 
+    @property
+    def capabilities(self) -> frozenset:
+        """Optional ``retrieve`` kwargs the framework accepts.
+
+        Public read-only view used by the coordinator's degradation
+        policies (e.g. only pass renormalised weights to frameworks that
+        take a ``weights`` kwarg).
+        """
+        return frozenset(self._retrieve_capabilities())
+
     def execute(
         self,
         query: RawQuery,

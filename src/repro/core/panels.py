@@ -82,6 +82,17 @@ class ConfigurationPanel:
             "engine_queue",
             "max_batch",
             "batch_window_ms",
+            "resilience",
+            "retry_attempts",
+            "retry_backoff_ms",
+            "retry_multiplier",
+            "retry_max_backoff_ms",
+            "deadline_ms",
+            "breaker_threshold",
+            "breaker_reset_ms",
+            "breaker_half_open_probes",
+            "fault_seed",
+            "faults",
         ):
             updates[option] = value
         else:

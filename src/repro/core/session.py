@@ -108,6 +108,7 @@ class DialogueSession:
         k: Optional[int] = None,
         weights: Optional[dict] = None,
         where=None,
+        deadline_ms: Optional[float] = None,
     ) -> Answer:
         """Start (or continue) the dialogue with a fresh query.
 
@@ -118,6 +119,8 @@ class DialogueSession:
             weights: Per-query modality weights (e.g. lean on the image).
             where: Predicate over objects restricting results (metadata
                 filtering, e.g. ``lambda obj: "wool" in obj.concepts``).
+            deadline_ms: Per-request latency budget override (resilience
+                mode only).
         """
         if not text:
             raise SessionError("query text must be non-empty")
@@ -125,7 +128,10 @@ class DialogueSession:
             query = RawQuery.from_text_and_image(text, image)
         else:
             query = RawQuery.from_text(text)
-        return self._run(query, text, k=k, weights=weights, where=where)
+        return self._run(
+            query, text, k=k, weights=weights, where=where,
+            deadline_ms=deadline_ms,
+        )
 
     def select(self, rank: int) -> int:
         """Mark the item at ``rank`` of the last answer as preferred.
@@ -165,6 +171,7 @@ class DialogueSession:
         text: str,
         k: Optional[int] = None,
         weights: Optional[dict] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Answer:
         """Refine using the selected item of the previous round.
 
@@ -181,7 +188,9 @@ class DialogueSession:
                 raise SessionError("select a result before refining")
             selected = self.coordinator.get_object(selected_id)
             query = QueryExecution.augment_query(text, selected)
-            return self._run(query, text, k=k, weights=weights)
+            return self._run(
+                query, text, k=k, weights=weights, deadline_ms=deadline_ms
+            )
 
     # ------------------------------------------------------------------
     # export
@@ -204,6 +213,8 @@ class DialogueSession:
                         "grounded": r.answer.grounded,
                         "framework": r.answer.framework,
                         "llm": r.answer.llm,
+                        "degraded": r.answer.degraded,
+                        "degraded_reasons": list(r.answer.degraded_reasons),
                         "items": [
                             {
                                 "object_id": item.object_id,
@@ -233,6 +244,7 @@ class DialogueSession:
         k: Optional[int] = None,
         weights: Optional[dict] = None,
         where=None,
+        deadline_ms: Optional[float] = None,
     ) -> Answer:
         with self._lock:
             answer = self.coordinator.handle_query(
@@ -244,6 +256,7 @@ class DialogueSession:
                 weights=weights,
                 exclude_ids=sorted(self._rejected_ids()),
                 where=where,
+                deadline_ms=deadline_ms,
             )
             self.rounds.append(
                 Round(

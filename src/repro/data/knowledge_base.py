@@ -92,6 +92,15 @@ class KnowledgeBase:
             metadata=metadata,
         )
 
+    def discard_object(self, object_id: int) -> None:
+        """Roll back the most recent :meth:`create_object`.
+
+        Used by the coordinator when the index insertion of a freshly
+        created object fails: the store must not keep an object the index
+        will never surface.  Only the newest object can be discarded.
+        """
+        self.store.discard_last(object_id)
+
     def render_view(self, object_id: int, view_seed: int) -> dict:
         """Re-render an existing object's content with fresh noise.
 

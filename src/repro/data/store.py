@@ -64,6 +64,20 @@ class ObjectStore:
             raise UnknownObjectError(object_id)
         return self._objects[object_id]
 
+    def discard_last(self, object_id: int) -> None:
+        """Roll back the most recent add.
+
+        Only the newest object may be discarded — dense ids must stay
+        dense — so ``object_id`` is required and checked to make the
+        caller's rollback intent explicit.
+        """
+        if not self._objects or self._objects[-1].object_id != object_id:
+            raise DataError(
+                f"cannot discard object {object_id}: it is not the most "
+                "recently added object"
+            )
+        self._objects.pop()
+
     def ids(self) -> range:
         """All assigned ids, in order."""
         return range(len(self._objects))

@@ -87,3 +87,33 @@ class SessionError(MQAError):
 
 class CoordinatorError(MQAError):
     """Raised by the coordinator when component orchestration fails."""
+
+
+class ResilienceError(MQAError):
+    """Base class for the fault-injection / graceful-degradation layer."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A fault deliberately raised by the seeded fault injector.
+
+    Carries the call site so chaos tests can assert which boundary failed.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
+class DeadlineExceededError(ResilienceError):
+    """A per-request deadline budget ran out before the work completed."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the component is failing repeatedly and
+    calls are being short-circuited instead of hammering it."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(
+            f"circuit breaker for {site!r} is open; call short-circuited"
+        )
+        self.site = site

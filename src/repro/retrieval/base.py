@@ -179,6 +179,17 @@ class RetrievalFramework(abc.ABC):
         """The tombstoned object ids."""
         return frozenset(self._deleted)
 
+    def restore_object(self, object_id: int) -> None:
+        """Remove ``object_id``'s tombstone (the inverse of
+        :meth:`remove_object`).
+
+        Tombstoning never mutates index structures, so restoring is always
+        safe; the coordinator uses it to roll back a failed removal.  A
+        never-tombstoned id is a no-op.
+        """
+        self._require_ready()
+        self._deleted.discard(object_id)
+
     def _compose_filter(self, filter_fn: "ObjectFilter | None") -> "ObjectFilter | None":
         """Fold tombstones into a result filter."""
         if not self._deleted:

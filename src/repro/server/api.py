@@ -60,7 +60,7 @@ from repro.core.concurrency import (
 )
 from repro.core.coordinator import Coordinator
 from repro.data import KnowledgeBase, Modality, RawQuery
-from repro.errors import MQAError
+from repro.errors import DeadlineExceededError, MQAError
 from repro.observability import (
     STATE_OK,
     ProfileAggregator,
@@ -180,6 +180,7 @@ class ApiServer:
         }
         self._query_count = 0
         self._refine_count = 0
+        self._error_count = 0
         self._query_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -192,6 +193,10 @@ class ApiServer:
             return self.handle_async(method, path, body).result()
         except EngineSaturatedError as exc:
             return {"ok": False, "error": str(exc), "saturated": True}
+        except DeadlineExceededError as exc:
+            # The engine shed the request after its budget expired in the
+            # queue (resilience mode only).
+            return {"ok": False, "error": str(exc), "deadline_exceeded": True}
 
     def handle_async(
         self, method: str, path: str, body: "Dict[str, Any] | None" = None
@@ -213,11 +218,33 @@ class ApiServer:
                 session_key = None  # the handler raises the proper ApiError
         self._maybe_resize_engine()
         self._maybe_resize_batcher()
+        # In resilience mode the engine sheds requests whose latency budget
+        # expires while queued; this deadline covers queue wait only — the
+        # coordinator starts its own round budget once the verb runs.
+        deadline = None
+        coordinator = self._coordinator
+        if coordinator is not None and coordinator.resilience.enabled:
+            deadline = coordinator.resilience.deadline(
+                self._deadline_override(body)
+            )
         return self.engine.submit(
             lambda: self._dispatch(method, path, body),
             mode=mode,
             session_key=session_key,
+            deadline=deadline,
         )
+
+    @staticmethod
+    def _deadline_override(body: "Dict[str, Any] | None") -> Optional[float]:
+        """The request's ``deadline_ms`` as a float, or None."""
+        raw = (body or {}).get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None  # the verb handler raises the proper ApiError
+        return value if value > 0 else None
 
     def _dispatch(self, method: str, path: str, body: "Dict[str, Any] | None") -> Dict[str, Any]:
         handler = self._routes.get((method.upper(), path))
@@ -225,6 +252,8 @@ class ApiServer:
             return {"ok": False, "error": f"no route for {method.upper()} {path}"}
         try:
             payload = handler(dict(body or {}))
+        except DeadlineExceededError as exc:
+            return {"ok": False, "error": str(exc), "deadline_exceeded": True}
         except MQAError as exc:
             return {"ok": False, "error": str(exc)}
         response = {"ok": True}
@@ -397,6 +426,8 @@ class ApiServer:
             "text": answer.text,
             "grounded": answer.grounded,
             "round": answer.round_index,
+            "degraded": answer.degraded,
+            "degraded_reasons": list(answer.degraded_reasons),
             "items": [
                 {
                     "object_id": item.object_id,
@@ -420,6 +451,9 @@ class ApiServer:
         read-modify-write on ``_query_seconds`` loses updates, and an SLO
         window that saw a request the counters haven't would let
         ``/metrics`` and ``/health`` disagree about the same traffic.
+        Errored rounds feed the same time and latency accounting as
+        successful ones (plus an error counter), so both views always
+        describe identical traffic.
         """
         start = self._clock()
         try:
@@ -429,6 +463,12 @@ class ApiServer:
             with self._metrics_lock:
                 if coordinator.slo is not None:
                     coordinator.slo.observe(elapsed * 1000.0, error=True)
+                self._query_seconds += elapsed
+                self._error_count += 1
+            coordinator.metrics.inc("api.errors")
+            coordinator.metrics.inc(f"api.{verb}.errors")
+            coordinator.metrics.observe("api.request_ms", elapsed * 1000.0)
+            coordinator.metrics.observe(f"api.{verb}_ms", elapsed * 1000.0)
             raise
         elapsed = self._clock() - start
         with self._metrics_lock:
@@ -454,10 +494,13 @@ class ApiServer:
             reference = coordinator.get_object(int(body["reference_object_id"]))
             image = reference.get(Modality.IMAGE)
         weights = body.get("weights")
+        deadline_ms = self._deadline_override(body)
         answer = self._timed_verb(
             coordinator,
             "query",
-            lambda: qa.session.ask(text, image=image, weights=weights),
+            lambda: qa.session.ask(
+                text, image=image, weights=weights, deadline_ms=deadline_ms
+            ),
         )
         return {"answer": self._answer_payload(answer)}
 
@@ -471,10 +514,13 @@ class ApiServer:
         coordinator, qa = self._require_system(body)
         text = self._require_field(body, "text")
         weights = body.get("weights")
+        deadline_ms = self._deadline_override(body)
         answer = self._timed_verb(
             coordinator,
             "refine",
-            lambda: qa.session.refine(text, weights=weights),
+            lambda: qa.session.refine(
+                text, weights=weights, deadline_ms=deadline_ms
+            ),
         )
         return {"answer": self._answer_payload(answer)}
 
@@ -583,8 +629,11 @@ class ApiServer:
         with self._metrics_lock:
             query_count = self._query_count
             refine_count = self._refine_count
+            error_count = self._error_count
             query_seconds = self._query_seconds
-        rounds = query_count + refine_count
+        # Errored rounds contributed to query_seconds, so the mean divides
+        # by every round the SLO window saw — /metrics and /health agree.
+        rounds = query_count + refine_count + error_count
         mean_ms = query_seconds / rounds * 1000.0 if rounds else 0.0
         latency = coordinator.metrics.histogram("api.request_ms").summary()
         stages = coordinator.metrics.histogram_summaries("stage_ms.")
@@ -592,6 +641,7 @@ class ApiServer:
             "metrics": {
                 "queries": query_count,
                 "refines": refine_count,
+                "errors": error_count,
                 "mean_query_ms": round(mean_ms, 3),
                 "latency_ms": latency,
                 "stages": stages,
@@ -667,6 +717,7 @@ class ApiServer:
             "recorder": recorder,
             "engine": self.engine.snapshot(),
             "batching": self.batcher.snapshot(),
+            "resilience": coordinator.resilience.snapshot(),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

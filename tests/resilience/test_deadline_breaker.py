@@ -1,0 +1,139 @@
+"""Deadline budgets, retry backoff schedules, and the circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+from repro.errors import ConfigurationError, DeadlineExceededError
+
+from tests.resilience.conftest import FakeClock
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-10)
+
+    def test_elapsed_and_remaining_track_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(100.0, clock=clock)
+        assert deadline.remaining_ms == pytest.approx(100.0)
+        clock.advance(0.04)
+        assert deadline.elapsed_ms == pytest.approx(40.0)
+        assert deadline.remaining_ms == pytest.approx(60.0)
+        assert not deadline.expired
+
+    def test_check_raises_once_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(25.0, clock=clock)
+        deadline.check()
+        clock.advance(0.03)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError, match="25 ms"):
+            deadline.check("query")
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0).validate()
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_ms=-1).validate()
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5).validate()
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_ms=100, max_backoff_ms=10).validate()
+
+    def test_exponential_schedule_with_cap(self):
+        policy = RetryPolicy(
+            attempts=5, backoff_ms=10, multiplier=2.0, max_backoff_ms=35
+        )
+        assert [policy.backoff_for(n) for n in (1, 2, 3, 4)] == [10, 20, 35, 35]
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(threshold=3, reset_ms=1000.0, half_open_probes=1)
+        defaults.update(kwargs)
+        return CircuitBreaker("llm.generate", clock=clock, **defaults), clock
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", reset_ms=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", half_open_probes=0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make()
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_reset_and_probe_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)  # reset_ms elapses
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.snapshot()["times_opened"] == 1
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.snapshot()["times_opened"] == 2
+
+    def test_half_open_admits_only_the_configured_probes(self):
+        breaker, clock = self.make(half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probes exhausted, still half-open
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN  # needs both probes
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_transition_counter_walks_the_full_cycle(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        # closed -> open -> half_open -> closed
+        assert snap["transitions"] == 3
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 0

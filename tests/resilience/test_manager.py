@@ -1,0 +1,245 @@
+"""ResilienceManager.call: pass-through, retry, breaker, deadline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import Deadline, FaultInjector, ResilienceManager, RetryPolicy
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    SearchError,
+)
+from repro.observability.metrics import MetricsRegistry
+
+from tests.resilience.conftest import FakeClock, FakeSleep
+
+
+def failing(times: int, result: str = "ok"):
+    """A callable that raises SearchError ``times`` times, then succeeds."""
+    state = {"left": times}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise SearchError("transient")
+        return result
+
+    return fn
+
+
+class TestDisabled:
+    def test_call_forwards_directly(self):
+        manager = ResilienceManager(enabled=False)
+        assert manager.call("llm.generate", lambda: 42) == 42
+        snap = manager.snapshot()
+        assert snap["totals"]["calls"] == 0
+        assert snap["breakers"] == {}
+
+    def test_disabled_never_retries_or_injects(self):
+        injector = FaultInjector(seed=1, specs={"llm": {"error_rate": 1.0}})
+        manager = ResilienceManager(
+            enabled=False, retry=RetryPolicy(attempts=3), injector=injector
+        )
+        with pytest.raises(SearchError):
+            manager.call("llm.generate", failing(99))
+        assert injector.snapshot()["errors"] == {}
+
+    def test_deadline_is_none_when_disabled(self):
+        assert ResilienceManager(enabled=False).deadline(100.0) is None
+
+
+class TestRetry:
+    def test_retries_until_success_with_backoff(self):
+        sleep = FakeSleep()
+        metrics = MetricsRegistry()
+        manager = ResilienceManager(
+            enabled=True,
+            retry=RetryPolicy(attempts=3, backoff_ms=5.0, multiplier=2.0),
+            metrics=metrics,
+            sleep=sleep,
+        )
+        assert manager.call("index.search", failing(2)) == "ok"
+        assert sleep.calls == [0.005, 0.01]
+        assert metrics.counter_value("resilience.retries") == 2
+        assert metrics.counter_value("resilience.failures") == 2
+        site = manager.snapshot()["sites"]["index.search"]
+        assert site == {
+            "calls": 1,
+            "failures": 2,
+            "retries": 2,
+            "deadline_exceeded": 0,
+            "short_circuited": 0,
+        }
+
+    def test_exhausted_attempts_surface_the_real_error(self):
+        manager = ResilienceManager(
+            enabled=True, retry=RetryPolicy(attempts=2, backoff_ms=0.0)
+        )
+        with pytest.raises(SearchError):
+            manager.call("index.search", failing(5))
+        assert manager.snapshot()["totals"]["failures"] == 2
+
+    def test_non_retryable_sites_get_one_attempt(self):
+        sleep = FakeSleep()
+        manager = ResilienceManager(
+            enabled=True, retry=RetryPolicy(attempts=3, backoff_ms=1.0), sleep=sleep
+        )
+        with pytest.raises(SearchError):
+            manager.call("store.ingest", failing(1), retryable=False)
+        assert sleep.calls == []
+        assert manager.snapshot()["sites"]["store.ingest"]["retries"] == 0
+
+    def test_injected_faults_are_retried_and_counted(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(
+            seed=1, specs={"llm": {"error_rate": 1.0, "max_faults": 1}}
+        )
+        manager = ResilienceManager(
+            enabled=True,
+            retry=RetryPolicy(attempts=2, backoff_ms=0.0),
+            injector=injector,
+            metrics=metrics,
+        )
+        assert manager.call("llm.generate", lambda: "answer") == "answer"
+        assert metrics.counter_value("resilience.injected_faults") == 1
+        assert manager.snapshot()["injected"]["errors"] == {"llm.generate": 1}
+
+
+class TestDeadlines:
+    def test_expired_deadline_rejects_before_the_attempt(self):
+        clock = FakeClock()
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            return "ok"
+
+        manager = ResilienceManager(enabled=True, clock=clock)
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance(0.02)
+        with pytest.raises(DeadlineExceededError):
+            manager.call("llm.generate", fn, deadline=deadline)
+        assert calls["n"] == 0
+        assert manager.snapshot()["totals"]["deadline_exceeded"] == 1
+
+    def test_backoff_never_overruns_the_deadline(self):
+        """With no budget for the backoff, the real failure surfaces."""
+        clock = FakeClock()
+        sleep = FakeSleep(clock)
+        manager = ResilienceManager(
+            enabled=True,
+            retry=RetryPolicy(attempts=3, backoff_ms=50.0),
+            clock=clock,
+            sleep=sleep,
+        )
+        deadline = Deadline(20.0, clock=clock)  # backoff (50 ms) > budget
+        with pytest.raises(SearchError):
+            manager.call("index.search", failing(5), deadline=deadline)
+        assert sleep.calls == []
+        assert manager.snapshot()["totals"]["retries"] == 0
+
+    def test_nested_deadline_error_is_never_retried(self):
+        manager = ResilienceManager(
+            enabled=True, retry=RetryPolicy(attempts=3, backoff_ms=0.0)
+        )
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            raise DeadlineExceededError("inner stage out of budget")
+
+        with pytest.raises(DeadlineExceededError):
+            manager.call("index.search", fn)
+        assert calls["n"] == 1
+
+    def test_default_and_override_budgets(self):
+        manager = ResilienceManager(enabled=True, default_deadline_ms=200.0)
+        assert manager.deadline().budget_ms == 200.0
+        assert manager.deadline(50.0).budget_ms == 50.0
+        assert ResilienceManager(enabled=True).deadline() is None
+
+
+class TestBreakerIntegration:
+    def manager(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        return (
+            ResilienceManager(
+                enabled=True,
+                retry=RetryPolicy(attempts=1),
+                breaker_threshold=2,
+                breaker_reset_ms=100.0,
+                metrics=metrics,
+                clock=clock,
+                sleep=FakeSleep(clock),
+            ),
+            clock,
+            metrics,
+        )
+
+    def test_open_breaker_short_circuits(self):
+        manager, _, metrics = self.manager()
+        for _ in range(2):
+            with pytest.raises(SearchError):
+                manager.call("llm.generate", failing(9))
+        with pytest.raises(CircuitOpenError):
+            manager.call("llm.generate", lambda: "never runs")
+        snap = manager.snapshot()
+        assert snap["breakers"]["llm.generate"]["state"] == "open"
+        assert snap["totals"]["short_circuited"] == 1
+        assert metrics.counter_value("resilience.short_circuits") == 1
+        assert metrics.counter_value("resilience.breaker_opens") == 1
+
+    def test_breaker_opening_stops_the_retry_loop(self):
+        clock = FakeClock()
+        manager = ResilienceManager(
+            enabled=True,
+            retry=RetryPolicy(attempts=5, backoff_ms=0.0),
+            breaker_threshold=2,
+            clock=clock,
+            sleep=FakeSleep(clock),
+        )
+        fn = failing(99)
+        with pytest.raises(SearchError):
+            manager.call("llm.generate", fn)
+        # threshold=2: the loop stopped at 2 failures, not 5 attempts
+        assert manager.snapshot()["sites"]["llm.generate"]["failures"] == 2
+
+    def test_recovery_through_half_open(self):
+        manager, clock, _ = self.manager()
+        for _ in range(2):
+            with pytest.raises(SearchError):
+                manager.call("llm.generate", failing(9))
+        clock.advance(0.1)  # reset window elapses -> half-open probe
+        assert manager.call("llm.generate", lambda: "recovered") == "recovered"
+        snap = manager.snapshot()["breakers"]["llm.generate"]
+        assert snap["state"] == "closed"
+        assert snap["times_opened"] == 1
+
+    def test_snapshot_totals_are_site_sums(self):
+        manager, _, _ = self.manager()
+        manager.call("a.one", lambda: 1)
+        manager.call("b.two", lambda: 2)
+        with pytest.raises(SearchError):
+            manager.call("a.one", failing(9))
+        snap = manager.snapshot()
+        assert snap["totals"]["calls"] == 3
+        assert snap["totals"]["failures"] == 1
+        assert snap["breaker_transitions"] == 0
+
+
+class TestFallbackCounters:
+    def test_record_fallback_counts_by_kind(self):
+        metrics = MetricsRegistry()
+        manager = ResilienceManager(enabled=True, metrics=metrics)
+        manager.record_fallback("llm_fallback")
+        manager.record_fallback("llm_fallback")
+        manager.record_fallback("modality_dropped")
+        assert manager.snapshot()["fallbacks"] == {
+            "llm_fallback": 2,
+            "modality_dropped": 1,
+        }
+        assert metrics.counter_value("resilience.fallbacks") == 3
+        assert metrics.counter_value("resilience.fallback.llm_fallback") == 2

@@ -1,0 +1,217 @@
+"""Regression tests for the error-path correctness fixes in this PR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import run_shell
+from repro.core import MQASystem
+from repro.data.objects import RawQuery
+
+from tests.resilience.conftest import make_server, resilient_config
+
+
+class TestTimedVerbErrorAccounting:
+    """Errored verbs must feed the same counters /metrics reports."""
+
+    def test_error_updates_metrics_and_slo_together(self):
+        server = make_server(resilience=False, monitoring=True)
+        try:
+            failed = server.handle("POST", "/query", {"text": ""})
+            assert not failed["ok"]
+            metrics = server.handle("GET", "/metrics")["metrics"]
+            assert metrics["errors"] == 1
+            assert metrics["queries"] == 0
+            # the errored round fed the latency histogram too
+            assert metrics["latency_ms"]["count"] == 1
+            registry = server._coordinator.metrics
+            assert registry.counter_value("api.errors") == 1
+            assert registry.counter_value("api.query.errors") == 1
+            slo = server.handle("GET", "/health")["slo"]
+            assert slo["window_error_rate"] > 0
+        finally:
+            server.close()
+
+    def test_mean_divides_by_every_round_the_slo_saw(self):
+        server = make_server(resilience=False, monitoring=True)
+        try:
+            server.handle("POST", "/query", {"text": ""})  # error
+            ok = server.handle("POST", "/query", {"text": "foggy peaks"})
+            assert ok["ok"]
+            metrics = server.handle("GET", "/metrics")["metrics"]
+            assert metrics["queries"] == 1
+            assert metrics["errors"] == 1
+            assert metrics["latency_ms"]["count"] == 2
+            # mean is per-round over queries + refines + errors: it must be
+            # below the successful round's latency, not equal to it
+            successful_ms = metrics["latency_ms"]["max"]
+            assert metrics["mean_query_ms"] < successful_ms
+            assert metrics["mean_query_ms"] > 0
+        finally:
+            server.close()
+
+
+class TestIngestRollback:
+    def make_system(self):
+        return MQASystem.from_config(resilient_config(resilience=False))
+
+    def test_failed_index_add_rolls_back_the_store(self):
+        system = self.make_system()
+        coordinator = system.coordinator
+        framework = coordinator.execution.framework
+        size_before = len(coordinator.kb)
+        original = framework.add_object
+
+        def boom(obj):
+            raise RuntimeError("index add exploded mid-write")
+
+        framework.add_object = boom
+        try:
+            with pytest.raises(RuntimeError):
+                system.ingest(["foggy", "serene"])
+        finally:
+            framework.add_object = original
+        assert len(coordinator.kb) == size_before
+        assert coordinator.metrics.counter_value("coordinator.ingest_errors") == 1
+        kinds = [event.kind for event in coordinator.events]
+        assert "ingest-failed" in kinds
+        assert "ingest" not in kinds  # no success event for the failed write
+
+    def test_ids_stay_dense_after_rollback(self):
+        """The rolled-back id is reissued: dense ids never skip."""
+        system = self.make_system()
+        coordinator = system.coordinator
+        framework = coordinator.execution.framework
+        size_before = len(coordinator.kb)
+        original = framework.add_object
+        framework.add_object = lambda obj: (_ for _ in ()).throw(RuntimeError("x"))
+        try:
+            with pytest.raises(RuntimeError):
+                system.ingest(["foggy"])
+        finally:
+            framework.add_object = original
+        new_id = system.ingest(["foggy", "dramatic"])
+        assert new_id == size_before
+        # the recovered system still serves the new object
+        answer = system.ask("foggy dramatic")
+        assert answer.items
+
+    def test_failed_ingest_invalidates_the_cache(self):
+        system = self.make_system()
+        coordinator = system.coordinator
+        cache = coordinator.execution.cache
+        system.ask("foggy peaks")
+        assert cache.size > 0
+        framework = coordinator.execution.framework
+        original = framework.add_object
+        framework.add_object = lambda obj: (_ for _ in ()).throw(RuntimeError("x"))
+        try:
+            with pytest.raises(RuntimeError):
+                system.ingest(["foggy"])
+        finally:
+            framework.add_object = original
+        assert cache.size == 0
+
+
+class TestRemoveRollback:
+    def test_failed_remove_restores_visibility(self):
+        system = MQASystem.from_config(resilient_config(resilience=False))
+        coordinator = system.coordinator
+        framework = coordinator.execution.framework
+        original = framework.remove_object
+
+        def boom(object_id):
+            raise RuntimeError("tombstone write exploded")
+
+        framework.remove_object = boom
+        try:
+            with pytest.raises(RuntimeError):
+                system.remove(3)
+        finally:
+            framework.remove_object = original
+        assert 3 not in framework.deleted_ids
+        assert "deleted" not in coordinator.kb.get(3).metadata
+        assert coordinator.metrics.counter_value("coordinator.remove_errors") == 1
+        assert "remove-failed" in [event.kind for event in coordinator.events]
+        # and the object can still be removed for real afterwards
+        system.remove(3)
+        assert 3 in framework.deleted_ids
+        assert coordinator.kb.get(3).metadata.get("deleted") is True
+
+
+class TestBatchCacheBypass:
+    """retrieve_batch intentionally bypasses the query cache — pinned."""
+
+    def test_batch_neither_reads_nor_writes_the_cache(self):
+        system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        coordinator = system.coordinator
+        cache = coordinator.execution.cache
+        query = RawQuery.from_text("foggy mountain peaks")
+        serial = coordinator.execution.execute(query, k=5)
+        assert (cache.hits, cache.misses, cache.size) == (0, 1, 1)
+        batched = coordinator.retrieve_batch([query], k=5)[0]
+        # bit-identical results, zero cache traffic
+        assert [i.object_id for i in batched.items] == [
+            i.object_id for i in serial.items
+        ]
+        assert [i.score for i in batched.items] == [i.score for i in serial.items]
+        assert (cache.hits, cache.misses, cache.size) == (0, 1, 1)
+
+    def test_serial_after_batch_sees_current_index_generation(self):
+        system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        coordinator = system.coordinator
+        query = RawQuery.from_text("foggy mountain peaks")
+        coordinator.execution.execute(query, k=5)
+        coordinator.retrieve_batch([query], k=5)
+        new_id = system.ingest(["foggy", "serene"])
+        # the write invalidated the serial cache, so neither path can serve
+        # a pre-ingest result set
+        fresh = coordinator.execution.execute(query, k=len(coordinator.kb))
+        batch_fresh = coordinator.retrieve_batch([query], k=len(coordinator.kb))[0]
+        assert new_id in [i.object_id for i in fresh.items]
+        assert [i.object_id for i in batch_fresh.items] == [
+            i.object_id for i in fresh.items
+        ]
+
+
+class TestShellErrorReporting:
+    """/show failures surface the traceback in events + an error metric."""
+
+    def run_lines(self, server, lines, monkeypatch, capsys):
+        feed = iter(lines)
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(feed))
+        run_shell(server)
+        return capsys.readouterr().out
+
+    def test_show_error_is_reported_not_swallowed(self, monkeypatch, capsys):
+        server = make_server(resilience=False)
+        try:
+            out = self.run_lines(server, ["/show 999999", "/quit"], monkeypatch, capsys)
+            assert "error: " in out
+            coordinator = server._coordinator
+            errors = [e for e in coordinator.events if e.kind == "cli-error"]
+            assert len(errors) == 1
+            assert errors[0].detail.startswith("/show: Traceback")
+            assert "999999" in errors[0].detail
+            assert coordinator.metrics.counter_value("cli.errors") == 1
+        finally:
+            server.close()
+
+    def test_shell_continues_after_the_error(self, monkeypatch, capsys):
+        server = make_server(resilience=False)
+        try:
+            out = self.run_lines(
+                server,
+                ["/show not-a-number", "foggy peaks", "/quit"],
+                monkeypatch,
+                capsys,
+            )
+            assert "error: " in out
+            assert "mqa :" in out  # the next query still ran
+            assert server._coordinator.metrics.counter_value("cli.errors") == 1
+        finally:
+            server.close()
