@@ -1,0 +1,202 @@
+"""PR 6 — horizontal sharding: pass-through overhead and read scaling.
+
+Claims pinned here:
+
+* **``shards=1`` stays free.**  The router's pass-through adds only a
+  capability check, a replica selection, and a no-op service-time
+  computation per query; the estimated overhead versus the bare
+  framework must be under 1% (estimated like PR 5's disabled claim —
+  the direct difference is far below machine noise), and the responses
+  are *bit-identical*.
+* **≥2× read throughput at 4 shards.**  Under the simulated remote-shard
+  service time (``shard_latency_ms_per_1k`` models a shard server
+  scanning its partition; the sleeps release the GIL exactly as network
+  waits would), four shards each hold a quarter of the corpus and their
+  service times overlap on the scatter pool — so the same workload runs
+  at least twice as fast as a single shard carrying the whole corpus.
+* **Ids never change.**  Every run's read result ids are asserted
+  identical across the unsharded engine, 1 shard, and 4 shards.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR6.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.sharding import ShardRouter
+from repro.data.objects import RawQuery
+from repro.evaluation import ExperimentTable
+from repro.index import build_index
+from repro.retrieval import build_framework
+from repro.server.loadgen import run_loadgen
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR6.json"
+
+K = 5
+BUDGET = 64
+ROUNDS = 6
+#: Pass-through work one routed query adds on top of the inner framework:
+#: the ready/k checks, the capability check, the replica selection, and
+#: the service-time computation — rounded up for headroom.
+PASSTHROUGH_SITES_PER_QUERY = 2
+
+QUERY_TEXTS = (
+    "foggy clouds over mountains",
+    "a quiet shoreline at dusk",
+    "stars above a desert",
+    "rain on a forest trail",
+    "snow covering rooftops",
+)
+
+LOADGEN_KWARGS = dict(
+    workers=1,
+    queries=100,
+    write_every=10,
+    domain="scenes",
+    size=300,
+    seed=7,
+    llm_latency_ms=0.0,
+    k=K,
+)
+#: Simulated per-shard service time: 100 ms per 1000 live objects, i.e.
+#: ~30 ms for the whole 300-object corpus on one shard vs ~7.5 ms per
+#: shard (overlapped) at four shards.  Large enough that the modelled
+#: remote scan dominates the fixed in-process query cost.
+SERVICE_MS_PER_1K = 100.0
+MIN_SPEEDUP = 2.0
+
+
+def _block_seconds(framework, queries) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        framework.retrieve(query, k=K, budget=BUDGET)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def _paired_query_seconds(plain, routed, queries, rounds: int = ROUNDS):
+    """Best-of-blocks mean retrieve time, interleaved to cancel noise."""
+    for framework in (plain, routed):
+        _block_seconds(framework, queries)  # warm-up
+    best_plain, best_routed = float("inf"), float("inf")
+    for _ in range(rounds):
+        best_plain = min(best_plain, _block_seconds(plain, queries))
+        best_routed = min(best_routed, _block_seconds(routed, queries))
+    return best_plain, best_routed
+
+
+def _passthrough_site_seconds(router, calls: int = 200_000) -> float:
+    """Cost of the pass-through preamble: capability check + replica
+    selection + no-op service-time computation."""
+    group = router.groups[0]
+    start = time.perf_counter()
+    for _ in range(calls):
+        router._check_capabilities(None, None)
+        group.select()
+        router._simulate_service(group)
+    return (time.perf_counter() - start) / calls
+
+
+def test_benchmark_pr6_sharding(scenes_world):
+    kb, encoder_set, weights = scenes_world
+    queries = [RawQuery.from_text(text) for text in QUERY_TEXTS]
+
+    # -- claim 1: shards=1 pass-through ---------------------------------
+    plain = build_framework("must", {})
+    plain.setup(kb, encoder_set, lambda: build_index("flat", {}), weights=weights)
+    routed = ShardRouter(framework_name="must", shards=1)
+    routed.setup(kb, encoder_set, lambda: build_index("flat", {}), weights=weights)
+
+    for query in queries:  # bit-identity before any timing
+        expected = plain.retrieve(query, k=K, budget=BUDGET)
+        actual = routed.retrieve(query, k=K, budget=BUDGET)
+        assert actual.ids == expected.ids
+        assert [i.score for i in actual.items] == [
+            i.score for i in expected.items
+        ]
+
+    mean_plain, mean_routed = _paired_query_seconds(plain, routed, queries)
+    site_cost = _passthrough_site_seconds(routed)
+    estimated_overhead_pct = (
+        PASSTHROUGH_SITES_PER_QUERY * site_cost / mean_plain * 100.0
+    )
+    measured_overhead_pct = (mean_routed - mean_plain) / mean_plain * 100.0
+
+    # -- claims 2 + 3: read scaling with identical ids ------------------
+    unsharded = run_loadgen(**LOADGEN_KWARGS)
+    one_shard = run_loadgen(
+        shards=1, shard_latency_ms_per_1k=SERVICE_MS_PER_1K, **LOADGEN_KWARGS
+    )
+    four_shards = run_loadgen(
+        shards=4, shard_latency_ms_per_1k=SERVICE_MS_PER_1K, **LOADGEN_KWARGS
+    )
+    for run in (unsharded, one_shard, four_shards):
+        assert run["errors"] == 0, run["error_messages"]
+    assert unsharded["read_ids"] == one_shard["read_ids"]
+    assert unsharded["read_ids"] == four_shards["read_ids"]
+    assert four_shards["sharding"]["shards"] == 4
+
+    speedup = one_shard["latency_ms"]["p50"] / four_shards["latency_ms"]["p50"]
+    throughput_ratio = (
+        four_shards["throughput_qps"] / one_shard["throughput_qps"]
+    )
+
+    table = ExperimentTable(
+        "PR6: horizontal sharding (scenes n=500 pass-through, n=300 loadgen)",
+        ["metric", "value"],
+    )
+    table.add_row(["mean query ms (bare framework)", round(mean_plain * 1000, 3)])
+    table.add_row(["mean query ms (shards=1 router)", round(mean_routed * 1000, 3)])
+    table.add_row(["pass-through site ns", round(site_cost * 1e9, 1)])
+    table.add_row(["est. shards=1 overhead %", round(estimated_overhead_pct, 4)])
+    table.add_row(["measured shards=1 overhead %", round(measured_overhead_pct, 2)])
+    table.add_row(["1-shard qps (simulated service)", one_shard["throughput_qps"]])
+    table.add_row(["4-shard qps (simulated service)", four_shards["throughput_qps"]])
+    table.add_row(["throughput ratio", round(throughput_ratio, 2)])
+    table.add_row(["p50 speedup", round(speedup, 2)])
+    table.add_row(["4-shard moves", four_shards["sharding"]["moves"]])
+    table.add_row(["read ids identical", True])
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "mean_query_ms_bare": round(mean_plain * 1000, 4),
+                "mean_query_ms_shards1": round(mean_routed * 1000, 4),
+                "passthrough_site_ns": round(site_cost * 1e9, 2),
+                "passthrough_sites_per_query": PASSTHROUGH_SITES_PER_QUERY,
+                "estimated_shards1_overhead_pct": round(estimated_overhead_pct, 4),
+                "measured_shards1_overhead_pct": round(measured_overhead_pct, 3),
+                "service_ms_per_1k": SERVICE_MS_PER_1K,
+                "one_shard_qps": one_shard["throughput_qps"],
+                "four_shard_qps": four_shards["throughput_qps"],
+                "throughput_ratio": round(throughput_ratio, 3),
+                "p50_latency_ms": {
+                    "one_shard": one_shard["latency_ms"]["p50"],
+                    "four_shards": four_shards["latency_ms"]["p50"],
+                },
+                "read_ids_identical": True,
+                "four_shard_ledger": {
+                    "moves": four_shards["sharding"]["moves"],
+                    "rebalances": four_shards["sharding"]["rebalances"],
+                    "degraded_searches": four_shards["sharding"][
+                        "degraded_searches"
+                    ],
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert estimated_overhead_pct < 1.0, (
+        f"shards=1 pass-through adds {estimated_overhead_pct:.3f}% per query"
+    )
+    assert throughput_ratio >= MIN_SPEEDUP, (
+        f"4 shards gave only {throughput_ratio:.2f}x the 1-shard throughput"
+    )

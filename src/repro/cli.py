@@ -81,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long the micro-batch collector waits for the batch to fill",
     )
     parser.add_argument(
+        "--shards", type=int, default=None,
+        help="partition the knowledge base across N shards behind the "
+        "scatter-gather router (default: unsharded)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard for read scaling (implies the router)",
+    )
+    parser.add_argument(
         "--resilience", action="store_true",
         help="enable the resilience layer (retries, deadlines, circuit "
         "breakers, graceful degradation)",
@@ -160,6 +169,8 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         workers=getattr(args, "workers", 1),
         max_batch=getattr(args, "max_batch", 1),
         batch_window_ms=getattr(args, "batch_window_ms", 2.0),
+        shards=getattr(args, "shards", None),
+        replicas=getattr(args, "replicas", 1),
         resilience=resilience,
         retry_attempts=getattr(args, "retry_attempts", 1),
         deadline_ms=deadline_ms,
@@ -474,6 +485,24 @@ def run_loadgen_command(argv: List[str]) -> int:
         help="micro-batch collector window",
     )
     parser.add_argument(
+        "--shards", type=int, default=None,
+        help="serve through the shard router with N shards",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (implies the router)",
+    )
+    parser.add_argument(
+        "--shard-latency-ms", type=float, default=0.0, dest="shard_latency_ms",
+        help="simulated fixed per-shard service time",
+    )
+    parser.add_argument(
+        "--shard-latency-ms-per-1k", type=float, default=0.0,
+        dest="shard_latency_ms_per_1k",
+        help="simulated per-shard service time per 1000 live objects "
+        "(models remote shard servers; enables the parallel scatter)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the full report as JSON"
     )
     args = parser.parse_args(argv)
@@ -492,6 +521,10 @@ def run_loadgen_command(argv: List[str]) -> int:
         llm_latency_ms=args.llm_latency_ms,
         batch=args.batch,
         batch_window_ms=args.batch_window_ms,
+        shards=args.shards,
+        replicas=args.replicas,
+        shard_latency_ms=args.shard_latency_ms,
+        shard_latency_ms_per_1k=args.shard_latency_ms_per_1k,
     )
     print(
         f"  {report['operations']} ops ({report['reads']} reads, "
@@ -516,6 +549,14 @@ def run_loadgen_command(argv: List[str]) -> int:
             f"  batching: max={batching['max_batch']} "
             f"batches={batching['batches']} queries={batching['queries']} "
             f"histogram={batching['histogram']}"
+        )
+    sharding = report.get("sharding") or {}
+    if sharding.get("enabled"):
+        live = [shard["live"] for shard in sharding["per_shard"]]
+        print(
+            f"  sharding: {sharding['shards']} shard(s) × "
+            f"{sharding['replicas']} replica(s), live per shard {live}, "
+            f"moves={sharding['moves']} degraded={sharding['degraded_searches']}"
         )
     if args.json:
         from pathlib import Path

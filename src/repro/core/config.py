@@ -99,6 +99,27 @@ class MQAConfig:
         batch_window_ms: How long the micro-batch collector waits for
             additional requests before flushing a partial batch.  Only
             meaningful with ``max_batch > 1``.
+        shards: Partition the knowledge base across this many shards
+            behind a scatter-gather router.  ``None`` (the default) keeps
+            the historical unsharded engine — no router exists at all;
+            ``1`` routes through a single shard (a pure pass-through,
+            bit-identical to unsharded); ``N > 1`` hash-partitions the
+            corpus and merges per-shard top-k exactly.
+        replicas: Identical replicas per shard for read scaling
+            (round-robin, health-aware selection).  ``replicas > 1`` with
+            ``shards=None`` serves one shard from several replicas.
+        partitioner: Shard-assignment policy: ``"hash"`` (stable id hash)
+            or ``"concept"`` (objects sharing a leading concept co-locate).
+        rebalance_threshold: Live-object spread between the largest and
+            smallest shard that triggers an ingest-time rebalance; ``0``
+            disables online rebalancing.
+        shard_latency_ms: Simulated fixed per-shard-call service time in
+            milliseconds (models remote shard RPC; 0 disables).
+        shard_latency_ms_per_1k: Simulated service time per 1000 live
+            objects on the called shard (models a remote shard scanning
+            its partition; 0 disables).  When either knob is on, the
+            router scatters on a thread pool so shard service times
+            overlap.
         resilience: Master switch for the fault-tolerance layer (retries,
             deadlines, circuit breakers, graceful degradation).  Off by
             default: every guarded boundary then takes the exact
@@ -155,6 +176,12 @@ class MQAConfig:
     engine_queue: int = 64
     max_batch: int = 1
     batch_window_ms: float = 2.0
+    shards: Optional[int] = None
+    replicas: int = 1
+    partitioner: str = "hash"
+    rebalance_threshold: int = 8
+    shard_latency_ms: float = 0.0
+    shard_latency_ms_per_1k: float = 0.0
     resilience: bool = False
     retry_attempts: int = 1
     retry_backoff_ms: float = 10.0
@@ -170,6 +197,12 @@ class MQAConfig:
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
         self.validate()
+
+    @property
+    def sharding_enabled(self) -> bool:
+        """True when indexing should build the shard router instead of a
+        bare framework (any explicit ``shards`` value, or extra replicas)."""
+        return self.shards is not None or self.replicas > 1
 
     def validate(self) -> None:
         """Check cross-field consistency; raises ConfigurationError."""
@@ -264,6 +297,35 @@ class MQAConfig:
         if self.batch_window_ms < 0:
             raise ConfigurationError(
                 f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1 or None, got {self.shards}"
+            )
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        from repro.core.sharding import available_partitioners
+
+        if self.partitioner not in available_partitioners():
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"available: {', '.join(available_partitioners())}"
+            )
+        if self.rebalance_threshold < 0:
+            raise ConfigurationError(
+                "rebalance_threshold must be >= 0, got "
+                f"{self.rebalance_threshold}"
+            )
+        if self.shard_latency_ms < 0:
+            raise ConfigurationError(
+                f"shard_latency_ms must be >= 0, got {self.shard_latency_ms}"
+            )
+        if self.shard_latency_ms_per_1k < 0:
+            raise ConfigurationError(
+                "shard_latency_ms_per_1k must be >= 0, got "
+                f"{self.shard_latency_ms_per_1k}"
             )
         if self.retry_attempts < 1:
             raise ConfigurationError(

@@ -10,7 +10,6 @@ status board the monitoring panel renders.
 
 from __future__ import annotations
 
-import inspect
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.answer import Answer
@@ -76,6 +75,7 @@ class Coordinator:
                 config=config.to_dict(),
                 max_bytes=config.recorder_max_bytes,
                 max_files=config.recorder_max_files,
+                metrics=self.metrics,
             )
             if config.recorder_path is not None
             else None
@@ -219,6 +219,7 @@ class Coordinator:
                 self.kb,
                 self.representation.encoder_set,
                 self.representation.weights,
+                resilience=self.resilience,
             )
         cache = QueryCache() if self.config.cache_queries else None
         self.execution = QueryExecution(framework, cache=cache)
@@ -318,20 +319,19 @@ class Coordinator:
         """Raw batched retrieval for a set of independent queries.
 
         The fast path behind server micro-batching: no dialogue state, no
-        query rewriting, no answer generation, and no response cache — just
-        the framework's batched search under one shared read-lock
-        acquisition.  Element ``i`` of the returned list is bit-identical
-        (ids and scores) to a serial ``retrieve`` of ``queries[i]``.
+        query rewriting, no answer generation — just the framework's
+        batched search under one shared read-lock acquisition.  Element
+        ``i`` of the returned list is bit-identical (ids and scores) to a
+        serial ``retrieve`` of ``queries[i]``.
 
-        Cache interaction (audited, intentional): this path neither reads
-        nor writes :class:`~repro.core.cache.QueryCache`.  Bypassing is
-        consistent with the serial path because the cache is *transparent*
-        there — a serial hit returns the same items a fresh search would,
-        and every ingestion/removal invalidates the whole cache under the
-        write lock.  A serial query after a batch therefore cannot observe
-        stale or divergent results: both paths always reflect the current
-        index generation.  Populating the cache from batches would only
-        add churn (batch traffic is ad-hoc search, not dialogue rounds).
+        Cache interaction: each query in the batch consults and populates
+        the :class:`~repro.core.cache.QueryCache` exactly as the serial
+        path would — same keys, same hit/miss accounting — so a query
+        served serially and a query served inside a batch are fully
+        interchangeable.  (An earlier revision bypassed the cache here,
+        which left batch traffic re-searching queries the serial path had
+        already answered and never warming the cache for later serial
+        rounds.)
         """
         self._require_setup()
         if self.execution is None or self.kb is None:
@@ -340,25 +340,11 @@ class Coordinator:
         queries = list(queries)
         if not queries:
             return []
-        framework = self.execution.framework
-        kwargs = {}
-        if weights is not None:
-            parameters = inspect.signature(framework.retrieve_batch).parameters
-            supported = "weights" in parameters or any(
-                p.kind is inspect.Parameter.VAR_KEYWORD
-                for p in parameters.values()
-            )
-            if not supported:
-                raise CoordinatorError(
-                    f"framework {framework.name!r} does not support "
-                    "per-query modality weights"
-                )
-            kwargs["weights"] = weights
         with self.rwlock.read(), Timer() as timer, self.tracer.trace(
             "query-batch", queries=len(queries), k=k
         ):
-            responses = framework.retrieve_batch(
-                queries, k=k, budget=self.config.search_budget, **kwargs
+            responses = self.execution.execute_batch(
+                queries, k=k, budget=self.config.search_budget, weights=weights
             )
         self.metrics.inc("coordinator.queries", len(queries))
         self.metrics.observe(
@@ -516,6 +502,10 @@ class Coordinator:
                             f"{type(exc).__name__}: {exc}"[:80],
                         )
             if response is not None:
+                if response.degraded_reasons:
+                    # Partial results from the shard router (lost shards)
+                    # degrade the round rather than failing it.
+                    degraded_reasons.extend(response.degraded_reasons)
                 self.status.finish(
                     "query execution",
                     timer.elapsed,

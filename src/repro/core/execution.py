@@ -118,22 +118,14 @@ class QueryExecution:
             if cached is None:
                 span.set(cache="miss")
                 cached = retrieve(fetch)
+                if cached.degraded_reasons:
+                    # Partial results (lost shards) must not be served to
+                    # later queries as if they were complete.
+                    return cached
                 self.cache.put(key, cached)
             else:
                 span.set(cache="hit")
-            # Deep-ish copy: ``replace`` preserves every field of
-            # ``RetrievedItem`` subclasses, and stats must not be shared —
-            # a caller merging into ``response.stats`` would otherwise
-            # corrupt the cached entry.
-            return RetrievalResponse(
-                framework=cached.framework,
-                items=[replace(item) for item in cached.items],
-                stats=copy.deepcopy(cached.stats),
-                per_modality_ids={
-                    modality: list(ids)
-                    for modality, ids in cached.per_modality_ids.items()
-                },
-            )
+            return self._copy_response(cached)
 
         excluded = set(exclude_ids)
         reference_id = query.metadata.get("augmented_from")
@@ -157,6 +149,129 @@ class QueryExecution:
                 distance_evaluations=response.stats.distance_evaluations,
             )
         return response
+
+    @staticmethod
+    def _copy_response(cached: RetrievalResponse) -> RetrievalResponse:
+        """Deep-ish copy of a cached response.
+
+        ``replace`` preserves every field of ``RetrievedItem`` subclasses,
+        and stats must not be shared — a caller merging into
+        ``response.stats`` would otherwise corrupt the cached entry.
+        """
+        return RetrievalResponse(
+            framework=cached.framework,
+            items=[replace(item) for item in cached.items],
+            stats=copy.deepcopy(cached.stats),
+            per_modality_ids={
+                modality: list(ids)
+                for modality, ids in cached.per_modality_ids.items()
+            },
+            per_modality_distances={
+                modality: list(values)
+                for modality, values in cached.per_modality_distances.items()
+            },
+            degraded_reasons=list(cached.degraded_reasons),
+        )
+
+    def execute_batch(
+        self,
+        queries,
+        k: int,
+        budget: int = 64,
+        weights=None,
+    ) -> "list[RetrievalResponse]":
+        """Batched top-``k`` for independent queries, with cache parity.
+
+        Each query consults and populates the :class:`QueryCache` exactly
+        as a serial :meth:`execute` would (same keys, same hit/miss
+        accounting, same copy-on-return semantics); only the cache misses
+        reach the framework, as one ``retrieve_batch`` call.  The batched
+        kernels guarantee element-wise bit-identity with serial retrieval
+        regardless of batch composition, so mixing hits and misses cannot
+        change any result.  Partial (degraded) responses are returned but
+        never cached.
+
+        This path serves server micro-batching: no exclusions and no
+        filters apply (those are dialogue-round concepts).
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        capabilities = self._retrieve_capabilities()
+        if weights is not None and "weights" not in capabilities:
+            raise SearchError(
+                f"framework {self.framework.name!r} does not support "
+                "per-query modality weights"
+            )
+        queries = list(queries)
+        if not queries:
+            return []
+        kwargs = {}
+        if weights is not None:
+            kwargs["weights"] = weights
+        with trace_span(
+            "retrieval-batch",
+            framework=self.framework.name,
+            queries=len(queries),
+            k=k,
+            budget=budget,
+        ) as span:
+            if self.cache is None:
+                span.set(cache="bypass")
+                return self.framework.retrieve_batch(
+                    queries, k=k, budget=budget, **kwargs
+                )
+            keys = [
+                self.cache.key_for(query, k, budget, weights=weights)
+                for query in queries
+            ]
+            results: "list[RetrievalResponse | None]" = [None] * len(queries)
+            misses = []  # first occurrence of each missing key
+            repeats = []  # later occurrences of a key already being fetched
+            pending = set()
+            for position, key in enumerate(keys):
+                if key in pending:
+                    repeats.append(position)
+                    continue
+                cached = self.cache.get(key)
+                if cached is None:
+                    pending.add(key)
+                    misses.append(position)
+                else:
+                    results[position] = self._copy_response(cached)
+            if misses:
+                fresh = self.framework.retrieve_batch(
+                    [queries[position] for position in misses],
+                    k=k,
+                    budget=budget,
+                    **kwargs,
+                )
+                for position, response in zip(misses, fresh):
+                    if response.degraded_reasons:
+                        results[position] = response
+                    else:
+                        self.cache.put(keys[position], response)
+                        results[position] = self._copy_response(response)
+            # A key repeated inside one batch is fetched once; later
+            # occurrences replay through the cache so the hit/miss
+            # accounting matches a serial miss-then-hit exactly.  When the
+            # first occurrence was degraded (and therefore not cached) the
+            # lookup records the miss a serial re-search would, and the
+            # repeat shares a copy of the partial response.
+            for position in repeats:
+                cached = self.cache.get(keys[position])
+                if cached is not None:
+                    results[position] = self._copy_response(cached)
+                else:
+                    first = next(
+                        p for p in misses if keys[p] == keys[position]
+                    )
+                    results[position] = self._copy_response(results[first])
+            span.set(
+                cache_hits=len(queries) - len(misses) - len(repeats),
+                cache_misses=len(misses),
+                cache_repeats=len(repeats),
+            )
+        return results
 
     @staticmethod
     def augment_query(

@@ -3,6 +3,11 @@
 Instantiates the configured retrieval framework and lets it build its index
 structures (one unified graph for MUST, one per modality for MR, one joint
 index for JE) over the encoded knowledge base.
+
+With sharding configured (``config.shards`` / ``config.replicas``) the
+framework is built *per shard replica* behind a
+:class:`~repro.core.sharding.ShardRouter`, which presents the same
+framework surface to the rest of the system.
 """
 
 from __future__ import annotations
@@ -28,12 +33,35 @@ class IndexConstruction:
         kb: KnowledgeBase,
         encoder_set: EncoderSet,
         weights: Dict[Modality, float],
+        resilience=None,
     ) -> RetrievalFramework:
-        """Set up the retrieval framework over ``kb`` and return it."""
-        framework = build_framework(config.framework, config.framework_params)
+        """Set up the retrieval framework over ``kb`` and return it.
+
+        ``resilience`` (the coordinator's manager) is only used by the
+        shard router, which guards each shard search under a per-shard
+        breaker site.
+        """
 
         def index_builder():
             return build_index(config.index, config.index_params)
 
+        if config.sharding_enabled:
+            from repro.core.sharding import ShardRouter
+
+            router = ShardRouter(
+                framework_name=config.framework,
+                framework_params=config.framework_params,
+                shards=config.shards if config.shards is not None else 1,
+                replicas=config.replicas,
+                partitioner=config.partitioner,
+                rebalance_threshold=config.rebalance_threshold,
+                latency_ms=config.shard_latency_ms,
+                latency_ms_per_1k=config.shard_latency_ms_per_1k,
+                resilience=resilience,
+            )
+            router.setup(kb, encoder_set, index_builder, weights=weights)
+            return router
+
+        framework = build_framework(config.framework, config.framework_params)
         framework.setup(kb, encoder_set, index_builder, weights=weights)
         return framework

@@ -1,0 +1,1111 @@
+"""Horizontal sharding: partitioners, shard replicas, and the scatter router.
+
+The paper's MQA system sits on Milvus precisely so the knowledge base can
+scale past one node.  This module lifts the single-node engine behind a
+routing layer:
+
+* a **partitioner** assigns every object to one of N shards — by a stable
+  hash of the object id (the default), or by the object's leading concept
+  so semantically close objects co-locate;
+* each shard is a **replica group** of R independently built, identical
+  framework+index stacks; reads pick a replica round-robin, skipping
+  replicas whose last calls failed (health-aware selection), writes apply
+  to every replica;
+* the :class:`ShardRouter` presents the ordinary
+  :class:`~repro.retrieval.base.RetrievalFramework` surface to the
+  coordinator: ``retrieve``/``retrieve_batch`` scatter to every shard and
+  merge the per-shard top-k exactly on ``(score, object_id)``, so the
+  merged ids equal the unsharded ids wherever per-shard search is exact.
+
+MR needs one extra step: its fused scores are functions of shard-*local*
+ranks (RRF) or per-fetched-list normalisation spans (CombSUM), so
+per-shard fused lists are not mergeable — naive merging is exactly the
+rank-fusion information loss the paper's Figure 5 critiques.  The router
+therefore ignores MR's fused scores and rebuilds each modality stream's
+*global* top-``fetch`` ranking from the per-shard ``(id, distance)``
+pairs (distances within one stream are globally comparable), then
+re-runs the same fusion the unsharded framework would — restoring exact
+result-id parity for MR too.
+
+Ids: shard-local indexes keep their own dense id space (frameworks insist
+on it), so every replica stores a *localised clone* of each object
+(``dataclasses.replace(obj, object_id=local_id)`` — content is untouched)
+plus the local→global translation applied to every search result.
+
+At ``shards=1`` the router is a pure pass-through — the inner framework's
+response object is returned unmodified, which is what makes the sharded
+path bit-identical to the unsharded engine in that configuration.
+
+Rebalancing: ingest-driven.  When the largest/smallest shard spread
+exceeds the configured threshold, the router moves the newest objects to
+the smallest shard — each move commits the object to every destination
+replica *first*, flips the owner map, and only then tombstones the source
+copy, so a search observing the mid-move state sees the object once (the
+merge deduplicates) and never loses it.  A router-level deleted set makes
+``remove_object`` safe against in-flight moves: a removed id is filtered
+out of every shard's results regardless of which copies carry local
+tombstones.
+
+Failure: each shard search runs under a per-shard circuit breaker site
+(``shard.<i>.search``) when resilience is on.  A failing or open-breaker
+shard contributes nothing; the merged response carries
+``degraded_reasons`` naming the missing shards, and ``GET /health``
+surfaces the per-shard ledger.  Only when *every* shard fails does the
+error propagate.
+
+Simulated shard service time (``latency_ms`` / ``latency_ms_per_1k``)
+models remote shard servers the same way the load generator's simulated
+LLM latency models the remote generation call: a GIL-releasing sleep
+proportional to the shard's corpus size.  When it is enabled the scatter
+fans out on a thread pool so per-shard service times overlap — the read
+scaling a real deployment gets from N shard machines.  It is off by
+default and adds nothing to the in-process hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.concurrency import run_scattered
+from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject, RawQuery
+from repro.errors import CircuitOpenError, MQAError, RetrievalError
+from repro.index.base import SearchStats
+from repro.retrieval import build_framework
+from repro.retrieval.fusion import fuse_rankings
+from repro.retrieval.base import (
+    IndexBuilder,
+    ObjectFilter,
+    RetrievalFramework,
+    RetrievalResponse,
+    RetrievedItem,
+)
+
+# ----------------------------------------------------------------------
+# partitioners
+# ----------------------------------------------------------------------
+
+
+def _stable_hash(data: bytes) -> int:
+    """Process-independent hash (``hash()`` varies with PYTHONHASHSEED)."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashPartitioner:
+    """Assign objects to shards by a stable hash of the object id."""
+
+    name = "hash"
+
+    def __init__(self, shards: int) -> None:
+        self.shards = shards
+
+    def assign(self, obj: MultiModalObject) -> int:
+        """Shard index in ``[0, shards)`` for ``obj``."""
+        return _stable_hash(str(obj.object_id).encode()) % self.shards
+
+
+class ConceptPartitioner:
+    """Assign objects by their leading concept, co-locating similar ones.
+
+    Objects composed from the same dominant concept land on the same
+    shard, which keeps concept-local traffic on one replica group.
+    Objects without concepts fall back to the id hash.
+    """
+
+    name = "concept"
+
+    def __init__(self, shards: int) -> None:
+        self.shards = shards
+
+    def assign(self, obj: MultiModalObject) -> int:
+        """Shard index in ``[0, shards)`` keyed on the leading concept."""
+        if obj.concepts:
+            return _stable_hash(obj.concepts[0].encode("utf-8")) % self.shards
+        return _stable_hash(str(obj.object_id).encode()) % self.shards
+
+
+PARTITIONERS: Dict[str, Callable[[int], Any]] = {
+    HashPartitioner.name: HashPartitioner,
+    ConceptPartitioner.name: ConceptPartitioner,
+}
+
+
+def available_partitioners() -> List[str]:
+    """Registered partitioner names, sorted."""
+    return sorted(PARTITIONERS)
+
+
+def build_partitioner(name: str, shards: int):
+    """Instantiate a registered partitioner for ``shards`` shards."""
+    try:
+        factory = PARTITIONERS[name]
+    except KeyError:
+        raise RetrievalError(
+            f"unknown partitioner {name!r}; "
+            f"available: {', '.join(available_partitioners())}"
+        ) from None
+    return factory(shards)
+
+
+# ----------------------------------------------------------------------
+# shard-local corpus view
+# ----------------------------------------------------------------------
+
+
+class ShardView:
+    """A knowledge-base-shaped view over one shard's localised objects.
+
+    Frameworks only iterate the corpus at setup time and remember the
+    handle, so the view needs iteration, length, and id lookup — nothing
+    else from :class:`~repro.data.knowledge_base.KnowledgeBase`.
+    """
+
+    def __init__(self, name: str, objects: List[MultiModalObject]) -> None:
+        self.name = name
+        self._objects = objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self):
+        return iter(self._objects)
+
+    def get(self, local_id: int) -> MultiModalObject:
+        """The localised object with ``local_id``."""
+        if not 0 <= local_id < len(self._objects):
+            raise RetrievalError(f"shard has no local object {local_id}")
+        return self._objects[local_id]
+
+    def append(self, obj: MultiModalObject) -> None:
+        """Grow the view by one already-localised object."""
+        self._objects.append(obj)
+
+
+class ShardReplica:
+    """One self-contained copy of a shard: framework + indexes + id maps.
+
+    Replicas of the same shard are built independently over the same
+    localised corpus; every build is deterministic, so replicas return
+    identical results and replica selection can never change a query's
+    answer — only which copy does the work.
+    """
+
+    def __init__(self, shard_index: int, replica_index: int) -> None:
+        self.shard_index = shard_index
+        self.replica_index = replica_index
+        self.framework: Optional[RetrievalFramework] = None
+        self.global_ids: List[int] = []
+        self._local_of: Dict[int, int] = {}
+        self._view = ShardView(f"shard-{shard_index}.{replica_index}", [])
+        self.healthy = True
+        self.searches = 0
+        self.errors = 0
+
+    # -- construction ---------------------------------------------------
+    def build(
+        self,
+        objects: Sequence[MultiModalObject],
+        framework_factory: Callable[[], RetrievalFramework],
+        encoder_set,
+        index_builder: IndexBuilder,
+        weights,
+    ) -> None:
+        """Localise ``objects`` and build this replica's framework.
+
+        An empty shard stays frameworkless (indexes cannot build over an
+        empty matrix) and answers every search with no results; the first
+        :meth:`add` builds it lazily.
+        """
+        self._factory = framework_factory
+        self._encoder_set = encoder_set
+        self._index_builder = index_builder
+        self._weights = weights
+        for obj in objects:
+            local_id = len(self.global_ids)
+            self._view.append(replace(obj, object_id=local_id))
+            self._local_of[obj.object_id] = local_id
+            self.global_ids.append(obj.object_id)
+        if len(self._view):
+            framework = framework_factory()
+            framework.setup(
+                self._view, encoder_set, index_builder, weights=weights
+            )
+            self.framework = framework
+
+    def add(self, obj: MultiModalObject) -> None:
+        """Append the localised clone of ``obj`` (lazy-building if empty)."""
+        local_id = len(self.global_ids)
+        clone = replace(obj, object_id=local_id)
+        if self.framework is None:
+            self._view.append(clone)
+            self._local_of[obj.object_id] = local_id
+            self.global_ids.append(obj.object_id)
+            framework = self._factory()
+            framework.setup(
+                self._view, self._encoder_set, self._index_builder,
+                weights=self._weights,
+            )
+            self.framework = framework
+            return
+        self.framework.add_object(clone)
+        self._view.append(clone)
+        self._local_of[obj.object_id] = local_id
+        self.global_ids.append(obj.object_id)
+
+    # -- id translation -------------------------------------------------
+    def local_id(self, global_id: int) -> Optional[int]:
+        """This replica's local id for ``global_id`` (None if absent)."""
+        return self._local_of.get(global_id)
+
+    def holds(self, global_id: int) -> bool:
+        """Whether this replica stores a copy of ``global_id``."""
+        return global_id in self._local_of
+
+    def tombstone(self, global_id: int) -> None:
+        """Locally tombstone ``global_id`` (no-op when absent/unbuilt)."""
+        local = self._local_of.get(global_id)
+        if local is not None and self.framework is not None:
+            self.framework.remove_object(local)
+
+    def restore(self, global_id: int) -> None:
+        """Lift ``global_id``'s local tombstone (no-op when absent)."""
+        local = self._local_of.get(global_id)
+        if local is not None and self.framework is not None:
+            self.framework.restore_object(local)
+
+    def live_count(self) -> int:
+        """Objects held minus local tombstones."""
+        if self.framework is None:
+            return 0
+        return len(self.global_ids) - len(self.framework.deleted_ids)
+
+    # -- search ---------------------------------------------------------
+    def _localise_filter(
+        self, filter_fn: "ObjectFilter | None"
+    ) -> "ObjectFilter | None":
+        """Translate a global-id predicate into local-id space."""
+        if filter_fn is None:
+            return None
+        global_ids = self.global_ids
+        return lambda local_id: filter_fn(global_ids[local_id])
+
+    def _globalise(self, response: RetrievalResponse) -> RetrievalResponse:
+        """Rewrite a response's local ids back into global ids in place."""
+        global_ids = self.global_ids
+        for item in response.items:
+            item.object_id = global_ids[item.object_id]
+        if response.per_modality_ids:
+            response.per_modality_ids = {
+                modality: [global_ids[i] for i in ids]
+                for modality, ids in response.per_modality_ids.items()
+            }
+        return response
+
+    def search(
+        self,
+        query: RawQuery,
+        k: int,
+        budget: int,
+        weights=None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> RetrievalResponse:
+        """Top-``k`` over this replica, results in global ids."""
+        self.searches += 1
+        if self.framework is None:
+            return RetrievalResponse(framework="empty-shard", items=[])
+        kwargs: Dict[str, Any] = {}
+        if weights is not None:
+            kwargs["weights"] = weights
+        local_filter = self._localise_filter(filter_fn)
+        if local_filter is not None:
+            kwargs["filter_fn"] = local_filter
+        # Every index clamps k to its corpus size, so small shards simply
+        # return everything they have.
+        response = self.framework.retrieve(query, k=k, budget=budget, **kwargs)
+        return self._globalise(response)
+
+    def search_batch(
+        self,
+        queries: Sequence[RawQuery],
+        k: int,
+        budget: int,
+        weights=None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> List[RetrievalResponse]:
+        """Batched :meth:`search` via the framework's batched kernels."""
+        self.searches += len(queries)
+        if self.framework is None:
+            return [
+                RetrievalResponse(framework="empty-shard", items=[])
+                for _ in queries
+            ]
+        kwargs: Dict[str, Any] = {}
+        if weights is not None:
+            kwargs["weights"] = weights
+        local_filter = self._localise_filter(filter_fn)
+        if local_filter is not None:
+            kwargs["filter_fn"] = local_filter
+        responses = self.framework.retrieve_batch(
+            queries, k=k, budget=budget, **kwargs
+        )
+        return [self._globalise(response) for response in responses]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Replica counters for the /health per-shard ledger."""
+        return {
+            "replica": self.replica_index,
+            "objects": len(self.global_ids),
+            "live": self.live_count(),
+            "healthy": self.healthy,
+            "searches": self.searches,
+            "errors": self.errors,
+        }
+
+
+class ShardGroup:
+    """One shard's replica set with round-robin, health-aware selection."""
+
+    #: After this many selections that skipped it, an unhealthy replica
+    #: gets probed again (it may have recovered).
+    PROBE_EVERY = 8
+
+    def __init__(self, shard_index: int, replicas: Sequence[ShardReplica]) -> None:
+        self.shard_index = shard_index
+        self.replicas = list(replicas)
+        self._cursor = 0
+        self._skips = 0
+        self._lock = threading.Lock()
+        #: Single-replica fast path: no rotation to arbitrate, so a
+        #: healthy lone replica is returned without taking the lock.
+        self._single = self.replicas[0] if len(self.replicas) == 1 else None
+
+    def select(self) -> ShardReplica:
+        """Next replica: round-robin over healthy ones, periodically
+        probing unhealthy ones so they can rejoin after recovery."""
+        single = self._single
+        if single is not None and single.healthy:
+            return single
+        with self._lock:
+            for _ in range(len(self.replicas)):
+                replica = self.replicas[self._cursor % len(self.replicas)]
+                self._cursor += 1
+                if replica.healthy:
+                    return replica
+                self._skips += 1
+                if self._skips >= self.PROBE_EVERY:
+                    self._skips = 0
+                    return replica
+            # All replicas unhealthy: probe in rotation anyway — serving a
+            # possibly-failing replica beats dropping the shard silently.
+            replica = self.replicas[self._cursor % len(self.replicas)]
+            self._cursor += 1
+            return replica
+
+    def mark(self, replica: ShardReplica, ok: bool) -> None:
+        """Record the outcome of a call served by ``replica``."""
+        with self._lock:
+            replica.healthy = ok
+            if not ok:
+                replica.errors += 1
+
+    # Writes fan out to every replica so all copies stay identical.
+    def add(self, obj: MultiModalObject) -> None:
+        """Ingest ``obj`` into every replica of this shard."""
+        for replica in self.replicas:
+            replica.add(obj)
+
+    def tombstone(self, global_id: int) -> None:
+        """Tombstone ``global_id`` on every replica."""
+        for replica in self.replicas:
+            replica.tombstone(global_id)
+
+    def restore(self, global_id: int) -> None:
+        """Lift ``global_id``'s tombstone on every replica."""
+        for replica in self.replicas:
+            replica.restore(global_id)
+
+    def holds(self, global_id: int) -> bool:
+        """Whether this shard stores a copy of ``global_id``."""
+        return self.replicas[0].holds(global_id)
+
+    def live_count(self) -> int:
+        """Objects held minus tombstones (replicas are identical)."""
+        return self.replicas[0].live_count()
+
+    def live_global_ids(self) -> List[int]:
+        """Global ids held and not locally tombstoned, insertion order."""
+        primary = self.replicas[0]
+        if primary.framework is None:
+            return []
+        deleted = primary.framework.deleted_ids
+        return [
+            gid
+            for local, gid in enumerate(primary.global_ids)
+            if local not in deleted
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Shard counters plus every replica's, for /health."""
+        return {
+            "shard": self.shard_index,
+            "objects": len(self.replicas[0].global_ids),
+            "live": self.live_count(),
+            "replicas": [replica.snapshot() for replica in self.replicas],
+        }
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+
+
+def merge_shard_topk(
+    shard_results: Sequence[Sequence[Tuple[int, float]]],
+    k: int,
+    drop: "frozenset | set | None" = None,
+) -> List[Tuple[int, float]]:
+    """Exact top-``k`` merge of per-shard ``(object_id, score)`` lists.
+
+    Smaller scores win; ties break on the object id so the merge is a
+    deterministic function of its inputs.  Duplicate ids (an object live
+    on two shards mid-move) keep their best-scoring occurrence.  ``drop``
+    removes ids regardless of shard state — the router passes its deleted
+    set so a removed object can never resurface from a stale copy.
+    """
+    best: Dict[int, float] = {}
+    for results in shard_results:
+        for object_id, score in results:
+            if drop is not None and object_id in drop:
+                continue
+            current = best.get(object_id)
+            if current is None or score < current:
+                best[object_id] = score
+    ranked = sorted(best.items(), key=lambda pair: (pair[1], pair[0]))
+    return ranked[:k]
+
+
+class ShardRouter(RetrievalFramework):
+    """Scatter-gather retrieval over hash-partitioned shard replicas.
+
+    Presents the plain :class:`RetrievalFramework` surface, so the
+    coordinator, query execution, cache, and micro-batcher all work
+    unchanged above it.  ``weights`` and ``filter_fn`` are declared
+    capabilities and validated against the *inner* framework at call
+    time, mirroring the unsharded capability errors.
+
+    Args:
+        framework_name: Registered inner framework ("mr" / "je" / "must").
+        framework_params: Factory parameters for each replica's framework.
+        shards: Number of shards (1 = pass-through).
+        replicas: Replicas per shard.
+        partitioner: Registered partitioner name.
+        rebalance_threshold: Live-object spread (largest minus smallest
+            shard) that triggers an ingest-time rebalance; 0 disables.
+        latency_ms: Simulated fixed per-shard-call service time.
+        latency_ms_per_1k: Simulated service time per 1000 live objects
+            on the called shard (models a remote shard scanning its
+            partition); enables the parallel scatter pool.
+        resilience: Optional :class:`~repro.core.resilience.ResilienceManager`;
+            when enabled, every shard search runs under its own breaker
+            site ``shard.<i>.search``.
+    """
+
+    name = "shard-router"
+
+    def __init__(
+        self,
+        framework_name: str,
+        framework_params: "Dict[str, Any] | None" = None,
+        shards: int = 1,
+        replicas: int = 1,
+        partitioner: str = "hash",
+        rebalance_threshold: int = 8,
+        latency_ms: float = 0.0,
+        latency_ms_per_1k: float = 0.0,
+        resilience=None,
+    ) -> None:
+        super().__init__()
+        if shards < 1:
+            raise RetrievalError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise RetrievalError(f"replicas must be >= 1, got {replicas}")
+        self.framework_name = framework_name
+        self.framework_params = dict(framework_params or {})
+        self.shards = shards
+        self.replica_count = replicas
+        self.partitioner = build_partitioner(partitioner, shards)
+        self.rebalance_threshold = rebalance_threshold
+        self.latency_ms = latency_ms
+        self.latency_ms_per_1k = latency_ms_per_1k
+        self.resilience = resilience
+        self.groups: List[ShardGroup] = []
+        self._capabilities: "set | None" = None
+        self._probe: "RetrievalFramework | None" = None
+        self._owner: Dict[int, int] = {}
+        self._meta_lock = threading.Lock()
+        self._pool = None
+        self.moves = 0
+        self.rebalances = 0
+        self.degraded_searches = 0
+
+    # ------------------------------------------------------------------
+    # setup / writes
+    # ------------------------------------------------------------------
+    def _framework_factory(self) -> RetrievalFramework:
+        return build_framework(self.framework_name, self.framework_params)
+
+    def setup(
+        self,
+        kb,
+        encoder_set,
+        index_builder: IndexBuilder,
+        weights: "Dict[Modality, float] | None" = None,
+    ) -> None:
+        """Partition ``kb`` and build every shard's replica set."""
+        start = time.perf_counter()
+        assignments: List[List[MultiModalObject]] = [[] for _ in range(self.shards)]
+        for obj in kb:
+            shard = self.partitioner.assign(obj)
+            self._owner[obj.object_id] = shard
+            assignments[shard].append(obj)
+        self.groups = []
+        for shard_index, objects in enumerate(assignments):
+            replicas = []
+            for replica_index in range(self.replica_count):
+                replica = ShardReplica(shard_index, replica_index)
+                replica.build(
+                    objects, self._framework_factory, encoder_set,
+                    index_builder, weights,
+                )
+                replicas.append(replica)
+            self.groups.append(ShardGroup(shard_index, replicas))
+        self.kb = kb
+        self.encoder_set = encoder_set
+        self.setup_seconds = time.perf_counter() - start
+
+    def add_object(self, obj: MultiModalObject) -> int:
+        """Route one ingested object to its shard (then maybe rebalance)."""
+        self._require_ready()
+        shard = self.partitioner.assign(obj)
+        self.groups[shard].add(obj)
+        with self._meta_lock:
+            self._owner[obj.object_id] = shard
+        self._maybe_rebalance()
+        return obj.object_id
+
+    def remove_object(self, object_id: int) -> None:
+        """Tombstone globally, then on the owning shard's replicas.
+
+        The router-level deleted set is the correctness mechanism: every
+        search filters against it, so the id stays gone even if a
+        mid-flight move leaves an untombstoned copy on another shard.
+        """
+        self._require_ready()
+        if not isinstance(object_id, int) or object_id < 0:
+            raise RetrievalError(f"invalid object id: {object_id!r}")
+        with self._meta_lock:
+            owner = self._owner.get(object_id)
+            if owner is None:
+                raise RetrievalError(
+                    f"object {object_id} is not held by any shard"
+                )
+            self._deleted.add(object_id)
+        self.groups[owner].tombstone(object_id)
+
+    def restore_object(self, object_id: int) -> None:
+        self._require_ready()
+        with self._meta_lock:
+            self._deleted.discard(object_id)
+            owner = self._owner.get(object_id)
+        if owner is not None:
+            self.groups[owner].restore(object_id)
+
+    # ------------------------------------------------------------------
+    # rebalancing (ingest-driven)
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self) -> None:
+        """Move objects from the largest to the smallest shard when the
+        live-count spread exceeds the threshold."""
+        if self.rebalance_threshold <= 0 or self.shards < 2:
+            return
+        counts = [group.live_count() for group in self.groups]
+        largest = max(range(self.shards), key=lambda i: counts[i])
+        smallest = min(range(self.shards), key=lambda i: counts[i])
+        spread = counts[largest] - counts[smallest]
+        if spread <= self.rebalance_threshold:
+            return
+        self.rebalances += 1
+        to_move = spread // 2
+        # Newest objects move first: they are the cheapest to re-encode
+        # conceptually (just-ingested) and moving them converges the
+        # spread without touching the stable head of the shard.
+        candidates = self.groups[largest].live_global_ids()[::-1]
+        moved = 0
+        for global_id in candidates:
+            if moved >= to_move:
+                break
+            with self._meta_lock:
+                if global_id in self._deleted:
+                    continue
+            self._move_object(global_id, largest, smallest)
+            moved += 1
+
+    def _move_object(self, global_id: int, source: int, destination: int) -> None:
+        """One migration: destination commit → owner flip → source tombstone."""
+        assert self.kb is not None
+        obj = self.kb.get(global_id)
+        self._commit_to_destination(obj, destination)
+        with self._meta_lock:
+            self._owner[global_id] = destination
+        self._tombstone_source(global_id, source)
+        self.moves += 1
+
+    def _commit_to_destination(self, obj: MultiModalObject, destination: int) -> None:
+        """Step 1 of a move: the object becomes live on the destination.
+
+        Split out as a method so the deterministic concurrency harness can
+        pause a move between commit and source-tombstone.
+        """
+        self.groups[destination].add(obj)
+
+    def _tombstone_source(self, global_id: int, source: int) -> None:
+        """Step 2 of a move: retire the source copy (after the commit)."""
+        self.groups[source].tombstone(global_id)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _deleted_filter(
+        self, filter_fn: "ObjectFilter | None"
+    ) -> "ObjectFilter | None":
+        """Fold the router-level deleted set into the global-id filter."""
+        with self._meta_lock:
+            if not self._deleted:
+                return filter_fn
+            deleted = set(self._deleted)
+        if filter_fn is None:
+            return lambda object_id: object_id not in deleted
+        return lambda object_id: object_id not in deleted and filter_fn(object_id)
+
+    def _framework_probe(self) -> RetrievalFramework:
+        """A never-set-up instance of the inner framework, built once —
+        used to read signatures and fusion settings without a corpus."""
+        if self._probe is None:
+            self._probe = self._framework_factory()
+        return self._probe
+
+    def _inner_capabilities(self) -> set:
+        """Keyword arguments the inner framework's ``retrieve`` accepts
+        (computed once from the probe instance's signature)."""
+        if self._capabilities is None:
+            self._capabilities = set(
+                inspect.signature(self._framework_probe().retrieve).parameters
+            )
+        return self._capabilities
+
+    def _check_capabilities(self, weights, filter_fn) -> None:
+        """Reject kwargs the inner framework cannot honour, with the same
+        error shape the unsharded engine produces."""
+        parameters = self._inner_capabilities()
+        if weights is not None and "weights" not in parameters:
+            raise RetrievalError(
+                f"framework {self.framework_name!r} does not support "
+                "per-query modality weights"
+            )
+        if filter_fn is not None and "filter_fn" not in parameters:
+            raise RetrievalError(
+                f"framework {self.framework_name!r} does not support "
+                "filtered retrieval"
+            )
+
+    def _simulate_service(self, group: ShardGroup) -> None:
+        """Sleep for the shard's modelled remote service time (see module
+        docstring); a no-op when both knobs are 0."""
+        if self.latency_ms <= 0 and self.latency_ms_per_1k <= 0:
+            return  # keep live_count() off the un-simulated hot path
+        total_ms = self.latency_ms + (
+            self.latency_ms_per_1k * group.live_count() / 1000.0
+        )
+        if total_ms > 0:
+            time.sleep(total_ms / 1000.0)
+
+    @property
+    def _parallel(self) -> bool:
+        """Scatter on threads only when simulated service time is on —
+        overlapping sleeps models N shard servers working concurrently;
+        for in-process CPU-bound shards a pool only adds overhead."""
+        return self.shards > 1 and (
+            self.latency_ms > 0 or self.latency_ms_per_1k > 0
+        )
+
+    def _scatter_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.shards, thread_name_prefix="shard-scatter"
+            )
+        return self._pool
+
+    def _guarded_shard_call(
+        self,
+        shard_index: int,
+        fn: Callable[[], Any],
+        degraded: List[str],
+    ) -> Any:
+        """Run one shard's search; failures degrade to a missing shard.
+
+        Returns None when the shard contributed nothing.  ``degraded``
+        collects human-readable reasons (also the /health story).
+        """
+        group = self.groups[shard_index]
+        replica = group.select()
+        site = f"shard.{shard_index}.search"
+
+        def call():
+            self._simulate_service(group)
+            return fn(replica)
+
+        try:
+            if self.resilience is not None and self.resilience.enabled:
+                result = self.resilience.call(site, call)
+            else:
+                result = call()
+        except CircuitOpenError as exc:
+            group.mark(replica, False)
+            degraded.append(f"shard {shard_index} unavailable (breaker open)")
+            self._note_degraded(exc)
+            return None
+        except MQAError as exc:
+            group.mark(replica, False)
+            degraded.append(
+                f"shard {shard_index} unavailable ({type(exc).__name__})"
+            )
+            self._note_degraded(exc)
+            return None
+        group.mark(replica, True)
+        return result
+
+    def _note_degraded(self, exc: Exception) -> None:
+        with self._meta_lock:
+            self.degraded_searches += 1
+            self._last_error = exc
+
+    def retrieve(
+        self,
+        query: RawQuery,
+        k: int,
+        budget: int = 64,
+        weights: "Dict[Modality, float] | None" = None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> RetrievalResponse:
+        """Scatter ``query`` to every shard and merge the top-k exactly."""
+        self._require_ready()
+        if k <= 0:
+            raise RetrievalError(f"k must be positive, got {k}")
+        self._check_capabilities(weights, filter_fn)
+        if self.shards == 1:
+            return self._passthrough(query, k, budget, weights, filter_fn)
+        shard_filter = self._deleted_filter(filter_fn)
+        degraded: List[str] = []
+
+        def shard_task(shard_index: int) -> Optional[RetrievalResponse]:
+            return self._guarded_shard_call(
+                shard_index,
+                lambda replica: replica.search(
+                    query, k, budget, weights=weights, filter_fn=shard_filter
+                ),
+                degraded,
+            )
+
+        responses = run_scattered(
+            [lambda i=i: shard_task(i) for i in range(self.shards)],
+            pool=self._scatter_pool() if self._parallel else None,
+        )
+        answered = [r for r in responses if r is not None]
+        if not answered:
+            raise RetrievalError(
+                f"all {self.shards} shards unavailable "
+                f"(last: {type(self._last_error).__name__}: {self._last_error})"
+            )
+        return self._merge(answered, k, degraded, weights=weights)
+
+    def retrieve_batch(
+        self,
+        queries: Sequence[RawQuery],
+        k: int,
+        budget: int = 64,
+        weights: "Dict[Modality, float] | None" = None,
+        filter_fn: "ObjectFilter | None" = None,
+    ) -> List[RetrievalResponse]:
+        """Batched scatter: one ``retrieve_batch`` per shard (the PR 4
+        batched kernels are the per-shard unit of work), merged per
+        query."""
+        self._require_ready()
+        if k <= 0:
+            raise RetrievalError(f"k must be positive, got {k}")
+        self._check_capabilities(weights, filter_fn)
+        queries = list(queries)
+        if not queries:
+            return []
+        if self.shards == 1:
+            return self._passthrough_batch(queries, k, budget, weights, filter_fn)
+        shard_filter = self._deleted_filter(filter_fn)
+        degraded: List[str] = []
+
+        def shard_task(shard_index: int) -> "List[RetrievalResponse] | None":
+            return self._guarded_shard_call(
+                shard_index,
+                lambda replica: replica.search_batch(
+                    queries, k, budget, weights=weights, filter_fn=shard_filter
+                ),
+                degraded,
+            )
+
+        per_shard = run_scattered(
+            [lambda i=i: shard_task(i) for i in range(self.shards)],
+            pool=self._scatter_pool() if self._parallel else None,
+        )
+        answered = [r for r in per_shard if r is not None]
+        if not answered:
+            raise RetrievalError(
+                f"all {self.shards} shards unavailable "
+                f"(last: {type(self._last_error).__name__}: {self._last_error})"
+            )
+        merged: List[RetrievalResponse] = []
+        for position in range(len(queries)):
+            merged.append(
+                self._merge(
+                    [batch[position] for batch in answered],
+                    k,
+                    degraded,
+                    weights=weights,
+                )
+            )
+        return merged
+
+    _last_error: Exception = RetrievalError("no shard searched yet")
+
+    def _passthrough(self, query, k, budget, weights, filter_fn):
+        """shards=1: delegate unmodified — the bit-identity fast path.
+
+        Replica selection and simulated service time still apply, but the
+        inner framework's response object is returned as-is.
+        """
+        group = self.groups[0]
+        replica = group.select()
+        self._simulate_service(group)
+        kwargs: Dict[str, Any] = {}
+        if weights is not None:
+            kwargs["weights"] = weights
+        if filter_fn is not None:
+            kwargs["filter_fn"] = filter_fn
+        if replica.framework is None:
+            return RetrievalResponse(framework="empty-shard", items=[])
+        # Single shard ⇒ local ids equal global ids; no translation.
+        return replica.framework.retrieve(query, k=k, budget=budget, **kwargs)
+
+    def _passthrough_batch(self, queries, k, budget, weights, filter_fn):
+        group = self.groups[0]
+        replica = group.select()
+        self._simulate_service(group)
+        kwargs: Dict[str, Any] = {}
+        if weights is not None:
+            kwargs["weights"] = weights
+        if filter_fn is not None:
+            kwargs["filter_fn"] = filter_fn
+        if replica.framework is None:
+            return [
+                RetrievalResponse(framework="empty-shard", items=[])
+                for _ in queries
+            ]
+        return replica.framework.retrieve_batch(
+            queries, k=k, budget=budget, **kwargs
+        )
+
+    def _merge(
+        self,
+        responses: Sequence[RetrievalResponse],
+        k: int,
+        degraded: List[str],
+        weights: "Dict[Modality, float] | None" = None,
+    ) -> RetrievalResponse:
+        """Exact merge of per-shard responses.
+
+        Distance-scored frameworks (JE, MUST) merge at the item level via
+        :func:`merge_shard_topk`.  Rank-fusion frameworks (MR) signal
+        themselves by carrying per-stream distances; their fused scores
+        are shard-local, so the router re-fuses at the stream level
+        instead (:meth:`_merge_rank_fusion`).
+        """
+        with self._meta_lock:
+            drop = frozenset(self._deleted)
+        if any(response.per_modality_distances for response in responses):
+            merged = self._merge_rank_fusion(responses, k, drop, weights)
+        else:
+            ranked = merge_shard_topk(
+                [
+                    [(item.object_id, item.score) for item in response.items]
+                    for response in responses
+                ],
+                k,
+                drop=drop,
+            )
+            items = [
+                RetrievedItem(object_id=object_id, score=score, rank=rank)
+                for rank, (object_id, score) in enumerate(ranked)
+            ]
+            stats = SearchStats()
+            for response in responses:
+                stats.merge(response.stats)
+            per_modality: Dict[Modality, List[int]] = {}
+            for response in responses:
+                for modality, ids in response.per_modality_ids.items():
+                    per_modality.setdefault(modality, []).extend(ids)
+            merged = RetrievalResponse(
+                framework=self._merged_name(responses),
+                items=items,
+                stats=stats,
+                per_modality_ids=per_modality,
+            )
+        if degraded:
+            merged.degraded_reasons = list(dict.fromkeys(degraded))
+        return merged
+
+    @staticmethod
+    def _merged_name(responses: Sequence[RetrievalResponse]) -> str:
+        """The inner framework's name, skipping empty-shard placeholders."""
+        for response in responses:
+            if response.framework != "empty-shard":
+                return response.framework
+        return responses[0].framework
+
+    def _merge_rank_fusion(
+        self,
+        responses: Sequence[RetrievalResponse],
+        k: int,
+        drop: frozenset,
+        weights: "Dict[Modality, float] | None",
+    ) -> RetrievalResponse:
+        """Stream-level re-fusion for rank-fusion frameworks (MR).
+
+        Per-shard fused scores encode shard-local ranks and cannot be
+        merged.  Distances within one modality stream *are* globally
+        comparable, so the router pools every shard's ``(id, distance)``
+        stream fragments, rebuilds each stream's global top-``fetch``
+        ranking (best-distance dedup for mid-move copies, dropped ids
+        removed, ``(distance, id)`` tie-break), and re-runs the same
+        fusion the unsharded framework applies — same strategy, same
+        expansion, same stream weights.  When every shard returned its
+        full stream top-``fetch``, the rebuilt streams equal the
+        unsharded streams and the fused ids match exactly.
+        """
+        probe = self._framework_probe()
+        fetch = getattr(probe, "expansion", 1) * k
+        order: List[Modality] = []
+        pooled: Dict[Modality, Dict[int, float]] = {}
+        for response in responses:
+            for modality, ids in response.per_modality_ids.items():
+                stream_distances = response.per_modality_distances.get(
+                    modality, []
+                )
+                if modality not in pooled:
+                    pooled[modality] = {}
+                    order.append(modality)
+                best = pooled[modality]
+                for object_id, distance in zip(ids, stream_distances):
+                    if object_id in drop:
+                        continue
+                    if object_id not in best or distance < best[object_id]:
+                        best[object_id] = distance
+        rankings: List[List[int]] = []
+        distances: List[List[float]] = []
+        per_modality: Dict[Modality, List[int]] = {}
+        per_modality_distances: Dict[Modality, List[float]] = {}
+        for modality in order:
+            ranked = sorted(
+                pooled[modality].items(), key=lambda pair: (pair[1], pair[0])
+            )[:fetch]
+            rankings.append([object_id for object_id, _ in ranked])
+            distances.append([distance for _, distance in ranked])
+            per_modality[modality] = rankings[-1]
+            per_modality_distances[modality] = distances[-1]
+        stream_weights = None
+        if weights is not None:
+            parsed = {
+                Modality.parse(m): float(w) for m, w in weights.items()
+            }
+            stream_weights = [parsed.get(m, 1.0) for m in order]
+        fused = fuse_rankings(
+            rankings,
+            distances,
+            k,
+            strategy=getattr(probe, "fusion", "rrf"),
+            stream_weights=stream_weights,
+        )
+        items = [
+            RetrievedItem(object_id=object_id, score=score, rank=rank)
+            for rank, (object_id, score) in enumerate(fused)
+        ]
+        stats = SearchStats()
+        for response in responses:
+            stats.merge(response.stats)
+        return RetrievalResponse(
+            framework=self._merged_name(responses),
+            items=items,
+            stats=stats,
+            per_modality_ids=per_modality,
+            per_modality_distances=per_modality_distances,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def owner_of(self, object_id: int) -> Optional[int]:
+        """The shard currently owning ``object_id`` (None if unknown)."""
+        with self._meta_lock:
+            return self._owner.get(object_id)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The per-shard ledger surfaced in ``GET /health``."""
+        breakers = {}
+        if self.resilience is not None and self.resilience.enabled:
+            snap = self.resilience.snapshot()
+            breakers = {
+                site: state
+                for site, state in (snap.get("breakers") or {}).items()
+                if site.startswith("shard.")
+            }
+        return {
+            "enabled": True,
+            "shards": self.shards,
+            "replicas": self.replica_count,
+            "partitioner": self.partitioner.name,
+            "rebalance_threshold": self.rebalance_threshold,
+            "objects": sum(group.live_count() for group in self.groups),
+            "deleted": len(self._deleted),
+            "moves": self.moves,
+            "rebalances": self.rebalances,
+            "degraded_searches": self.degraded_searches,
+            "per_shard": [group.snapshot() for group in self.groups],
+            "breakers": breakers,
+        }
+
+    def describe(self) -> str:
+        sizes = ", ".join(str(group.live_count()) for group in self.groups)
+        return (
+            f"shard router: {self.shards} shard(s) × {self.replica_count} "
+            f"replica(s) over {self.framework_name!r}, "
+            f"partitioner {self.partitioner.name!r}, live per shard [{sizes}]"
+        )
+
+    def close(self) -> None:
+        """Shut down the scatter pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None

@@ -53,9 +53,16 @@ class FlightRecorder:
         max_bytes: Rotation threshold for the active file.
         max_files: Rotated generations kept (``<path>.1`` .. ``<path>.N``);
             the active file is on top of these.
+        metrics: Optional :class:`~repro.observability.MetricsRegistry`;
+            recorder I/O failures increment its ``recorder.errors`` counter.
 
     Writes serialise on an internal lock, so one recorder can be shared by
     every request thread of a server.
+
+    Recording is an observability side-channel: an I/O failure while
+    persisting a flight (disk full, rotated file vanished, closed handle)
+    is *counted* — ``errors`` attribute plus the ``recorder.errors``
+    metric — but never fails the query that was being recorded.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class FlightRecorder:
         config: Optional[Dict[str, Any]] = None,
         max_bytes: int = 4_000_000,
         max_files: int = 3,
+        metrics=None,
     ) -> None:
         if max_bytes < 1024:
             raise ValueError(f"max_bytes must be >= 1024, got {max_bytes}")
@@ -73,8 +81,10 @@ class FlightRecorder:
         self.max_bytes = max_bytes
         self.max_files = max_files
         self.config = dict(config or {})
+        self.metrics = metrics
         self.records_written = 0
         self.rotations = 0
+        self.errors = 0
         self._trace_id = 0
         self._lock = threading.Lock()
         self._handle: Optional[Any] = None
@@ -147,23 +157,42 @@ class FlightRecorder:
                 "answer": answer or {},
                 "span_tree": span_tree,
             }
-            self._append_line(json.dumps(entry, default=_json_default))
-            self.records_written += 1
-            if self._size > self.max_bytes:
-                self._rotate()
+            try:
+                self._append_line(json.dumps(entry, default=_json_default))
+                self.records_written += 1
+                if self._size > self.max_bytes:
+                    self._rotate()
+            except OSError:
+                # A lost recording must not fail the recorded query; the
+                # counter makes the loss visible instead of silent.
+                self._count_error()
         return trace_id
 
+    def _count_error(self) -> None:
+        self.errors += 1
+        if self.metrics is not None:
+            self.metrics.inc("recorder.errors")
+
     def close(self) -> None:
-        """Release the underlying file handle (safe to call twice)."""
+        """Release the underlying file handle (safe to call twice).
+
+        A failing close (e.g. buffered data hitting a full disk) is
+        counted like any other recorder I/O error, not raised.
+        """
         with self._lock:
             if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+                handle, self._handle = self._handle, None
+                try:
+                    handle.close()
+                except OSError:
+                    self._count_error()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing
         try:
             self.close()
         except Exception:
+            # During interpreter teardown even the counters may be gone;
+            # close() already accounts for ordinary I/O failures.
             pass
 
     def snapshot(self) -> Dict[str, Any]:
@@ -172,6 +201,7 @@ class FlightRecorder:
             "path": str(self.path),
             "records_written": self.records_written,
             "rotations": self.rotations,
+            "errors": self.errors,
             "active_bytes": self._size,
             "max_bytes": self.max_bytes,
             "max_files": self.max_files,

@@ -71,12 +71,24 @@ class RetrievalResponse:
         per_modality_ids: For MR, the raw per-stream rankings before fusion
             (empty for single-search frameworks) — surfaced so the UI can
             explain where merged results came from.
+        per_modality_distances: The matching per-stream distances, aligned
+            with ``per_modality_ids``.  Distances within one stream are
+            globally comparable (same encoder, same metric), which is what
+            lets the shard router rebuild a global stream ranking from
+            per-shard fragments and re-run fusion exactly.
+        degraded_reasons: Non-empty when the response is partial — e.g.
+            the shard router lost shards to open breakers and merged what
+            remained.  Partial responses are never cached.
     """
 
     framework: str
     items: List[RetrievedItem]
     stats: SearchStats = field(default_factory=SearchStats)
     per_modality_ids: Dict[Modality, List[int]] = field(default_factory=dict)
+    per_modality_distances: Dict[Modality, List[float]] = field(
+        default_factory=dict
+    )
+    degraded_reasons: List[str] = field(default_factory=list)
 
     @property
     def ids(self) -> List[int]:

@@ -116,6 +116,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
         rankings: List[List[int]] = []
         distances: List[List[float]] = []
         per_modality: Dict[Modality, List[int]] = {}
+        per_modality_distances: Dict[Modality, List[float]] = {}
         stats = SearchStats()
         fetch = self.expansion * k
         for modality, vector in query_vectors.items():
@@ -141,6 +142,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
             rankings.append(outcome.ids)
             distances.append(outcome.distances)
             per_modality[modality] = list(outcome.ids)
+            per_modality_distances[modality] = [float(d) for d in outcome.distances]
             stats.merge(outcome.stats)
 
         stream_weights = None
@@ -165,6 +167,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
             items=items,
             stats=stats,
             per_modality_ids=per_modality,
+            per_modality_distances=per_modality_distances,
         )
 
     def retrieve_batch(
@@ -236,12 +239,16 @@ class MultiStreamedRetrieval(RetrievalFramework):
             rankings: List[List[int]] = []
             distances: List[List[float]] = []
             per_modality: Dict[Modality, List[int]] = {}
+            per_modality_distances: Dict[Modality, List[float]] = {}
             stats = SearchStats()
             for modality in query_vectors:
                 outcome = outcomes[modality][position]
                 rankings.append(outcome.ids)
                 distances.append(outcome.distances)
                 per_modality[modality] = list(outcome.ids)
+                per_modality_distances[modality] = [
+                    float(d) for d in outcome.distances
+                ]
                 stats.merge(outcome.stats)
             stream_weights = None
             if parsed_weights is not None:
@@ -268,6 +275,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
                     items=items,
                     stats=stats,
                     per_modality_ids=per_modality,
+                    per_modality_distances=per_modality_distances,
                 )
             )
         return responses

@@ -32,9 +32,11 @@ Endpoints (mirroring the demo's backend):
   be micro-batched with concurrent requests when ``max_batch > 1``; a
   list body (``{"queries": [...]}``) runs as one explicit batch.
 * ``GET  /health``             — SLO grading (ok / degraded / breach),
-  online retrieval-quality scores, recorder state, and the micro-batch
+  online retrieval-quality scores, recorder state, the micro-batch
   collector's batch-size histogram (requires ``monitoring`` for the
-  SLO/quality sections).
+  SLO/quality sections), and — when sharding is configured — the shard
+  router's per-shard ledger (live/tombstoned counts, replica health,
+  breaker states, degraded-search totals).
 
 Dialogue endpoints accept an optional ``session`` field; all sessions share
 the coordinator (and therefore the index) but keep independent dialogue
@@ -47,6 +49,7 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
@@ -453,12 +456,15 @@ class ApiServer:
         ``/metrics`` and ``/health`` disagree about the same traffic.
         Errored rounds feed the same time and latency accounting as
         successful ones (plus an error counter), so both views always
-        describe identical traffic.
+        describe identical traffic.  The full traceback is recorded in
+        the event log before re-raising — ``_dispatch`` flattens the
+        exception into a one-line error payload, which used to be the
+        only surviving evidence of *where* a round failed.
         """
         start = self._clock()
         try:
             answer = fn()
-        except Exception:
+        except Exception as exc:
             elapsed = self._clock() - start
             with self._metrics_lock:
                 if coordinator.slo is not None:
@@ -469,6 +475,12 @@ class ApiServer:
             coordinator.metrics.inc(f"api.{verb}.errors")
             coordinator.metrics.observe("api.request_ms", elapsed * 1000.0)
             coordinator.metrics.observe(f"api.{verb}_ms", elapsed * 1000.0)
+            coordinator.events.record(
+                "qa", "coordinator", "api-error",
+                f"{verb}: " + "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ).strip(),
+            )
             raise
         elapsed = self._clock() - start
         with self._metrics_lock:
@@ -709,6 +721,16 @@ class ApiServer:
         recorder = (
             coordinator.recorder.snapshot() if coordinator.recorder is not None else None
         )
+        framework = (
+            coordinator.execution.framework
+            if coordinator.execution is not None
+            else None
+        )
+        sharding = (
+            framework.snapshot()
+            if framework is not None and hasattr(framework, "snapshot")
+            else None
+        )
         return {
             "monitoring": coordinator.slo is not None,
             "state": slo["state"] if slo is not None else STATE_OK,
@@ -718,6 +740,7 @@ class ApiServer:
             "engine": self.engine.snapshot(),
             "batching": self.batcher.snapshot(),
             "resilience": coordinator.resilience.snapshot(),
+            "sharding": sharding,
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

@@ -98,6 +98,10 @@ def run_loadgen(
     sessions: int = 4,
     batch: int = 1,
     batch_window_ms: float = 2.0,
+    shards: "int | None" = None,
+    replicas: int = 1,
+    shard_latency_ms: float = 0.0,
+    shard_latency_ms_per_1k: float = 0.0,
 ) -> Dict[str, Any]:
     """Build a system, fire the workload, and report the results.
 
@@ -111,6 +115,12 @@ def run_loadgen(
     micro-batching with that cap: concurrent searches coalesce into one
     batched retrieval.  Results stay bit-identical to serial execution —
     only throughput changes.
+
+    ``shards`` / ``replicas`` serve the same workload through the shard
+    router; the ``shard_latency_*`` knobs add the simulated remote-shard
+    service time under which sharding shows its read scaling (the
+    per-shard sleeps overlap on the scatter pool).  Result ids never
+    change — the sharding benchmark asserts that.
     """
     config = MQAConfig(
         dataset=DatasetSpec(domain=domain, size=size, seed=seed),
@@ -121,6 +131,10 @@ def run_loadgen(
         weight_learning={"steps": 20, "batch_size": 16},
         max_batch=batch,
         batch_window_ms=batch_window_ms,
+        shards=shards,
+        replicas=replicas,
+        shard_latency_ms=shard_latency_ms,
+        shard_latency_ms_per_1k=shard_latency_ms_per_1k,
     )
     use_search = batch > 1
     server = ApiServer(config)
@@ -203,6 +217,11 @@ def run_loadgen(
             "ingested_ids": ingested,
             "engine": server.engine.snapshot(),
             "batching": server.batcher.snapshot(),
+            "sharding": (
+                server._coordinator.execution.framework.snapshot()
+                if config.sharding_enabled
+                else None
+            ),
         }
     finally:
         server.close()

@@ -98,3 +98,65 @@ class TestReadRecording:
         header, entries = read_recording(path)
         assert header is None
         assert entries[0]["trace_id"] == 4
+
+
+class _BrokenHandle:
+    """A file handle whose every operation fails like a full disk."""
+
+    def write(self, data):
+        raise OSError("disk full")
+
+    def flush(self):
+        raise OSError("disk full")
+
+    def close(self):
+        raise OSError("disk full")
+
+
+class TestRecorderIOFailures:
+    """Recording is a side-channel: I/O failures are counted, not raised."""
+
+    def _broken_recorder(self, tmp_path):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        recorder = FlightRecorder(tmp_path / "f.jsonl", metrics=metrics)
+        recorder._handle = _BrokenHandle()
+        return recorder, metrics
+
+    def test_failed_write_is_counted_not_raised(self, tmp_path):
+        recorder, metrics = self._broken_recorder(tmp_path)
+        trace_id = recorder.record({"text": "doomed"}, [1], None)
+        assert trace_id == 0  # the query still got its trace id
+        assert recorder.errors == 1
+        assert recorder.records_written == 0
+        assert metrics.snapshot()["counters"]["recorder.errors"] == 1
+
+    def test_recovery_after_failure(self, tmp_path):
+        recorder, metrics = self._broken_recorder(tmp_path)
+        recorder.record({"text": "doomed"}, [], None)
+        recorder._handle = None  # the next append re-opens the file
+        recorder.record({"text": "fine"}, [2], None)
+        assert recorder.errors == 1
+        assert recorder.records_written == 1
+        _, entries = read_recording(recorder.path)
+        assert entries[-1]["result_ids"] == [2]
+
+    def test_failed_close_is_counted_not_raised(self, tmp_path):
+        recorder, metrics = self._broken_recorder(tmp_path)
+        recorder.close()
+        assert recorder.errors == 1
+        assert recorder._handle is None
+        recorder.close()  # idempotent: the broken handle is gone
+        assert recorder.errors == 1
+
+    def test_errors_appear_in_snapshot(self, tmp_path):
+        recorder, _ = self._broken_recorder(tmp_path)
+        recorder.record({"text": "doomed"}, [], None)
+        assert recorder.snapshot()["errors"] == 1
+
+    def test_no_metrics_registry_still_counts(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "f.jsonl")
+        recorder._handle = _BrokenHandle()
+        recorder.record({"text": "doomed"}, [], None)
+        assert recorder.errors == 1

@@ -139,25 +139,94 @@ class TestRemoveRollback:
         assert coordinator.kb.get(3).metadata.get("deleted") is True
 
 
-class TestBatchCacheBypass:
-    """retrieve_batch intentionally bypasses the query cache — pinned."""
+class TestBatchCacheParity:
+    """retrieve_batch consults and populates the query cache per query,
+    exactly like the serial path (the old bypass re-searched queries the
+    serial path had already answered and never warmed the cache)."""
 
-    def test_batch_neither_reads_nor_writes_the_cache(self):
+    def test_batch_hits_cache_populated_by_serial(self):
         system = MQASystem.from_config(
             resilient_config(resilience=False, cache_queries=True)
         )
         coordinator = system.coordinator
         cache = coordinator.execution.cache
         query = RawQuery.from_text("foggy mountain peaks")
-        serial = coordinator.execution.execute(query, k=5)
+        serial = coordinator.execution.execute(
+            query, k=5, budget=coordinator.config.search_budget
+        )
         assert (cache.hits, cache.misses, cache.size) == (0, 1, 1)
         batched = coordinator.retrieve_batch([query], k=5)[0]
-        # bit-identical results, zero cache traffic
+        # bit-identical results, served from the serial query's cache entry
         assert [i.object_id for i in batched.items] == [
             i.object_id for i in serial.items
         ]
         assert [i.score for i in batched.items] == [i.score for i in serial.items]
+        assert (cache.hits, cache.misses, cache.size) == (1, 1, 1)
+
+    def test_serial_hits_cache_populated_by_batch(self):
+        system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        coordinator = system.coordinator
+        cache = coordinator.execution.cache
+        query = RawQuery.from_text("foggy mountain peaks")
+        batched = coordinator.retrieve_batch([query], k=5)[0]
         assert (cache.hits, cache.misses, cache.size) == (0, 1, 1)
+        serial = coordinator.execution.execute(
+            query, k=5, budget=coordinator.config.search_budget
+        )
+        assert (cache.hits, cache.misses, cache.size) == (1, 1, 1)
+        assert [i.object_id for i in serial.items] == [
+            i.object_id for i in batched.items
+        ]
+        assert [i.score for i in serial.items] == [i.score for i in batched.items]
+
+    def test_batch_accounting_matches_serial_with_duplicates(self):
+        """The same query list produces identical hit/miss/size counters
+        whether run through one batch or replayed serially."""
+        texts = ["foggy mountain peaks", "old stone bridge", "foggy mountain peaks"]
+        batch_system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        serial_system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        batch_coordinator = batch_system.coordinator
+        serial_coordinator = serial_system.coordinator
+        batched = batch_coordinator.retrieve_batch(
+            [RawQuery.from_text(t) for t in texts], k=4
+        )
+        serial = [
+            serial_coordinator.execution.execute(
+                RawQuery.from_text(t), k=4,
+                budget=serial_coordinator.config.search_budget,
+            )
+            for t in texts
+        ]
+        batch_cache = batch_coordinator.execution.cache
+        serial_cache = serial_coordinator.execution.cache
+        assert (batch_cache.hits, batch_cache.misses, batch_cache.size) == (
+            serial_cache.hits, serial_cache.misses, serial_cache.size,
+        )
+        for left, right in zip(batched, serial):
+            assert [i.object_id for i in left.items] == [
+                i.object_id for i in right.items
+            ]
+            assert [i.score for i in left.items] == [i.score for i in right.items]
+
+    def test_cached_batch_entries_are_isolated_copies(self):
+        """Mutating a batch-returned response must not corrupt the cache."""
+        system = MQASystem.from_config(
+            resilient_config(resilience=False, cache_queries=True)
+        )
+        coordinator = system.coordinator
+        query = RawQuery.from_text("foggy mountain peaks")
+        first = coordinator.retrieve_batch([query], k=5)[0]
+        first.items[0].object_id = -1
+        first.stats.hops += 999
+        again = coordinator.retrieve_batch([query], k=5)[0]
+        assert again.items[0].object_id != -1
+        assert again.stats.hops == first.stats.hops - 999
 
     def test_serial_after_batch_sees_current_index_generation(self):
         system = MQASystem.from_config(

@@ -1,0 +1,68 @@
+"""Failed API rounds leave their full traceback in the event log.
+
+``_dispatch`` flattens exceptions into a one-line ``{"ok": False}``
+payload, which used to be the only surviving evidence of *where* a round
+failed.  ``_timed_verb`` now records the complete traceback as an
+``api-error`` event before re-raising, so ``GET /events`` can answer
+"what exactly blew up" after the fact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MQAConfig
+from repro.data import DatasetSpec
+from repro.errors import RetrievalError
+from repro.server.api import ApiServer
+
+
+@pytest.fixture()
+def server():
+    config = MQAConfig(
+        dataset=DatasetSpec(domain="scenes", size=48, seed=7),
+        weight_learning={"steps": 5, "batch_size": 8},
+    )
+    server = ApiServer(config)
+    assert server.handle("POST", "/apply").get("ok")
+    yield server
+    server.close()
+
+
+def _api_error_events(server):
+    coordinator = server._coordinator
+    retained, _, _ = coordinator.events.snapshot()
+    return [event for event in retained if event.kind == "api-error"]
+
+
+class TestApiErrorEvents:
+    def test_query_failure_records_the_traceback(self, server):
+        def boom(*args, **kwargs):
+            raise RetrievalError("kaboom mid-round")
+
+        server._coordinator.handle_query = boom
+        response = server.handle("POST", "/query", {"text": "a scene"})
+        assert response == {"ok": False, "error": "kaboom mid-round"}
+
+        events = _api_error_events(server)
+        assert len(events) == 1
+        detail = events[0].detail
+        assert detail.startswith("query:")
+        assert "Traceback (most recent call last)" in detail
+        assert "RetrievalError: kaboom mid-round" in detail
+        assert "boom" in detail  # the failing frame is identifiable
+
+    def test_error_counters_still_increment(self, server):
+        def boom(*args, **kwargs):
+            raise RetrievalError("kaboom")
+
+        server._coordinator.handle_query = boom
+        server.handle("POST", "/query", {"text": "a scene"})
+        counters = server._coordinator.metrics.snapshot()["counters"]
+        assert counters["api.errors"] == 1
+        assert counters["api.query.errors"] == 1
+
+    def test_successful_rounds_record_no_error_event(self, server):
+        response = server.handle("POST", "/query", {"text": "a scene"})
+        assert response["ok"], response
+        assert _api_error_events(server) == []

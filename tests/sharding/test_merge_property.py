@@ -1,0 +1,81 @@
+"""Hypothesis properties of the exact shard top-k merge kernel.
+
+The merge is the correctness core of scatter-gather: whatever the shard
+layout, merging per-shard top-k lists must behave exactly like a global
+sort with deterministic ``(score, object_id)`` tie-breaking, best-score
+dedup for mid-move duplicates, and unconditional removal of dropped ids.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import merge_shard_topk
+
+SCORES = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+ENTRY = st.tuples(st.integers(min_value=0, max_value=50), SCORES)
+SHARD = st.lists(ENTRY, max_size=12)
+SHARDS = st.lists(SHARD, min_size=1, max_size=5)
+
+
+def reference_merge(shard_results, k, drop=None):
+    """The obvious specification: pool, drop, dedup-best, sort, cut."""
+    best = {}
+    for results in shard_results:
+        for object_id, score in results:
+            if drop and object_id in drop:
+                continue
+            if object_id not in best or score < best[object_id]:
+                best[object_id] = score
+    ranked = sorted(best.items(), key=lambda pair: (pair[1], pair[0]))
+    return ranked[:k]
+
+
+class TestMergeMatchesSpecification:
+    @given(shards=SHARDS, k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_equals_global_sort(self, shards, k):
+        assert merge_shard_topk(shards, k) == reference_merge(shards, k)
+
+    @given(
+        shards=SHARDS,
+        k=st.integers(min_value=1, max_value=20),
+        drop=st.sets(st.integers(min_value=0, max_value=50), max_size=10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dropped_ids_never_surface(self, shards, k, drop):
+        merged = merge_shard_topk(shards, k, drop=frozenset(drop))
+        assert merged == reference_merge(shards, k, drop=drop)
+        assert not {object_id for object_id, _ in merged} & drop
+
+    @given(shards=SHARDS, k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_shard_order_is_irrelevant(self, shards, k):
+        assert merge_shard_topk(shards, k) == merge_shard_topk(shards[::-1], k)
+
+    @given(shards=SHARDS, k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_output_is_sorted_unique_and_cut(self, shards, k):
+        merged = merge_shard_topk(shards, k)
+        assert len(merged) <= k
+        keys = [(score, object_id) for object_id, score in merged]
+        assert keys == sorted(keys)
+        ids = [object_id for object_id, _ in merged]
+        assert len(ids) == len(set(ids))
+
+
+class TestMergeDetails:
+    def test_ties_break_on_object_id(self):
+        merged = merge_shard_topk([[(7, 1.0)], [(3, 1.0)], [(5, 1.0)]], k=3)
+        assert merged == [(3, 1.0), (5, 1.0), (7, 1.0)]
+
+    def test_duplicate_keeps_best_score(self):
+        """An object live on two shards mid-move surfaces exactly once."""
+        merged = merge_shard_topk([[(4, 2.0), (1, 0.5)], [(4, 1.5)]], k=5)
+        assert merged == [(1, 0.5), (4, 1.5)]
+
+    def test_empty_shards(self):
+        assert merge_shard_topk([[], []], k=5) == []

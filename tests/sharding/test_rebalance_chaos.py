@@ -1,0 +1,175 @@
+"""Deterministic interleavings of rebalancing with searches and removals.
+
+The move protocol is commit-to-destination → owner flip → tombstone-source,
+so there is a window where an object is live on two shards.  These tests
+park a mover inside that window (via the concurrency harness gates) and
+prove the two invariants the protocol promises:
+
+* a search observing the mid-move state sees the moving object exactly
+  once, and the full ranking still equals the unsharded ranking;
+* an id removed mid-move never resurfaces, no matter which copy the
+  removal managed to tombstone (the router-level deleted set, not the
+  per-shard tombstones, is the correctness mechanism).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sharding import ShardRouter
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.encoders import build_encoder_set
+from repro.index import build_index
+from repro.retrieval import build_framework
+
+from tests.concurrency.harness import StepScheduler, spawn
+from tests.sharding.conftest import BUDGET, assert_same_topk
+from tests.sharding.test_router_parity import query_pool
+
+
+class _AllToZero:
+    """Partitioner that routes everything to shard 0, guaranteeing the
+    very first ingest trips the rebalance threshold."""
+
+    name = "all-to-zero"
+
+    def assign(self, obj):
+        return 0
+
+
+@pytest.fixture()
+def world():
+    """A private kb + encoders (chaos tests mutate the corpus)."""
+    kb = generate_knowledge_base(
+        DatasetSpec(domain="scenes", size=40, seed=13)
+    )
+    return kb, build_encoder_set("clip-joint", kb, seed=3)
+
+
+def fresh_object(kb):
+    """A new object composed from concepts the kb already knows."""
+    concepts = sorted({c for obj in kb for c in obj.concepts})[:2]
+    return kb.create_object(concepts)
+
+
+def skewed_router(kb, encoders, threshold=4):
+    """A 2-shard router with every object on shard 0, one ingest away
+    from a rebalance."""
+    router = ShardRouter(
+        framework_name="must", shards=2, rebalance_threshold=threshold
+    )
+    router.partitioner = _AllToZero()
+    router.setup(kb, encoders, lambda: build_index("flat", {}))
+    return router
+
+
+def unsharded(kb, encoders):
+    engine = build_framework("must", {})
+    engine.setup(kb, encoders, lambda: build_index("flat", {}))
+    return engine
+
+
+class TestSearchDuringRebalance:
+    def test_moving_object_surfaces_exactly_once(self, world):
+        kb, encoders = world
+        router = skewed_router(kb, encoders)
+        obj = fresh_object(kb)
+        plain = unsharded(kb, encoders)
+        full_k = len(kb)
+
+        with StepScheduler() as sched:
+            gate = sched.pause_before(router, "_tombstone_source", "mid-move")
+            writer = spawn(lambda: router.add_object(obj), "mover")
+            gate.wait_arrived()
+
+            # Mid-move: the first moved object (the newest = the ingest)
+            # is committed to both shards, owner already flipped.
+            assert router.groups[0].holds(obj.object_id)
+            assert router.groups[1].holds(obj.object_id)
+            assert router.owner_of(obj.object_id) == 1
+
+            for query in query_pool(kb, count=3):
+                response = router.retrieve(query, k=full_k, budget=BUDGET)
+                ids = response.ids
+                assert len(ids) == len(set(ids)), "duplicate mid-move ids"
+                assert ids.count(obj.object_id) == 1
+                assert_same_topk(
+                    plain.retrieve(query, k=full_k, budget=BUDGET), response
+                )
+
+            gate.release()
+            writer.join()
+
+        # Settled: source copy tombstoned, parity still holds.
+        assert router.moves > 0
+        for query in query_pool(kb, count=3):
+            assert_same_topk(
+                plain.retrieve(query, k=full_k, budget=BUDGET),
+                router.retrieve(query, k=full_k, budget=BUDGET),
+            )
+
+    def test_rebalance_converges_the_spread(self, world):
+        kb, encoders = world
+        router = skewed_router(kb, encoders)
+        obj = fresh_object(kb)
+        router.add_object(obj)
+        counts = [group.live_count() for group in router.groups]
+        assert max(counts) - min(counts) <= router.rebalance_threshold + 1
+        assert router.snapshot()["rebalances"] == 1
+
+
+class TestRemoveDuringRebalance:
+    def test_remove_after_owner_flip_never_resurrects(self, world):
+        """Removal lands while the source copy is still live: the dead id
+        must stay dead through release and settlement."""
+        kb, encoders = world
+        router = skewed_router(kb, encoders)
+        obj = fresh_object(kb)
+        full_k = len(kb)
+
+        with StepScheduler() as sched:
+            gate = sched.pause_before(router, "_tombstone_source", "mid-move")
+            writer = spawn(lambda: router.add_object(obj), "mover")
+            gate.wait_arrived()
+
+            router.remove_object(obj.object_id)
+            for query in query_pool(kb, count=3):
+                ids = router.retrieve(query, k=full_k, budget=BUDGET).ids
+                assert obj.object_id not in ids
+
+            gate.release()
+            writer.join()
+
+        for query in query_pool(kb, count=3):
+            ids = router.retrieve(query, k=full_k, budget=BUDGET).ids
+            assert obj.object_id not in ids
+
+    def test_remove_before_commit_never_resurrects(self, world):
+        """Removal lands before the destination commit: the commit then
+        installs a live copy of a removed id on the destination, and the
+        router-level deleted set must keep it invisible anyway."""
+        kb, encoders = world
+        router = skewed_router(kb, encoders)
+        obj = fresh_object(kb)
+        full_k = len(kb)
+
+        with StepScheduler() as sched:
+            gate = sched.pause_before(
+                router, "_commit_to_destination", "pre-commit"
+            )
+            writer = spawn(lambda: router.add_object(obj), "mover")
+            gate.wait_arrived()
+
+            assert router.owner_of(obj.object_id) == 0
+            router.remove_object(obj.object_id)
+
+            gate.release()
+            writer.join()
+
+        # The destination now holds an untombstoned copy...
+        assert router.groups[1].holds(obj.object_id)
+        # ...which must never surface.
+        for query in query_pool(kb, count=3):
+            ids = router.retrieve(query, k=full_k, budget=BUDGET).ids
+            assert obj.object_id not in ids
+        assert router.snapshot()["deleted"] == 1
