@@ -8,6 +8,7 @@ Usage::
     python -m repro replay flight.jsonl                 # re-execute a recording
     python -m repro profile flight.jsonl                # aggregate its spans
     python -m repro loadgen --workers 4 --queries 200   # throughput report
+    python -m repro stats --queries 100                 # cost-plane report
 
 Inside the shell::
 
@@ -534,7 +535,7 @@ def run_loadgen_command(argv: List[str]) -> int:
     latency = report["latency_ms"]
     print(
         f"  latency: p50 {latency['p50']} ms, p95 {latency['p95']} ms, "
-        f"max {latency['max']} ms"
+        f"p99 {latency['p99']} ms, max {latency['max']} ms"
     )
     print(f"  errors: {report['errors']}")
     engine = report["engine"]
@@ -566,10 +567,105 @@ def run_loadgen_command(argv: List[str]) -> int:
     return 1 if report["errors"] else 0
 
 
+def render_stats(snapshot: dict) -> str:
+    """Render a ``GET /stats`` snapshot as the CLI's cost table."""
+    lines = [
+        f"cost plane: {snapshot['queries']} queries observed, "
+        f"{len(snapshot['exemplars'])} exemplar(s) retained"
+    ]
+    header = (
+        f"  {'framework':<14} {'index':<8} {'shard':>5} {'queries':>7} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'evals':>8} {'recall':>7}"
+    )
+    lines.append(header)
+    for group in snapshot["groups"]:
+        latency = group["latency_ms"]
+        recall = group.get("recall_at_k")
+        lines.append(
+            f"  {group['framework']:<14} {group['index']:<8} "
+            f"{group['shard']:>5} {group['queries']:>7} "
+            f"{latency['p50']:>8.2f} {latency['p95']:>8.2f} "
+            f"{latency['p99']:>8.2f} "
+            f"{group['distance_evaluations']['mean']:>8.1f} "
+            + (f"{recall['mean']:>7.3f}" if recall else f"{'-':>7}")
+        )
+    for exemplar in snapshot["exemplars"]:
+        lines.append(
+            f"  slowest: trace {exemplar['trace_id']} "
+            f"({exemplar['latency_ms']} ms, {exemplar['framework']}"
+            f"/{exemplar['index']})"
+        )
+    return "\n".join(lines)
+
+
+def run_stats(argv: List[str]) -> int:
+    """``python -m repro stats [--queries N] [--shards N] ...``.
+
+    Drives a deterministic workload with ``cost_accounting`` enabled and
+    prints the cost plane's per-(framework, index, shard) distributions
+    plus the slowest-query exemplars — the CLI view of ``GET /stats``.
+    """
+    import json
+
+    from repro.server.loadgen import run_loadgen
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Per-query cost accounting report over a synthetic workload",
+    )
+    parser.add_argument("--queries", type=int, default=60, help="total operations")
+    parser.add_argument("--workers", type=int, default=1, help="engine worker threads")
+    parser.add_argument("--domain", default="scenes", help="knowledge-base domain")
+    parser.add_argument("--size", type=int, default=200, help="knowledge-base size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="serve through the shard router with N shards",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (implies the router)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1,
+        help="micro-batch size cap (reads become POST /search requests)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the stats snapshot as JSON",
+    )
+    args = parser.parse_args(argv)
+    report = run_loadgen(
+        workers=args.workers,
+        queries=args.queries,
+        write_every=0,
+        domain=args.domain,
+        size=args.size,
+        seed=args.seed,
+        llm_latency_ms=0.0,
+        batch=args.batch,
+        shards=args.shards,
+        replicas=args.replicas,
+        cost_accounting=True,
+    )
+    snapshot = report.get("stats")
+    if not snapshot:
+        print("error: the run produced no cost statistics", file=sys.stderr)
+        return 1
+    print(render_stats(snapshot))
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(snapshot, indent=2))
+        print(f"  snapshot written to {args.json}")
+    return 1 if report["errors"] else 0
+
+
 SUBCOMMANDS = {
     "replay": run_replay,
     "profile": run_profile,
     "loadgen": run_loadgen_command,
+    "stats": run_stats,
 }
 
 

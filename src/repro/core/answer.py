@@ -42,6 +42,10 @@ class Answer:
             a reduced form (LLM fallback, dropped modality, retrieval
             unavailable) instead of failing the round.
         degraded_reasons: Human-readable reason per degradation applied.
+        cost: The round's
+            :class:`~repro.observability.costs.QueryCostProfile` when
+            cost accounting is enabled, else None (includes the
+            ``generate`` stage on top of the retrieval profile).
     """
 
     text: str
@@ -53,6 +57,7 @@ class Answer:
     search_stats: SearchStats = field(default_factory=SearchStats)
     degraded: bool = False
     degraded_reasons: List[str] = field(default_factory=list)
+    cost: "object | None" = None
 
     @property
     def ids(self) -> List[int]:

@@ -141,6 +141,17 @@ class MQAConfig:
             e.g. ``"encoder"`` covers ``encoder.text``); each value maps
             to :class:`~repro.core.resilience.FaultSpec` kwargs.  Inert
             unless ``resilience`` is on.
+        cost_accounting: Attach a per-query
+            :class:`~repro.observability.costs.QueryCostProfile` (kernel
+            counters + per-stage wall time) to every response and
+            aggregate them in the :class:`~repro.observability.stats.StatsPlane`
+            behind ``GET /stats`` and ``python -m repro stats``.  Off by
+            default: the disabled path costs one context-variable read
+            per instrumented site and results are bit-identical either
+            way.
+        stats_exemplars: How many of the slowest queries the stats plane
+            retains with full cost profiles (tail-latency exemplars);
+            ``0`` keeps distributions only.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -193,6 +204,8 @@ class MQAConfig:
     breaker_half_open_probes: int = 1
     fault_seed: int = 0
     faults: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cost_accounting: bool = False
+    stats_exemplars: int = 8
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -367,6 +380,10 @@ class MQAConfig:
             from repro.core.resilience import FaultInjector
 
             FaultInjector(seed=self.fault_seed, specs=self.faults)
+        if self.stats_exemplars < 0:
+            raise ConfigurationError(
+                f"stats_exemplars must be >= 0, got {self.stats_exemplars}"
+            )
 
     # ------------------------------------------------------------------
     # serialisation (the flight recorder embeds the config so a replay

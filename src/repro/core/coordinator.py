@@ -10,6 +10,7 @@ status board the monitoring panel renders.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.answer import Answer
@@ -35,9 +36,12 @@ from repro.observability import (
     FlightRecorder,
     MetricsRegistry,
     QualityMonitor,
+    QueryCostProfile,
     SLOMonitor,
     SLOTargets,
+    StatsPlane,
     Tracer,
+    cost_context,
     trace_span,
 )
 from repro.pipeline import DagPipeline
@@ -92,6 +96,16 @@ class Coordinator:
             else None
         )
         self.quality: Optional[QualityMonitor] = None  # needs the kb; see setup()
+        # The cost plane only exists when cost accounting is on; every
+        # query/batch observed here feeds GET /stats and the labelled
+        # Prometheus families.
+        self.stats: Optional[StatsPlane] = (
+            StatsPlane(
+                metrics=self.metrics, exemplars=config.stats_exemplars
+            )
+            if config.cost_accounting
+            else None
+        )
         self.resilience = ResilienceManager.from_config(config, metrics=self.metrics)
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
@@ -220,9 +234,16 @@ class Coordinator:
                 self.representation.encoder_set,
                 self.representation.weights,
                 resilience=self.resilience,
+                events=self.events,
+                metrics=self.metrics,
             )
         cache = QueryCache() if self.config.cache_queries else None
-        self.execution = QueryExecution(framework, cache=cache)
+        self.execution = QueryExecution(
+            framework,
+            cache=cache,
+            cost_accounting=self.config.cost_accounting,
+            index_name=self.config.index,
+        )
         self.status.finish(
             stage,
             timer.elapsed,
@@ -298,16 +319,28 @@ class Coordinator:
         if answer.degraded:
             self.metrics.inc("coordinator.degraded")
         self.metrics.observe("coordinator.query_ms", round_timer.elapsed * 1000.0)
-        # Recording and quality scoring happen OUTSIDE the trace block: they
-        # must not add spans, or a replayed flight would never match its
-        # recording's span-tree shape.
+        # Stats folding, recording, and quality scoring happen OUTSIDE the
+        # trace block: they must not add spans, or a replayed flight would
+        # never match its recording's span-tree shape.
+        if self.stats is not None and answer.cost is not None:
+            self.stats.observe(answer.cost, round_timer.elapsed * 1000.0)
         if self.recorder is not None:
             self._record_flight(
                 query, user_text, had_image, history, preferred_ids,
                 round_index, k, weights, exclude_ids, where, answer,
             )
         if self.quality is not None and user_text:
-            self.quality.maybe_score(user_text, answer.ids)
+            score = self.quality.maybe_score(user_text, answer.ids)
+            if (
+                score is not None
+                and self.stats is not None
+                and answer.cost is not None
+            ):
+                self.stats.observe_recall(
+                    answer.cost.framework,
+                    answer.cost.index,
+                    float(score["recall_at_k"]),
+                )
         return answer
 
     def retrieve_batch(
@@ -340,11 +373,35 @@ class Coordinator:
         queries = list(queries)
         if not queries:
             return []
+        # One batch-scope ledger collects what is amortised over the whole
+        # batch (the router's scatter/merge); per-query profiles ride on
+        # each response.
+        batch_profile = (
+            QueryCostProfile(
+                framework=self.execution.framework.name,
+                index=self.config.index,
+                shards_total=getattr(self.execution.framework, "shards", 0),
+                batch=len(queries),
+            )
+            if self.execution.cost_accounting
+            else None
+        )
+        scope = (
+            cost_context(batch_profile)
+            if batch_profile is not None
+            else nullcontext()
+        )
         with self.rwlock.read(), Timer() as timer, self.tracer.trace(
             "query-batch", queries=len(queries), k=k
-        ):
+        ), scope:
             responses = self.execution.execute_batch(
                 queries, k=k, budget=self.config.search_budget, weights=weights
+            )
+        if self.stats is not None:
+            self.stats.observe_batch(
+                [response.cost for response in responses],
+                batch_profile,
+                timer.elapsed * 1000.0,
             )
         self.metrics.inc("coordinator.queries", len(queries))
         self.metrics.observe(
@@ -525,6 +582,11 @@ class Coordinator:
                 round_index, deadline, degraded_reasons,
             )
             span.set(llm=answer.llm or "none", grounded=answer.grounded)
+        if response is not None and response.cost is not None:
+            # The round's ledger: retrieval profile plus the generation
+            # stage, carried on the Answer for the API/stats plane.
+            response.cost.add_stage("generate", timer.elapsed * 1000.0)
+            answer.cost = response.cost
         self.status.finish(
             "answer generation",
             timer.elapsed,

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import copy
 import inspect
+import time
+from contextlib import nullcontext
 from dataclasses import replace
-from typing import Optional
+from typing import List, Optional
 
 from repro.data.modality import Modality
 from repro.data.objects import MultiModalObject, RawQuery
 from repro.errors import SearchError
-from repro.observability import trace_span
+from repro.observability import QueryCostProfile, cost_context, trace_span
 from repro.retrieval import RetrievalFramework, RetrievalResponse
 
 
@@ -27,14 +29,37 @@ class QueryExecution:
         framework: The set-up retrieval framework.
         cache: Optional :class:`repro.core.cache.QueryCache`; repeated
             queries are served from it, and ingestion invalidates it.
+        cost_accounting: When True every response carries a fresh
+            :class:`~repro.observability.costs.QueryCostProfile` — made
+            ambient while the framework runs so stage timers and the
+            shard router can contribute.  Off by default; the disabled
+            path adds one attribute check per call.
+        index_name: Configured index type, recorded on every profile.
     """
 
     name = "query execution"
 
-    def __init__(self, framework: RetrievalFramework, cache=None) -> None:
+    def __init__(
+        self,
+        framework: RetrievalFramework,
+        cache=None,
+        cost_accounting: bool = False,
+        index_name: str = "",
+    ) -> None:
         self.framework = framework
         self.cache = cache
+        self.cost_accounting = bool(cost_accounting)
+        self.index_name = index_name
         self._capabilities: "set | None" = None
+
+    def _new_profile(self, cache_label: str = "off") -> QueryCostProfile:
+        """A fresh per-query cost ledger for this framework/index."""
+        return QueryCostProfile(
+            framework=self.framework.name,
+            index=self.index_name,
+            shards_total=getattr(self.framework, "shards", 0),
+            cache=cache_label,
+        )
 
     def _retrieve_capabilities(self) -> set:
         """Optional keyword arguments the framework's ``retrieve`` accepts.
@@ -98,6 +123,8 @@ class QueryExecution:
                 "filtered retrieval"
             )
 
+        profile = self._new_profile() if self.cost_accounting else None
+
         def retrieve(fetch: int) -> RetrievalResponse:
             kwargs = {}
             if weights is not None:
@@ -112,11 +139,15 @@ class QueryExecution:
             # queries bypass the cache (predicates are not hashable).
             if self.cache is None or filter_fn is not None:
                 span.set(cache="bypass")
+                if profile is not None and self.cache is not None:
+                    profile.cache = "bypass"
                 return retrieve(fetch)
             key = self.cache.key_for(query, fetch, budget, weights=weights)
             cached = self.cache.get(key)
             if cached is None:
                 span.set(cache="miss")
+                if profile is not None:
+                    profile.cache = "miss"
                 cached = retrieve(fetch)
                 if cached.degraded_reasons:
                     # Partial results (lost shards) must not be served to
@@ -125,15 +156,19 @@ class QueryExecution:
                 self.cache.put(key, cached)
             else:
                 span.set(cache="hit")
+                if profile is not None:
+                    profile.cache = "hit"
             return self._copy_response(cached)
 
         excluded = set(exclude_ids)
         reference_id = query.metadata.get("augmented_from")
         if reference_id is not None:
             excluded.add(reference_id)
+        scope = cost_context(profile) if profile is not None else nullcontext()
         with trace_span(
             "retrieval", framework=self.framework.name, k=k, budget=budget
-        ) as span:
+        ) as span, scope:
+            started = time.perf_counter() if profile is not None else 0.0
             if not excluded:
                 response = run(k, span)
             else:
@@ -148,6 +183,16 @@ class QueryExecution:
                 hops=response.stats.hops,
                 distance_evaluations=response.stats.distance_evaluations,
             )
+            if profile is not None:
+                profile.add_stage(
+                    "retrieve", (time.perf_counter() - started) * 1000.0
+                )
+                # A cache hit did no kernel work this call; the original
+                # search was accounted when it first ran.
+                if profile.cache != "hit":
+                    profile.add_search_stats(response.stats)
+                profile.items = len(response.items)
+                response.cost = profile
         return response
 
     @staticmethod
@@ -217,14 +262,18 @@ class QueryExecution:
         ) as span:
             if self.cache is None:
                 span.set(cache="bypass")
-                return self.framework.retrieve_batch(
+                fresh = self.framework.retrieve_batch(
                     queries, k=k, budget=budget, **kwargs
                 )
+                if self.cost_accounting:
+                    self._attach_costs(fresh, ["off"] * len(fresh))
+                return fresh
             keys = [
                 self.cache.key_for(query, k, budget, weights=weights)
                 for query in queries
             ]
             results: "list[RetrievalResponse | None]" = [None] * len(queries)
+            labels = ["hit"] * len(queries)
             misses = []  # first occurrence of each missing key
             repeats = []  # later occurrences of a key already being fetched
             pending = set()
@@ -246,6 +295,7 @@ class QueryExecution:
                     **kwargs,
                 )
                 for position, response in zip(misses, fresh):
+                    labels[position] = "miss"
                     if response.degraded_reasons:
                         results[position] = response
                     else:
@@ -262,6 +312,7 @@ class QueryExecution:
                 if cached is not None:
                     results[position] = self._copy_response(cached)
                 else:
+                    labels[position] = "miss"
                     first = next(
                         p for p in misses if keys[p] == keys[position]
                     )
@@ -271,7 +322,26 @@ class QueryExecution:
                 cache_misses=len(misses),
                 cache_repeats=len(repeats),
             )
+            if self.cost_accounting:
+                self._attach_costs(results, labels)
         return results
+
+    def _attach_costs(
+        self, results: "List[RetrievalResponse]", labels: "List[str]"
+    ) -> None:
+        """Attach one fresh per-query profile per batched response.
+
+        Mirrors the serial accounting exactly: a hit carries zero kernel
+        counters (the served copy did no search work); misses and
+        uncached paths copy their counters off the response stats — so a
+        batched query's profile signature matches its serial twin.
+        """
+        for response, label in zip(results, labels):
+            profile = self._new_profile(cache_label=label)
+            if label != "hit":
+                profile.add_search_stats(response.stats)
+            profile.items = len(response.items)
+            response.cost = profile
 
     @staticmethod
     def augment_query(

@@ -34,12 +34,16 @@ class IndexConstruction:
         encoder_set: EncoderSet,
         weights: Dict[Modality, float],
         resilience=None,
+        events=None,
+        metrics=None,
     ) -> RetrievalFramework:
         """Set up the retrieval framework over ``kb`` and return it.
 
         ``resilience`` (the coordinator's manager) is only used by the
         shard router, which guards each shard search under a per-shard
-        breaker site.
+        breaker site; ``events`` and ``metrics`` likewise flow to the
+        router so rebalance moves and replica probes show up in the
+        event log and as labelled counters.
         """
 
         def index_builder():
@@ -58,6 +62,8 @@ class IndexConstruction:
                 latency_ms=config.shard_latency_ms,
                 latency_ms_per_1k=config.shard_latency_ms_per_1k,
                 resilience=resilience,
+                events=events,
+                metrics=metrics,
             )
             router.setup(kb, encoder_set, index_builder, weights=weights)
             return router

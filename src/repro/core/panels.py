@@ -93,6 +93,8 @@ class ConfigurationPanel:
             "breaker_half_open_probes",
             "fault_seed",
             "faults",
+            "cost_accounting",
+            "stats_exemplars",
         ):
             updates[option] = value
         else:
@@ -125,6 +127,9 @@ class StatusPanel:
             health line grading latency/errors against targets.
         quality: Optional :class:`~repro.observability.QualityMonitor`;
             adds the streaming recall@k / MRR of sampled live queries.
+        stats: Optional :class:`~repro.observability.StatsPlane`; adds a
+            cost line (queries observed, whole-query p95 latency and
+            mean distance evaluations) when cost accounting is on.
     """
 
     TICKS = {
@@ -134,11 +139,15 @@ class StatusPanel:
         MilestoneState.FAILED: "✗",
     }
 
-    def __init__(self, board: StatusBoard, tracer=None, slo=None, quality=None) -> None:
+    def __init__(
+        self, board: StatusBoard, tracer=None, slo=None, quality=None,
+        stats=None,
+    ) -> None:
         self.board = board
         self.tracer = tracer
         self.slo = slo
         self.quality = quality
+        self.stats = stats
 
     def render(self) -> str:
         """Multi-line text of ticks + details, the panel's whole content."""
@@ -163,6 +172,24 @@ class StatusPanel:
                 f"mrr {snap['mean_mrr']:.3f} "
                 f"({snap['sampled']} scored of {snap['queries_seen']} seen)"
             )
+        if self.stats is not None:
+            snap = self.stats.snapshot()
+            whole = [
+                group for group in snap["groups"] if group["shard"] == "-"
+            ]
+            if whole:
+                p95 = max(g["latency_ms"]["p95"] for g in whole)
+                evals = max(
+                    g["distance_evaluations"]["mean"] for g in whole
+                )
+                lines.append(
+                    f" cost: {snap['queries']} observed, "
+                    f"p95 {p95:.1f} ms, "
+                    f"mean {evals:.0f} distance evals "
+                    f"({len(snap['exemplars'])} exemplars)"
+                )
+            else:
+                lines.append(f" cost: {snap['queries']} observed")
         last_trace = self.tracer.last_trace if self.tracer is not None else None
         if last_trace is not None:
             lines.append("last query trace")

@@ -68,6 +68,7 @@ import hashlib
 import inspect
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -76,6 +77,14 @@ from repro.data.modality import Modality
 from repro.data.objects import MultiModalObject, RawQuery
 from repro.errors import CircuitOpenError, MQAError, RetrievalError
 from repro.index.base import SearchStats
+from repro.observability import (
+    NOOP_SPAN,
+    active_cost,
+    cost_context,
+    labelled,
+    trace_branch,
+    trace_span,
+)
 from repro.retrieval import build_framework
 from repro.retrieval.fusion import fuse_rankings
 from repro.retrieval.base import (
@@ -368,15 +377,28 @@ class ShardReplica:
 
 
 class ShardGroup:
-    """One shard's replica set with round-robin, health-aware selection."""
+    """One shard's replica set with round-robin, health-aware selection.
+
+    ``events`` / ``metrics`` are the coordinator's log and registry;
+    when present, replica probes and health transitions surface as
+    structured ``replica-probe`` events and labelled counters.
+    """
 
     #: After this many selections that skipped it, an unhealthy replica
     #: gets probed again (it may have recovered).
     PROBE_EVERY = 8
 
-    def __init__(self, shard_index: int, replicas: Sequence[ShardReplica]) -> None:
+    def __init__(
+        self,
+        shard_index: int,
+        replicas: Sequence[ShardReplica],
+        events=None,
+        metrics=None,
+    ) -> None:
         self.shard_index = shard_index
         self.replicas = list(replicas)
+        self.events = events
+        self.metrics = metrics
         self._cursor = 0
         self._skips = 0
         self._lock = threading.Lock()
@@ -390,28 +412,70 @@ class ShardGroup:
         single = self._single
         if single is not None and single.healthy:
             return single
+        chosen: "ShardReplica | None" = None
+        probed = False
         with self._lock:
             for _ in range(len(self.replicas)):
                 replica = self.replicas[self._cursor % len(self.replicas)]
                 self._cursor += 1
                 if replica.healthy:
-                    return replica
+                    chosen = replica
+                    break
                 self._skips += 1
                 if self._skips >= self.PROBE_EVERY:
                     self._skips = 0
-                    return replica
-            # All replicas unhealthy: probe in rotation anyway — serving a
-            # possibly-failing replica beats dropping the shard silently.
-            replica = self.replicas[self._cursor % len(self.replicas)]
-            self._cursor += 1
-            return replica
+                    chosen = replica
+                    probed = True
+                    break
+            if chosen is None:
+                # All replicas unhealthy: probe in rotation anyway —
+                # serving a possibly-failing replica beats dropping the
+                # shard silently.
+                chosen = self.replicas[self._cursor % len(self.replicas)]
+                self._cursor += 1
+                probed = True
+        if probed:
+            self._note_probe(chosen)
+        return chosen
+
+    def _note_probe(self, replica: ShardReplica) -> None:
+        """Surface one unhealthy-replica probe (events + labelled metric).
+
+        Called outside the group lock — the event log and registry have
+        their own locks and probes are rare by construction.
+        """
+        if self.metrics is not None:
+            self.metrics.inc(
+                labelled(
+                    "shard.replica_probes",
+                    shard=self.shard_index,
+                    replica=replica.replica_index,
+                )
+            )
+        if self.events is not None:
+            self.events.record(
+                "sharding",
+                f"shard {self.shard_index}",
+                "replica-probe",
+                f"probing unhealthy replica "
+                f"{self.shard_index}.{replica.replica_index}",
+            )
 
     def mark(self, replica: ShardReplica, ok: bool) -> None:
         """Record the outcome of a call served by ``replica``."""
         with self._lock:
+            changed = replica.healthy != ok
             replica.healthy = ok
             if not ok:
                 replica.errors += 1
+        if changed and self.events is not None:
+            state = "recovered" if ok else "marked unhealthy"
+            self.events.record(
+                "sharding",
+                f"shard {self.shard_index}",
+                "replica-probe",
+                f"replica {self.shard_index}.{replica.replica_index} {state}",
+            )
 
     # Writes fan out to every replica so all copies stay identical.
     def add(self, obj: MultiModalObject) -> None:
@@ -513,6 +577,13 @@ class ShardRouter(RetrievalFramework):
         resilience: Optional :class:`~repro.core.resilience.ResilienceManager`;
             when enabled, every shard search runs under its own breaker
             site ``shard.<i>.search``.
+        events: Optional :class:`~repro.core.events.EventLog`; rebalance
+            moves, owner flips, and replica probes are recorded as
+            structured ``shard-rebalance`` / ``replica-probe`` events.
+        metrics: Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+            the same churn is counted as labelled families
+            (``shard.moves{source=...,destination=...}``,
+            ``shard.replica_probes{shard=...,replica=...}``).
     """
 
     name = "shard-router"
@@ -528,6 +599,8 @@ class ShardRouter(RetrievalFramework):
         latency_ms: float = 0.0,
         latency_ms_per_1k: float = 0.0,
         resilience=None,
+        events=None,
+        metrics=None,
     ) -> None:
         super().__init__()
         if shards < 1:
@@ -543,6 +616,8 @@ class ShardRouter(RetrievalFramework):
         self.latency_ms = latency_ms
         self.latency_ms_per_1k = latency_ms_per_1k
         self.resilience = resilience
+        self.events = events
+        self.metrics = metrics
         self.groups: List[ShardGroup] = []
         self._capabilities: "set | None" = None
         self._probe: "RetrievalFramework | None" = None
@@ -583,7 +658,14 @@ class ShardRouter(RetrievalFramework):
                     index_builder, weights,
                 )
                 replicas.append(replica)
-            self.groups.append(ShardGroup(shard_index, replicas))
+            self.groups.append(
+                ShardGroup(
+                    shard_index,
+                    replicas,
+                    events=self.events,
+                    metrics=self.metrics,
+                )
+            )
         self.kb = kb
         self.encoder_set = encoder_set
         self.setup_seconds = time.perf_counter() - start
@@ -641,19 +723,39 @@ class ShardRouter(RetrievalFramework):
             return
         self.rebalances += 1
         to_move = spread // 2
+        if self.metrics is not None:
+            self.metrics.inc(
+                labelled(
+                    "shard.rebalances", source=largest, destination=smallest
+                )
+            )
+        if self.events is not None:
+            self.events.record(
+                "sharding",
+                self.name,
+                "shard-rebalance",
+                f"spread {spread} > threshold {self.rebalance_threshold}: "
+                f"moving up to {to_move} object(s) from shard {largest} "
+                f"to shard {smallest}",
+            )
         # Newest objects move first: they are the cheapest to re-encode
         # conceptually (just-ingested) and moving them converges the
         # spread without touching the stable head of the shard.
         candidates = self.groups[largest].live_global_ids()[::-1]
         moved = 0
-        for global_id in candidates:
-            if moved >= to_move:
-                break
-            with self._meta_lock:
-                if global_id in self._deleted:
-                    continue
-            self._move_object(global_id, largest, smallest)
-            moved += 1
+        with trace_span(
+            "shard-rebalance", source=largest, destination=smallest,
+            spread=spread,
+        ) as span:
+            for global_id in candidates:
+                if moved >= to_move:
+                    break
+                with self._meta_lock:
+                    if global_id in self._deleted:
+                        continue
+                self._move_object(global_id, largest, smallest)
+                moved += 1
+            span.set(moved=moved)
 
     def _move_object(self, global_id: int, source: int, destination: int) -> None:
         """One migration: destination commit → owner flip → source tombstone."""
@@ -664,6 +766,18 @@ class ShardRouter(RetrievalFramework):
             self._owner[global_id] = destination
         self._tombstone_source(global_id, source)
         self.moves += 1
+        if self.metrics is not None:
+            self.metrics.inc(
+                labelled("shard.moves", source=source, destination=destination)
+            )
+        if self.events is not None:
+            self.events.record(
+                "sharding",
+                self.name,
+                "shard-rebalance",
+                f"moved object {global_id}: shard {source} -> {destination} "
+                "(owner flipped)",
+            )
 
     def _commit_to_destination(self, obj: MultiModalObject, destination: int) -> None:
         """Step 1 of a move: the object becomes live on the destination.
@@ -757,14 +871,19 @@ class ShardRouter(RetrievalFramework):
         shard_index: int,
         fn: Callable[[], Any],
         degraded: List[str],
+        telemetry: "Dict[str, Any] | None" = None,
     ) -> Any:
         """Run one shard's search; failures degrade to a missing shard.
 
         Returns None when the shard contributed nothing.  ``degraded``
-        collects human-readable reasons (also the /health story).
+        collects human-readable reasons (also the /health story);
+        ``telemetry``, when given, receives the serving replica index so
+        the caller can label spans and cost entries.
         """
         group = self.groups[shard_index]
         replica = group.select()
+        if telemetry is not None:
+            telemetry["replica"] = replica.replica_index
         site = f"shard.{shard_index}.search"
 
         def call():
@@ -796,6 +915,140 @@ class ShardRouter(RetrievalFramework):
             self.degraded_searches += 1
             self._last_error = exc
 
+    # -- scatter observability -----------------------------------------
+    @staticmethod
+    def _measure(result: Any) -> Tuple[int, int, int]:
+        """(items, distance_evaluations, hops) for one shard's result —
+        a single response (``retrieve``) or the per-query response list
+        one shard returns from ``retrieve_batch``."""
+        if result is None:
+            return 0, 0, 0
+        if isinstance(result, list):
+            return (
+                sum(len(r.items) for r in result),
+                sum(r.stats.distance_evaluations for r in result),
+                sum(r.stats.hops for r in result),
+            )
+        return (
+            len(result.items),
+            result.stats.distance_evaluations,
+            result.stats.hops,
+        )
+
+    def _scatter(
+        self,
+        call_of: Callable[[ShardReplica], Any],
+        degraded: List[str],
+        span_attrs: Dict[str, Any],
+    ) -> List[Any]:
+        """Fan ``call_of`` out to every shard, observing the scatter.
+
+        With a trace active, the fan-out nests under one ``scatter`` span
+        with a ``shard-search`` child per shard (replica, timing, and
+        work counters attached) — branches are created here on the
+        coordinating thread, entered on whichever thread serves the
+        shard, and attached back in shard order so one sharded query
+        yields a single deterministic trace.  With an ambient cost
+        profile, each shard contributes one entry to ``profile.shards``;
+        the ambient profile is suppressed around the inner call so inline
+        and pooled scatter account identically (pool threads never
+        inherit it).  With neither active this is the bare scatter loop.
+        """
+        profile = active_cost()
+        with trace_span(
+            "scatter", shards=self.shards, **span_attrs
+        ) as scatter_span:
+            traced = scatter_span is not NOOP_SPAN
+            observe = traced or profile is not None
+            branches = (
+                [
+                    trace_branch("shard-search", shard=i)
+                    for i in range(self.shards)
+                ]
+                if traced
+                else [None] * self.shards
+            )
+            marks: "List[Dict[str, Any] | None]" = [None] * self.shards
+
+            def shard_task(shard_index: int) -> Any:
+                if not observe:
+                    return self._guarded_shard_call(
+                        shard_index, call_of, degraded
+                    )
+                telemetry: Dict[str, Any] = {}
+                marks[shard_index] = telemetry
+                branch = branches[shard_index]
+                suppress = (
+                    cost_context(None)
+                    if profile is not None
+                    else nullcontext()
+                )
+                started = time.perf_counter()
+                if branch is not None:
+                    with branch, suppress:
+                        result = self._guarded_shard_call(
+                            shard_index, call_of, degraded, telemetry
+                        )
+                else:
+                    with suppress:
+                        result = self._guarded_shard_call(
+                            shard_index, call_of, degraded, telemetry
+                        )
+                telemetry["ms"] = (time.perf_counter() - started) * 1000.0
+                return result
+
+            responses = run_scattered(
+                [lambda i=i: shard_task(i) for i in range(self.shards)],
+                pool=self._scatter_pool() if self._parallel else None,
+            )
+            if traced:
+                for shard_index, branch in enumerate(branches):
+                    result = responses[shard_index]
+                    telemetry = marks[shard_index] or {}
+                    items, evals, hops = self._measure(result)
+                    branch.span.set(
+                        replica=telemetry.get("replica"),
+                        ok=result is not None,
+                        items=items,
+                        distance_evaluations=evals,
+                        hops=hops,
+                    )
+                    branch.attach(scatter_span)
+                scatter_span.set(
+                    answered=sum(1 for r in responses if r is not None)
+                )
+            if profile is not None:
+                for shard_index, result in enumerate(responses):
+                    telemetry = marks[shard_index] or {}
+                    items, evals, hops = self._measure(result)
+                    ok = result is not None
+                    profile.add_shard(
+                        shard=shard_index,
+                        replica=telemetry.get("replica"),
+                        ok=ok,
+                        ms=round(telemetry.get("ms", 0.0), 3),
+                        items=items,
+                        distance_evaluations=evals,
+                        hops=hops,
+                    )
+                    if not ok:
+                        profile.shards_failed += 1
+        return responses
+
+    def _merge_observed(self, merge_fn: Callable[[], Any], **span_attrs) -> Any:
+        """Run the gather-side merge/re-fuse under a ``shard-merge`` span,
+        timing it into the ambient profile's ``merge`` stage."""
+        profile = active_cost()
+        with trace_span("shard-merge", **span_attrs):
+            if profile is None:
+                return merge_fn()
+            started = time.perf_counter()
+            merged = merge_fn()
+            profile.add_stage(
+                "merge", (time.perf_counter() - started) * 1000.0
+            )
+        return merged
+
     def retrieve(
         self,
         query: RawQuery,
@@ -813,19 +1066,12 @@ class ShardRouter(RetrievalFramework):
             return self._passthrough(query, k, budget, weights, filter_fn)
         shard_filter = self._deleted_filter(filter_fn)
         degraded: List[str] = []
-
-        def shard_task(shard_index: int) -> Optional[RetrievalResponse]:
-            return self._guarded_shard_call(
-                shard_index,
-                lambda replica: replica.search(
-                    query, k, budget, weights=weights, filter_fn=shard_filter
-                ),
-                degraded,
-            )
-
-        responses = run_scattered(
-            [lambda i=i: shard_task(i) for i in range(self.shards)],
-            pool=self._scatter_pool() if self._parallel else None,
+        responses = self._scatter(
+            lambda replica: replica.search(
+                query, k, budget, weights=weights, filter_fn=shard_filter
+            ),
+            degraded,
+            {"k": k},
         )
         answered = [r for r in responses if r is not None]
         if not answered:
@@ -833,7 +1079,10 @@ class ShardRouter(RetrievalFramework):
                 f"all {self.shards} shards unavailable "
                 f"(last: {type(self._last_error).__name__}: {self._last_error})"
             )
-        return self._merge(answered, k, degraded, weights=weights)
+        return self._merge_observed(
+            lambda: self._merge(answered, k, degraded, weights=weights),
+            shards_answered=len(answered),
+        )
 
     def retrieve_batch(
         self,
@@ -857,19 +1106,12 @@ class ShardRouter(RetrievalFramework):
             return self._passthrough_batch(queries, k, budget, weights, filter_fn)
         shard_filter = self._deleted_filter(filter_fn)
         degraded: List[str] = []
-
-        def shard_task(shard_index: int) -> "List[RetrievalResponse] | None":
-            return self._guarded_shard_call(
-                shard_index,
-                lambda replica: replica.search_batch(
-                    queries, k, budget, weights=weights, filter_fn=shard_filter
-                ),
-                degraded,
-            )
-
-        per_shard = run_scattered(
-            [lambda i=i: shard_task(i) for i in range(self.shards)],
-            pool=self._scatter_pool() if self._parallel else None,
+        per_shard = self._scatter(
+            lambda replica: replica.search_batch(
+                queries, k, budget, weights=weights, filter_fn=shard_filter
+            ),
+            degraded,
+            {"k": k, "queries": len(queries)},
         )
         answered = [r for r in per_shard if r is not None]
         if not answered:
@@ -877,17 +1119,21 @@ class ShardRouter(RetrievalFramework):
                 f"all {self.shards} shards unavailable "
                 f"(last: {type(self._last_error).__name__}: {self._last_error})"
             )
-        merged: List[RetrievalResponse] = []
-        for position in range(len(queries)):
-            merged.append(
+
+        def merge_all() -> List[RetrievalResponse]:
+            return [
                 self._merge(
                     [batch[position] for batch in answered],
                     k,
                     degraded,
                     weights=weights,
                 )
-            )
-        return merged
+                for position in range(len(queries))
+            ]
+
+        return self._merge_observed(
+            merge_all, shards_answered=len(answered), queries=len(queries)
+        )
 
     _last_error: Exception = RetrievalError("no shard searched yet")
 

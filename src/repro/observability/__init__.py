@@ -16,16 +16,37 @@ text exposition and span trees as collapsed stacks; a
 table; and :class:`SLOMonitor` / :class:`QualityMonitor` grade live
 latency, error-rate, and retrieval quality against configured targets.
 
+Cost plane (PR 7): a :class:`QueryCostProfile` accounts per-query kernel
+work (distance evaluations, hops, block reads) and per-stage wall time
+through the ambient :func:`cost_stage` / :func:`cost_context` machinery;
+a :class:`StatsPlane` aggregates profiles into rolling per-(framework,
+index, shard) distributions with tail-latency exemplars for
+``GET /stats``; and :func:`trace_branch` carries trace context across
+the shard router's scatter threads so one sharded query yields a single
+trace with per-shard child spans.
+
 (:mod:`repro.observability.replay` is imported lazily — it depends on
 :mod:`repro.core`, which imports this package.)
 """
 
+from repro.observability.costs import (
+    QueryCostProfile,
+    active_cost,
+    cost_context,
+    cost_stage,
+)
 from repro.observability.exporters import (
     collapse_spans,
     prometheus_name,
     render_prometheus,
+    split_labels,
 )
-from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    labelled,
+)
 from repro.observability.monitoring import (
     STATE_BREACH,
     STATE_DEGRADED,
@@ -36,12 +57,15 @@ from repro.observability.monitoring import (
 )
 from repro.observability.profiling import ProfileAggregator
 from repro.observability.recorder import FlightRecorder, read_recording
+from repro.observability.stats import StatsPlane
 from repro.observability.tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
     NoopTracer,
     Span,
+    TraceBranch,
     Tracer,
+    trace_branch,
     trace_span,
 )
 
@@ -55,16 +79,25 @@ __all__ = [
     "NoopTracer",
     "ProfileAggregator",
     "QualityMonitor",
+    "QueryCostProfile",
     "SLOMonitor",
     "SLOTargets",
     "STATE_BREACH",
     "STATE_DEGRADED",
     "STATE_OK",
     "Span",
+    "StatsPlane",
+    "TraceBranch",
     "Tracer",
+    "active_cost",
     "collapse_spans",
+    "cost_context",
+    "cost_stage",
+    "labelled",
     "prometheus_name",
     "read_recording",
     "render_prometheus",
+    "split_labels",
+    "trace_branch",
     "trace_span",
 ]

@@ -1,0 +1,231 @@
+"""Per-query cost accounting: who spent what, where, and on which shard.
+
+The cost plane answers the question the tracer alone cannot: *why* was
+this query slow?  A :class:`QueryCostProfile` is created per query by
+``QueryExecution`` (and per batch by the coordinator), made ambient via
+a :mod:`contextvars` variable while the framework runs, and filled in by
+three independent producers:
+
+* the executor copies the kernel counters (distance evaluations, graph
+  hops, Starling block reads and block-cache hits) off the response's
+  ``SearchStats`` and labels the query-cache disposition;
+* the retrieval frameworks time their pipeline stages — ``encode``,
+  ``search``, ``fuse`` — through :func:`cost_stage`;
+* the shard router appends one entry per shard with the serving replica,
+  per-shard timing, and per-shard counters.
+
+The machinery mirrors the tracer's zero-overhead discipline exactly:
+when no profile is ambient (the default — ``cost_accounting`` is off),
+:func:`active_cost` and :func:`cost_stage` cost a single context-variable
+read and allocate nothing.
+
+Profiles ride on ``RetrievalResponse.cost`` and ``Answer.cost``, are
+aggregated by :class:`repro.observability.stats.StatsPlane`, and surface
+through ``GET /stats``, the answer/search payloads, and ``python -m
+repro stats``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "QueryCostProfile",
+    "active_cost",
+    "cost_context",
+    "cost_stage",
+]
+
+
+@dataclass
+class QueryCostProfile:
+    """Cost ledger for one query (or one batch of queries).
+
+    Attributes:
+        framework: Retrieval framework that served the query.
+        index: Configured index type (``flat``/``hnsw``/``starling``...).
+        shards_total: Shard count behind the framework (0 = unsharded).
+        batch: Number of queries covered; 0 for a single-query profile.
+        cache: Query-cache disposition — ``"off"`` (no cache), ``"bypass"``
+            (filters force a live search), ``"miss"``, or ``"hit"``.  On a
+            hit the served response did no kernel work, so the counters
+            below stay zero; the original search's cost was accounted
+            when it first ran.
+        distance_evaluations: Distance-kernel evaluations performed.
+        hops: Graph hops (HNSW/beam) walked.
+        block_reads: Starling disk blocks fetched.
+        cache_hits: Starling block-*cache* hits (distinct from the
+            query-level ``cache`` label above).
+        items: Results returned.
+        shards_failed: Shards that degraded out of the scatter.
+        stage_ms: Wall time per pipeline stage (``encode``, ``search``,
+            ``fuse``, ``retrieve``, ``merge``, ``generate``).
+        shards: Per-shard contribution entries appended by the router:
+            ``{"shard", "replica", "ok", "ms", "items",
+            "distance_evaluations", "hops"}``.
+        trace_id: Sequence id assigned by the stats plane on observation;
+            exemplar traces in ``GET /stats`` reference it.
+    """
+
+    framework: str
+    index: str = ""
+    shards_total: int = 0
+    batch: int = 0
+    cache: str = "off"
+    distance_evaluations: int = 0
+    hops: int = 0
+    block_reads: int = 0
+    cache_hits: int = 0
+    items: int = 0
+    shards_failed: int = 0
+    stage_ms: Dict[str, float] = field(default_factory=dict)
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+    trace_id: Optional[int] = None
+
+    def add_search_stats(self, stats: Any) -> None:
+        """Fold a ``SearchStats``-shaped object into the kernel counters."""
+        if stats is None:
+            return
+        self.distance_evaluations += int(
+            getattr(stats, "distance_evaluations", 0)
+        )
+        self.hops += int(getattr(stats, "hops", 0))
+        self.block_reads += int(getattr(stats, "block_reads", 0))
+        self.cache_hits += int(getattr(stats, "cache_hits", 0))
+
+    def add_stage(self, name: str, ms: float) -> None:
+        """Accumulate ``ms`` of wall time under stage ``name``."""
+        self.stage_ms[name] = self.stage_ms.get(name, 0.0) + float(ms)
+
+    def add_shard(self, **entry: Any) -> None:
+        """Append one shard's contribution (called by the router)."""
+        self.shards.append(entry)
+
+    def signature(self) -> Dict[str, Any]:
+        """Deterministic fields only — identical across execution paths.
+
+        Wall-clock stages and per-shard detail legitimately differ
+        between the serial and batched paths (a batch amortises one
+        scatter across all queries), so the parity contract covers the
+        work counters, the cache disposition, and the result count.
+        """
+        return {
+            "framework": self.framework,
+            "index": self.index,
+            "shards_total": self.shards_total,
+            "cache": self.cache,
+            "items": self.items,
+            "distance_evaluations": self.distance_evaluations,
+            "hops": self.hops,
+            "block_reads": self.block_reads,
+            "cache_hits": self.cache_hits,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready export for payloads, exemplars, and the CLI."""
+        body: Dict[str, Any] = {
+            "framework": self.framework,
+            "index": self.index,
+            "shards_total": self.shards_total,
+            "cache": self.cache,
+            "distance_evaluations": self.distance_evaluations,
+            "hops": self.hops,
+            "block_reads": self.block_reads,
+            "cache_hits": self.cache_hits,
+            "items": self.items,
+            "stage_ms": {
+                name: round(ms, 3) for name, ms in sorted(self.stage_ms.items())
+            },
+        }
+        if self.batch:
+            body["batch"] = self.batch
+        if self.shards_failed:
+            body["shards_failed"] = self.shards_failed
+        if self.shards:
+            body["shards"] = [dict(entry) for entry in self.shards]
+        if self.trace_id is not None:
+            body["trace_id"] = self.trace_id
+        return body
+
+
+#: Ambient profile for the query being executed on this thread.  Like the
+#: tracer's ``_ACTIVE``, pool threads deliberately do not inherit it —
+#: the shard router accounts scatter work explicitly from the
+#: coordinating thread so pooled and inline scatter account identically.
+_ACTIVE_COST: ContextVar[Optional[QueryCostProfile]] = ContextVar(
+    "repro_active_cost", default=None
+)
+
+
+def active_cost() -> Optional[QueryCostProfile]:
+    """The ambient profile, or None when cost accounting is off."""
+    return _ACTIVE_COST.get()
+
+
+@contextmanager
+def cost_context(
+    profile: Optional[QueryCostProfile],
+) -> Iterator[Optional[QueryCostProfile]]:
+    """Make ``profile`` ambient for the block (None suppresses accounting).
+
+    The router suppresses the ambient profile around inline shard calls
+    so the inner frameworks' stage timers do not double-report work the
+    router already attributes per shard — keeping inline and pooled
+    scatter bit-identical in what they account.
+    """
+    token = _ACTIVE_COST.set(profile)
+    try:
+        yield profile
+    finally:
+        _ACTIVE_COST.reset(token)
+
+
+class _StageTimer:
+    """Times a block and accumulates it into the ambient profile."""
+
+    __slots__ = ("_profile", "_name", "_start")
+
+    def __init__(self, profile: QueryCostProfile, name: str) -> None:
+        self._profile = profile
+        self._name = name
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+        self._profile.add_stage(self._name, elapsed_ms)
+        return False
+
+
+class _NoopStage:
+    """Shared do-nothing stage for the disabled path (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopStage":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NOOP_STAGE = _NoopStage()
+
+
+def cost_stage(name: str) -> Any:
+    """Context manager timing one pipeline stage into the ambient profile.
+
+    When no profile is ambient this returns a shared no-op — the entire
+    disabled cost is one context-variable read, same contract as
+    ``trace_span``.
+    """
+    profile = _ACTIVE_COST.get()
+    if profile is None:
+        return _NOOP_STAGE
+    return _StageTimer(profile, name)

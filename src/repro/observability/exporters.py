@@ -56,32 +56,97 @@ def _format_value(value: float) -> str:
     return repr(round(float(value), 6))
 
 
+#: Registry keys carrying a :func:`~repro.observability.metrics.labelled`
+#: suffix: ``base{k=v,k2=v2}``.
+_LABELLED_KEY = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>[^{}]*)\}$")
+
+
+def split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Decode a registry key into ``(base_name, labels)``.
+
+    Inverse of :func:`repro.observability.metrics.labelled`; plain keys
+    come back with an empty label dict.
+    """
+    match = _LABELLED_KEY.match(name)
+    if match is None:
+        return name, {}
+    labels: Dict[str, str] = {}
+    body = match.group("labels")
+    if body:
+        for pair in body.split(","):
+            key, _, value = pair.partition("=")
+            labels[key] = value
+    return match.group("base"), labels
+
+
+def _label_suffix(labels: Dict[str, str], extra: "Tuple[str, str] | None" = None) -> str:
+    """Render ``{k="v",...}`` for a sample line (empty for no labels)."""
+    pairs = [(key, labels[key]) for key in sorted(labels)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    escaped = (
+        (key, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in pairs
+    )
+    return "{" + ",".join(f'{key}="{value}"' for key, value in escaped) + "}"
+
+
+def _families(names: Iterable[str]) -> "Dict[str, List[Tuple[str, Dict[str, str]]]]":
+    """Group registry keys into ``base -> [(key, labels), ...]`` families.
+
+    Families and the label sets within each family are sorted, so the
+    exposition stays deterministic; an unlabelled key renders exactly as
+    it did before labels existed (its family has one suffix-free sample).
+    """
+    families: Dict[str, List[Tuple[str, Dict[str, str]]]] = {}
+    for name in sorted(names):
+        base, labels = split_labels(name)
+        families.setdefault(base, []).append((name, labels))
+    return families
+
+
 def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
     """The registry as Prometheus text exposition (one string, trailing \\n).
 
     Counters render as ``counter`` families suffixed ``_total``;
     histograms render as ``summary`` families with p50/p95/p99 quantile
-    samples plus ``_sum`` and ``_count``.
+    samples plus ``_sum`` and ``_count``.  Registry keys encoded with
+    :func:`~repro.observability.metrics.labelled` are grouped into one
+    family per base name with ``HELP``/``TYPE`` emitted once and proper
+    ``{k="v"}`` label sets on every sample.
     """
     snapshot = registry.snapshot()
     lines: List[str] = []
-    for name in sorted(snapshot["counters"]):
-        family = prometheus_name(name, prefix) + "_total"
-        lines.append(f"# HELP {family} Monotonic counter {name!r}.")
+    for base, members in sorted(_families(snapshot["counters"]).items()):
+        family = prometheus_name(base, prefix) + "_total"
+        lines.append(f"# HELP {family} Monotonic counter {base!r}.")
         lines.append(f"# TYPE {family} counter")
-        lines.append(f"{family} {_format_value(snapshot['counters'][name])}")
-    for name in sorted(snapshot["histograms"]):
-        histogram = registry.histogram(name)
-        family = prometheus_name(name, prefix)
-        lines.append(f"# HELP {family} Streaming summary {name!r}.")
-        lines.append(f"# TYPE {family} summary")
-        for label, q in SUMMARY_QUANTILES:
+        for name, labels in members:
             lines.append(
-                f'{family}{{quantile="{label}"}} '
-                f"{_format_value(round(histogram.percentile(q), 6))}"
+                f"{family}{_label_suffix(labels)} "
+                f"{_format_value(snapshot['counters'][name])}"
             )
-        lines.append(f"{family}_sum {_format_value(round(histogram.total, 6))}")
-        lines.append(f"{family}_count {_format_value(histogram.count)}")
+    for base, members in sorted(_families(snapshot["histograms"]).items()):
+        family = prometheus_name(base, prefix)
+        lines.append(f"# HELP {family} Streaming summary {base!r}.")
+        lines.append(f"# TYPE {family} summary")
+        for name, labels in members:
+            histogram = registry.histogram(name)
+            for label, q in SUMMARY_QUANTILES:
+                lines.append(
+                    f"{family}{_label_suffix(labels, ('quantile', label))} "
+                    f"{_format_value(round(histogram.percentile(q), 6))}"
+                )
+            lines.append(
+                f"{family}_sum{_label_suffix(labels)} "
+                f"{_format_value(round(histogram.total, 6))}"
+            )
+            lines.append(
+                f"{family}_count{_label_suffix(labels)} "
+                f"{_format_value(histogram.count)}"
+            )
     return "\n".join(lines) + "\n"
 
 

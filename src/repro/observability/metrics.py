@@ -32,6 +32,28 @@ import numpy as np
 from repro.utils import derive_rng
 
 
+def labelled(name: str, **labels: Any) -> str:
+    """Encode a labelled registry key: ``name{k=v,...}``, labels sorted.
+
+    The registry itself is label-agnostic — a labelled instrument is just
+    a key with a ``{k=v,...}`` suffix — but the Prometheus exporter
+    recognises the encoding and renders every key sharing a base name as
+    one metric family with proper label sets.  Values are stringified;
+    ``,``/``=``/``}`` inside them would corrupt the encoding and are
+    rejected.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if any(ch in value for ch in ',=}{'):
+            raise ValueError(f"label value {value!r} for {key!r} "
+                             "may not contain '{', '}', ',' or '='")
+        parts.append(f"{key}={value}")
+    return f"{name}{{{','.join(parts)}}}"
+
+
 class Counter:
     """A monotonically increasing counter.
 

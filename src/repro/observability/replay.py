@@ -112,6 +112,40 @@ class ReplayReport:
         return "\n".join(lines)
 
 
+#: Config fields that shape the scatter topology.  A replay served by a
+#: system with a different topology produces span-tree "drift" that is
+#: really a deployment mismatch, so it is rejected up front with a
+#: field-by-field diff instead of reported as a regression.
+TOPOLOGY_FIELDS = ("shards", "replicas", "partitioner")
+
+
+def validate_topology(header: "Mapping[str, Any] | None", coordinator) -> None:
+    """Reject replaying onto a coordinator with a mismatched topology.
+
+    Only meaningful when the caller supplies its own coordinator (a live
+    server, a test fixture); a coordinator rebuilt from the header
+    matches by construction.  Headerless recordings cannot be checked
+    and pass through.
+    """
+    config_data = dict((header or {}).get("config") or {})
+    if not config_data:
+        return
+    mismatches = []
+    for name in TOPOLOGY_FIELDS:
+        recorded = config_data.get(name)
+        live = getattr(coordinator.config, name, None)
+        if recorded != live:
+            mismatches.append(
+                f"{name}: recorded {recorded!r} != live {live!r}"
+            )
+    if mismatches:
+        raise ReplayError(
+            "sharding topology mismatch between the recording and the "
+            "live system — rebuild with the recorded topology or replay "
+            "without an explicit coordinator:\n  " + "\n  ".join(mismatches)
+        )
+
+
 def build_replay_coordinator(header: Mapping[str, Any]):
     """Rebuild the recorded system: same config, tracing on, recorder off.
 
@@ -187,7 +221,10 @@ def replay_recording(
         path: The JSONL recording.
         trace_id: Replay only this entry when given.
         coordinator: Re-use an already built system (tests, the live
-            server); rebuilt from the recording's header otherwise.
+            server); rebuilt from the recording's header otherwise.  An
+            explicit coordinator must match the recording's sharding
+            topology (:func:`validate_topology` diffs and rejects
+            mismatches before any entry runs).
     """
     header, entries = read_recording(path)
     if trace_id is not None:
@@ -202,4 +239,6 @@ def replay_recording(
                 f"recording {path} has no header; pass an explicit coordinator"
             )
         coordinator = build_replay_coordinator(header)
+    else:
+        validate_topology(header, coordinator)
     return [replay_entry(coordinator, entry) for entry in entries]

@@ -79,6 +79,10 @@ class RetrievalResponse:
         degraded_reasons: Non-empty when the response is partial — e.g.
             the shard router lost shards to open breakers and merged what
             remained.  Partial responses are never cached.
+        cost: The per-query
+            :class:`~repro.observability.costs.QueryCostProfile` when
+            cost accounting is enabled, else None.  Never cached or
+            copied — each call gets its own ledger.
     """
 
     framework: str
@@ -89,6 +93,7 @@ class RetrievalResponse:
         default_factory=dict
     )
     degraded_reasons: List[str] = field(default_factory=list)
+    cost: Optional[object] = None
 
     @property
     def ids(self) -> List[int]:

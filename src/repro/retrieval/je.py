@@ -22,7 +22,7 @@ from repro.distance import SingleVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import VectorIndex
-from repro.observability import trace_span
+from repro.observability import cost_stage, trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     RetrievalFramework,
@@ -96,11 +96,13 @@ class JointEmbeddingRetrieval(RetrievalFramework):
         assert self.encoder_set is not None and self._index is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        with trace_span("encode"):
+        with trace_span("encode"), cost_stage("encode"):
             query_vectors = self.encoder_set.encode_query(query)
             joint_query = self._fuse(query_vectors)
         filter_fn = self._compose_filter(filter_fn)
-        with trace_span("index-search", k=k, budget=budget) as span:
+        with trace_span(
+            "index-search", k=k, budget=budget
+        ) as span, cost_stage("search"):
             if filter_fn is not None:
                 outcome = self._index.search(
                     joint_query, k=k, budget=budget, admit=filter_fn
@@ -135,7 +137,7 @@ class JointEmbeddingRetrieval(RetrievalFramework):
         queries = list(queries)
         if not queries:
             return []
-        with trace_span("encode", queries=len(queries)):
+        with trace_span("encode", queries=len(queries)), cost_stage("encode"):
             joint_queries = np.stack(
                 [
                     self._fuse(self.encoder_set.encode_query(query))
@@ -145,7 +147,7 @@ class JointEmbeddingRetrieval(RetrievalFramework):
         filter_fn = self._compose_filter(filter_fn)
         with trace_span(
             "index-search", k=k, budget=budget, queries=len(queries)
-        ) as span:
+        ) as span, cost_stage("search"):
             if filter_fn is not None:
                 outcomes = self._index.search_batch(
                     joint_queries, k=k, budget=budget, admit=filter_fn

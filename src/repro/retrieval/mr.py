@@ -22,7 +22,7 @@ from repro.distance import SingleVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import SearchStats, VectorIndex
-from repro.observability import trace_span
+from repro.observability import cost_stage, trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     RetrievalFramework,
@@ -106,7 +106,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
         assert self.encoder_set is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        with trace_span("encode"):
+        with trace_span("encode"), cost_stage("encode"):
             query_vectors = self.encoder_set.encode_query_full(query)
         filter_fn = self._compose_filter(filter_fn)
         parsed_weights = None
@@ -128,7 +128,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
             with trace_span(
                 "index-search", modality=modality.value, k=fetch,
                 budget=max(budget, fetch),
-            ) as span:
+            ) as span, cost_stage("search"):
                 if filter_fn is not None:
                     outcome = index.search(
                         vector, k=fetch, budget=max(budget, fetch), admit=filter_fn
@@ -150,7 +150,9 @@ class MultiStreamedRetrieval(RetrievalFramework):
             stream_weights = [
                 parsed_weights.get(modality, 1.0) for modality in per_modality
             ]
-        with trace_span("fusion", strategy=self.fusion.value, streams=len(rankings)):
+        with trace_span(
+            "fusion", strategy=self.fusion.value, streams=len(rankings)
+        ), cost_stage("fuse"):
             fused = fuse_rankings(
                 rankings,
                 distances,
@@ -190,7 +192,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
         queries = list(queries)
         if not queries:
             return []
-        with trace_span("encode", queries=len(queries)):
+        with trace_span("encode", queries=len(queries)), cost_stage("encode"):
             query_vectors_list = self.encoder_set.encode_query_batch(queries)
         filter_fn = self._compose_filter(filter_fn)
         parsed_weights = None
@@ -217,7 +219,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
             with trace_span(
                 "index-search", modality=modality.value, k=fetch,
                 budget=max(budget, fetch), queries=len(members),
-            ) as span:
+            ) as span, cost_stage("search"):
                 if filter_fn is not None:
                     results = index.search_batch(
                         matrix, k=fetch, budget=max(budget, fetch), admit=filter_fn
@@ -257,7 +259,7 @@ class MultiStreamedRetrieval(RetrievalFramework):
                 ]
             with trace_span(
                 "fusion", strategy=self.fusion.value, streams=len(rankings)
-            ):
+            ), cost_stage("fuse"):
                 fused = fuse_rankings(
                     rankings,
                     distances,

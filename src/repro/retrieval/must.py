@@ -22,7 +22,7 @@ from repro.distance import MultiVectorSchema, WeightedMultiVectorKernel
 from repro.encoders.base import EncoderSet
 from repro.errors import RetrievalError
 from repro.index.base import VectorIndex
-from repro.observability import trace_span
+from repro.observability import cost_stage, trace_span
 from repro.retrieval.base import (
     IndexBuilder,
     ObjectFilter,
@@ -126,7 +126,7 @@ class MustRetrieval(RetrievalFramework):
         assert self._kernel is not None
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
-        with trace_span("encode"):
+        with trace_span("encode"), cost_stage("encode"):
             query_vectors = self.encoder_set.encode_query_full(query)
             concatenated = self._schema.concat(query_vectors)
         override = None
@@ -151,7 +151,9 @@ class MustRetrieval(RetrievalFramework):
         fetch = k
         if rerank or post_filter:
             fetch = max(4 * k, k)
-        with trace_span("index-search", k=fetch, budget=budget) as span:
+        with trace_span(
+            "index-search", k=fetch, budget=budget
+        ) as span, cost_stage("search"):
             outcome = self._index.search(concatenated, k=fetch, budget=budget, **kwargs)
             span.set(
                 hops=outcome.stats.hops,
@@ -162,7 +164,9 @@ class MustRetrieval(RetrievalFramework):
             outcome.ids = [outcome.ids[i] for i in keep]
             outcome.distances = [outcome.distances[i] for i in keep]
         if rerank and outcome.ids:
-            with trace_span("rerank", candidates=len(outcome.ids)):
+            with trace_span(
+                "rerank", candidates=len(outcome.ids)
+            ), cost_stage("fuse"):
                 rescored = override.batch(
                     concatenated, self._index.vectors[outcome.ids]
                 )
@@ -204,7 +208,7 @@ class MustRetrieval(RetrievalFramework):
         queries = list(queries)
         if not queries:
             return []
-        with trace_span("encode", queries=len(queries)):
+        with trace_span("encode", queries=len(queries)), cost_stage("encode"):
             query_vectors_list = self.encoder_set.encode_query_batch(queries)
             concatenated = np.stack(
                 [
@@ -236,7 +240,7 @@ class MustRetrieval(RetrievalFramework):
             fetch = max(4 * k, k)
         with trace_span(
             "index-search", k=fetch, budget=budget, queries=len(queries)
-        ) as span:
+        ) as span, cost_stage("search"):
             outcomes = self._index.search_batch(
                 concatenated, k=fetch, budget=budget, **kwargs
             )
@@ -256,7 +260,9 @@ class MustRetrieval(RetrievalFramework):
                 outcome.ids = [outcome.ids[i] for i in keep]
                 outcome.distances = [outcome.distances[i] for i in keep]
             if rerank and outcome.ids:
-                with trace_span("rerank", candidates=len(outcome.ids)):
+                with trace_span(
+                    "rerank", candidates=len(outcome.ids)
+                ), cost_stage("fuse"):
                     rescored = override.batch(
                         concatenated[position], self._index.vectors[outcome.ids]
                     )

@@ -27,6 +27,9 @@ Endpoints (mirroring the demo's backend):
 * ``GET  /profile``            — aggregated per-span-path profile over all
   captured traces (``format="collapsed"`` returns collapsed-stack text
   for flamegraph tooling, ``format="table"`` the rendered table).
+* ``GET  /stats``              — the cost plane: rolling per-(framework,
+  index, shard) latency/cost/recall distributions with the K slowest
+  queries retained as exemplars (requires ``cost_accounting``).
 * ``POST /search``             — raw batched retrieval, no dialogue state
   and no answer generation.  A single-query body (``{"text": ...}``) may
   be micro-batched with concurrent requests when ``max_batch > 1``; a
@@ -178,6 +181,7 @@ class ApiServer:
             ("POST", "/search"): self._post_search,
             ("GET", "/metrics"): self._get_metrics,
             ("GET", "/trace"): self._get_trace,
+            ("GET", "/stats"): self._get_stats,
             ("GET", "/profile"): self._get_profile,
             ("GET", "/health"): self._get_health,
         }
@@ -382,6 +386,7 @@ class ApiServer:
                 tracer=coordinator.tracer,
                 slo=coordinator.slo,
                 quality=coordinator.quality,
+                stats=coordinator.stats,
             ).render(),
         }
 
@@ -425,7 +430,7 @@ class ApiServer:
     # ------------------------------------------------------------------
     @staticmethod
     def _answer_payload(answer) -> Dict[str, Any]:
-        return {
+        payload = {
             "text": answer.text,
             "grounded": answer.grounded,
             "round": answer.round_index,
@@ -441,6 +446,9 @@ class ApiServer:
                 for item in answer.items
             ],
         }
+        if answer.cost is not None:
+            payload["cost"] = answer.cost.to_dict()
+        return payload
 
     def _timed_verb(self, coordinator: Coordinator, verb: str, fn: Callable[[], Any]):
         """Run one dialogue verb, feeding counters and latency histograms.
@@ -560,7 +568,7 @@ class ApiServer:
 
     @staticmethod
     def _search_payload(response) -> Dict[str, Any]:
-        return {
+        payload = {
             "framework": response.framework,
             "items": [
                 {
@@ -575,6 +583,9 @@ class ApiServer:
                 "distance_evaluations": response.stats.distance_evaluations,
             },
         }
+        if response.cost is not None:
+            payload["cost"] = response.cost.to_dict()
+        return payload
 
     @staticmethod
     def _weights_key(weights) -> "Tuple | None":
@@ -711,6 +722,12 @@ class ApiServer:
                 f"unknown profile format {fmt!r}; expected rows, table or collapsed"
             )
         return payload
+
+    def _get_stats(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        coordinator, _ = self._require_system()
+        if coordinator.stats is None:
+            return {"enabled": False, "stats": None}
+        return {"enabled": True, "stats": coordinator.stats.snapshot()}
 
     def _get_health(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()

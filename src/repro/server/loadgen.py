@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core import MQAConfig
 from repro.data import DatasetSpec
+from repro.observability.metrics import Histogram
 from repro.server.api import ApiServer
 
 #: Low intensity keeps ingested objects' vectors far from every read
@@ -102,6 +103,7 @@ def run_loadgen(
     replicas: int = 1,
     shard_latency_ms: float = 0.0,
     shard_latency_ms_per_1k: float = 0.0,
+    cost_accounting: bool = False,
 ) -> Dict[str, Any]:
     """Build a system, fire the workload, and report the results.
 
@@ -121,6 +123,11 @@ def run_loadgen(
     service time under which sharding shows its read scaling (the
     per-shard sleeps overlap on the scatter pool).  Result ids never
     change — the sharding benchmark asserts that.
+
+    ``cost_accounting`` turns the cost plane on; the report then carries
+    the server's ``GET /stats`` snapshot under ``"stats"`` (the data
+    behind ``python -m repro stats``).  Profiles never change result
+    ids — the cost-plane benchmark asserts that too.
     """
     config = MQAConfig(
         dataset=DatasetSpec(domain=domain, size=size, seed=seed),
@@ -135,6 +142,7 @@ def run_loadgen(
         replicas=replicas,
         shard_latency_ms=shard_latency_ms,
         shard_latency_ms_per_1k=shard_latency_ms_per_1k,
+        cost_accounting=cost_accounting,
     )
     use_search = batch > 1
     server = ApiServer(config)
@@ -195,9 +203,17 @@ def run_loadgen(
         elapsed_s = time.perf_counter() - started
 
         latencies = [r["latency_ms"] for r in results]
-        sample = np.asarray(latencies) if latencies else np.asarray([0.0])
+        # Same percentile machinery the metrics plane uses; the reservoir
+        # is sized to the sample so the quantiles stay exact.
+        histogram = Histogram(
+            "loadgen.latency_ms", reservoir_size=max(len(latencies), 1)
+        )
+        for value in latencies:
+            histogram.observe(value)
+        summary = histogram.summary()
         read_ids = [r["ids"] for r in results if r["op"] == "query" and r["ok"]]
         ingested = [r["object_id"] for r in results if r["op"] == "ingest" and r["ok"]]
+        coordinator = server._coordinator
         return {
             "workers": workers,
             "operations": len(ops),
@@ -208,9 +224,10 @@ def run_loadgen(
             "elapsed_s": round(elapsed_s, 3),
             "throughput_qps": round(len(ops) / elapsed_s, 2) if elapsed_s else 0.0,
             "latency_ms": {
-                "p50": round(float(np.percentile(sample, 50)), 2),
-                "p95": round(float(np.percentile(sample, 95)), 2),
-                "max": round(float(sample.max()), 2),
+                "p50": round(summary["p50"], 2),
+                "p95": round(summary["p95"], 2),
+                "p99": round(summary["p99"], 2),
+                "max": round(summary["max"], 2),
             },
             "initial_corpus_size": initial_size,
             "read_ids": read_ids,
@@ -218,8 +235,13 @@ def run_loadgen(
             "engine": server.engine.snapshot(),
             "batching": server.batcher.snapshot(),
             "sharding": (
-                server._coordinator.execution.framework.snapshot()
+                coordinator.execution.framework.snapshot()
                 if config.sharding_enabled
+                else None
+            ),
+            "stats": (
+                coordinator.stats.snapshot()
+                if coordinator.stats is not None
                 else None
             ),
         }

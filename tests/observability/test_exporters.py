@@ -1,5 +1,7 @@
 """Golden tests for the Prometheus and collapsed-stack exporters."""
 
+import pytest
+
 from repro.observability import (
     MetricsRegistry,
     Span,
@@ -7,6 +9,7 @@ from repro.observability import (
     prometheus_name,
     render_prometheus,
 )
+from repro.observability.metrics import labelled
 
 
 class TestPrometheusName:
@@ -61,6 +64,45 @@ class TestRenderPrometheus:
 
     def test_empty_registry(self):
         assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestLabelledExposition:
+    def test_golden_labelled_families(self):
+        # The cost plane's labelled keys must render as one family per
+        # base name with sorted {k="v"} label sets on every sample.
+        registry = MetricsRegistry()
+        registry.inc(labelled("cost.queries", framework="must", index="hnsw"), 2)
+        registry.inc(labelled("cost.queries", framework="je", index="flat"))
+        registry.observe(
+            labelled("cost.latency_ms", framework="must", index="hnsw"), 12.5
+        )
+        expected = "\n".join(
+            [
+                "# HELP repro_cost_queries_total Monotonic counter 'cost.queries'.",
+                "# TYPE repro_cost_queries_total counter",
+                'repro_cost_queries_total{framework="je",index="flat"} 1',
+                'repro_cost_queries_total{framework="must",index="hnsw"} 2',
+                "# HELP repro_cost_latency_ms Streaming summary 'cost.latency_ms'.",
+                "# TYPE repro_cost_latency_ms summary",
+                'repro_cost_latency_ms{framework="must",index="hnsw",quantile="0.5"} 12.5',
+                'repro_cost_latency_ms{framework="must",index="hnsw",quantile="0.95"} 12.5',
+                'repro_cost_latency_ms{framework="must",index="hnsw",quantile="0.99"} 12.5',
+                'repro_cost_latency_ms_sum{framework="must",index="hnsw"} 12.5',
+                'repro_cost_latency_ms_count{framework="must",index="hnsw"} 1',
+            ]
+        ) + "\n"
+        assert render_prometheus(registry) == expected
+
+    def test_unlabelled_output_unchanged_by_labelled_neighbours(self):
+        registry = MetricsRegistry()
+        registry.inc("api.query", 3)
+        registry.inc(labelled("cost.queries", framework="must", index="flat"))
+        body = render_prometheus(registry)
+        assert "repro_api_query_total 3" in body.splitlines()
+
+    def test_label_values_with_separators_rejected(self):
+        with pytest.raises(ValueError):
+            labelled("cost.queries", framework="a,b")
 
 
 def _tree() -> Span:

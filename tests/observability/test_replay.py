@@ -167,3 +167,40 @@ class TestReplayReportRendering:
         rendered = report.render()
         assert "missing" in rendered and "query;rewrite" in rendered
         assert "extra" in rendered and "query;generation" in rendered
+
+
+class TestTopologyValidation:
+    def test_mismatched_topology_rejected_with_field_diff(self, recorded):
+        # Recording was made unsharded; a live sharded coordinator must be
+        # rejected up front with a field-by-field diff, not reported as
+        # span-tree drift entry by entry.
+        path, _ = recorded
+        config = MQAConfig(
+            dataset=DatasetSpec(domain="scenes", size=60, seed=11),
+            weight_learning={"steps": 8, "batch_size": 8, "n_negatives": 4},
+            shards=4,
+        )
+        live = Coordinator(config).setup()
+        with pytest.raises(ReplayError, match="topology mismatch") as excinfo:
+            replay_recording(path, coordinator=live)
+        message = str(excinfo.value)
+        assert "shards: recorded None != live 4" in message
+
+    def test_matching_topology_passes(self, recorded, tmp_path):
+        path, texts = recorded
+        config = recording_config(tmp_path)
+        coordinator = Coordinator(config).setup()
+        reports = replay_recording(path, coordinator=coordinator)
+        assert len(reports) == len(texts)
+        assert all(report.ids_match for report in reports)
+
+    def test_headerless_recording_skips_validation(self, tmp_path):
+        from repro.observability.replay import validate_topology
+
+        class _Live:
+            class config:
+                shards = 4
+
+        # No header at all, and a header without config: both pass.
+        validate_topology(None, _Live())
+        validate_topology({"config": {}}, _Live())

@@ -1,0 +1,147 @@
+"""Tests for the cost plane's serving surface: ``GET /stats``, payload
+cost profiles, serial-vs-batched parity, and ``python -m repro stats``."""
+
+import json
+
+import pytest
+
+from repro.cli import main, render_stats
+from repro.core import MQAConfig
+from repro.core.coordinator import Coordinator
+from repro.data import DatasetSpec, RawQuery
+from repro.server import ApiServer
+
+FAST_CONFIG_KWARGS = dict(
+    dataset=DatasetSpec(domain="scenes", size=100, seed=7),
+    weight_learning={"steps": 12, "batch_size": 8, "n_negatives": 4},
+    index_params={"m": 6, "ef_construction": 32},
+)
+
+
+@pytest.fixture(scope="module")
+def costed_server(scenes_kb):
+    server = ApiServer(
+        MQAConfig(cost_accounting=True, **FAST_CONFIG_KWARGS),
+        knowledge_base=scenes_kb,
+    )
+    assert server.handle("POST", "/apply")["ok"]
+    return server
+
+
+class TestStatsEndpoint:
+    def test_disabled_by_default(self, scenes_kb):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+        assert server.handle("POST", "/apply")["ok"]
+        assert server.handle("POST", "/query", {"text": "foggy"})["ok"]
+        response = server.handle("GET", "/stats")
+        assert response["ok"]
+        assert not response["enabled"]
+        assert response["stats"] is None
+
+    def test_snapshot_shape_when_enabled(self, costed_server):
+        assert costed_server.handle("POST", "/query", {"text": "foggy clouds"})["ok"]
+        response = costed_server.handle("GET", "/stats")
+        assert response["ok"] and response["enabled"]
+        stats = json.loads(json.dumps(response["stats"]))  # JSON-ready
+        assert stats["queries"] >= 1
+        whole = [g for g in stats["groups"] if g["shard"] == "-"]
+        assert whole
+        row = whole[0]
+        assert {"framework", "index", "latency_ms", "distance_evaluations",
+                "stages_ms", "cache"} <= set(row)
+        assert stats["exemplars"]
+        # Exemplar trace ids point back into the observed sequence.
+        assert all(
+            0 <= e["trace_id"] < stats["queries"] for e in stats["exemplars"]
+        )
+
+    def test_requires_apply(self):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS))
+        assert not server.handle("GET", "/stats")["ok"]
+
+
+class TestPayloadCost:
+    def test_query_answer_carries_cost(self, costed_server):
+        response = costed_server.handle("POST", "/query", {"text": "sunny shoreline"})
+        assert response["ok"]
+        cost = response["answer"]["cost"]
+        assert cost["framework"]
+        assert cost["distance_evaluations"] >= 0
+        assert "generate" in cost["stage_ms"]
+
+    def test_search_result_carries_cost(self, costed_server):
+        response = costed_server.handle("POST", "/search", {"text": "stormy pass"})
+        assert response["ok"]
+        cost = response["result"]["cost"]
+        assert cost["cache"] in ("off", "bypass", "miss", "hit")
+        assert cost["items"] == len(response["result"]["items"])
+
+    def test_cost_absent_when_disabled(self, scenes_kb):
+        server = ApiServer(MQAConfig(**FAST_CONFIG_KWARGS), knowledge_base=scenes_kb)
+        assert server.handle("POST", "/apply")["ok"]
+        response = server.handle("POST", "/query", {"text": "foggy"})
+        assert response["ok"]
+        assert "cost" not in response["answer"]
+
+
+class TestSerialBatchParity:
+    @pytest.mark.parametrize("shards", [None, 2])
+    def test_signatures_identical_across_paths(self, scenes_kb, shards):
+        texts = ["foggy clouds", "sunny shoreline", "stormy mountain pass"]
+        queries = [RawQuery.from_text(text) for text in texts]
+
+        config = MQAConfig(
+            cost_accounting=True, shards=shards, cache_queries=False,
+            **FAST_CONFIG_KWARGS,
+        )
+        serial_system = Coordinator(config, knowledge_base=scenes_kb).setup()
+        serial = [
+            serial_system.execution.execute(
+                query, k=config.result_count, budget=config.search_budget
+            ).cost.signature()
+            for query in queries
+        ]
+        batched_system = Coordinator(config, knowledge_base=scenes_kb).setup()
+        batched = [
+            response.cost.signature()
+            for response in batched_system.retrieve_batch(queries)
+        ]
+        assert serial == batched
+
+
+class TestCliStats:
+    def test_stats_subcommand_prints_cost_table(self, capsys, tmp_path):
+        json_path = tmp_path / "stats.json"
+        code = main(
+            [
+                "stats",
+                "--queries", "6",
+                "--size", "60",
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost plane:" in out
+        assert "framework" in out
+        snapshot = json.loads(json_path.read_text())
+        assert snapshot["queries"] >= 1
+
+    def test_render_stats_marks_missing_recall(self):
+        snapshot = {
+            "queries": 1,
+            "exemplars": [],
+            "groups": [
+                {
+                    "framework": "must",
+                    "index": "flat",
+                    "shard": "-",
+                    "queries": 1,
+                    "latency_ms": {"p50": 1.0, "p95": 1.0, "p99": 1.0},
+                    "distance_evaluations": {"mean": 4.0},
+                    "recall_at_k": None,
+                }
+            ],
+        }
+        rendered = render_stats(snapshot)
+        assert rendered.splitlines()[-1].rstrip().endswith("-")
