@@ -1,0 +1,233 @@
+"""PR 8 — tiered beyond-RAM serving: recall / latency / memory Pareto.
+
+Claims pinned here:
+
+* **Beyond-RAM regime.**  Every tiered configuration keeps the
+  full-precision matrix at least 4x larger than the resident budget
+  (quantized codes + per-dimension ranges) — the traversal tier really
+  is the only thing that has to fit in memory.
+* **Rerank restores quality.**  On a 1000-vector corpus the best
+  tiered configuration reaches recall@10 of at least 0.9x the
+  full-precision index's recall@10 at the same traversal budget, and
+  the sweep across SQ8/SQ4 x rerank factors draws the Pareto curve of
+  recall vs latency vs resident bytes.
+* **Disabled mode is free.**  With ``tiered`` off the only new work per
+  query is the dispatch check in ``StarlingIndex.search``; the
+  estimated overhead must stay under 1%.
+* **Tiered-off ids are bit-identical to the seed.**  A loadgen run with
+  every tiered knob set to non-default values but ``tiered=False``
+  returns exactly the same read result ids as a run that never mentions
+  tiering — the knobs are inert unless the tier is enabled.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR8.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distance import SingleVectorKernel
+from repro.evaluation import ExperimentTable, exact_knn
+from repro.index import StarlingIndex, StarlingParams, TieredParams
+from repro.index.vamana import VamanaParams
+from repro.server.loadgen import run_loadgen
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR8.json"
+
+N, DIMS = 1000, 32
+K = 10
+BUDGET = 64
+N_QUERIES = 30
+ROUNDS = 4
+INNER = VamanaParams(max_degree=10, candidate_pool=20, build_budget=40)
+SWEEP = [(8, 1), (8, 2), (8, 4), (4, 2), (4, 4), (4, 8)]
+#: Work a query crosses with tiering off: the ``tiered is None`` dispatch
+#: in ``search``/``search_batch`` plus the per-search charging-closure
+#: setup — rounded up for headroom.
+DISABLED_SITES_PER_QUERY = 4
+
+LOADGEN_KWARGS = dict(
+    workers=1,
+    queries=40,
+    write_every=10,
+    domain="scenes",
+    size=240,
+    seed=7,
+    llm_latency_ms=0.0,
+    k=5,
+    index="starling",
+)
+STARLING_PARAMS = {
+    "block_size": 8,
+    "cache_blocks": 4,
+    "inner": {"max_degree": 8, "candidate_pool": 16, "build_budget": 24},
+}
+
+
+def _world():
+    rng = np.random.default_rng(11)
+    vectors = rng.normal(size=(N + N_QUERIES, DIMS))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors[:N], vectors[N:]
+
+
+def _build(corpus, kernel, tiered=None):
+    index = StarlingIndex(
+        StarlingParams(block_size=8, cache_blocks=8, inner=INNER, tiered=tiered)
+    )
+    index.build(corpus, kernel)
+    return index
+
+
+def _recall_at_k(index, queries, truth) -> float:
+    hits = 0
+    for query, expected in zip(queries, truth):
+        ids = index.search(query, k=K, budget=BUDGET).ids
+        hits += len(set(ids) & set(expected))
+    return hits / (K * len(truth))
+
+
+def _mean_query_seconds(index, queries, rounds: int = ROUNDS) -> float:
+    def block() -> float:
+        start = time.perf_counter()
+        for query in queries:
+            index.search(query, k=K, budget=BUDGET)
+        return (time.perf_counter() - start) / len(queries)
+
+    block()  # warm-up
+    return min(block() for _ in range(rounds))
+
+
+def _disabled_site_seconds(index, calls: int = 200_000) -> float:
+    """Cost of one tiered-off dispatch site (attribute read + None check)."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        if index.tiered is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    return (time.perf_counter() - start) / calls
+
+
+def test_benchmark_pr8_tiered():
+    corpus, queries = _world()
+    kernel = SingleVectorKernel(DIMS)
+    truth = exact_knn(corpus, kernel, queries, k=K)
+
+    # -- full-precision baseline ----------------------------------------
+    plain = _build(corpus, kernel)
+    plain_recall = _recall_at_k(plain, queries, truth)
+    plain_ms = _mean_query_seconds(plain, queries) * 1000
+    full_bytes = corpus.nbytes
+
+    site_cost = _disabled_site_seconds(plain)
+    estimated_overhead_pct = (
+        DISABLED_SITES_PER_QUERY * site_cost / (plain_ms / 1000) * 100.0
+    )
+
+    # -- tiered Pareto sweep --------------------------------------------
+    pareto = []
+    for bits, factor in SWEEP:
+        index = _build(
+            corpus, kernel, tiered=TieredParams(bits=bits, rerank_factor=factor)
+        )
+        snapshot = index.tiered.snapshot()
+        pareto.append(
+            {
+                "bits": bits,
+                "rerank_factor": factor,
+                "recall_at_10": round(_recall_at_k(index, queries, truth), 4),
+                "mean_query_ms": round(
+                    _mean_query_seconds(index, queries) * 1000, 3
+                ),
+                "resident_bytes": snapshot["resident_bytes"],
+                "full_bytes": snapshot["full_bytes"],
+                "compression_ratio": round(snapshot["compression_ratio"], 2),
+            }
+        )
+        index.tiered.close()
+    best_recall = max(row["recall_at_10"] for row in pareto)
+
+    # -- tiered-off loadgen parity with the seed behaviour ---------------
+    runs = {
+        "seed": run_loadgen(index_params=STARLING_PARAMS, **LOADGEN_KWARGS),
+        "off": run_loadgen(
+            index_params=STARLING_PARAMS,
+            tiered=False,
+            quantize_bits=4,
+            rerank_factor=8,
+            mmap_cache_blocks=64,
+            **LOADGEN_KWARGS,
+        ),
+        "on": run_loadgen(
+            index_params=STARLING_PARAMS, tiered=True, **LOADGEN_KWARGS
+        ),
+    }
+    for name, run in runs.items():
+        assert run["errors"] == 0, (name, run["error_messages"])
+    assert runs["seed"]["read_ids"] == runs["off"]["read_ids"]
+    assert runs["seed"]["tiered"] is None and runs["off"]["tiered"] is None
+    ledger = runs["on"]["tiered"]["totals"]
+    assert ledger["stores"] >= 1 and ledger["reranked_rows"] > 0
+
+    table = ExperimentTable(
+        f"PR8: tiered serving (n={N} d={DIMS}, k={K}, budget={BUDGET})",
+        ["config", "recall@10", "ms/query", "resident B", "x smaller"],
+    )
+    table.add_row(
+        ["full precision", round(plain_recall, 4), round(plain_ms, 3), full_bytes, 1.0]
+    )
+    for row in pareto:
+        table.add_row(
+            [
+                f"sq{row['bits']} rerank x{row['rerank_factor']}",
+                row["recall_at_10"],
+                row["mean_query_ms"],
+                row["resident_bytes"],
+                row["compression_ratio"],
+            ]
+        )
+    table.add_row(["est. disabled overhead %", round(estimated_overhead_pct, 4), "", "", ""])
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "corpus": {"rows": N, "dims": DIMS, "full_bytes": full_bytes},
+                "full_precision": {
+                    "recall_at_10": round(plain_recall, 4),
+                    "mean_query_ms": round(plain_ms, 3),
+                },
+                "pareto": pareto,
+                "best_tiered_recall_at_10": best_recall,
+                "recall_floor": round(0.9 * plain_recall, 4),
+                "min_full_to_resident_ratio": min(
+                    row["full_bytes"] / row["resident_bytes"] for row in pareto
+                ),
+                "disabled_site_ns": round(site_cost * 1e9, 2),
+                "disabled_sites_per_query": DISABLED_SITES_PER_QUERY,
+                "estimated_disabled_overhead_pct": round(
+                    estimated_overhead_pct, 4
+                ),
+                "tiered_off_ids_identical": True,
+                "loadgen_tiered_totals": ledger,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Beyond-RAM regime: full precision >= 4x the resident budget.
+    for row in pareto:
+        assert row["full_bytes"] >= 4 * row["resident_bytes"], row
+    # Rerank restores quality.
+    assert best_recall >= 0.9 * plain_recall, (best_recall, plain_recall)
+    # Disabled mode is free.
+    assert estimated_overhead_pct < 1.0, (
+        f"tiered-off dispatch adds {estimated_overhead_pct:.3f}% per query"
+    )

@@ -115,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0, dest="fault_seed",
         help="seed for the deterministic fault injector",
     )
+    parser.add_argument(
+        "--tiered", action="store_true",
+        help="beyond-RAM serving for --index starling: quantized codes "
+        "resident for traversal, full precision memory-mapped for rerank",
+    )
+    parser.add_argument(
+        "--quantize-bits", type=int, default=8, dest="quantize_bits",
+        choices=(4, 8), help="resident-tier code width (with --tiered)",
+    )
+    parser.add_argument(
+        "--rerank-factor", type=int, default=4, dest="rerank_factor",
+        help="full-precision rerank over-fetch multiplier (with --tiered)",
+    )
+    parser.add_argument(
+        "--mmap-cache-blocks", type=int, default=32, dest="mmap_cache_blocks",
+        help="buffer-pool blocks in front of the mmap tier (with --tiered)",
+    )
     return parser
 
 
@@ -177,6 +194,10 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         deadline_ms=deadline_ms,
         fault_seed=getattr(args, "fault_seed", 0),
         faults=faults,
+        tiered=getattr(args, "tiered", False),
+        quantize_bits=getattr(args, "quantize_bits", 8),
+        rerank_factor=getattr(args, "rerank_factor", 4),
+        mmap_cache_blocks=getattr(args, "mmap_cache_blocks", 32),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -504,6 +525,25 @@ def run_loadgen_command(argv: List[str]) -> int:
         "(models remote shard servers; enables the parallel scatter)",
     )
     parser.add_argument(
+        "--index", default="hnsw", help="index type (tiered requires starling)"
+    )
+    parser.add_argument(
+        "--tiered", action="store_true",
+        help="tiered serving: quantized traversal + memory-mapped rerank",
+    )
+    parser.add_argument(
+        "--quantize-bits", type=int, choices=(4, 8), default=8,
+        dest="quantize_bits", help="resident code width for the tiered store",
+    )
+    parser.add_argument(
+        "--rerank-factor", type=int, default=4, dest="rerank_factor",
+        help="full-precision rerank depth as a multiple of k",
+    )
+    parser.add_argument(
+        "--mmap-cache-blocks", type=int, default=32, dest="mmap_cache_blocks",
+        help="LRU buffer pool over the memory-mapped full-precision tier",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the full report as JSON"
     )
     args = parser.parse_args(argv)
@@ -526,6 +566,11 @@ def run_loadgen_command(argv: List[str]) -> int:
         replicas=args.replicas,
         shard_latency_ms=args.shard_latency_ms,
         shard_latency_ms_per_1k=args.shard_latency_ms_per_1k,
+        index=args.index,
+        tiered=args.tiered,
+        quantize_bits=args.quantize_bits,
+        rerank_factor=args.rerank_factor,
+        mmap_cache_blocks=args.mmap_cache_blocks,
     )
     print(
         f"  {report['operations']} ops ({report['reads']} reads, "
@@ -558,6 +603,16 @@ def run_loadgen_command(argv: List[str]) -> int:
             f"  sharding: {sharding['shards']} shard(s) × "
             f"{sharding['replicas']} replica(s), live per shard {live}, "
             f"moves={sharding['moves']} degraded={sharding['degraded_searches']}"
+        )
+    tiered = report.get("tiered")
+    if tiered:
+        totals = tiered["totals"]
+        print(
+            f"  tiered: {totals['stores']} store(s), "
+            f"{totals['resident_bytes']} B resident / "
+            f"{totals['full_bytes']} B spilled, "
+            f"mmap hit rate {totals['mmap_hit_rate']}, "
+            f"reranked rows {totals['reranked_rows']}"
         )
     if args.json:
         from pathlib import Path

@@ -152,6 +152,19 @@ class MQAConfig:
         stats_exemplars: How many of the slowest queries the stats plane
             retains with full cost profiles (tail-latency exemplars);
             ``0`` keeps distributions only.
+        tiered: Beyond-RAM serving for the Starling index: SQ-quantized
+            codes stay resident for graph traversal while full-precision
+            vectors spill to a memory-mapped file touched only by the
+            exact rerank pass.  Off by default — results are then
+            bit-identical to the classic all-in-RAM path.  Requires
+            ``index="starling"``.
+        quantize_bits: Resident-tier code width (8 or 4); only meaningful
+            with ``tiered``.
+        rerank_factor: Rerank over-fetch — traversal returns
+            ``rerank_factor * k`` candidates for full-precision
+            re-scoring; only meaningful with ``tiered``.
+        mmap_cache_blocks: Buffer-pool blocks in front of the mmap tier
+            (0 disables caching); only meaningful with ``tiered``.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -206,6 +219,10 @@ class MQAConfig:
     faults: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     cost_accounting: bool = False
     stats_exemplars: int = 8
+    tiered: bool = False
+    quantize_bits: int = 8
+    rerank_factor: int = 4
+    mmap_cache_blocks: int = 32
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -384,6 +401,23 @@ class MQAConfig:
             raise ConfigurationError(
                 f"stats_exemplars must be >= 0, got {self.stats_exemplars}"
             )
+        if self.tiered and self.index != "starling":
+            raise ConfigurationError(
+                "tiered serving requires index 'starling', got "
+                f"{self.index!r}"
+            )
+        if self.quantize_bits not in (4, 8):
+            raise ConfigurationError(
+                f"quantize_bits must be 4 or 8, got {self.quantize_bits}"
+            )
+        if self.rerank_factor < 1:
+            raise ConfigurationError(
+                f"rerank_factor must be >= 1, got {self.rerank_factor}"
+            )
+        if self.mmap_cache_blocks < 0:
+            raise ConfigurationError(
+                f"mmap_cache_blocks must be >= 0, got {self.mmap_cache_blocks}"
+            )
 
     # ------------------------------------------------------------------
     # serialisation (the flight recorder embeds the config so a replay
@@ -421,13 +455,18 @@ class MQAConfig:
 
     def summary(self) -> Dict[str, str]:
         """Flat key -> value view for the status panel."""
+        index = self.index
+        if self.tiered:
+            index += (
+                f" (tiered sq{self.quantize_bits}, rerank x{self.rerank_factor})"
+            )
         return {
             "knowledge base": f"{self.dataset.domain} ({self.dataset.size} objects)"
             if self.external_knowledge
             else "disabled (LLM-only mode)",
             "encoder set": self.encoder_set,
             "weight mode": self.weight_mode.value,
-            "index": self.index,
+            "index": index,
             "framework": self.framework,
             "result count": str(self.result_count),
             "search budget": str(self.search_budget),

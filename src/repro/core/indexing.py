@@ -46,8 +46,22 @@ class IndexConstruction:
         event log and as labelled counters.
         """
 
+        index_params = dict(config.index_params)
+        if config.tiered:
+            # Each index_builder() call creates its own TieredStore (and
+            # thus its own spill file), so every shard replica owns an
+            # independent mmap segment.
+            index_params.setdefault(
+                "tiered",
+                {
+                    "bits": config.quantize_bits,
+                    "rerank_factor": config.rerank_factor,
+                    "mmap_cache_blocks": config.mmap_cache_blocks,
+                },
+            )
+
         def index_builder():
-            return build_index(config.index, config.index_params)
+            return build_index(config.index, index_params)
 
         if config.sharding_enabled:
             from repro.core.sharding import ShardRouter

@@ -29,6 +29,13 @@ from repro.index.quantization import QuantizationReport, ScalarQuantizer
 from repro.index.registry import available_indexes, build_index, register_index
 from repro.index.search import greedy_search
 from repro.index.starling import BlockDevice, StarlingIndex, StarlingParams
+from repro.index.tiered import (
+    QuantizedCodes,
+    TieredParams,
+    TieredStore,
+    iter_tiered_stores,
+    tiered_snapshot,
+)
 from repro.index.vamana import VamanaIndex, VamanaParams
 
 __all__ = [
@@ -48,11 +55,14 @@ __all__ = [
     "NsgParams",
     "PipelineGraphIndex",
     "QuantizationReport",
+    "QuantizedCodes",
     "ScalarQuantizer",
     "SearchResult",
     "SearchStats",
     "StarlingIndex",
     "StarlingParams",
+    "TieredParams",
+    "TieredStore",
     "VamanaIndex",
     "VamanaParams",
     "VectorIndex",
@@ -61,7 +71,9 @@ __all__ = [
     "build_index",
     "build_navigation_graph",
     "greedy_search",
+    "iter_tiered_stores",
     "load_index",
     "register_index",
     "save_index",
+    "tiered_snapshot",
 ]

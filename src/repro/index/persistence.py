@@ -7,7 +7,10 @@ stored; loading yields a :class:`FrozenGraphIndex` that searches (and even
 grows) exactly like the original.
 
 Any index exposing a graph can be saved: pipeline-built indexes (NSG,
-Vamana, nav-must) directly, HNSW through its base layer.
+Vamana, nav-must) directly, HNSW through its base layer, and Starling
+through its inner graph — including tiered Starling, whose full-precision
+vectors are read back out of the memory-mapped spill tier at save time (the
+frozen copy is always exact, never the quantized codes).
 """
 
 from __future__ import annotations

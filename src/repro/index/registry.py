@@ -17,6 +17,7 @@ from repro.index.ivf import IvfIndex, IvfParams
 from repro.index.must_graph import MustGraphIndex, MustGraphParams
 from repro.index.nsg import NsgIndex, NsgParams
 from repro.index.starling import StarlingIndex, StarlingParams
+from repro.index.tiered import TieredParams
 from repro.index.vamana import VamanaIndex, VamanaParams
 
 IndexFactory = Callable[[Mapping[str, Any]], VectorIndex]
@@ -59,5 +60,19 @@ register_index("ivf", lambda p: IvfIndex(_params_from(p, IvfParams)))
 register_index("nsg", lambda p: NsgIndex(_params_from(p, NsgParams)))
 register_index("vamana", lambda p: VamanaIndex(_params_from(p, VamanaParams)))
 register_index("diskann", lambda p: VamanaIndex(_params_from(p, VamanaParams)))
-register_index("starling", lambda p: StarlingIndex(_params_from(p, StarlingParams)))
+def _starling_params(mapping: Mapping[str, Any]) -> StarlingParams:
+    """Starling parameters with the ``inner`` / ``tiered`` sub-configs
+    inflated from plain mappings (how they arrive from
+    ``MQAConfig.index_params`` / JSON)."""
+    params = dict(mapping)
+    inner = params.get("inner")
+    if isinstance(inner, Mapping):
+        params["inner"] = _params_from(inner, VamanaParams)
+    tiered = params.get("tiered")
+    if isinstance(tiered, Mapping):
+        params["tiered"] = _params_from(tiered, TieredParams)
+    return _params_from(params, StarlingParams)
+
+
+register_index("starling", lambda p: StarlingIndex(_starling_params(p)))
 register_index("nav-must", lambda p: MustGraphIndex(_params_from(p, MustGraphParams)))

@@ -12,6 +12,7 @@ id-order layout — the paper's headline I/O-amplification effect.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -24,6 +25,7 @@ from repro.errors import ConfigurationError, SearchError
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.graph import NavigationGraph
 from repro.index.search import greedy_search, greedy_search_batch
+from repro.index.tiered import TieredParams, TieredStore
 from repro.index.vamana import VamanaIndex, VamanaParams
 from repro.observability import trace_span
 
@@ -42,6 +44,7 @@ class BlockDevice:
         self._assignment = list(assignment)
         self.cache_blocks = cache_blocks
         self._cache: "OrderedDict[int, None]" = OrderedDict()
+        self._lock = threading.Lock()
         self.block_reads = 0
         self.cache_hits = 0
 
@@ -54,18 +57,27 @@ class BlockDevice:
         """The block holding ``vertex``."""
         return self._assignment[vertex]
 
-    def access(self, vertex: int) -> None:
-        """Record an access to ``vertex``'s block (read or cache hit)."""
+    def access(self, vertex: int) -> bool:
+        """Record an access to ``vertex``'s block (read or cache hit).
+
+        Returns ``True`` for a block read, ``False`` for a cache hit, so a
+        caller can attribute exactly its own charges even while other
+        searches share the device — reading the global counters before and
+        after is wrong under concurrency.  The cache update itself runs
+        under a lock for the same reason.
+        """
         block = self._assignment[vertex]
-        if block in self._cache:
-            self.cache_hits += 1
-            self._cache.move_to_end(block)
-            return
-        self.block_reads += 1
-        if self.cache_blocks:
-            self._cache[block] = None
-            if len(self._cache) > self.cache_blocks:
-                self._cache.popitem(last=False)
+        with self._lock:
+            if block in self._cache:
+                self.cache_hits += 1
+                self._cache.move_to_end(block)
+                return False
+            self.block_reads += 1
+            if self.cache_blocks:
+                self._cache[block] = None
+                if len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
+            return True
 
     def extend(self, block: int) -> None:
         """Assign a newly inserted vertex to ``block``."""
@@ -75,9 +87,10 @@ class BlockDevice:
 
     def reset(self) -> None:
         """Clear counters and cache (between measured searches)."""
-        self._cache.clear()
-        self.block_reads = 0
-        self.cache_hits = 0
+        with self._lock:
+            self._cache.clear()
+            self.block_reads = 0
+            self.cache_hits = 0
 
 
 @dataclass(frozen=True)
@@ -90,12 +103,18 @@ class StarlingParams:
         shuffled: Use the neighbour-packing layout (False = naive id order,
             the ablation baseline).
         inner: Parameters for the underlying Vamana graph.
+        tiered: Beyond-RAM serving mode: quantized codes resident for
+            traversal, full precision memory-mapped and touched only by
+            the rerank pass.  ``None`` (the default) keeps the classic
+            all-in-RAM Starling behaviour, bit-identical to before the
+            tiered store existed.
     """
 
     block_size: int = 16
     cache_blocks: int = 8
     shuffled: bool = True
     inner: VamanaParams = VamanaParams()
+    tiered: Optional[TieredParams] = None
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -112,6 +131,7 @@ class StarlingIndex(VectorIndex):
         self.params = params
         self._inner = VamanaIndex(params.inner)
         self.device: Optional[BlockDevice] = None
+        self.tiered: Optional[TieredStore] = None
         self._insert_fill = 0
 
     @property
@@ -164,16 +184,29 @@ class StarlingIndex(VectorIndex):
     def build(self, vectors: np.ndarray, kernel: DistanceKernel) -> None:
         start = time.perf_counter()
         self._insert_fill = 0
+        self.tiered = None
         self._inner.build(vectors, kernel)
         self._vectors = self._inner.vectors
         self._kernel = kernel
         graph = self._inner.graph
         assert graph is not None
-        if self.params.shuffled:
-            assignment = self._shuffled_layout(graph)
+        if self.params.tiered is not None:
+            # Tiered mode: the spill file's row-major block layout becomes
+            # THE device — traversal runs over resident codes and costs no
+            # block I/O at all; only rerank reads charge it.
+            self.tiered = TieredStore(self.params.tiered)
+            self.tiered.build(self._inner.vectors)
+            self._inner._vectors = self.tiered.vectors
+            self._vectors = self.tiered.vectors
+            self.device = self.tiered.device
         else:
-            assignment = self._naive_layout(graph.n_vertices)
-        self.device = BlockDevice(assignment, cache_blocks=self.params.cache_blocks)
+            if self.params.shuffled:
+                assignment = self._shuffled_layout(graph)
+            else:
+                assignment = self._naive_layout(graph.n_vertices)
+            self.device = BlockDevice(
+                assignment, cache_blocks=self.params.cache_blocks
+            )
         self.build_seconds = time.perf_counter() - start
 
     def add(self, vector: np.ndarray) -> int:
@@ -181,6 +214,15 @@ class StarlingIndex(VectorIndex):
         self._require_built()
         assert self.device is not None
         vertex = self._inner.add(vector)
+        if self.tiered is not None:
+            row = self.tiered.add(vector)
+            assert row == vertex
+            # The spill file may have been remapped while growing, so both
+            # vector views must be re-pointed at the fresh mapping.
+            self._inner._vectors = self.tiered.vectors
+            self._vectors = self.tiered.vectors
+            self._insert_fill += 1
+            return vertex
         self._vectors = self._inner.vectors
         block = self.device.n_blocks
         if self._insert_fill % self.params.block_size != 0:
@@ -194,11 +236,25 @@ class StarlingIndex(VectorIndex):
     ) -> SearchResult:
         self._require_built()
         assert self.device is not None
-        reads_before = self.device.block_reads
-        hits_before = self.device.cache_hits
+        if self.tiered is not None:
+            return self._search_tiered(query, k, budget, admit)
+        device = self.device
+        reads = 0
+        hits = 0
+
+        # Charge through the access return value rather than reading the
+        # device counters before/after: the device is shared, so deltas
+        # would also swallow whatever concurrent searches charged.
+        def charge(vertex: int) -> None:
+            nonlocal reads, hits
+            if device.access(vertex):
+                reads += 1
+            else:
+                hits += 1
+
         with trace_span(
             "block-io",
-            blocks=self.device.n_blocks,
+            blocks=device.n_blocks,
             layout="shuffled" if self.params.shuffled else "naive",
         ) as span:
             result = greedy_search(
@@ -208,15 +264,45 @@ class StarlingIndex(VectorIndex):
                 query,
                 k=k,
                 budget=budget,
-                visit_hook=self.device.access,
+                visit_hook=charge,
                 admit=admit,
             )
-            result.stats.block_reads = self.device.block_reads - reads_before
-            result.stats.cache_hits = self.device.cache_hits - hits_before
+            result.stats.block_reads = reads
+            result.stats.cache_hits = hits
             span.set(
                 block_reads=result.stats.block_reads,
                 cache_hits=result.stats.cache_hits,
             )
+        return result
+
+    def _search_tiered(self, query, k: int, budget: int, admit) -> SearchResult:
+        """Traverse resident codes, then rerank top-k' at full precision."""
+        assert self.tiered is not None
+        fetch = max(k * self.tiered.params.rerank_factor, k)
+        with trace_span(
+            "block-io",
+            blocks=self.device.n_blocks,
+            layout="tiered",
+            bits=self.tiered.params.bits,
+            rerank=fetch,
+        ) as span:
+            result = greedy_search(
+                self.graph,
+                self.tiered.decoded,
+                self.kernel,
+                query,
+                k=fetch,
+                budget=budget,
+                admit=admit,
+            )
+            ids, distances, reads, hits = self.tiered.rerank(
+                query, self.kernel, result.ids, k
+            )
+            result.ids = ids
+            result.distances = distances
+            result.stats.block_reads = reads
+            result.stats.cache_hits = hits
+            span.set(block_reads=reads, cache_hits=hits)
         return result
 
     def search_batch(self, queries, k: int, budget: int = 64, admit=None):
@@ -235,14 +321,14 @@ class StarlingIndex(VectorIndex):
         n_queries = queries.shape[0]
         if n_queries == 0:
             return []
+        if self.tiered is not None:
+            return self._search_batch_tiered(queries, k, budget, admit)
         reads = [0] * n_queries
         hits = [0] * n_queries
         device = self.device
 
         def charge(beam: int, vertex: int) -> None:
-            reads_before = device.block_reads
-            device.access(vertex)
-            if device.block_reads > reads_before:
+            if device.access(vertex):
                 reads[beam] += 1
             else:
                 hits[beam] += 1
@@ -269,6 +355,47 @@ class StarlingIndex(VectorIndex):
             span.set(block_reads=sum(reads), cache_hits=sum(hits))
         return results
 
+    def _search_batch_tiered(self, queries, k: int, budget: int, admit):
+        """Lockstep traversal over codes, then per-query exact rerank.
+
+        Rerank reads charge the shared mmap device query by query, so the
+        device totals are exact for the batch and each query's counters
+        are exactly its own rerank charges.
+        """
+        assert self.tiered is not None
+        fetch = max(k * self.tiered.params.rerank_factor, k)
+        with trace_span(
+            "block-io",
+            blocks=self.device.n_blocks,
+            layout="tiered",
+            bits=self.tiered.params.bits,
+            rerank=fetch,
+            queries=queries.shape[0],
+        ) as span:
+            results = greedy_search_batch(
+                self.graph,
+                self.tiered.decoded,
+                self.kernel,
+                queries,
+                k=fetch,
+                budget=budget,
+                admit=admit,
+            )
+            total_reads = 0
+            total_hits = 0
+            for i, result in enumerate(results):
+                ids, distances, reads, hits = self.tiered.rerank(
+                    queries[i], self.kernel, result.ids, k
+                )
+                result.ids = ids
+                result.distances = distances
+                result.stats.block_reads = reads
+                result.stats.cache_hits = hits
+                total_reads += reads
+                total_hits += hits
+            span.set(block_reads=total_reads, cache_hits=total_hits)
+        return results
+
     def io_amplification(self, result: SearchResult) -> float:
         """Blocks read per distance evaluation for one search."""
         if not result.stats.distance_evaluations:
@@ -277,7 +404,14 @@ class StarlingIndex(VectorIndex):
 
     def describe(self) -> str:
         base = super().describe()
-        if self.device is not None:
+        if self.tiered is not None:
+            snap = self.tiered.snapshot()
+            base += (
+                f", tiered sq{snap['bits']} "
+                f"({snap['resident_bytes']} B resident / "
+                f"{snap['full_bytes']} B spilled, rerank x{snap['rerank_factor']})"
+            )
+        elif self.device is not None:
             layout = "shuffled" if self.params.shuffled else "naive"
             base += (
                 f", {self.device.n_blocks} blocks of {self.params.block_size} "

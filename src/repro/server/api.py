@@ -67,6 +67,7 @@ from repro.core.concurrency import (
 from repro.core.coordinator import Coordinator
 from repro.data import KnowledgeBase, Modality, RawQuery
 from repro.errors import DeadlineExceededError, MQAError
+from repro.index.tiered import tiered_snapshot
 from repro.observability import (
     STATE_OK,
     ProfileAggregator,
@@ -725,9 +726,18 @@ class ApiServer:
 
     def _get_stats(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()
+        tiered = tiered_snapshot(
+            coordinator.execution.framework
+            if coordinator.execution is not None
+            else None
+        )
         if coordinator.stats is None:
-            return {"enabled": False, "stats": None}
-        return {"enabled": True, "stats": coordinator.stats.snapshot()}
+            return {"enabled": False, "stats": None, "tiered": tiered}
+        return {
+            "enabled": True,
+            "stats": coordinator.stats.snapshot(),
+            "tiered": tiered,
+        }
 
     def _get_health(self, body: Dict[str, Any]) -> Dict[str, Any]:
         coordinator, _ = self._require_system()
@@ -758,6 +768,7 @@ class ApiServer:
             "batching": self.batcher.snapshot(),
             "resilience": coordinator.resilience.snapshot(),
             "sharding": sharding,
+            "tiered": tiered_snapshot(framework),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

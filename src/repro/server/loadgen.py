@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core import MQAConfig
 from repro.data import DatasetSpec
+from repro.index.tiered import tiered_snapshot
 from repro.observability.metrics import Histogram
 from repro.server.api import ApiServer
 
@@ -104,6 +105,12 @@ def run_loadgen(
     shard_latency_ms: float = 0.0,
     shard_latency_ms_per_1k: float = 0.0,
     cost_accounting: bool = False,
+    index: str = "hnsw",
+    index_params: "Dict[str, Any] | None" = None,
+    tiered: bool = False,
+    quantize_bits: int = 8,
+    rerank_factor: int = 4,
+    mmap_cache_blocks: int = 32,
 ) -> Dict[str, Any]:
     """Build a system, fire the workload, and report the results.
 
@@ -128,6 +135,11 @@ def run_loadgen(
     the server's ``GET /stats`` snapshot under ``"stats"`` (the data
     behind ``python -m repro stats``).  Profiles never change result
     ids — the cost-plane benchmark asserts that too.
+
+    ``index`` / ``index_params`` select the index algorithm; ``tiered``
+    (with ``quantize_bits`` / ``rerank_factor`` / ``mmap_cache_blocks``)
+    switches a Starling index to beyond-RAM serving, and the report then
+    carries the aggregated tiered-store ledger under ``"tiered"``.
     """
     config = MQAConfig(
         dataset=DatasetSpec(domain=domain, size=size, seed=seed),
@@ -143,6 +155,12 @@ def run_loadgen(
         shard_latency_ms=shard_latency_ms,
         shard_latency_ms_per_1k=shard_latency_ms_per_1k,
         cost_accounting=cost_accounting,
+        index=index,
+        index_params=dict(index_params or {}),
+        tiered=tiered,
+        quantize_bits=quantize_bits,
+        rerank_factor=rerank_factor,
+        mmap_cache_blocks=mmap_cache_blocks,
     )
     use_search = batch > 1
     server = ApiServer(config)
@@ -242,6 +260,11 @@ def run_loadgen(
             "stats": (
                 coordinator.stats.snapshot()
                 if coordinator.stats is not None
+                else None
+            ),
+            "tiered": tiered_snapshot(
+                coordinator.execution.framework
+                if coordinator.execution is not None
                 else None
             ),
         }

@@ -1,0 +1,89 @@
+"""Per-search I/O attribution on a shared BlockDevice.
+
+Coordinator workers run concurrent searches against ONE Starling index —
+one shared :class:`~repro.index.BlockDevice`.  The original implementation
+attributed ``block_reads``/``cache_hits`` by reading the device counters
+before and after each search, which silently charges everything a
+concurrent search did in that window to the wrong query.  The fix counts
+through the access return value instead; this test forces the exact
+overlap with the gate harness and would fail under delta attribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.index import StarlingIndex, StarlingParams
+from repro.index.vamana import VamanaParams
+
+from tests.concurrency.harness import StepScheduler, spawn
+
+FAST_INNER = VamanaParams(max_degree=8, candidate_pool=16, build_budget=24)
+
+
+@pytest.fixture()
+def index(unit_vectors):
+    # cache_blocks=0 makes every access a read, so each query's charge
+    # count is deterministic and independent of interleaving.
+    built = StarlingIndex(
+        StarlingParams(block_size=4, cache_blocks=0, inner=FAST_INNER)
+    )
+    built.build(unit_vectors[:120], SingleVectorKernel(32))
+    return built
+
+
+def test_concurrent_searches_charge_only_their_own_reads(index, unit_vectors):
+    query_a = unit_vectors[130]
+    query_b = unit_vectors[131]
+
+    # Solo baselines (reset between runs: counters must match exactly).
+    index.device.reset()
+    solo_a = index.search(query_a, k=5, budget=32).stats.block_reads
+    index.device.reset()
+    solo_b = index.search(query_b, k=5, budget=32).stats.block_reads
+    assert solo_a > 0 and solo_b > 0
+
+    index.device.reset()
+    with StepScheduler() as sched:
+        gate = sched.pause_before(index.device, "access", "mid-search-a")
+        first = spawn(lambda: index.search(query_a, k=5, budget=32), name="search-a")
+        gate.wait_arrived()  # search A is parked at its very first access
+        # Search B runs START TO FINISH inside search A's charging window.
+        result_b = index.search(query_b, k=5, budget=32)
+        gate.release()
+        result_a = first.join()
+
+    # Under delta attribution search A would also absorb all of B's reads.
+    assert result_a.stats.block_reads == solo_a
+    assert result_b.stats.block_reads == solo_b
+    assert result_a.stats.cache_hits == 0 and result_b.stats.cache_hits == 0
+    assert index.device.block_reads == solo_a + solo_b
+
+
+def test_concurrent_batch_and_serial_search_totals_exact(index, unit_vectors):
+    queries = np.stack([unit_vectors[140], unit_vectors[141]])
+    lone = unit_vectors[142]
+
+    index.device.reset()
+    solo_lone = index.search(lone, k=5, budget=32).stats.block_reads
+    index.device.reset()
+    solo_batch = [
+        r.stats.block_reads for r in index.search_batch(queries, k=5, budget=32)
+    ]
+
+    index.device.reset()
+    with StepScheduler() as sched:
+        gate = sched.pause_before(index.device, "access", "mid-batch")
+        batch = spawn(
+            lambda: index.search_batch(queries, k=5, budget=32), name="batch"
+        )
+        gate.wait_arrived()
+        lone_result = index.search(lone, k=5, budget=32)
+        gate.release()
+        batch_results = batch.join()
+
+    assert lone_result.stats.block_reads == solo_lone
+    assert [r.stats.block_reads for r in batch_results] == solo_batch
+    assert index.device.block_reads == solo_lone + sum(solo_batch)

@@ -1,0 +1,122 @@
+"""Unit tests for :class:`repro.index.BlockDevice`.
+
+The device is the repo's model of disk: every tier — classic Starling
+layouts and the PR 8 tiered store's mmap segment — charges reads through
+it, so its LRU policy, counter semantics, and block-assignment growth are
+pinned here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance import SingleVectorKernel
+from repro.errors import ConfigurationError
+from repro.index import BlockDevice, StarlingIndex, StarlingParams
+from repro.index.vamana import VamanaParams
+
+FAST_INNER = VamanaParams(max_degree=8, candidate_pool=16, build_budget=24)
+
+
+class TestAccessCounting:
+    def test_first_access_reads_then_hits(self):
+        device = BlockDevice([0, 0, 1], cache_blocks=2)
+        assert device.access(0) is True  # block 0: cold read
+        assert device.access(1) is False  # same block: hit
+        assert device.access(2) is True  # block 1: cold read
+        assert (device.block_reads, device.cache_hits) == (2, 1)
+
+    def test_lru_evicts_least_recently_used_block(self):
+        device = BlockDevice([0, 1, 2], cache_blocks=2)
+        device.access(0)  # cache: [0]
+        device.access(1)  # cache: [0, 1]
+        device.access(0)  # hit; cache order: [1, 0]
+        device.access(2)  # evicts 1 (LRU), not 0
+        assert device.access(0) is False  # still cached
+        assert device.access(1) is True  # was evicted
+        assert device.block_reads == 4
+
+    def test_repeated_access_refreshes_recency(self):
+        device = BlockDevice(list(range(3)), cache_blocks=2)
+        device.access(0)
+        device.access(1)
+        for _ in range(5):
+            assert device.access(1) is False  # hammer block 1
+        device.access(2)  # evicts 0: block 1 was kept recent
+        assert device.access(1) is False
+        assert device.access(0) is True
+
+    def test_zero_cache_counts_reads_never_hits(self):
+        device = BlockDevice([0, 0, 0], cache_blocks=0)
+        for vertex in (0, 1, 2, 0, 1, 2):
+            assert device.access(vertex) is True
+        assert device.block_reads == 6
+        assert device.cache_hits == 0
+
+    def test_reset_clears_counters_and_cache(self):
+        device = BlockDevice([0, 1], cache_blocks=4)
+        device.access(0)
+        device.access(0)
+        device.reset()
+        assert (device.block_reads, device.cache_hits) == (0, 0)
+        assert device.access(0) is True  # cache is cold again
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockDevice([0], cache_blocks=-1)
+        with pytest.raises(ConfigurationError):
+            BlockDevice([0]).extend(-1)
+
+
+class TestExtendAssignment:
+    def test_extend_appends_assignment(self):
+        device = BlockDevice([0, 0], cache_blocks=2)
+        device.extend(1)
+        assert device.n_blocks == 2
+        assert device.block_of(2) == 1
+
+
+@pytest.fixture(scope="module")
+def built_index(unit_vectors):
+    index = StarlingIndex(StarlingParams(block_size=4, inner=FAST_INNER))
+    index.build(unit_vectors[:50], SingleVectorKernel(32))
+    return index
+
+
+class TestInsertFillTracking:
+    def test_inserts_fill_fresh_blocks_in_order(self, built_index, unit_vectors):
+        """Regression for the `_insert_fill` bookkeeping in StarlingIndex.add.
+
+        Inserted vertices must pack `block_size` at a time into *fresh*
+        blocks (never into build-time blocks), and a rebuild must restart
+        the fill from an empty partial block.
+        """
+        index = StarlingIndex(StarlingParams(block_size=4, inner=FAST_INNER))
+        kernel = SingleVectorKernel(32)
+        index.build(unit_vectors[:50], kernel)
+        build_blocks = index.device.n_blocks
+        inserted_blocks = []
+        for row in range(10):
+            vertex = index.add(unit_vectors[50 + row])
+            inserted_blocks.append(index.device.block_of(vertex))
+        # 10 inserts with block_size=4 -> fills exactly ceil(10/4)=3 blocks.
+        expected = [build_blocks + fill // 4 for fill in range(10)]
+        assert inserted_blocks == expected
+        assert min(inserted_blocks) >= build_blocks
+
+        # Rebuild resets the fill: the very first insert afterwards starts
+        # a fresh block again rather than resuming the old partial fill.
+        index.build(unit_vectors[:50], kernel)
+        rebuild_blocks = index.device.n_blocks
+        vertex = index.add(unit_vectors[50])
+        assert index.device.block_of(vertex) == rebuild_blocks
+        second = index.add(unit_vectors[51])
+        assert index.device.block_of(second) == rebuild_blocks  # same fill
+
+    def test_inserted_vertices_are_searchable(self, unit_vectors):
+        index = StarlingIndex(StarlingParams(block_size=4, inner=FAST_INNER))
+        index.build(unit_vectors[:50], SingleVectorKernel(32))
+        vertex = index.add(unit_vectors[55])
+        result = index.search(unit_vectors[55], k=1, budget=32)
+        assert result.ids[0] == vertex

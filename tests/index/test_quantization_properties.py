@@ -1,0 +1,106 @@
+"""Property-based hardening of :class:`repro.index.ScalarQuantizer`.
+
+The tiered store (PR 8) makes the quantizer load-bearing for serving, so
+its contract is pinned property-style: reconstruction error is bounded by
+one quantization cell per dimension, encoding is idempotent on decoded
+output, SQ8 never reconstructs worse than SQ4, degenerate matrices
+round-trip exactly, and the byte accounting matches hand-computed sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import ScalarQuantizer
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=40),  # rows
+    st.integers(min_value=1, max_value=12),  # dims
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+bit_widths = st.sampled_from([4, 8])
+
+
+def _matrix(seed: int, shape) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-8, 8, size=shape)
+
+
+class TestReconstructionBounds:
+    @given(seed=seeds, shape=shapes, bits=bit_widths)
+    @settings(max_examples=60, deadline=None)
+    def test_per_dimension_error_bounded_by_cell(self, seed, shape, bits):
+        matrix = _matrix(seed, shape)
+        quantizer = ScalarQuantizer(bits).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        span = matrix.max(axis=0) - matrix.min(axis=0)
+        cell = span / quantizer.levels
+        assert (np.abs(decoded - matrix) <= cell + 1e-9).all()
+
+    @given(seed=seeds, shape=shapes, bits=bit_widths)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_idempotent_on_decoded_output(self, seed, shape, bits):
+        matrix = _matrix(seed, shape)
+        quantizer = ScalarQuantizer(bits).fit(matrix)
+        codes = quantizer.encode(matrix)
+        recoded = quantizer.encode(quantizer.decode(codes))
+        assert (recoded == codes).all()
+
+    @given(seed=seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_sq8_reconstructs_no_worse_than_sq4(self, seed, shape):
+        matrix = _matrix(seed, shape)
+        error8 = (
+            ScalarQuantizer(8).fit(matrix).report(matrix).mean_reconstruction_error
+        )
+        error4 = (
+            ScalarQuantizer(4).fit(matrix).report(matrix).mean_reconstruction_error
+        )
+        assert error8 <= error4
+
+
+class TestDegenerateMatrices:
+    @given(seed=seeds, bits=bit_widths, dims=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_dimensions_round_trip_exactly(self, seed, bits, dims):
+        rng = np.random.default_rng(seed)
+        constants = rng.uniform(-8, 8, size=dims)
+        matrix = np.tile(constants, (rng.integers(1, 30), 1))
+        quantizer = ScalarQuantizer(bits).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        assert (decoded == matrix).all()
+
+    @given(seed=seeds, bits=bit_widths, dims=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_single_row_round_trips_exactly(self, seed, bits, dims):
+        # One row makes every dimension constant: span collapses to the
+        # sentinel 1.0, every code is 0, and decode returns `low` verbatim.
+        row = np.random.default_rng(seed).uniform(-8, 8, size=(1, dims))
+        quantizer = ScalarQuantizer(bits).fit(row)
+        decoded = quantizer.decode(quantizer.encode(row))
+        assert (decoded == row).all()
+
+    @given(seed=seeds, shape=shapes, bits=bit_widths)
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_constant_and_varying_dimensions(self, seed, shape, bits):
+        matrix = _matrix(seed, shape)
+        matrix[:, 0] = 3.25  # force one constant dimension
+        quantizer = ScalarQuantizer(bits).fit(matrix)
+        decoded = quantizer.decode(quantizer.encode(matrix))
+        assert (decoded[:, 0] == 3.25).all()
+
+
+class TestByteAccounting:
+    @given(seed=seeds, shape=shapes, bits=bit_widths)
+    @settings(max_examples=60, deadline=None)
+    def test_report_matches_hand_computed_sizes(self, seed, shape, bits):
+        n, d = shape
+        matrix = _matrix(seed, shape)
+        report = ScalarQuantizer(bits).fit(matrix).report(matrix)
+        original = n * d * 8  # float64
+        quantized = (n * d * bits) // 8 + 2 * d * 8  # packed codes + ranges
+        assert report.original_bytes == original
+        assert report.quantized_bytes == quantized
+        assert report.compression_ratio == original / quantized
