@@ -1,0 +1,244 @@
+"""PR 9 — self-tuning planner, semantic cache, admission control: goodput.
+
+Claims pinned here:
+
+* **Higher goodput under overload.**  With oversubscribed clients and a
+  fixed per-request deadline, the adaptive stack (planner + semantic
+  cache + admission control) completes at least 1.3x as many
+  full-quality in-deadline reads as the same workload with the stack
+  off — same seed, same operation list, same deadline.
+* **Zero recall regression when idle.**  An uncontended planner-on run
+  returns exactly the planner-off run's read result ids: tier 0 is the
+  configured budget, so idle plans reproduce the seed bit-identically.
+* **Off by default is bit-identical.**  A run with every new knob set to
+  a non-default value but the three feature flags left off returns
+  exactly the same read ids as a run that never mentions planning.
+* **Disabled mode is free.**  With the stack off the per-query cost is a
+  handful of ``is None`` / attribute dispatch checks; the estimated
+  overhead must stay under 1%.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR9.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.evaluation import ExperimentTable
+from repro.server.loadgen import run_loadgen
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR9.json"
+
+#: Work a query crosses with the stack disabled: the planner/admission
+#: ``is None`` checks in the coordinator and API layer, the ``fanout``
+#: pass-through, the ``cache.semantic`` flag read, and the post-round
+#: plan-feedback checks — rounded up for headroom.
+DISABLED_SITES_PER_QUERY = 8
+
+BASE_KWARGS = dict(
+    queries=120,
+    domain="scenes",
+    size=240,
+    seed=7,
+    k=5,
+)
+
+#: The overload scenario: 2 engine workers serving 6 client threads with
+#: a simulated remote-shard service time (~60 ms) dominating each read.
+#: The closed-loop queueing plateau sits well past the deadline, so an
+#: unmanaged run completes almost everything *late*.  The adaptive stack
+#: recovers goodput three ways: admission sheds arrivals predicted to
+#: miss the deadline anyway (so accepted requests still fit a
+#: full-quality plan), the near-duplicate rewrites let the semantic
+#: cache serve repeat questions without touching retrieval — shard
+#: sleeps included — and the planner keeps each accepted query's budget
+#: inside its remaining deadline.
+OVERLOAD_KWARGS = dict(
+    workers=2,
+    client_workers=6,
+    write_every=30,
+    llm_latency_ms=0.0,
+    shards=1,
+    shard_latency_ms=60.0,
+    deadline_ms=150.0,
+    cache=True,
+    near_duplicate_every=2,
+    shed_retry_ms=10.0,
+    **BASE_KWARGS,
+)
+
+#: The idle scenario: serial clients, no deadline, no simulated service
+#: time — pure retrieval determinism.
+IDLE_KWARGS = dict(
+    workers=1,
+    write_every=10,
+    llm_latency_ms=0.0,
+    **BASE_KWARGS,
+)
+
+
+class _Gate:
+    """Stand-in carrying the disabled stack's dispatch attributes."""
+
+    planner = None
+    admission = None
+    semantic = False
+
+
+def _disabled_site_seconds(calls: int = 200_000) -> float:
+    """Cost of one disabled dispatch site (attribute read + None check)."""
+    gate = _Gate()
+    start = time.perf_counter()
+    for _ in range(calls):
+        if gate.planner is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    return (time.perf_counter() - start) / calls
+
+
+def test_benchmark_pr9_planner():
+    # -- goodput under overload: stack off vs stack on -------------------
+    baseline = run_loadgen(**OVERLOAD_KWARGS)
+    adaptive = run_loadgen(
+        planner=True,
+        semantic_cache=True,
+        admission=True,
+        **OVERLOAD_KWARGS,
+    )
+    base_good = baseline["goodput"]
+    adaptive_good = adaptive["goodput"]
+    goodput_ratio = (
+        adaptive_good["good"] / base_good["good"]
+        if base_good["good"]
+        else float("inf")
+    )
+
+    # -- idle parity: planner-on ids == planner-off ids -------------------
+    idle_off = run_loadgen(**IDLE_KWARGS)
+    idle_on = run_loadgen(
+        planner=True, semantic_cache=True, admission=True, **IDLE_KWARGS
+    )
+    for name, run in (("idle_off", idle_off), ("idle_on", idle_on)):
+        assert run["errors"] == 0, (name, run["error_messages"])
+    idle_parity = idle_off["read_ids"] == idle_on["read_ids"]
+
+    # -- off-by-default bit-identity: inert knobs -------------------------
+    seed_run = run_loadgen(**IDLE_KWARGS)
+    inert = run_loadgen(
+        recall_floor=0.5, semantic_threshold=0.7, **IDLE_KWARGS
+    )
+    knobs_inert = seed_run["read_ids"] == inert["read_ids"]
+
+    # -- disabled overhead -------------------------------------------------
+    site_cost = _disabled_site_seconds()
+    idle_read_ms = idle_off["latency_ms"]["p50"]
+    estimated_overhead_pct = (
+        DISABLED_SITES_PER_QUERY * site_cost / (idle_read_ms / 1000.0) * 100.0
+    )
+
+    cache_snap = adaptive["cache"] or {}
+    table = ExperimentTable(
+        "PR9: adaptive serving "
+        f"(deadline {OVERLOAD_KWARGS['deadline_ms']:.0f} ms, "
+        f"{OVERLOAD_KWARGS['client_workers']} clients / "
+        f"{OVERLOAD_KWARGS['workers']} workers)",
+        ["run", "good", "ratio", "good/s", "p95 ms", "degraded", "shed"],
+    )
+    for name, run in (("stack off", baseline), ("stack on", adaptive)):
+        goodput = run["goodput"]
+        table.add_row(
+            [
+                name,
+                goodput["good"],
+                goodput["ratio"],
+                goodput["qps"],
+                run["latency_ms"]["p95"],
+                goodput["degraded"],
+                goodput["shed"],
+            ]
+        )
+    table.add_row(
+        ["goodput ratio", round(goodput_ratio, 2), "", "", "", "", ""]
+    )
+    table.add_row(
+        [
+            "semantic hits",
+            cache_snap.get("semantic_hits", 0),
+            "",
+            "",
+            "",
+            "",
+            "",
+        ]
+    )
+    table.add_row(
+        [
+            "est. disabled overhead %",
+            round(estimated_overhead_pct, 4),
+            "",
+            "",
+            "",
+            "",
+            "",
+        ]
+    )
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scenario": {
+                    "deadline_ms": OVERLOAD_KWARGS["deadline_ms"],
+                    "workers": OVERLOAD_KWARGS["workers"],
+                    "client_workers": OVERLOAD_KWARGS["client_workers"],
+                    "llm_latency_ms": OVERLOAD_KWARGS["llm_latency_ms"],
+                    "queries": OVERLOAD_KWARGS["queries"],
+                    "near_duplicate_every": OVERLOAD_KWARGS[
+                        "near_duplicate_every"
+                    ],
+                    "seed": OVERLOAD_KWARGS["seed"],
+                },
+                "baseline": {
+                    "goodput": base_good,
+                    "latency_ms": baseline["latency_ms"],
+                    "throughput_qps": baseline["throughput_qps"],
+                },
+                "adaptive": {
+                    "goodput": adaptive_good,
+                    "latency_ms": adaptive["latency_ms"],
+                    "throughput_qps": adaptive["throughput_qps"],
+                    "cache": cache_snap,
+                    "planner": adaptive["planner"],
+                    "admission": adaptive["admission"],
+                },
+                "goodput_ratio": round(goodput_ratio, 4),
+                "idle_ids_identical": idle_parity,
+                "disabled_knobs_inert": knobs_inert,
+                "disabled_site_ns": round(site_cost * 1e9, 2),
+                "disabled_sites_per_query": DISABLED_SITES_PER_QUERY,
+                "estimated_disabled_overhead_pct": round(
+                    estimated_overhead_pct, 4
+                ),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Higher goodput under overload.
+    assert goodput_ratio >= 1.3, (
+        f"adaptive goodput only {goodput_ratio:.2f}x the baseline "
+        f"({adaptive_good['good']} vs {base_good['good']} good reads)"
+    )
+    # Zero recall regression when idle: identical result ids.
+    assert idle_parity, "idle planner-on ids diverged from planner-off"
+    # Off by default is bit-identical even with knobs at non-defaults.
+    assert knobs_inert, "disabled-stack knobs changed result ids"
+    # Disabled mode is free.
+    assert estimated_overhead_pct < 1.0, (
+        f"disabled stack adds {estimated_overhead_pct:.3f}% per query"
+    )

@@ -132,6 +132,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--mmap-cache-blocks", type=int, default=32, dest="mmap_cache_blocks",
         help="buffer-pool blocks in front of the mmap tier (with --tiered)",
     )
+    parser.add_argument(
+        "--planner", action="store_true",
+        help="self-tuning query planner: pick per-query search budget "
+        "and shard fan-out from live latency/recall distributions",
+    )
+    parser.add_argument(
+        "--recall-floor", type=float, default=0.8, dest="recall_floor",
+        help="minimum acceptable recall@k for planner and semantic-cache "
+        "decisions",
+    )
+    parser.add_argument(
+        "--semantic-cache", action="store_true", dest="semantic_cache",
+        help="serve near-duplicate queries from the semantic cache "
+        "(cosine matching over query embeddings)",
+    )
+    parser.add_argument(
+        "--semantic-threshold", type=float, default=0.9,
+        dest="semantic_threshold",
+        help="cosine similarity at or above which a cached near-duplicate "
+        "qualifies (0 = exact-match only)",
+    )
+    parser.add_argument(
+        "--admission", action="store_true",
+        help="admission control: shed or degrade requests before the "
+        "engine saturates",
+    )
     return parser
 
 
@@ -198,6 +224,11 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         quantize_bits=getattr(args, "quantize_bits", 8),
         rerank_factor=getattr(args, "rerank_factor", 4),
         mmap_cache_blocks=getattr(args, "mmap_cache_blocks", 32),
+        planner=getattr(args, "planner", False),
+        recall_floor=getattr(args, "recall_floor", 0.8),
+        semantic_cache=getattr(args, "semantic_cache", False),
+        semantic_threshold=getattr(args, "semantic_threshold", 0.9),
+        admission=getattr(args, "admission", False),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -544,6 +575,52 @@ def run_loadgen_command(argv: List[str]) -> int:
         help="LRU buffer pool over the memory-mapped full-precision tier",
     )
     parser.add_argument(
+        "--planner", action="store_true",
+        help="self-tuning per-query planning from live distributions",
+    )
+    parser.add_argument(
+        "--recall-floor", type=float, default=0.8, dest="recall_floor",
+        help="planner/semantic-cache minimum acceptable recall@k",
+    )
+    parser.add_argument(
+        "--semantic-cache", action="store_true", dest="semantic_cache",
+        help="near-duplicate query serving over the exact-match cache",
+    )
+    parser.add_argument(
+        "--semantic-threshold", type=float, default=0.9,
+        dest="semantic_threshold",
+        help="cosine threshold for semantic cache hits (0 = exact only)",
+    )
+    parser.add_argument(
+        "--admission", action="store_true",
+        help="shed/degrade load before the engine saturates",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help="per-request latency budget (enables the resilience layer; "
+        "goodput counts reads finishing inside it)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="enable the exact-match query cache (historically off here)",
+    )
+    parser.add_argument(
+        "--client-workers", type=int, default=None, dest="client_workers",
+        help="client thread count (defaults to --workers; oversubscribe "
+        "to create queueing pressure)",
+    )
+    parser.add_argument(
+        "--near-duplicate-every", type=int, default=0,
+        dest="near_duplicate_every",
+        help="rewrite every Nth read as a word-order permutation of the "
+        "previous one (semantic-cache workload; 0 = off)",
+    )
+    parser.add_argument(
+        "--shed-retry-ms", type=float, default=0.0, dest="shed_retry_ms",
+        help="client backoff before retrying a shed request (0 = treat "
+        "shed as final)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the full report as JSON"
     )
     args = parser.parse_args(argv)
@@ -571,6 +648,16 @@ def run_loadgen_command(argv: List[str]) -> int:
         quantize_bits=args.quantize_bits,
         rerank_factor=args.rerank_factor,
         mmap_cache_blocks=args.mmap_cache_blocks,
+        planner=args.planner,
+        recall_floor=args.recall_floor,
+        semantic_cache=args.semantic_cache,
+        semantic_threshold=args.semantic_threshold,
+        admission=args.admission,
+        deadline_ms=args.deadline_ms,
+        cache=args.cache,
+        client_workers=args.client_workers,
+        near_duplicate_every=args.near_duplicate_every,
+        shed_retry_ms=args.shed_retry_ms,
     )
     print(
         f"  {report['operations']} ops ({report['reads']} reads, "
@@ -583,6 +670,29 @@ def run_loadgen_command(argv: List[str]) -> int:
         f"p99 {latency['p99']} ms, max {latency['max']} ms"
     )
     print(f"  errors: {report['errors']}")
+    goodput = report.get("goodput")
+    if goodput is not None:
+        print(
+            f"  goodput: {goodput['good']} good "
+            f"(ratio {goodput['ratio']}, {goodput['qps']} good ops/s); "
+            f"degraded={goodput['degraded']} shed={goodput['shed']} "
+            f"deadline_exceeded={goodput['deadline_exceeded']} "
+            f"saturated={goodput['saturated']}"
+        )
+    cache_snap = report.get("cache")
+    if cache_snap is not None:
+        line = (
+            f"  cache: {cache_snap['hits']} hits / "
+            f"{cache_snap['misses']} misses "
+            f"(rate {cache_snap['hit_rate']:.1%})"
+        )
+        if cache_snap.get("semantic"):
+            line += (
+                f", semantic {cache_snap['semantic_hits']} hits / "
+                f"{cache_snap['semantic_rejects']} rejected "
+                f"(rate {cache_snap['semantic_hit_rate']:.1%})"
+            )
+        print(line)
     engine = report["engine"]
     print(
         f"  engine: workers={engine['workers']} completed={engine['completed']} "

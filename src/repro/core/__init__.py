@@ -11,7 +11,14 @@ from repro.core.answer import Answer
 from repro.core.config import MQAConfig, WeightMode
 from repro.core.coordinator import Coordinator
 from repro.core.events import Event, EventLog
+from repro.core.cache import QueryCache, SemanticQueryCache
 from repro.core.panels import ConfigurationPanel, QAPanel, StatusPanel
+from repro.core.planning import (
+    AdmissionController,
+    AdmissionShedError,
+    QueryPlan,
+    QueryPlanner,
+)
 from repro.core.resilience import (
     CircuitBreaker,
     Deadline,
@@ -25,6 +32,8 @@ from repro.core.status import Milestone, MilestoneState, StatusBoard
 from repro.core.system import MQASystem
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionShedError",
     "Answer",
     "CircuitBreaker",
     "ConfigurationPanel",
@@ -40,9 +49,13 @@ __all__ = [
     "Milestone",
     "MilestoneState",
     "QAPanel",
+    "QueryCache",
+    "QueryPlan",
+    "QueryPlanner",
     "ResilienceManager",
     "RetryPolicy",
     "Round",
+    "SemanticQueryCache",
     "StatusBoard",
     "StatusPanel",
     "WeightMode",

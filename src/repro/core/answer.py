@@ -46,6 +46,8 @@ class Answer:
             :class:`~repro.observability.costs.QueryCostProfile` when
             cost accounting is enabled, else None (includes the
             ``generate`` stage on top of the retrieval profile).
+        plan: The :class:`~repro.core.planning.QueryPlan` the planner
+            chose for this round, else None when planning is off.
     """
 
     text: str
@@ -58,6 +60,7 @@ class Answer:
     degraded: bool = False
     degraded_reasons: List[str] = field(default_factory=list)
     cost: "object | None" = None
+    plan: "object | None" = None
 
     @property
     def ids(self) -> List[int]:

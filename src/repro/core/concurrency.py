@@ -373,6 +373,10 @@ class QueryEngine:
         self._writes = 0
         self._waits_ms: List[float] = []
         self._closed = False
+        #: Optional ``wait_ms -> None`` callback invoked as each task
+        #: starts (outside the stats lock) — the admission controller's
+        #: queue-delay EWMA feed.
+        self.wait_observer: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # session locks
@@ -474,6 +478,9 @@ class QueryEngine:
                 self._reads += 1
             else:
                 self._writes += 1
+        observer = self.wait_observer
+        if observer is not None:
+            observer(wait_ms)
         session_lock = (
             self.session_lock(session_key) if session_key is not None else None
         )
@@ -508,6 +515,17 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # introspection / lifecycle
     # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Live count of submitted-but-not-yet-running requests.
+
+        Cheap enough to poll per admission decision — admission control
+        uses it as a Little's-law wait estimate that, unlike the
+        queue-wait EWMA, cannot go stale while arrivals are being shed.
+        """
+        with self._stats_lock:
+            return self._queued
+
     def snapshot(self) -> Dict[str, Any]:
         """Pool depth and queue statistics for ``GET /health``."""
         with self._stats_lock:

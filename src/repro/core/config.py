@@ -165,6 +165,28 @@ class MQAConfig:
             re-scoring; only meaningful with ``tiered``.
         mmap_cache_blocks: Buffer-pool blocks in front of the mmap tier
             (0 disables caching); only meaningful with ``tiered``.
+        planner: Self-tuning query planner: pick the per-query search
+            budget (and shard fan-out under deadline pressure) from the
+            live latency/recall distributions so the cheapest plan whose
+            predicted p95 fits the remaining deadline — and whose
+            observed recall stays at or above ``recall_floor`` — runs.
+            Off by default: queries then use ``search_budget`` verbatim
+            and results are bit-identical to the unplanned path.
+        recall_floor: Minimum acceptable recall@k for planner decisions
+            and semantic-cache serving; plans predicted to land below
+            the floor are never chosen voluntarily.
+        semantic_cache: Replace the exact-match query cache with the
+            near-duplicate :class:`~repro.core.cache.SemanticQueryCache`
+            (cosine matching over per-modality query embeddings, same
+            generation-counter invalidation on ingest).  Off by default.
+        semantic_threshold: Cosine similarity at or above which a cached
+            near-duplicate may be served; ``0`` degenerates to
+            exact-match behaviour bit-identically.
+        admission: Admission control at the query-engine boundary: a
+            predicted-cost token bucket plus a queue-delay EWMA shed or
+            degrade requests *before* the engine saturates, instead of
+            failing at the ``EngineSaturatedError`` cliff.  Off by
+            default.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -223,6 +245,11 @@ class MQAConfig:
     quantize_bits: int = 8
     rerank_factor: int = 4
     mmap_cache_blocks: int = 32
+    planner: bool = False
+    recall_floor: float = 0.8
+    semantic_cache: bool = False
+    semantic_threshold: float = 0.9
+    admission: bool = False
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -418,6 +445,15 @@ class MQAConfig:
             raise ConfigurationError(
                 f"mmap_cache_blocks must be >= 0, got {self.mmap_cache_blocks}"
             )
+        if not 0.0 <= self.recall_floor <= 1.0:
+            raise ConfigurationError(
+                f"recall_floor must be in [0, 1], got {self.recall_floor}"
+            )
+        if not 0.0 <= self.semantic_threshold <= 1.0:
+            raise ConfigurationError(
+                "semantic_threshold must be in [0, 1], got "
+                f"{self.semantic_threshold}"
+            )
 
     # ------------------------------------------------------------------
     # serialisation (the flight recorder embeds the config so a replay
@@ -460,7 +496,7 @@ class MQAConfig:
             index += (
                 f" (tiered sq{self.quantize_bits}, rerank x{self.rerank_factor})"
             )
-        return {
+        body = {
             "knowledge base": f"{self.dataset.domain} ({self.dataset.size} objects)"
             if self.external_knowledge
             else "disabled (LLM-only mode)",
@@ -473,3 +509,13 @@ class MQAConfig:
             "llm": self.llm or "none",
             "temperature": f"{self.temperature:.2f}",
         }
+        adaptive = []
+        if self.planner:
+            adaptive.append(f"planner (floor {self.recall_floor:.2f})")
+        if self.semantic_cache:
+            adaptive.append(f"semantic cache @ {self.semantic_threshold:.2f}")
+        if self.admission:
+            adaptive.append("admission control")
+        if adaptive:
+            body["planning"] = ", ".join(adaptive)
+        return body

@@ -13,14 +13,17 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.answer import Answer
-from repro.core.cache import QueryCache
+from repro.core.cache import QueryCache, SemanticQueryCache
 from repro.core.concurrency import RWLock
 from repro.core.config import MQAConfig
 from repro.core.events import EventLog
 from repro.core.execution import QueryExecution
 from repro.core.generation import AnswerGeneration
 from repro.core.indexing import IndexConstruction
+from repro.core.planning import AdmissionController, QueryPlanner
 from repro.core.preprocessing import DataPreprocessing
 from repro.core.representation import RepresentationOutcome, VectorRepresentation
 from repro.core.resilience import Deadline, ResilienceManager
@@ -107,6 +110,27 @@ class Coordinator:
             else None
         )
         self.resilience = ResilienceManager.from_config(config, metrics=self.metrics)
+        # The planner consumes the stats plane's live distributions (when
+        # cost accounting is on) and its own per-tier observations; both
+        # it and the admission controller are None when disabled, so the
+        # query path stays byte-identical.
+        self.planner: Optional[QueryPlanner] = (
+            QueryPlanner(
+                base_budget=config.search_budget,
+                k=config.result_count,
+                recall_floor=config.recall_floor,
+                shards=config.shards or 0,
+                stats=self.stats,
+                metrics=self.metrics,
+            )
+            if config.planner
+            else None
+        )
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController.from_config(config, metrics=self.metrics)
+            if config.admission
+            else None
+        )
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
         self.execution: Optional[QueryExecution] = None
@@ -237,7 +261,7 @@ class Coordinator:
                 events=self.events,
                 metrics=self.metrics,
             )
-        cache = QueryCache() if self.config.cache_queries else None
+        cache = self._build_cache()
         self.execution = QueryExecution(
             framework,
             cache=cache,
@@ -254,6 +278,43 @@ class Coordinator:
             "representation", "indexing", "vectors", framework.describe()
         )
         return None
+
+    def _build_cache(self) -> Optional[QueryCache]:
+        """The query cache for this deployment.
+
+        ``semantic_cache`` upgrades the exact-match LRU to the
+        near-duplicate :class:`~repro.core.cache.SemanticQueryCache`; the
+        embedding is the concatenation of the query's per-modality
+        encoder vectors (each unit-normalised, jointly re-scaled so the
+        cosine of two embeddings is the mean per-modality cosine), and
+        the planner — when one exists — supplies the recall guard.
+        """
+        if self.config.semantic_cache:
+            assert self.representation is not None
+            encoder_set = self.representation.encoder_set
+
+            def embed(query: RawQuery):
+                vectors = encoder_set.encode_query(query)
+                signature: List[str] = []
+                parts: List[np.ndarray] = []
+                for modality in sorted(vectors, key=lambda m: m.value):
+                    vector = np.asarray(vectors[modality], dtype=np.float64)
+                    norm = float(np.linalg.norm(vector))
+                    parts.append(vector / norm if norm > 0.0 else vector)
+                    signature.append(modality.value)
+                joined = np.concatenate(parts) / float(np.sqrt(len(parts)))
+                return tuple(signature), joined
+
+            return SemanticQueryCache(
+                embed,
+                threshold=self.config.semantic_threshold,
+                recall_guard=(
+                    self.planner.semantic_guard
+                    if self.planner is not None
+                    else None
+                ),
+            )
+        return QueryCache() if self.config.cache_queries else None
 
     def _run_llm_setup(self, context: dict) -> None:
         llm = build_llm(self.config.llm, self.config.llm_params) if self.config.llm else None
@@ -340,6 +401,16 @@ class Coordinator:
                     answer.cost.framework,
                     answer.cost.index,
                     float(score["recall_at_k"]),
+                )
+            if (
+                score is not None
+                and self.planner is not None
+                and answer.plan is not None
+            ):
+                # Close the loop: sampled recall@k scores tune the
+                # planner's per-tier recall model.
+                self.planner.observe_recall(
+                    answer.plan.budget, float(score["recall_at_k"])
                 )
         return answer
 
@@ -515,11 +586,28 @@ class Coordinator:
             )
 
         response = None
+        plan = None
         if self.execution is not None and self.kb is not None and query is not None:
             filter_fn = None
             if where is not None:
                 kb = self.kb
                 filter_fn = lambda object_id: where(kb.get(object_id))  # noqa: E731
+            budget = self.config.search_budget
+            fanout = None
+            if self.planner is not None:
+                pressure = (
+                    self.admission is not None and self.admission.under_pressure
+                )
+                with trace_span("plan") as span:
+                    plan = self.planner.plan(deadline=deadline, pressure=pressure)
+                    span.set(**plan.to_dict())
+                budget = plan.budget
+                fanout = plan.fanout
+                if plan.degraded:
+                    degraded_reasons.append(
+                        f"plan degraded to budget {plan.budget} "
+                        f"(deadline pressure)"
+                    )
             self.status.start("query execution")
             self.events.record("coordinator", "execution", "query", f"k={k}")
             with Timer() as timer:
@@ -527,10 +615,11 @@ class Coordinator:
                     response = self.execution.execute(
                         query,
                         k=k,
-                        budget=self.config.search_budget,
+                        budget=budget,
                         weights=weights,
                         exclude_ids=exclude_ids,
                         filter_fn=filter_fn,
+                        fanout=fanout,
                     )
                 else:
                     try:
@@ -539,10 +628,11 @@ class Coordinator:
                             lambda: self.execution.execute(
                                 query,
                                 k=k,
-                                budget=self.config.search_budget,
+                                budget=budget,
                                 weights=weights,
                                 exclude_ids=exclude_ids,
                                 filter_fn=filter_fn,
+                                fanout=fanout,
                             ),
                             deadline=deadline,
                         )
@@ -558,6 +648,10 @@ class Coordinator:
                             "execution", "generation", "search-failed",
                             f"{type(exc).__name__}: {exc}"[:80],
                         )
+            if plan is not None and self.planner is not None:
+                self.planner.observe(
+                    plan, timer.elapsed * 1000.0, ok=response is not None
+                )
             if response is not None:
                 if response.degraded_reasons:
                     # Partial results from the shard router (lost shards)
@@ -599,6 +693,7 @@ class Coordinator:
         if degraded_reasons:
             answer.degraded = True
             answer.degraded_reasons = degraded_reasons
+        answer.plan = plan
         return answer
 
     # ------------------------------------------------------------------

@@ -97,6 +97,7 @@ class QueryExecution:
         weights=None,
         exclude_ids=(),
         filter_fn=None,
+        fanout=None,
     ) -> RetrievalResponse:
         """Top-``k`` retrieval for ``query``.
 
@@ -106,7 +107,9 @@ class QueryExecution:
         drops objects the user rejected in earlier rounds (negative
         feedback).  ``filter_fn`` restricts results by object id (metadata
         filtering).  ``weights`` applies per-query modality re-weighting
-        (frameworks without that capability reject it).
+        (frameworks without that capability reject it).  ``fanout`` limits
+        the shard scatter width on a router that supports it (degraded
+        planner mode only; silently ignored elsewhere).
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
@@ -122,6 +125,8 @@ class QueryExecution:
                 f"framework {self.framework.name!r} does not support "
                 "filtered retrieval"
             )
+        if fanout is not None and "fanout" not in capabilities:
+            fanout = None
 
         profile = self._new_profile() if self.cost_accounting else None
 
@@ -131,6 +136,8 @@ class QueryExecution:
                 kwargs["weights"] = weights
             if filter_fn is not None:
                 kwargs["filter_fn"] = filter_fn
+            if fanout is not None:
+                kwargs["fanout"] = fanout
             return self.framework.retrieve(query, k=fetch, budget=budget, **kwargs)
 
         def run(fetch: int, span) -> RetrievalResponse:
@@ -143,6 +150,27 @@ class QueryExecution:
                     profile.cache = "bypass"
                 return retrieve(fetch)
             key = self.cache.key_for(query, fetch, budget, weights=weights)
+            if self.cache.semantic:
+                # Exact-then-near-duplicate lookup; a semantic hit serves
+                # a copy of the neighbour's response and did no kernel
+                # work, exactly like an exact hit.
+                cached, label, registration = self.cache.lookup(key, query)
+                if cached is None:
+                    span.set(cache="miss")
+                    if profile is not None:
+                        profile.cache = "miss"
+                    fresh = retrieve(fetch)
+                    if fresh.degraded_reasons:
+                        return fresh
+                    if registration is not None:
+                        self.cache.put_semantic(key, registration, fresh)
+                    else:
+                        self.cache.put(key, fresh)
+                    return self._copy_response(fresh)
+                span.set(cache=label)
+                if profile is not None:
+                    profile.cache = label
+                return self._copy_response(cached)
             cached = self.cache.get(key)
             if cached is None:
                 span.set(cache="miss")
@@ -187,9 +215,9 @@ class QueryExecution:
                 profile.add_stage(
                     "retrieve", (time.perf_counter() - started) * 1000.0
                 )
-                # A cache hit did no kernel work this call; the original
-                # search was accounted when it first ran.
-                if profile.cache != "hit":
+                # A cache hit (exact or semantic) did no kernel work this
+                # call; the original search was accounted when it ran.
+                if profile.cache not in ("hit", "semantic"):
                     profile.add_search_stats(response.stats)
                 profile.items = len(response.items)
                 response.cost = profile
@@ -237,7 +265,11 @@ class QueryExecution:
         never cached.
 
         This path serves server micro-batching: no exclusions and no
-        filters apply (those are dialogue-round concepts).
+        filters apply (those are dialogue-round concepts).  A semantic
+        cache participates with its *exact* tier only — near-duplicate
+        matching is a latency optimisation for the interactive serial
+        path, and keeping batches exact preserves the batched-vs-serial
+        bit-identity guarantee unconditionally.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")

@@ -130,6 +130,9 @@ class StatusPanel:
         stats: Optional :class:`~repro.observability.StatsPlane`; adds a
             cost line (queries observed, whole-query p95 latency and
             mean distance evaluations) when cost accounting is on.
+        cache: Optional :class:`~repro.core.cache.QueryCache`; adds a
+            cache line from one locked counter snapshot (plus the
+            semantic hit/rejection totals on a semantic cache).
     """
 
     TICKS = {
@@ -141,13 +144,14 @@ class StatusPanel:
 
     def __init__(
         self, board: StatusBoard, tracer=None, slo=None, quality=None,
-        stats=None,
+        stats=None, cache=None,
     ) -> None:
         self.board = board
         self.tracer = tracer
         self.slo = slo
         self.quality = quality
         self.stats = stats
+        self.cache = cache
 
     def render(self) -> str:
         """Multi-line text of ticks + details, the panel's whole content."""
@@ -190,6 +194,19 @@ class StatusPanel:
                 )
             else:
                 lines.append(f" cost: {snap['queries']} observed")
+        if self.cache is not None:
+            snap = self.cache.snapshot()
+            line = (
+                f" cache: {snap['size']} entries, "
+                f"{snap['hits']} hits / {snap['misses']} misses "
+                f"(rate {snap['hit_rate']:.1%}, gen {snap['generation']})"
+            )
+            if snap.get("semantic"):
+                line += (
+                    f", semantic {snap['semantic_hits']} hits / "
+                    f"{snap['semantic_rejects']} rejected"
+                )
+            lines.append(line)
         last_trace = self.tracer.last_trace if self.tracer is not None else None
         if last_trace is not None:
             lines.append("last query trace")

@@ -940,8 +940,13 @@ class ShardRouter(RetrievalFramework):
         call_of: Callable[[ShardReplica], Any],
         degraded: List[str],
         span_attrs: Dict[str, Any],
+        indices: "Sequence[int] | None" = None,
     ) -> List[Any]:
-        """Fan ``call_of`` out to every shard, observing the scatter.
+        """Fan ``call_of`` out to the target shards, observing the scatter.
+
+        ``indices`` restricts the fan-out to a subset of shards (the
+        planner's degraded-mode fan-out limit); ``None`` scatters to every
+        shard.  The returned list is aligned with the targets.
 
         With a trace active, the fan-out nests under one ``scatter`` span
         with a ``shard-search`` child per shard (replica, timing, and
@@ -954,30 +959,34 @@ class ShardRouter(RetrievalFramework):
         and pooled scatter account identically (pool threads never
         inherit it).  With neither active this is the bare scatter loop.
         """
+        targets = (
+            list(range(self.shards)) if indices is None else list(indices)
+        )
         profile = active_cost()
         with trace_span(
-            "scatter", shards=self.shards, **span_attrs
+            "scatter", shards=len(targets), **span_attrs
         ) as scatter_span:
             traced = scatter_span is not NOOP_SPAN
             observe = traced or profile is not None
             branches = (
                 [
                     trace_branch("shard-search", shard=i)
-                    for i in range(self.shards)
+                    for i in targets
                 ]
                 if traced
-                else [None] * self.shards
+                else [None] * len(targets)
             )
-            marks: "List[Dict[str, Any] | None]" = [None] * self.shards
+            marks: "List[Dict[str, Any] | None]" = [None] * len(targets)
 
-            def shard_task(shard_index: int) -> Any:
+            def shard_task(position: int) -> Any:
+                shard_index = targets[position]
                 if not observe:
                     return self._guarded_shard_call(
                         shard_index, call_of, degraded
                     )
                 telemetry: Dict[str, Any] = {}
-                marks[shard_index] = telemetry
-                branch = branches[shard_index]
+                marks[position] = telemetry
+                branch = branches[position]
                 suppress = (
                     cost_context(None)
                     if profile is not None
@@ -998,13 +1007,13 @@ class ShardRouter(RetrievalFramework):
                 return result
 
             responses = run_scattered(
-                [lambda i=i: shard_task(i) for i in range(self.shards)],
+                [lambda p=p: shard_task(p) for p in range(len(targets))],
                 pool=self._scatter_pool() if self._parallel else None,
             )
             if traced:
-                for shard_index, branch in enumerate(branches):
-                    result = responses[shard_index]
-                    telemetry = marks[shard_index] or {}
+                for position, branch in enumerate(branches):
+                    result = responses[position]
+                    telemetry = marks[position] or {}
                     items, evals, hops = self._measure(result)
                     branch.span.set(
                         replica=telemetry.get("replica"),
@@ -1018,12 +1027,12 @@ class ShardRouter(RetrievalFramework):
                     answered=sum(1 for r in responses if r is not None)
                 )
             if profile is not None:
-                for shard_index, result in enumerate(responses):
-                    telemetry = marks[shard_index] or {}
+                for position, result in enumerate(responses):
+                    telemetry = marks[position] or {}
                     items, evals, hops = self._measure(result)
                     ok = result is not None
                     profile.add_shard(
-                        shard=shard_index,
+                        shard=targets[position],
                         replica=telemetry.get("replica"),
                         ok=ok,
                         ms=round(telemetry.get("ms", 0.0), 3),
@@ -1056,8 +1065,14 @@ class ShardRouter(RetrievalFramework):
         budget: int = 64,
         weights: "Dict[Modality, float] | None" = None,
         filter_fn: "ObjectFilter | None" = None,
+        fanout: "int | None" = None,
     ) -> RetrievalResponse:
-        """Scatter ``query`` to every shard and merge the top-k exactly."""
+        """Scatter ``query`` to every shard and merge the top-k exactly.
+
+        ``fanout`` (the planner's degraded-mode knob) limits the scatter
+        to the first ``fanout`` shards; the result is marked degraded
+        because the unqueried shards may hold better neighbours.
+        """
         self._require_ready()
         if k <= 0:
             raise RetrievalError(f"k must be positive, got {k}")
@@ -1066,12 +1081,19 @@ class ShardRouter(RetrievalFramework):
             return self._passthrough(query, k, budget, weights, filter_fn)
         shard_filter = self._deleted_filter(filter_fn)
         degraded: List[str] = []
+        indices: "List[int] | None" = None
+        if fanout is not None and 1 <= fanout < self.shards:
+            indices = list(range(fanout))
+            degraded.append(
+                f"fanout limited to {fanout}/{self.shards} shards (planner)"
+            )
         responses = self._scatter(
             lambda replica: replica.search(
                 query, k, budget, weights=weights, filter_fn=shard_filter
             ),
             degraded,
             {"k": k},
+            indices=indices,
         )
         answered = [r for r in responses if r is not None]
         if not answered:

@@ -51,10 +51,12 @@ class QueryCostProfile:
         shards_total: Shard count behind the framework (0 = unsharded).
         batch: Number of queries covered; 0 for a single-query profile.
         cache: Query-cache disposition — ``"off"`` (no cache), ``"bypass"``
-            (filters force a live search), ``"miss"``, or ``"hit"``.  On a
-            hit the served response did no kernel work, so the counters
-            below stay zero; the original search's cost was accounted
-            when it first ran.
+            (filters force a live search), ``"miss"``, ``"hit"``, or
+            ``"semantic"`` (a near-duplicate's response served by the
+            semantic cache).  On a hit — exact or semantic — the served
+            response did no kernel work, so the counters below stay
+            zero; the original search's cost was accounted when it first
+            ran.
         distance_evaluations: Distance-kernel evaluations performed.
         hops: Graph hops (HNSW/beam) walked.
         block_reads: Starling disk blocks fetched.

@@ -65,6 +65,7 @@ from repro.core.concurrency import (
     QueryEngine,
 )
 from repro.core.coordinator import Coordinator
+from repro.core.planning import AdmissionShedError
 from repro.data import KnowledgeBase, Modality, RawQuery
 from repro.errors import DeadlineExceededError, MQAError
 from repro.index.tiered import tiered_snapshot
@@ -126,6 +127,15 @@ class ApiServer:
             ("POST", "/refine"),
             ("POST", "/reject"),
             ("GET", "/transcript"),
+        }
+    )
+    #: Retrieval-bearing verbs subject to admission control; monitoring
+    #: and configuration verbs are never shed.
+    _ADMITTED_ROUTES: FrozenSet[Tuple[str, str]] = frozenset(
+        {
+            ("POST", "/query"),
+            ("POST", "/refine"),
+            ("POST", "/search"),
         }
     )
 
@@ -199,6 +209,10 @@ class ApiServer:
         responses, including engine saturation (``"saturated": True``)."""
         try:
             return self.handle_async(method, path, body).result()
+        except AdmissionShedError as exc:
+            # Admission control turned the request away before it touched
+            # the engine (admission mode only).
+            return {"ok": False, "error": str(exc), "shed": True}
         except EngineSaturatedError as exc:
             return {"ok": False, "error": str(exc), "saturated": True}
         except DeadlineExceededError as exc:
@@ -235,6 +249,26 @@ class ApiServer:
             deadline = coordinator.resilience.deadline(
                 self._deadline_override(body)
             )
+        if (
+            coordinator is not None
+            and coordinator.admission is not None
+            and route in self._ADMITTED_ROUTES
+        ):
+            # Admission happens before the engine queue is touched: the
+            # predicted tier-0 cost is the token charge, a shed decision
+            # never enqueues, and a degrade decision is picked up by the
+            # planner through ``under_pressure``.
+            predicted = (
+                coordinator.planner.predicted_base_ms()
+                if coordinator.planner is not None
+                else 1.0
+            )
+            if coordinator.admission.decide(predicted) == "shed":
+                coordinator.resilience.record_fallback("admission_shed")
+                raise AdmissionShedError(
+                    "admission control shed the request: engine queue "
+                    "delay or predicted cost exceeds serving capacity"
+                )
         return self.engine.submit(
             lambda: self._dispatch(method, path, body),
             mode=mode,
@@ -286,7 +320,27 @@ class ApiServer:
                 return
             old = self.engine
             self.engine = QueryEngine(workers=desired[0], max_queue=desired[1])
+            self._install_wait_observer()
             old.shutdown(wait=False)
+
+    def _install_wait_observer(self) -> None:
+        """Feed the engine's queue signals to admission control.
+
+        Two hooks: the engine's measured per-request queue waits (EWMA
+        fallback signal) and a live queue-depth probe (the preferred
+        Little's-law wait estimate).  Re-run after every apply and
+        engine swap so the active engine's signals always reach the
+        active coordinator's controller (a no-op ``None`` when admission
+        is off); the probe closes over ``self`` so it follows engine
+        swaps automatically.
+        """
+        coordinator = self._coordinator
+        admission = coordinator.admission if coordinator is not None else None
+        self.engine.wait_observer = (
+            admission.observe_wait if admission is not None else None
+        )
+        if admission is not None:
+            admission.queue_probe = lambda: self.engine.queue_depth
 
     def _maybe_resize_batcher(self) -> None:
         """Follow ``POST /configure`` batching settings (unless pinned).
@@ -361,6 +415,7 @@ class ApiServer:
     def _post_apply(self, body: Dict[str, Any]) -> Dict[str, Any]:
         self._coordinator = self._panel.apply(knowledge_base=self._knowledge_base)
         self._sessions = {0: QAPanel(self._coordinator)}
+        self._install_wait_observer()
         return {
             "feedback": self._panel.feedback[-1],
             "summary": self._panel.config.summary(),
@@ -388,6 +443,11 @@ class ApiServer:
                 slo=coordinator.slo,
                 quality=coordinator.quality,
                 stats=coordinator.stats,
+                cache=(
+                    coordinator.execution.cache
+                    if coordinator.execution is not None
+                    else None
+                ),
             ).render(),
         }
 
@@ -449,6 +509,8 @@ class ApiServer:
         }
         if answer.cost is not None:
             payload["cost"] = answer.cost.to_dict()
+        if answer.plan is not None:
+            payload["plan"] = answer.plan.to_dict()
         return payload
 
     def _timed_verb(self, coordinator: Coordinator, verb: str, fn: Callable[[], Any]):
@@ -584,6 +646,8 @@ class ApiServer:
                 "distance_evaluations": response.stats.distance_evaluations,
             },
         }
+        if response.degraded_reasons:
+            payload["degraded_reasons"] = list(response.degraded_reasons)
         if response.cost is not None:
             payload["cost"] = response.cost.to_dict()
         return payload
@@ -633,6 +697,21 @@ class ApiServer:
             self.batcher.note(len(queries))
             return {"results": [self._search_payload(r) for r in responses]}
         query = self._search_query(coordinator, body)
+        planner = coordinator.planner
+        if planner is not None and self.batcher.max_batch > 1:
+            # A request whose remaining deadline cannot absorb several
+            # collector windows runs inline instead of joining the batch.
+            deadline = coordinator.resilience.deadline(
+                self._deadline_override(body)
+            )
+            remaining = (
+                deadline.remaining_ms if deadline is not None else None
+            )
+            if planner.skip_batching(remaining, self.batcher.window_ms):
+                responses = coordinator.retrieve_batch(
+                    [query], k=k, weights=weights
+                )
+                return {"result": self._search_payload(responses[0])}
         response = self.batcher.submit(
             (query, k, self._weights_key(weights), weights)
         )
@@ -672,13 +751,20 @@ class ApiServer:
                 "sessions": len(self._sessions),
                 "kb_objects": len(coordinator.kb) if coordinator.kb else 0,
                 "deleted_objects": len(framework.deleted_ids) if framework else 0,
-                "cache": {
-                    "enabled": cache is not None,
-                    "size": cache.size if cache else 0,
-                    "hits": cache.hits if cache else 0,
-                    "misses": cache.misses if cache else 0,
-                    "hit_rate": round(cache.hit_rate, 3) if cache else 0.0,
-                },
+                # One locked snapshot: hits/misses/size are mutated
+                # together, so reading them attribute-by-attribute could
+                # pair a hit with the wrong total.
+                "cache": (
+                    {"enabled": True, **cache.snapshot()}
+                    if cache is not None
+                    else {
+                        "enabled": False,
+                        "size": 0,
+                        "hits": 0,
+                        "misses": 0,
+                        "hit_rate": 0.0,
+                    }
+                ),
                 "trace": {
                     "enabled": coordinator.tracer.enabled,
                     "captured": len(coordinator.tracer.traces),
@@ -731,12 +817,31 @@ class ApiServer:
             if coordinator.execution is not None
             else None
         )
+        cache = (
+            coordinator.execution.cache
+            if coordinator.execution is not None
+            else None
+        )
+        planning = {
+            "planner": (
+                coordinator.planner.snapshot()
+                if coordinator.planner is not None
+                else None
+            ),
+            "admission": (
+                coordinator.admission.snapshot()
+                if coordinator.admission is not None
+                else None
+            ),
+            "cache": cache.snapshot() if cache is not None else None,
+        }
         if coordinator.stats is None:
-            return {"enabled": False, "stats": None, "tiered": tiered}
+            return {"enabled": False, "stats": None, "tiered": tiered, **planning}
         return {
             "enabled": True,
             "stats": coordinator.stats.snapshot(),
             "tiered": tiered,
+            **planning,
         }
 
     def _get_health(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -758,6 +863,11 @@ class ApiServer:
             if framework is not None and hasattr(framework, "snapshot")
             else None
         )
+        cache = (
+            coordinator.execution.cache
+            if coordinator.execution is not None
+            else None
+        )
         return {
             "monitoring": coordinator.slo is not None,
             "state": slo["state"] if slo is not None else STATE_OK,
@@ -769,6 +879,17 @@ class ApiServer:
             "resilience": coordinator.resilience.snapshot(),
             "sharding": sharding,
             "tiered": tiered_snapshot(framework),
+            "cache": cache.snapshot() if cache is not None else None,
+            "planner": (
+                coordinator.planner.snapshot()
+                if coordinator.planner is not None
+                else None
+            ),
+            "admission": (
+                coordinator.admission.snapshot()
+                if coordinator.admission is not None
+                else None
+            ),
         }
 
     def _post_session_new(self, body: Dict[str, Any]) -> Dict[str, Any]:

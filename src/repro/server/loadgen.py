@@ -46,12 +46,21 @@ def build_workload(
     write_every: int,
     seed: int,
     sessions: int,
+    near_duplicate_every: int = 0,
 ) -> List[Dict[str, Any]]:
     """The deterministic operation list for one run.
 
     Every ``write_every``-th operation is an ingest drawing concepts from
     the back half of the vocabulary; all others are dialogue reads over
     the front half, round-robined across ``sessions`` session ids.
+
+    ``near_duplicate_every`` (0 disables) rewrites every Nth read as the
+    previous read's text with its word order reversed — a distinct exact
+    cache key whose token-averaged embedding is identical, so the same
+    objects are retrieved (read determinism holds) while a semantic
+    cache recognises the near-duplicate.  This models the interactive
+    reality the semantic cache targets: users rephrasing essentially the
+    same question.
     """
     if len(concepts) < 4:
         raise ValueError(
@@ -62,6 +71,8 @@ def build_workload(
     read_pool = list(concepts[:half])
     write_pool = list(concepts[half:])
     ops: List[Dict[str, Any]] = []
+    reads = 0
+    last_text: "str | None" = None
     for i in range(queries):
         if write_every and i % write_every == write_every - 1:
             pair = rng.choice(len(write_pool), size=min(2, len(write_pool)), replace=False)
@@ -77,8 +88,19 @@ def build_workload(
                 }
             )
         else:
-            pair = rng.choice(len(read_pool), size=min(2, len(read_pool)), replace=False)
-            text = " ".join(read_pool[int(j)] for j in pair)
+            reads += 1
+            if (
+                near_duplicate_every
+                and last_text is not None
+                and reads % near_duplicate_every == 0
+            ):
+                text = " ".join(reversed(last_text.split()))
+            else:
+                pair = rng.choice(
+                    len(read_pool), size=min(2, len(read_pool)), replace=False
+                )
+                text = " ".join(read_pool[int(j)] for j in pair)
+            last_text = text
             ops.append(
                 {
                     "op": "query",
@@ -111,6 +133,17 @@ def run_loadgen(
     quantize_bits: int = 8,
     rerank_factor: int = 4,
     mmap_cache_blocks: int = 32,
+    planner: bool = False,
+    recall_floor: float = 0.8,
+    semantic_cache: bool = False,
+    semantic_threshold: float = 0.9,
+    admission: bool = False,
+    deadline_ms: "float | None" = None,
+    cache: bool = False,
+    client_workers: "int | None" = None,
+    near_duplicate_every: int = 0,
+    shed_retry_ms: float = 0.0,
+    shed_retries: int = 8,
 ) -> Dict[str, Any]:
     """Build a system, fire the workload, and report the results.
 
@@ -140,13 +173,38 @@ def run_loadgen(
     (with ``quantize_bits`` / ``rerank_factor`` / ``mmap_cache_blocks``)
     switches a Starling index to beyond-RAM serving, and the report then
     carries the aggregated tiered-store ledger under ``"tiered"``.
+
+    The adaptive-serving knobs mirror their config fields: ``planner`` /
+    ``recall_floor`` (per-query budget planning), ``semantic_cache`` /
+    ``semantic_threshold`` (near-duplicate serving; implies ``cache``),
+    ``admission`` (shed/degrade before saturation), and ``deadline_ms``
+    (a per-request latency budget; enables the resilience layer).
+    ``cache`` turns the query cache on (historically off here for
+    uniform read cost).  ``client_workers`` sizes the *client* thread
+    pool independently of the engine's ``workers`` — oversubscribing
+    clients is how the planner benchmark creates queueing pressure.
+    ``near_duplicate_every`` rewrites every Nth read as a word-order
+    permutation of the previous one (see :func:`build_workload`).
+    ``shed_retry_ms`` (0 disables) makes clients behave like real ones
+    facing a 503: a shed response is retried after that backoff, up to
+    ``shed_retries`` times, and the op's reported latency spans every
+    attempt — shedding costs the client real time instead of instantly
+    freeing it to burn through the finite operation list.
+
+    The report always carries a ``goodput`` section — reads that
+    completed within their deadline *without* degradation — plus shed /
+    deadline-exceeded / saturated counts and the server cache's
+    hit-rate snapshot, so planner-on and planner-off runs compare on
+    useful work rather than raw throughput.
     """
     config = MQAConfig(
         dataset=DatasetSpec(domain=domain, size=size, seed=seed),
         workers=workers,
         llm_params={"latency_ms": llm_latency_ms},
         result_count=k,
-        cache_queries=False,  # uniform read cost; no cross-run cache skew
+        # Historically off for uniform read cost; the cache/semantic
+        # knobs opt back in for the workloads that study caching.
+        cache_queries=cache or semantic_cache,
         weight_learning={"steps": 20, "batch_size": 16},
         max_batch=batch,
         batch_window_ms=batch_window_ms,
@@ -161,6 +219,13 @@ def run_loadgen(
         quantize_bits=quantize_bits,
         rerank_factor=rerank_factor,
         mmap_cache_blocks=mmap_cache_blocks,
+        planner=planner,
+        recall_floor=recall_floor,
+        semantic_cache=semantic_cache,
+        semantic_threshold=semantic_threshold,
+        admission=admission,
+        resilience=deadline_ms is not None,
+        deadline_ms=deadline_ms,
     )
     use_search = batch > 1
     server = ApiServer(config)
@@ -174,48 +239,74 @@ def run_loadgen(
         concepts = sorted({c for obj in kb for c in obj.concepts})
         for _ in range(1, sessions):
             server.handle("POST", "/session/new")
-        ops = build_workload(concepts, queries, write_every, seed, sessions)
+        ops = build_workload(
+            concepts, queries, write_every, seed, sessions,
+            near_duplicate_every=near_duplicate_every,
+        )
 
         results: List[Dict[str, Any]] = [{} for _ in ops]
 
         def fire(index: int) -> None:
             op = ops[index]
             started = time.perf_counter()
-            if op["op"] == "ingest":
-                response = server.handle("POST", "/ingest", dict(op["body"]))
-            elif use_search:
-                response = server.handle(
-                    "POST", "/search", {"text": op["body"]["text"], "k": k}
-                )
-            else:
-                response = server.handle("POST", "/query", dict(op["body"]))
+            attempts = 0
+            while True:
+                if op["op"] == "ingest":
+                    response = server.handle("POST", "/ingest", dict(op["body"]))
+                elif use_search:
+                    response = server.handle(
+                        "POST", "/search", {"text": op["body"]["text"], "k": k}
+                    )
+                else:
+                    response = server.handle("POST", "/query", dict(op["body"]))
+                if (
+                    shed_retry_ms > 0
+                    and attempts < shed_retries
+                    and not response.get("ok")
+                    and response.get("shed")
+                ):
+                    attempts += 1
+                    time.sleep(shed_retry_ms / 1000.0)
+                    continue
+                break
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             entry: Dict[str, Any] = {
                 "op": op["op"],
                 "ok": bool(response.get("ok")),
                 "latency_ms": elapsed_ms,
+                "retries": attempts,
             }
             if not entry["ok"]:
                 entry["error"] = response.get("error")
+                entry["shed"] = bool(response.get("shed"))
+                entry["saturated"] = bool(response.get("saturated"))
+                entry["deadline_exceeded"] = bool(
+                    response.get("deadline_exceeded")
+                )
             elif op["op"] != "query":
                 entry["object_id"] = response["object_id"]
             elif use_search:
                 entry["ids"] = [
                     item["object_id"] for item in response["result"]["items"]
                 ]
+                entry["degraded"] = bool(
+                    response["result"].get("degraded_reasons")
+                )
             else:
                 entry["ids"] = [
                     item["object_id"] for item in response["answer"]["items"]
                 ]
+                entry["degraded"] = bool(response["answer"]["degraded"])
             results[index] = entry
 
+        client_pool = client_workers if client_workers is not None else workers
         started = time.perf_counter()
-        if workers == 1:
+        if client_pool == 1:
             for i in range(len(ops)):
                 fire(i)
         else:
             with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="loadgen"
+                max_workers=client_pool, thread_name_prefix="loadgen"
             ) as pool:
                 list(pool.map(fire, range(len(ops))))
         elapsed_s = time.perf_counter() - started
@@ -232,6 +323,22 @@ def run_loadgen(
         read_ids = [r["ids"] for r in results if r["op"] == "query" and r["ok"]]
         ingested = [r["object_id"] for r in results if r["op"] == "ingest" and r["ok"]]
         coordinator = server._coordinator
+        # Goodput: reads that produced full-quality results inside their
+        # deadline.  Shed, saturated, deadline-exceeded, and degraded
+        # reads all completed *something* — but not useful work.
+        read_entries = [r for r in results if r["op"] == "query"]
+        good = sum(
+            1
+            for r in read_entries
+            if r["ok"]
+            and not r.get("degraded")
+            and (deadline_ms is None or r["latency_ms"] <= deadline_ms)
+        )
+        server_cache = (
+            coordinator.execution.cache
+            if coordinator.execution is not None
+            else None
+        )
         return {
             "workers": workers,
             "operations": len(ops),
@@ -247,6 +354,36 @@ def run_loadgen(
                 "p99": round(summary["p99"], 2),
                 "max": round(summary["max"], 2),
             },
+            "deadline_ms": deadline_ms,
+            "goodput": {
+                "good": good,
+                "ratio": (
+                    round(good / len(read_entries), 4) if read_entries else 0.0
+                ),
+                "qps": round(good / elapsed_s, 2) if elapsed_s else 0.0,
+                "degraded": sum(
+                    1 for r in read_entries if r.get("degraded")
+                ),
+                "shed": sum(1 for r in results if r.get("shed")),
+                "client_retries": sum(r.get("retries", 0) for r in results),
+                "deadline_exceeded": sum(
+                    1 for r in results if r.get("deadline_exceeded")
+                ),
+                "saturated": sum(1 for r in results if r.get("saturated")),
+            },
+            "cache": (
+                server_cache.snapshot() if server_cache is not None else None
+            ),
+            "planner": (
+                coordinator.planner.snapshot()
+                if coordinator.planner is not None
+                else None
+            ),
+            "admission": (
+                coordinator.admission.snapshot()
+                if coordinator.admission is not None
+                else None
+            ),
             "initial_corpus_size": initial_size,
             "read_ids": read_ids,
             "ingested_ids": ingested,

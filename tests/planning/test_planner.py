@@ -1,0 +1,252 @@
+"""Unit tests for the budget-ladder query planner."""
+
+import pytest
+
+from repro.core.planning import QueryPlan, QueryPlanner, budget_ladder
+
+
+class FakeDeadline:
+    """Deadline stand-in with a controllable remaining budget."""
+
+    def __init__(self, remaining_ms: float) -> None:
+        self.remaining_ms = remaining_ms
+
+
+class StubMetrics:
+    def __init__(self) -> None:
+        self.counters = {}
+        self.observations = {}
+
+    def inc(self, name, amount=1.0):
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def observe(self, name, value):
+        self.observations.setdefault(name, []).append(value)
+
+
+class TestBudgetLadder:
+    def test_halvings_down_to_floor(self):
+        assert budget_ladder(64, 5) == [64, 32, 16, 8]
+
+    def test_k_raises_the_floor(self):
+        assert budget_ladder(64, 10) == [64, 32, 16]
+
+    def test_base_at_floor_is_single_tier(self):
+        assert budget_ladder(8, 5) == [8]
+        assert budget_ladder(1, 1, min_budget=1) == [1]
+
+    def test_base_is_always_tier_zero(self):
+        for base in (8, 17, 64, 100):
+            assert budget_ladder(base, 5)[0] == base
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            budget_ladder(0, 5)
+
+
+class TestPlanning:
+    def planner(self, **overrides) -> QueryPlanner:
+        kwargs = dict(base_budget=64, k=5)
+        kwargs.update(overrides)
+        return QueryPlanner(**kwargs)
+
+    def test_no_deadline_runs_full_budget(self):
+        plan = self.planner().plan(deadline=None)
+        assert plan.budget == 64
+        assert plan.tier == 0
+        assert plan.reason == "no-deadline"
+        assert not plan.degraded
+        assert plan.fanout is None
+
+    def test_cold_start_with_deadline_is_optimistic(self):
+        # No observations at all: predicted cost is 0, tier 0 fits.
+        plan = self.planner().plan(deadline=FakeDeadline(5.0))
+        assert plan.budget == 64
+        assert plan.reason == "fit"
+
+    def test_tight_deadline_steps_down_the_ladder(self):
+        planner = self.planner()
+        base_plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(base_plan, latency_ms=100.0)
+        # 100 ms tier-0 p95 × 1.25 safety > 50 ms remaining, but the
+        # 32-budget tier scales to ~100 × 0.5^0.8 ≈ 57.4 — still over.
+        # The 16-budget tier (~33 ms × 1.25 ≈ 41) fits and stays above
+        # the default 0.8 recall floor (prior 0.25^0.15 ≈ 0.812).
+        plan = planner.plan(deadline=FakeDeadline(50.0))
+        assert plan.budget == 16
+        assert plan.reason == "fit"
+        assert not plan.degraded
+
+    def test_impossible_deadline_degrades_to_cheapest(self):
+        planner = self.planner()
+        base_plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(base_plan, latency_ms=100.0)
+        plan = planner.plan(deadline=FakeDeadline(1.0))
+        assert plan.degraded
+        assert plan.reason == "deadline"
+        assert plan.budget == planner.ladder[-1]
+        assert plan.fanout is None  # unsharded
+
+    def test_degraded_plan_halves_fanout_when_sharded(self):
+        planner = self.planner(shards=4)
+        base_plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(base_plan, latency_ms=100.0)
+        plan = planner.plan(deadline=FakeDeadline(1.0))
+        assert plan.degraded
+        assert plan.fanout == 2
+
+    def test_pressure_skips_the_top_tier(self):
+        plan = self.planner().plan(deadline=None, pressure=True)
+        assert plan.budget == 32
+        assert plan.reason == "pressure"
+        assert not plan.degraded  # 32's prior recall stays above 0.8
+
+    def test_pressure_with_single_eligible_tier_keeps_it(self):
+        # Floor so high nothing passes: planner falls back to tier 0 and
+        # pressure has no cheaper tier to move to.
+        plan = self.planner(recall_floor=1.0).plan(deadline=None, pressure=True)
+        assert plan.budget == 64
+
+    def test_recall_floor_excludes_cheap_tiers(self):
+        planner = self.planner()
+        # Prior recall of budget 8 is 0.125^0.15 ≈ 0.73 < 0.8: even under
+        # pressure-free planning it is never chosen non-degraded.
+        base_plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(base_plan, latency_ms=100.0)
+        plan = planner.plan(deadline=FakeDeadline(30.0))
+        assert plan.degraded or plan.budget >= 16
+
+    def test_observed_recall_overrides_the_prior(self):
+        planner = self.planner()
+        for _ in range(8):
+            planner.observe_recall(32, 0.5)
+        base_plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(base_plan, latency_ms=100.0)
+        # Budget 32 now predicts ~0.5 recall: a deadline that would have
+        # chosen it must skip to 16 (prior ≈ 0.812 still eligible).
+        plan = planner.plan(deadline=FakeDeadline(75.0))
+        assert plan.budget != 32
+
+    def test_observe_recall_is_an_ewma(self):
+        planner = self.planner()
+        planner.observe_recall(64, 1.0)
+        planner.observe_recall(64, 0.0, alpha=0.25)
+        snap = planner.snapshot()
+        assert snap["tiers"][0]["recall"] == 0.75
+
+    def test_observe_ignores_failures(self):
+        planner = self.planner()
+        plan = planner.plan(deadline=None)
+        planner.observe(plan, latency_ms=500.0, ok=False)
+        assert planner.snapshot()["tiers"][0]["observed"] == 0
+
+    def test_predicted_base_ms_has_a_floor_of_one(self):
+        assert self.planner().predicted_base_ms() == 1.0
+
+    def test_prediction_scales_from_nearest_observed_tier(self):
+        planner = self.planner()
+        plan = planner.plan(deadline=None)
+        for _ in range(10):
+            planner.observe(plan, latency_ms=80.0)
+        snap = planner.snapshot()
+        by_budget = {t["budget"]: t for t in snap["tiers"]}
+        assert by_budget[64]["p95_ms"] == 80.0
+        # 32 has no samples: scaled as 80 × (32/64)^0.8 ≈ 45.9.
+        assert by_budget[32]["p95_ms"] is None
+        assert 40.0 < by_budget[32]["predicted_ms"] < 50.0
+
+    def test_stats_plane_seeds_cold_predictions(self):
+        class FakeStats:
+            def snapshot(self):
+                return {
+                    "groups": [
+                        {"shard": "-", "latency_ms": {"p95": 40.0}},
+                        {"shard": "0", "latency_ms": {"p95": 99.0}},
+                    ]
+                }
+
+        planner = self.planner(stats=FakeStats())
+        # Tier 0 × safety 1.25 = 50 > 45 remaining; tier 1 is predicted
+        # at 40 × 0.5^0.8 ≈ 23 and fits.
+        plan = planner.plan(deadline=FakeDeadline(45.0))
+        assert plan.budget == 32
+
+    def test_metrics_counters(self):
+        metrics = StubMetrics()
+        planner = self.planner(metrics=metrics)
+        planner.plan(deadline=None)
+        planner.plan(deadline=None, pressure=True)
+        assert metrics.counters["planner.plans"] == 2
+        assert metrics.counters["planner.tier.64"] == 1
+        assert metrics.counters["planner.tier.32"] == 1
+        assert metrics.counters["planner.plan_pressure"] == 1
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(base_budget=64, k=5, recall_floor=1.5)
+
+
+class TestSkipBatching:
+    def test_skips_when_deadline_cannot_absorb_windows(self):
+        planner = QueryPlanner(base_budget=64, k=5)
+        assert planner.skip_batching(10.0, window_ms=5.0)
+        assert not planner.skip_batching(100.0, window_ms=5.0)
+
+    def test_no_deadline_or_window_never_skips(self):
+        planner = QueryPlanner(base_budget=64, k=5)
+        assert not planner.skip_batching(None, window_ms=5.0)
+        assert not planner.skip_batching(1.0, window_ms=0.0)
+
+    def test_skips_are_counted(self):
+        planner = QueryPlanner(base_budget=64, k=5)
+        planner.skip_batching(1.0, window_ms=5.0)
+        assert planner.snapshot()["batch_skips"] == 1
+
+
+class TestSemanticGuard:
+    def test_similarity_maps_to_predicted_recall(self):
+        planner = QueryPlanner(base_budget=64, k=5, recall_floor=0.8)
+        # predicted = 1 - (1 - s) × 2: s=0.95 → 0.9 (pass), s=0.85 → 0.7.
+        assert planner.semantic_guard(0.95)
+        assert planner.semantic_guard(1.0)
+        assert not planner.semantic_guard(0.85)
+
+    def test_floor_zero_admits_everything(self):
+        planner = QueryPlanner(base_budget=64, k=5, recall_floor=0.0)
+        assert planner.semantic_guard(0.5)
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        planner = QueryPlanner(base_budget=64, k=5, recall_floor=0.85)
+        plan = planner.plan(deadline=None)
+        planner.observe(plan, latency_ms=12.0)
+        snap = planner.snapshot()
+        assert snap["enabled"] is True
+        assert snap["recall_floor"] == 0.85
+        assert snap["plans"] == 1
+        assert snap["degraded"] == 0
+        assert [t["budget"] for t in snap["tiers"]] == [64, 32, 16, 8]
+        assert snap["tiers"][0]["plans"] == 1
+        assert snap["tiers"][0]["observed"] == 1
+
+    def test_plan_to_dict_is_json_ready(self):
+        plan = QueryPlan(
+            budget=32, tier=1, predicted_ms=10.5, predicted_recall=0.9,
+            degraded=True, reason="deadline", fanout=2,
+        )
+        body = plan.to_dict()
+        assert body == {
+            "budget": 32,
+            "tier": 1,
+            "predicted_ms": 10.5,
+            "predicted_recall": 0.9,
+            "reason": "deadline",
+            "degraded": True,
+            "fanout": 2,
+        }

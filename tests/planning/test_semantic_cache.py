@@ -1,0 +1,291 @@
+"""Unit tests for the semantic query cache (stubbed embedder)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.cache import QueryCache, SemanticQueryCache
+from repro.data import RawQuery
+from repro.errors import ConfigurationError
+from repro.retrieval import RetrievalResponse, RetrievedItem
+
+
+def response(ids):
+    return RetrievalResponse(
+        framework="must",
+        items=[
+            RetrievedItem(object_id=i, score=0.1, rank=r)
+            for r, i in enumerate(ids)
+        ],
+    )
+
+
+class StubEmbedder:
+    """Deterministic text → unit-vector mapping with call counting.
+
+    Texts sharing a prefix before ``|`` map to vectors at a controllable
+    cosine: ``"a|0.95"`` embeds at similarity 0.95 to ``"a"``.
+    """
+
+    DIM = 32  # room for 16 mutually orthogonal base planes
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._planes = {}
+
+    def __call__(self, query: RawQuery):
+        self.calls += 1
+        from repro.data import Modality
+
+        text = query.get(Modality.TEXT) or ""
+        base, _, sim = text.partition("|")
+        angle = 0.0 if not sim else float(np.arccos(float(sim)))
+        index = self._planes.setdefault(base, len(self._planes))
+        u = np.zeros(self.DIM)
+        v = np.zeros(self.DIM)
+        u[2 * index] = 1.0
+        v[2 * index + 1] = 1.0
+        vector = np.cos(angle) * u + np.sin(angle) * v
+        return ("text",), vector
+
+
+def make_cache(threshold=0.9, guard=None, capacity=128):
+    return SemanticQueryCache(
+        StubEmbedder(), capacity=capacity, threshold=threshold,
+        recall_guard=guard,
+    )
+
+
+class TestLookup:
+    def test_exact_hit_short_circuits_embedding(self):
+        cache = make_cache()
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        embed_calls = cache._embed.calls
+        cached, label, registration = cache.lookup(key, query)
+        assert label == "hit"
+        assert registration is None
+        assert cached.items[0].object_id == 1
+        assert cache._embed.calls == embed_calls  # no new embedding
+
+    def test_near_duplicate_served_semantically(self):
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1, 2]))
+        near = RawQuery.from_text("foggy|0.95")
+        cached, label, _ = cache.lookup(cache.key_for(near, 5, 64), near)
+        assert label == "semantic"
+        assert [item.object_id for item in cached.items] == [1, 2]
+        assert cache.semantic_hits == 1
+
+    def test_below_threshold_is_a_miss(self):
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        far = RawQuery.from_text("foggy|0.5")
+        cached, label, registration = cache.lookup(
+            cache.key_for(far, 5, 64), far
+        )
+        assert cached is None and label == "miss"
+        assert registration is not None
+
+    def test_unrelated_query_misses(self):
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        other = RawQuery.from_text("sunny")
+        _, label, _ = cache.lookup(cache.key_for(other, 5, 64), other)
+        assert label == "miss"
+
+    def test_parameters_partition_the_buckets(self):
+        # The same text cached under k=5 must not serve a k=6 lookup,
+        # however similar the embeddings are.
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        near = RawQuery.from_text("foggy|0.99")
+        _, label, _ = cache.lookup(cache.key_for(near, 6, 64), near)
+        assert label == "miss"
+
+
+class TestThresholdZero:
+    def test_never_embeds_and_matches_exact_cache(self):
+        semantic = make_cache(threshold=0.0)
+        exact = QueryCache()
+        queries = ["a", "b", "a", "c", "b", "a"]
+        for text in queries:
+            query = RawQuery.from_text(text)
+            key = exact.key_for(query, 5, 64)
+            expected = exact.get(key)
+            got, label, registration = semantic.lookup(key, query)
+            assert label in ("hit", "miss")
+            if expected is None:
+                assert got is None
+                exact.put(key, response([ord(text)]))
+                if registration is not None:
+                    semantic.put_semantic(key, registration, response([ord(text)]))
+                else:
+                    semantic.put(key, response([ord(text)]))
+            else:
+                assert [i.object_id for i in got.items] == [
+                    i.object_id for i in expected.items
+                ]
+        assert semantic._embed.calls == 0
+        assert (semantic.hits, semantic.misses) == (exact.hits, exact.misses)
+        assert semantic.semantic_hits == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(threshold=1.5)
+
+
+class TestGenerationSafety:
+    def test_invalidate_drops_semantic_entries(self):
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        cache.invalidate()
+        near = RawQuery.from_text("foggy|0.99")
+        cached, label, _ = cache.lookup(cache.key_for(near, 5, 64), near)
+        assert cached is None and label == "miss"
+        assert cache.semantic_hits == 0
+
+    def test_stale_registration_cannot_cross_generations(self):
+        # Even a put_semantic issued with a pre-invalidation registration
+        # lands in the old generation's bucket: new-generation lookups
+        # never see it.
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.invalidate()
+        cache.put_semantic(key, registration, response([1]))
+        near = RawQuery.from_text("foggy|0.99")
+        _, label, _ = cache.lookup(cache.key_for(near, 5, 64), near)
+        assert label == "miss"
+
+
+class TestEviction:
+    def test_evicted_entries_are_not_served(self):
+        cache = make_cache(threshold=0.9, capacity=1)
+        for text in ("foggy", "sunny"):
+            query = RawQuery.from_text(text)
+            key = cache.key_for(query, 5, 64)
+            _, _, registration = cache.lookup(key, query)
+            cache.put_semantic(key, registration, response([ord(text[0])]))
+        near = RawQuery.from_text("foggy|0.99")  # evicted by "sunny"
+        cached, label, _ = cache.lookup(cache.key_for(near, 5, 64), near)
+        assert cached is None and label == "miss"
+
+    def test_bucket_registry_is_pruned(self):
+        cache = make_cache(threshold=0.9, capacity=1)
+        for index in range(5):
+            query = RawQuery.from_text(f"q{index}")
+            key = cache.key_for(query, 5, 64)
+            _, _, registration = cache.lookup(key, query)
+            cache.put_semantic(key, registration, response([index]))
+        total = sum(len(entries) for entries in cache._vectors.values())
+        assert total == 1
+
+
+class TestGuard:
+    def test_guard_rejection_counts_and_misses(self):
+        cache = make_cache(threshold=0.9, guard=lambda sim: False)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        near = RawQuery.from_text("foggy|0.99")
+        cached, label, registration = cache.lookup(
+            cache.key_for(near, 5, 64), near
+        )
+        assert cached is None and label == "miss"
+        assert registration is not None
+        assert cache.semantic_rejects == 1
+        assert cache.semantic_hits == 0
+
+    def test_guard_receives_the_similarity(self):
+        seen = []
+        cache = make_cache(threshold=0.5, guard=lambda s: seen.append(s) or True)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)
+        cache.put_semantic(key, registration, response([1]))
+        near = RawQuery.from_text("foggy|0.8")
+        _, label, _ = cache.lookup(cache.key_for(near, 5, 64), near)
+        assert label == "semantic"
+        assert seen and seen[0] == pytest.approx(0.8, abs=1e-6)
+
+
+class TestSnapshot:
+    def test_counters_are_consistent(self):
+        cache = make_cache(threshold=0.9)
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        _, _, registration = cache.lookup(key, query)          # miss
+        cache.put_semantic(key, registration, response([1]))
+        cache.lookup(key, query)                               # exact hit
+        near = RawQuery.from_text("foggy|0.99")
+        cache.lookup(cache.key_for(near, 5, 64), near)         # semantic
+        snap = cache.snapshot()
+        assert snap["semantic"] is True
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["semantic_hits"] == 1
+        assert snap["semantic_rejects"] == 0
+        assert snap["hit_rate"] == pytest.approx(1 / 3, abs=1e-3)
+        assert snap["semantic_hit_rate"] == pytest.approx(1 / 3, abs=1e-3)
+        assert snap["threshold"] == 0.9
+
+    def test_base_cache_snapshot_is_locked_and_complete(self):
+        cache = QueryCache()
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        cache.get(key)
+        cache.put(key, response([1]))
+        cache.get(key)
+        snap = cache.snapshot()
+        assert snap == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "generation": 0,
+            "hit_rate": 0.5,
+        }
+
+    def test_snapshot_consistent_under_concurrent_lookups(self):
+        cache = QueryCache()
+        query = RawQuery.from_text("foggy")
+        key = cache.key_for(query, 5, 64)
+        cache.put(key, response([1]))
+        stop = threading.Event()
+        inconsistent = []
+
+        def reader():
+            while not stop.is_set():
+                snap = cache.snapshot()
+                total = snap["hits"] + snap["misses"]
+                expected = round(snap["hits"] / total, 4) if total else 0.0
+                if snap["hit_rate"] != expected:
+                    inconsistent.append(snap)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(2000):
+            cache.get(key)
+        stop.set()
+        thread.join()
+        assert not inconsistent
