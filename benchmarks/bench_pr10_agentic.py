@@ -1,0 +1,261 @@
+"""PR 10 — agentic multi-hop answering: groundedness and answer recall.
+
+Claims pinned here:
+
+* **Higher oracle groundedness on multi-concept questions.**  Per target
+  concept, an answer is oracle-grounded when it cites at least one
+  object from that concept's true top-k.  The agentic answerer's
+  per-concept claims (each backed by its own retrieval hop) score at
+  least as high as single-hop answers judged the same way, and strictly
+  higher in aggregate.
+* **No answer-recall regression.**  The cross-hop fusion (original query
+  at double stream weight plus one hop per concept) recovers at least as
+  many ground-truth objects in the final result list as the single-hop
+  baseline on the same questions.
+* **Every claim cites retrieved evidence.**  No agentic answer ships a
+  claim with an empty citation list when its hop retrieved anything.
+* **Off by default is bit-identical.**  With ``agentic`` off — even with
+  the hop/refinement knobs at non-default values — ``ask_agentic``
+  returns exactly the single-hop answer: same text, same result ids.
+* **Disabled mode is free.**  Off-mode dispatch is a handful of
+  ``is None`` checks; the estimated overhead must stay under 1%.
+
+Results go to stdout, ``benchmarks/results/``, and ``BENCH_PR10.json``
+at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.core import MQAConfig, MQASystem
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.data.modality import Modality
+from repro.evaluation import ExperimentTable, groundedness_score, text_queries
+
+from benchmarks.conftest import report
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR10.json"
+
+#: Dispatch work a query crosses with agentic off: the coordinator's
+#: ``self.agentic is None`` fall-through, the payload's ``claims`` /
+#: ``groundedness`` None checks, and the answer-field defaults — rounded
+#: up for headroom.
+DISABLED_SITES_PER_QUERY = 6
+
+DATASET = DatasetSpec(domain="scenes", size=240, seed=7)
+LEARNING = {"steps": 30, "batch_size": 16, "n_negatives": 6}
+INDEX_PARAMS = {"m": 8, "ef_construction": 48}
+QUERY_COUNT = 40
+CONCEPTS_PER_QUERY = 3
+K = 10
+
+
+def make_system(**overrides) -> Tuple[MQASystem, object]:
+    kb = generate_knowledge_base(DATASET)
+    config = MQAConfig(
+        dataset=DATASET,
+        weight_learning=dict(LEARNING),
+        index_params=dict(INDEX_PARAMS),
+        result_count=K,
+        **overrides,
+    )
+    return MQASystem.from_knowledge_base(kb, config), kb
+
+
+@dataclass
+class PseudoClaim:
+    """Single-hop answers judged per concept, like agentic claims are."""
+
+    concept: str
+    citations: List[int]
+
+
+def answer_recall(ids: List[int], gt_ids: List[int]) -> float:
+    return len(set(ids) & set(gt_ids)) / len(gt_ids) if gt_ids else 0.0
+
+
+class _Gate:
+    """Stand-in carrying the disabled answerer's dispatch attribute."""
+
+    agentic = None
+
+
+def _disabled_site_seconds(calls: int = 200_000) -> float:
+    """Cost of one disabled dispatch site (attribute read + None check)."""
+    gate = _Gate()
+    start = time.perf_counter()
+    for _ in range(calls):
+        if gate.agentic is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    return (time.perf_counter() - start) / calls
+
+
+def test_benchmark_pr10_agentic():
+    queries = None
+
+    # -- single-hop baseline ----------------------------------------------
+    baseline_system, kb = make_system()
+    queries = text_queries(
+        kb, QUERY_COUNT, k=K, concepts_per_query=CONCEPTS_PER_QUERY, seed=7
+    )
+    base_recalls, base_claims = [], []
+    base_latency = 0.0
+    for query in queries:
+        baseline_system.reset_dialogue()
+        text = str(query.raw.get(Modality.TEXT))
+        start = time.perf_counter()
+        answer = baseline_system.ask(text, k=K)
+        base_latency += time.perf_counter() - start
+        ids = [item.object_id for item in answer.items]
+        base_recalls.append(answer_recall(ids, query.gt_ids))
+        base_claims.extend(
+            PseudoClaim(concept=concept, citations=ids)
+            for concept in query.target_concepts
+        )
+    base_groundedness = groundedness_score(kb, base_claims, k=K)
+    base_mean_recall = sum(base_recalls) / len(base_recalls)
+
+    # -- agentic run -------------------------------------------------------
+    agentic_system, agentic_kb = make_system(agentic=True)
+    agentic_recalls, agentic_claims = [], []
+    citation_holes = 0
+    agentic_latency = 0.0
+    for query in queries:
+        agentic_system.reset_dialogue()
+        text = str(query.raw.get(Modality.TEXT))
+        start = time.perf_counter()
+        answer = agentic_system.ask_agentic(text, k=K)
+        agentic_latency += time.perf_counter() - start
+        ids = [item.object_id for item in answer.items]
+        agentic_recalls.append(answer_recall(ids, query.gt_ids))
+        agentic_claims.extend(answer.claims)
+        citation_holes += sum(
+            1 for claim in answer.claims if not claim.citations
+        )
+    agentic_groundedness = groundedness_score(agentic_kb, agentic_claims, k=K)
+    agentic_mean_recall = sum(agentic_recalls) / len(agentic_recalls)
+    snapshot = agentic_system.coordinator.agentic.snapshot()
+
+    # -- off-mode bit-identity (knobs at non-defaults, flag off) ----------
+    plain_system, _ = make_system()
+    knobbed_system, _ = make_system(
+        agentic=False, agentic_max_hops=2, agentic_refine_rounds=3
+    )
+    parity = True
+    for query in queries[:10]:
+        plain_system.reset_dialogue()
+        knobbed_system.reset_dialogue()
+        text = str(query.raw.get(Modality.TEXT))
+        plain = plain_system.ask(text, k=K)
+        agentic_off = knobbed_system.ask_agentic(text, k=K)
+        if plain.text != agentic_off.text or [
+            i.object_id for i in plain.items
+        ] != [i.object_id for i in agentic_off.items]:
+            parity = False
+
+    # -- disabled overhead -------------------------------------------------
+    site_cost = _disabled_site_seconds()
+    per_query_s = base_latency / len(queries)
+    estimated_overhead_pct = (
+        DISABLED_SITES_PER_QUERY * site_cost / per_query_s * 100.0
+    )
+
+    groundedness_uplift = (
+        agentic_groundedness / base_groundedness
+        if base_groundedness
+        else float("inf")
+    )
+    recall_ratio = (
+        agentic_mean_recall / base_mean_recall
+        if base_mean_recall
+        else float("inf")
+    )
+
+    table = ExperimentTable(
+        "PR10: agentic multi-hop answering "
+        f"({QUERY_COUNT} questions x {CONCEPTS_PER_QUERY} concepts, k={K})",
+        ["run", "groundedness", "answer recall", "claims", "supported"],
+    )
+    table.add_row(
+        ["single-hop", round(base_groundedness, 4),
+         round(base_mean_recall, 4), len(base_claims), "-"]
+    )
+    table.add_row(
+        ["agentic", round(agentic_groundedness, 4),
+         round(agentic_mean_recall, 4), len(agentic_claims),
+         snapshot["supported_claims"]]
+    )
+    table.add_row(
+        ["groundedness uplift", round(groundedness_uplift, 3), "", "", ""]
+    )
+    table.add_row(["recall ratio", round(recall_ratio, 3), "", "", ""])
+    table.add_row(["off-mode parity", parity, "", "", ""])
+    table.add_row(
+        ["est. disabled overhead %", round(estimated_overhead_pct, 4),
+         "", "", ""]
+    )
+    report(table)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scenario": {
+                    "domain": DATASET.domain,
+                    "size": DATASET.size,
+                    "seed": DATASET.seed,
+                    "queries": QUERY_COUNT,
+                    "concepts_per_query": CONCEPTS_PER_QUERY,
+                    "k": K,
+                },
+                "single_hop": {
+                    "groundedness": round(base_groundedness, 4),
+                    "answer_recall": round(base_mean_recall, 4),
+                    "claims": len(base_claims),
+                },
+                "agentic": {
+                    "groundedness": round(agentic_groundedness, 4),
+                    "answer_recall": round(agentic_mean_recall, 4),
+                    "claims": len(agentic_claims),
+                    "supported_claims": snapshot["supported_claims"],
+                    "refined_claims": snapshot["refined_claims"],
+                    "hops": snapshot["hops"],
+                    "mean_self_groundedness": snapshot["mean_groundedness"],
+                },
+                "groundedness_uplift": round(groundedness_uplift, 4),
+                "recall_ratio": round(recall_ratio, 4),
+                "citation_holes": citation_holes,
+                "off_mode_bit_identical": parity,
+                "disabled_site_ns": round(site_cost * 1e9, 2),
+                "disabled_sites_per_query": DISABLED_SITES_PER_QUERY,
+                "estimated_disabled_overhead_pct": round(
+                    estimated_overhead_pct, 4
+                ),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Higher oracle groundedness on multi-concept questions.
+    assert groundedness_uplift >= 1.05, (
+        f"agentic groundedness {agentic_groundedness:.4f} is not a clear "
+        f"uplift over single-hop {base_groundedness:.4f}"
+    )
+    # No answer-recall regression from cross-hop fusion.
+    assert recall_ratio >= 1.0, (
+        f"agentic answer recall {agentic_mean_recall:.4f} regressed vs "
+        f"single-hop {base_mean_recall:.4f}"
+    )
+    # Every claim cites retrieved evidence.
+    assert citation_holes == 0, f"{citation_holes} claims cite nothing"
+    # Off by default is bit-identical.
+    assert parity, "agentic-off answers diverged from the single-hop path"
+    # Disabled mode is free.
+    assert estimated_overhead_pct < 1.0, (
+        f"disabled agentic layer adds {estimated_overhead_pct:.3f}% per query"
+    )

@@ -158,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission control: shed or degrade requests before the "
         "engine saturates",
     )
+    parser.add_argument(
+        "--agentic", action="store_true",
+        help="agentic answering: decompose the question into per-concept "
+        "hops and compose per-claim cited answers",
+    )
+    parser.add_argument(
+        "--agentic-max-hops", type=int, default=4, dest="agentic_max_hops",
+        help="maximum decomposed sub-queries per agentic question",
+    )
+    parser.add_argument(
+        "--agentic-refine-rounds", type=int, default=1,
+        dest="agentic_refine_rounds",
+        help="re-retrieval rounds for unsupported claims (0 disables "
+        "refinement)",
+    )
     return parser
 
 
@@ -229,6 +244,9 @@ def make_server(args: argparse.Namespace) -> ApiServer:
         semantic_cache=getattr(args, "semantic_cache", False),
         semantic_threshold=getattr(args, "semantic_threshold", 0.9),
         admission=getattr(args, "admission", False),
+        agentic=getattr(args, "agentic", False),
+        agentic_max_hops=getattr(args, "agentic_max_hops", 4),
+        agentic_refine_rounds=getattr(args, "agentic_refine_rounds", 1),
     )
     server = ApiServer(config)
     print(f"building {args.domain} knowledge base ({args.size} objects)...")
@@ -264,7 +282,11 @@ def ascii_image(image, width: int = 32) -> str:
 
 
 def print_answer(payload: dict) -> None:
-    """Print one answer payload (text plus ranked result cards)."""
+    """Print one answer payload (text plus ranked result cards).
+
+    Agentic payloads additionally carry ``claims`` and ``groundedness``;
+    both are rendered when present and silently skipped otherwise.
+    """
     print("mqa :", payload["text"])
     for rank, item in enumerate(payload["items"]):
         star = "*" if item["preferred"] else " "
@@ -272,6 +294,19 @@ def print_answer(payload: dict) -> None:
             f"   {star}[{rank}] #{item['object_id']} {item['description']} "
             f"(score {item['score']})"
         )
+    claims = payload.get("claims")
+    if claims:
+        print("   claims:")
+        for claim in claims:
+            mark = "+" if claim.get("supported") else "-"
+            cites = ", ".join(f"#{cid}" for cid in claim.get("citations", []))
+            refined = " (refined)" if claim.get("refined") else ""
+            print(
+                f"    {mark} {claim.get('concept')}: "
+                f"cites [{cites}]{refined}"
+            )
+    if payload.get("groundedness") is not None:
+        print(f"   groundedness: {payload['groundedness']}")
 
 
 def format_trace(trace: dict, indent: int = 0) -> str:
@@ -320,8 +355,14 @@ def report_shell_error(server: ApiServer, command: str, exc: BaseException) -> N
     coordinator.metrics.inc("cli.errors")
 
 
-def run_shell(server: ApiServer, show_trace: bool = False) -> None:
-    """The interactive read-eval loop."""
+def run_shell(
+    server: ApiServer, show_trace: bool = False, agentic: bool = False
+) -> None:
+    """The interactive read-eval loop.
+
+    With ``agentic`` set, plain query lines go through ``POST /ask``
+    (multi-hop answering) instead of ``POST /query``.
+    """
     print("\ntype a query, /select N, /reject N, /refine TEXT, /show ID,")
     print("/ingest concept1 concept2 ..., /status, /weights, /transcript,")
     print("/events, /health, /profile, or /quit\n")
@@ -421,7 +462,8 @@ def run_shell(server: ApiServer, show_trace: bool = False) -> None:
             else:
                 print("error:", response["error"])
             continue
-        response = server.handle("POST", "/query", {"text": line})
+        verb = "/ask" if agentic else "/query"
+        response = server.handle("POST", verb, {"text": line})
         if response["ok"]:
             print_answer(response["answer"])
             if show_trace:
@@ -842,7 +884,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     args = build_parser().parse_args(argv)
     server = make_server(args)
     if args.ask is not None:
-        response = server.handle("POST", "/query", {"text": args.ask})
+        verb = "/ask" if getattr(args, "agentic", False) else "/query"
+        response = server.handle("POST", verb, {"text": args.ask})
         if not response["ok"]:
             print("error:", response["error"], file=sys.stderr)
             return 1
@@ -850,7 +893,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         if args.trace:
             print_trace(server)
         return 0
-    run_shell(server, show_trace=args.trace)
+    run_shell(
+        server,
+        show_trace=args.trace,
+        agentic=getattr(args, "agentic", False),
+    )
     return 0
 
 

@@ -7,6 +7,7 @@ orchestrated by a coordinator that is the sole conduit between frontend
 the one-import facade a downstream user talks to.
 """
 
+from repro.core.agentic import AgenticAnswerer, Claim, QueryDecomposer, SubQuery
 from repro.core.answer import Answer
 from repro.core.config import MQAConfig, WeightMode
 from repro.core.coordinator import Coordinator
@@ -34,8 +35,10 @@ from repro.core.system import MQASystem
 __all__ = [
     "AdmissionController",
     "AdmissionShedError",
+    "AgenticAnswerer",
     "Answer",
     "CircuitBreaker",
+    "Claim",
     "ConfigurationPanel",
     "Coordinator",
     "Deadline",
@@ -50,11 +53,13 @@ __all__ = [
     "MilestoneState",
     "QAPanel",
     "QueryCache",
+    "QueryDecomposer",
     "QueryPlan",
     "QueryPlanner",
     "ResilienceManager",
     "RetryPolicy",
     "Round",
+    "SubQuery",
     "SemanticQueryCache",
     "StatusBoard",
     "StatusPanel",

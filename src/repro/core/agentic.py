@@ -1,0 +1,449 @@
+"""Agentic multi-hop answering with per-claim citations.
+
+The paper's dialogue loop refines answers only by re-weighting
+modalities; this module extends it to *refine by reasoning* (ROADMAP
+item 3).  One question becomes several cooperating retrieval hops:
+
+1. **Decompose** — :class:`QueryDecomposer` splits the question into one
+   sub-query per latent-concept token it mentions (deterministic
+   templates over the domain vocabulary, seeded).
+2. **Retrieve** — the original query (hop 0) plus every sub-query run as
+   one :meth:`~repro.core.coordinator.Coordinator.retrieve_batch` call —
+   the PR 4 batch path, under the same read-lock acquisition, honoring
+   admission control at the server boundary and the per-request
+   :class:`~repro.core.resilience.Deadline` between phases here.
+3. **Fuse** — hops merge with reciprocal-rank fusion
+   (:func:`~repro.retrieval.fusion.fuse_responses`; hop 0 carries double
+   stream weight), so objects surfacing in several concept hops float up.
+4. **Synthesize** — the deterministic
+   :class:`~repro.llm.agentic.ClaimSynthesizer` emits one :class:`Claim`
+   per concept, each citing ``#id``s of retrieved objects; citation
+   validity is enforced through
+   :func:`~repro.llm.grounding.check_grounding`.
+5. **Refine** — claims whose citations carry no textual evidence are
+   re-retrieved with a concept-doubled query (bounded rounds, deadline
+   aware) and re-synthesized; rescued claims are marked ``refined``.
+
+Everything is off unless ``config.agentic`` is set — the coordinator
+then never constructs an :class:`AgenticAnswerer` and the single-hop
+path is bit-identical to the pre-agentic behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.answer import Answer
+from repro.core.generation import context_items
+from repro.data.concepts import ConceptSpace
+from repro.data.modality import Modality
+from repro.data.objects import RawQuery
+from repro.data.rendering import TextRenderer
+from repro.llm.agentic import ClaimSynthesizer, claim_summary_line, render_subquery
+from repro.llm.base import GenerationResult
+from repro.llm.grounding import check_grounding
+from repro.llm.prompts import ContextItem, DialogueTurn
+from repro.observability import trace_span
+from repro.retrieval.fusion import fuse_responses
+from repro.utils import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.coordinator import Coordinator
+
+#: Stream weight of hop 0 (the undecomposed query) in the cross-hop
+#: fusion; sub-query hops weigh 1.0.  The original query already encodes
+#: the *composition* of all concepts, so it stays the strongest signal —
+#: concept hops vote it up or down rather than outvote it.
+HOP_ZERO_WEIGHT = 2.0
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One decomposed retrieval hop.
+
+    Attributes:
+        concept: The latent-concept token this hop targets.
+        text: The rendered query text sent to retrieval.
+        hop: 1-based hop number (hop 0 is the original query).
+        refined: True when this hop is a refinement re-retrieval.
+    """
+
+    concept: str
+    text: str
+    hop: int
+    refined: bool = False
+
+
+@dataclass
+class Claim:
+    """One synthesized, citation-carrying statement of the answer.
+
+    Attributes:
+        concept: The latent-concept token the claim is about.
+        text: The claim sentence, containing ``#id`` citations.
+        citations: Retrieved object ids backing the claim (never empty
+            when retrieval returned anything for the hop).
+        supported: True when at least one cited object's description
+            textually confirms the concept.
+        hop: The retrieval hop that produced the cited evidence.
+        refined: True when support was only found by the refinement pass.
+    """
+
+    concept: str
+    text: str
+    citations: List[int] = field(default_factory=list)
+    supported: bool = False
+    hop: int = 0
+    refined: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view for the API payload."""
+        return {
+            "concept": self.concept,
+            "text": self.text,
+            "citations": [int(object_id) for object_id in self.citations],
+            "supported": self.supported,
+            "hop": self.hop,
+            "refined": self.refined,
+        }
+
+
+class QueryDecomposer:
+    """Split a question into per-concept sub-queries.
+
+    Decomposition is driven by the domain's latent-concept vocabulary:
+    every known concept token the question mentions becomes one hop, in
+    mention order, capped at ``max_hops``.  Deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        space: ConceptSpace,
+        max_hops: int = 4,
+        seed: int = 0,
+        temperature: float = 0.0,
+    ) -> None:
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        self.space = space
+        self.max_hops = max_hops
+        self.seed = seed
+        self.temperature = temperature
+
+    def concepts(self, text: str) -> List[str]:
+        """Known concept tokens mentioned in ``text``, deduplicated in
+        mention order."""
+        seen: List[str] = []
+        for token in self.space.known_tokens(TextRenderer.tokenize(text)):
+            if token not in seen:
+                seen.append(token)
+        return seen
+
+    def decompose(self, text: str) -> List[SubQuery]:
+        """The sub-queries for ``text`` (empty when no concept is known)."""
+        return [
+            SubQuery(
+                concept=concept,
+                text=render_subquery(
+                    concept, self.seed, temperature=self.temperature
+                ),
+                hop=hop,
+            )
+            for hop, concept in enumerate(
+                self.concepts(text)[: self.max_hops], start=1
+            )
+        ]
+
+    def refine_query(self, concept: str) -> str:
+        """The re-retrieval phrasing for an unsupported ``concept``."""
+        return render_subquery(
+            concept, self.seed, temperature=self.temperature, refine=True
+        )
+
+
+class AgenticAnswerer:
+    """Orchestrates decompose → retrieve → fuse → synthesize → refine.
+
+    Owns only counters; all retrieval/generation machinery is borrowed
+    from the coordinator per call, so the answerer itself is stateless
+    with respect to queries and safe under concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        decomposer: QueryDecomposer,
+        synthesizer: Optional[ClaimSynthesizer] = None,
+        refine_rounds: int = 1,
+        metrics=None,
+    ) -> None:
+        if refine_rounds < 0:
+            raise ValueError(f"refine_rounds must be >= 0, got {refine_rounds}")
+        self.decomposer = decomposer
+        self.synthesizer = synthesizer or ClaimSynthesizer(seed=decomposer.seed)
+        self.refine_rounds = refine_rounds
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._questions = 0
+        self._hops = 0
+        self._claims = 0
+        self._supported = 0
+        self._refined = 0
+        self._refine_rounds_run = 0
+        self._groundedness_sum = 0.0
+        self._groundedness_count = 0
+
+    # ------------------------------------------------------------------
+    # introspection (GET /stats, GET /health)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregate agentic counters for the stats/health planes."""
+        with self._lock:
+            mean = (
+                self._groundedness_sum / self._groundedness_count
+                if self._groundedness_count
+                else None
+            )
+            return {
+                "enabled": True,
+                "max_hops": self.decomposer.max_hops,
+                "refine_rounds": self.refine_rounds,
+                "questions": self._questions,
+                "hops": self._hops,
+                "claims": self._claims,
+                "supported_claims": self._supported,
+                "refined_claims": self._refined,
+                "refine_rounds_run": self._refine_rounds_run,
+                "mean_groundedness": mean,
+            }
+
+    def _observe(self, claims: Sequence[Claim], hops: int, rounds: int) -> None:
+        supported = sum(1 for claim in claims if claim.supported)
+        refined = sum(1 for claim in claims if claim.refined)
+        with self._lock:
+            self._questions += 1
+            self._hops += hops
+            self._claims += len(claims)
+            self._supported += supported
+            self._refined += refined
+            self._refine_rounds_run += rounds
+            if claims:
+                self._groundedness_sum += supported / len(claims)
+                self._groundedness_count += 1
+        if self.metrics is not None:
+            self.metrics.inc("agentic.questions")
+            self.metrics.inc("agentic.hops", hops)
+            self.metrics.inc("agentic.claims", len(claims))
+            self.metrics.inc("agentic.supported_claims", supported)
+            self.metrics.inc("agentic.refined_claims", refined)
+
+    # ------------------------------------------------------------------
+    # the multi-hop round
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        coordinator: "Coordinator",
+        query: RawQuery,
+        history: Sequence[DialogueTurn] = (),
+        preferred_ids: Sequence[int] = (),
+        round_index: int = 0,
+        k: Optional[int] = None,
+        weights: "Dict[Modality, float] | None" = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Answer:
+        """Run one agentic round and return the claim-carrying answer.
+
+        Falls back to the coordinator's single-hop
+        :meth:`~repro.core.coordinator.Coordinator.handle_query` (with
+        ``claims=[]``) when the question mentions no known concept or the
+        system runs LLM-only.
+        """
+        user_text = (
+            str(query.get(Modality.TEXT)) if query.has(Modality.TEXT) else ""
+        )
+        had_image = query.has(Modality.IMAGE)
+        k = k if k is not None else coordinator.config.result_count
+        subqueries = self.decomposer.decompose(user_text)
+        if not subqueries or coordinator.execution is None or coordinator.kb is None:
+            answer = coordinator.handle_query(
+                query,
+                history=history,
+                preferred_ids=preferred_ids,
+                round_index=round_index,
+                k=k,
+                weights=weights,
+                deadline_ms=deadline_ms,
+            )
+            answer.claims = []
+            self._observe([], hops=0, rounds=0)
+            return answer
+
+        kb = coordinator.kb
+        deadline = coordinator.resilience.deadline(deadline_ms)
+        degraded_reasons: List[str] = []
+        rounds_run = 0
+        with coordinator.tracer.trace(
+            "agentic-query",
+            round=round_index,
+            hops=len(subqueries) + 1,
+            k=k,
+        ):
+            with trace_span("decompose") as span, Timer() as decompose_timer:
+                queries = [query] + [
+                    RawQuery.from_text(subquery.text) for subquery in subqueries
+                ]
+                span.set(concepts=",".join(s.concept for s in subqueries))
+            responses = coordinator.retrieve_batch(queries, k=k, weights=weights)
+            with trace_span("synthesize") as span, Timer() as synth_timer:
+                claims = [
+                    self._synthesize(subquery, responses[subquery.hop], kb)
+                    for subquery in subqueries
+                ]
+                span.set(
+                    claims=len(claims),
+                    supported=sum(1 for c in claims if c.supported),
+                )
+            refine_timer = Timer()
+            with refine_timer:
+                rounds_run = self._refine(
+                    coordinator, kb, claims, k, deadline, degraded_reasons,
+                    responses,
+                )
+
+            # The final context is the cross-hop fusion over everything
+            # retrieved (including successful refinement hops), so every
+            # citation in the claim list resolves inside the answer's own
+            # retrieved context.
+            stream_weights = [HOP_ZERO_WEIGHT] + [1.0] * (len(responses) - 1)
+            fused = fuse_responses(responses, k, stream_weights=stream_weights)
+            degraded_reasons.extend(
+                reason
+                for reason in fused.degraded_reasons
+                if reason not in degraded_reasons
+            )
+            fused.degraded_reasons = []
+            answer = coordinator._generate_answer(
+                user_text, fused, history, preferred_ids, had_image,
+                round_index, deadline, degraded_reasons,
+            )
+
+        claim_lines = [claim.text for claim in claims]
+        tally = claim_summary_line(claims)
+        if tally is not None:
+            claim_lines.append(tally)
+        answer.text = "\n".join([answer.text] + claim_lines)
+        answer.claims = claims
+        answer.groundedness = (
+            sum(1 for claim in claims if claim.supported) / len(claims)
+            if claims
+            else None
+        )
+        if degraded_reasons:
+            answer.degraded = True
+            answer.degraded_reasons = degraded_reasons
+        hop_cost = responses[0].cost if responses else None
+        if hop_cost is not None:
+            hop_cost.add_stage(
+                "agentic-decompose", decompose_timer.elapsed * 1000.0
+            )
+            hop_cost.add_stage("agentic-synthesize", synth_timer.elapsed * 1000.0)
+            if rounds_run:
+                hop_cost.add_stage(
+                    "agentic-refine", refine_timer.elapsed * 1000.0
+                )
+            answer.cost = hop_cost
+        self._observe(claims, hops=len(responses) - 1, rounds=rounds_run)
+        if self.metrics is not None and answer.groundedness is not None:
+            self.metrics.observe("agentic.groundedness", answer.groundedness)
+        coordinator.events.record(
+            "generation", "frontend", "agentic-answer",
+            f"{len(claims)} claims, "
+            f"{sum(1 for c in claims if c.supported)} supported",
+        )
+        return answer
+
+    def _synthesize(self, subquery: SubQuery, response, kb) -> Claim:
+        """One claim for ``subquery`` from its hop's retrieval response."""
+        items: List[ContextItem] = context_items(response, kb)
+        text, citations, evidence = self.synthesizer.compose(
+            subquery.concept, items
+        )
+        # The enforcement point: a claim may only cite ids its own hop
+        # retrieved.  check_grounding also re-extracts the #ids from the
+        # text, so phrasing and citation list cannot drift apart.
+        grounded = check_grounding(
+            GenerationResult(
+                text=text,
+                cited_object_ids=tuple(citations),
+                grounded=evidence,
+                model="claim-synthesizer",
+            ),
+            (item.object_id for item in items),
+            strict=False,
+        )
+        return Claim(
+            concept=subquery.concept,
+            text=text,
+            citations=citations,
+            supported=evidence and grounded,
+            hop=subquery.hop,
+            refined=subquery.refined,
+        )
+
+    def _refine(
+        self,
+        coordinator: "Coordinator",
+        kb,
+        claims: List[Claim],
+        k: int,
+        deadline,
+        degraded_reasons: List[str],
+        responses: List,
+    ) -> int:
+        """Re-retrieve for unsupported claims; returns rounds executed.
+
+        Successful refinement hops are appended to ``responses`` so the
+        final fusion (and therefore the answer's retrieved context)
+        includes the rescuing evidence.
+        """
+        rounds = 0
+        for _ in range(self.refine_rounds):
+            pending = [
+                (position, claim)
+                for position, claim in enumerate(claims)
+                if not claim.supported
+            ]
+            if not pending:
+                break
+            if deadline is not None and deadline.expired:
+                degraded_reasons.append(
+                    "agentic refinement skipped (deadline exhausted)"
+                )
+                break
+            rounds += 1
+            with trace_span("refine", claims=len(pending)) as span:
+                refine_subqueries = [
+                    SubQuery(
+                        concept=claim.concept,
+                        text=self.decomposer.refine_query(claim.concept),
+                        hop=claim.hop,
+                        refined=True,
+                    )
+                    for _, claim in pending
+                ]
+                refine_responses = coordinator.retrieve_batch(
+                    [RawQuery.from_text(s.text) for s in refine_subqueries],
+                    k=k,
+                )
+                rescued = 0
+                for (position, _), subquery, response in zip(
+                    pending, refine_subqueries, refine_responses
+                ):
+                    claim = self._synthesize(subquery, response, kb)
+                    if claim.supported:
+                        rescued += 1
+                        claims[position] = claim
+                        responses.append(response)
+                span.set(rescued=rescued)
+        return rounds

@@ -48,6 +48,11 @@ class Answer:
             ``generate`` stage on top of the retrieval profile).
         plan: The :class:`~repro.core.planning.QueryPlan` the planner
             chose for this round, else None when planning is off.
+        claims: Per-concept :class:`~repro.core.agentic.Claim` list when
+            the round ran the agentic multi-hop path, else None — absent
+            from payloads whenever agentic mode is off.
+        groundedness: Fraction of claims whose citations carry textual
+            evidence (agentic rounds only), else None.
     """
 
     text: str
@@ -61,6 +66,8 @@ class Answer:
     degraded_reasons: List[str] = field(default_factory=list)
     cost: "object | None" = None
     plan: "object | None" = None
+    claims: "List[object] | None" = None
+    groundedness: "float | None" = None
 
     @property
     def ids(self) -> List[int]:

@@ -187,6 +187,18 @@ class MQAConfig:
             degrade requests *before* the engine saturates, instead of
             failing at the ``EngineSaturatedError`` cliff.  Off by
             default.
+        agentic: Agentic multi-hop answering: decompose the question into
+            per-concept sub-queries, retrieve them as one batch, fuse the
+            hops, synthesize per-claim citations, and re-retrieve for
+            unsupported claims (``POST /ask`` and the ``--agentic`` CLI
+            flag).  Off by default: the single-hop query path and its
+            payloads are then bit-identical to the pre-agentic behaviour.
+        agentic_max_hops: Upper bound on decomposed sub-queries per
+            question (the original query always runs as hop 0 on top);
+            only meaningful with ``agentic``.
+        agentic_refine_rounds: Re-retrieval rounds allowed for claims
+            whose citations carry no textual evidence; ``0`` disables the
+            refinement pass.  Only meaningful with ``agentic``.
     """
 
     dataset: DatasetSpec = field(default_factory=DatasetSpec)
@@ -250,6 +262,9 @@ class MQAConfig:
     semantic_cache: bool = False
     semantic_threshold: float = 0.9
     admission: bool = False
+    agentic: bool = False
+    agentic_max_hops: int = 4
+    agentic_refine_rounds: int = 1
 
     def __post_init__(self) -> None:
         self.weight_mode = WeightMode.parse(self.weight_mode)
@@ -454,6 +469,15 @@ class MQAConfig:
                 "semantic_threshold must be in [0, 1], got "
                 f"{self.semantic_threshold}"
             )
+        if self.agentic_max_hops < 1:
+            raise ConfigurationError(
+                f"agentic_max_hops must be >= 1, got {self.agentic_max_hops}"
+            )
+        if self.agentic_refine_rounds < 0:
+            raise ConfigurationError(
+                "agentic_refine_rounds must be >= 0, got "
+                f"{self.agentic_refine_rounds}"
+            )
 
     # ------------------------------------------------------------------
     # serialisation (the flight recorder embeds the config so a replay
@@ -518,4 +542,9 @@ class MQAConfig:
             adaptive.append("admission control")
         if adaptive:
             body["planning"] = ", ".join(adaptive)
+        if self.agentic:
+            body["agentic"] = (
+                f"multi-hop (max {self.agentic_max_hops} hops, "
+                f"{self.agentic_refine_rounds} refine rounds)"
+            )
         return body

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.agentic import AgenticAnswerer, QueryDecomposer
 from repro.core.answer import Answer
 from repro.core.cache import QueryCache, SemanticQueryCache
 from repro.core.concurrency import RWLock
@@ -131,6 +132,7 @@ class Coordinator:
             if config.admission
             else None
         )
+        self.agentic: Optional[AgenticAnswerer] = None  # needs the kb; see setup()
         self.kb: Optional[KnowledgeBase] = None
         self.representation: Optional[RepresentationOutcome] = None
         self.execution: Optional[QueryExecution] = None
@@ -184,6 +186,19 @@ class Coordinator:
                 self.metrics,
                 sample_rate=self.config.monitor_sample_rate,
                 k=self.config.result_count,
+            )
+        if self.config.agentic and self.kb is not None:
+            # Decomposition needs the domain's concept vocabulary, so the
+            # answerer can only exist once preprocessing delivered the kb.
+            self.agentic = AgenticAnswerer(
+                QueryDecomposer(
+                    self.kb.space,
+                    max_hops=self.config.agentic_max_hops,
+                    seed=self.config.dataset.seed,
+                    temperature=self.config.temperature,
+                ),
+                refine_rounds=self.config.agentic_refine_rounds,
+                metrics=self.metrics,
             )
         self._is_setup = True
         return self
@@ -413,6 +428,45 @@ class Coordinator:
                     answer.plan.budget, float(score["recall_at_k"])
                 )
         return answer
+
+    def answer_agentic(
+        self,
+        query: RawQuery,
+        history: Sequence[DialogueTurn] = (),
+        preferred_ids: Sequence[int] = (),
+        round_index: int = 0,
+        k: Optional[int] = None,
+        weights: "Dict[Modality, float] | None" = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Answer:
+        """Run one multi-hop agentic round (``POST /ask``).
+
+        Delegates to the :class:`~repro.core.agentic.AgenticAnswerer`
+        when ``config.agentic`` is on; otherwise falls straight through
+        to :meth:`handle_query`, so an ``/ask`` against a non-agentic
+        deployment answers bit-identically to ``/query``.
+        """
+        self._require_setup()
+        if self.agentic is None:
+            return self.handle_query(
+                query,
+                history=history,
+                preferred_ids=preferred_ids,
+                round_index=round_index,
+                k=k,
+                weights=weights,
+                deadline_ms=deadline_ms,
+            )
+        return self.agentic.answer(
+            self,
+            query,
+            history=history,
+            preferred_ids=preferred_ids,
+            round_index=round_index,
+            k=k,
+            weights=weights,
+            deadline_ms=deadline_ms,
+        )
 
     def retrieve_batch(
         self,

@@ -14,10 +14,68 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.core.answer import Answer, AnswerItem
 from repro.data.knowledge_base import KnowledgeBase
 from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject
+from repro.errors import UnknownObjectError
 from repro.llm.base import GenerationRequest, LanguageModel
 from repro.llm.grounding import check_grounding
 from repro.llm.prompts import ContextItem, DialogueTurn, PromptBuilder
 from repro.retrieval import RetrievalResponse
+
+
+def describe_object(obj: MultiModalObject) -> str:
+    """A prompt-ready description of ``obj``, whatever its modalities.
+
+    Text-bearing objects use their rendered description verbatim.  Objects
+    without a text modality used to collapse to ``"(no description)"``,
+    which threw their image/audio payloads away before the prompt was
+    built; instead, name each non-text modality with its payload shape so
+    the generation layer (and per-claim source attribution) still sees
+    what the object carries.
+    """
+    if obj.has(Modality.TEXT):
+        return str(obj.get(Modality.TEXT))
+    parts: List[str] = []
+    for modality in obj.modalities:
+        content = obj.get(modality)
+        shape = getattr(content, "shape", None)
+        if shape:
+            dims = "x".join(str(dim) for dim in shape)
+            parts.append(f"{modality.value} {dims}")
+        else:
+            parts.append(modality.value)
+    if not parts:
+        return "(no content)"
+    return f"[{' + '.join(parts)} attachment]"
+
+
+def context_items(
+    response: RetrievalResponse,
+    kb: KnowledgeBase,
+    preferred_ids: Set[int] = frozenset(),
+) -> List[ContextItem]:
+    """Resolve a retrieval response into prompt context items.
+
+    An id that no longer resolves (the object was removed between
+    retrieval and generation — stale cache hit or concurrent
+    ``remove_object``) is skipped rather than failing the round: by the
+    time generation runs, the retrieval step is already committed, and a
+    missing object simply has nothing to contribute to the prompt.
+    """
+    items: List[ContextItem] = []
+    for retrieved in response.items:
+        try:
+            obj = kb.get(retrieved.object_id)
+        except UnknownObjectError:
+            continue
+        items.append(
+            ContextItem(
+                object_id=retrieved.object_id,
+                description=describe_object(obj),
+                score=retrieved.score,
+                preferred=retrieved.object_id in preferred_ids,
+            )
+        )
+    return items
 
 
 class AnswerGeneration:
@@ -41,21 +99,7 @@ class AnswerGeneration:
         kb: KnowledgeBase,
         preferred_ids: Set[int],
     ) -> List[ContextItem]:
-        items: List[ContextItem] = []
-        for retrieved in response.items:
-            obj = kb.get(retrieved.object_id)
-            description = (
-                obj.get(Modality.TEXT) if obj.has(Modality.TEXT) else "(no description)"
-            )
-            items.append(
-                ContextItem(
-                    object_id=retrieved.object_id,
-                    description=description,
-                    score=retrieved.score,
-                    preferred=retrieved.object_id in preferred_ids,
-                )
-            )
-        return items
+        return context_items(response, kb, preferred_ids)
 
     def generate(
         self,

@@ -38,6 +38,7 @@ bit-identical to the pre-planning code.
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 import time
@@ -54,6 +55,8 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Latency samples retained per budget tier (rolling window).
 _TIER_WINDOW = 128
@@ -225,6 +228,8 @@ class QueryPlanner:
         self._degraded = 0
         self._pressure_plans = 0
         self._batch_skips = 0
+        self._errors = 0
+        self._error_logged = False
         self._stats_seed_ms: Optional[float] = None
         self._stats_seed_at = 0
 
@@ -249,7 +254,21 @@ class QueryPlanner:
         self._stats_seed_at = self._plans
         try:
             snap = self.stats.snapshot()
-        except Exception:
+        except Exception as exc:
+            # Falling back to the cached seed keeps planning alive, but a
+            # broken stats plane must be visible, not silent: count every
+            # failure and log the first one with its cause.
+            self._errors += 1
+            if self.metrics is not None:
+                self.metrics.inc("planner.errors")
+            if not self._error_logged:
+                self._error_logged = True
+                logger.warning(
+                    "planner stats seeding failed; using cached seed "
+                    "(error=%s message=%r)",
+                    type(exc).__name__,
+                    str(exc),
+                )
             return self._stats_seed_ms
         whole = [g for g in snap.get("groups", []) if g.get("shard") == "-"]
         if whole:
@@ -465,6 +484,7 @@ class QueryPlanner:
                 "degraded": self._degraded,
                 "pressure_plans": self._pressure_plans,
                 "batch_skips": self._batch_skips,
+                "errors": self._errors,
                 "tiers": tiers,
             }
 
@@ -557,6 +577,8 @@ class AdmissionController:
         self.accepted = 0
         self.degraded = 0
         self.shed = 0
+        self.probe_errors = 0
+        self._probe_error_logged = False
         self.metrics = metrics
 
     @classmethod
@@ -601,11 +623,32 @@ class AdmissionController:
         if probe is not None:
             try:
                 depth = max(int(probe()), 0)
-            except Exception:
-                pass
+            except Exception as exc:
+                # Callers (decide) already hold self._lock; plain counter
+                # increments are safe here, but no re-acquisition.
+                self._record_probe_error(exc)
             else:
                 return depth / self.workers * predicted
         return self._wait_ewma
+
+    def _record_probe_error(self, exc: BaseException) -> None:
+        """Count a failed queue probe and log the first occurrence.
+
+        Must be callable both with and without ``self._lock`` held (the
+        probe fires from :meth:`decide`, which holds it, and from
+        :meth:`snapshot`, which does not), so it never takes the lock.
+        """
+        self.probe_errors += 1
+        if self.metrics is not None:
+            self.metrics.inc("admission.probe_errors")
+        if not self._probe_error_logged:
+            self._probe_error_logged = True
+            logger.warning(
+                "admission queue probe failed; falling back to the "
+                "queue-wait EWMA (error=%s message=%r)",
+                type(exc).__name__,
+                str(exc),
+            )
 
     def decide(self, predicted_ms: float) -> str:
         """Admit one request: ``"accept"``, ``"degrade"``, or ``"shed"``.
@@ -663,7 +706,8 @@ class AdmissionController:
         if probe is not None:
             try:
                 depth = max(int(probe()), 0)
-            except Exception:
+            except Exception as exc:
+                self._record_probe_error(exc)
                 depth = None
         with self._lock:
             return {
@@ -679,4 +723,5 @@ class AdmissionController:
                 "accepted": self.accepted,
                 "degraded": self.degraded,
                 "shed": self.shed,
+                "probe_errors": self.probe_errors,
             }

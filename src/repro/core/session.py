@@ -133,6 +133,49 @@ class DialogueSession:
             deadline_ms=deadline_ms,
         )
 
+    def ask_agentic(
+        self,
+        text: str,
+        image: Any = None,
+        k: Optional[int] = None,
+        weights: Optional[dict] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Answer:
+        """Ask through the multi-hop agentic path (``POST /ask``).
+
+        Same dialogue-state threading as :meth:`ask` (history, preferred
+        selections, round numbering), but the round runs through
+        :meth:`~repro.core.coordinator.Coordinator.answer_agentic` —
+        which falls back to the single-hop path, bit-identically, when
+        agentic mode is off.  Metadata filtering and rejected-id
+        exclusion are :meth:`ask`-only for now.
+        """
+        if not text:
+            raise SessionError("query text must be non-empty")
+        if image is not None:
+            query = RawQuery.from_text_and_image(text, image)
+        else:
+            query = RawQuery.from_text(text)
+        with self._lock:
+            answer = self.coordinator.answer_agentic(
+                query,
+                history=self._history(),
+                preferred_ids=self._preferred_ids(),
+                round_index=len(self.rounds),
+                k=k,
+                weights=weights,
+                deadline_ms=deadline_ms,
+            )
+            self.rounds.append(
+                Round(
+                    index=len(self.rounds),
+                    user_text=text,
+                    had_image=query.has(Modality.IMAGE),
+                    answer=answer,
+                )
+            )
+            return answer
+
     def select(self, rank: int) -> int:
         """Mark the item at ``rank`` of the last answer as preferred.
 

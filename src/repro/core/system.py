@@ -71,6 +71,20 @@ class MQASystem:
         """
         return self.session.ask(text, image=image, k=k, weights=weights, where=where)
 
+    def ask_agentic(
+        self,
+        text: str,
+        image: Any = None,
+        k: Optional[int] = None,
+        weights: Optional[dict] = None,
+    ) -> Answer:
+        """Submit a query through the multi-hop agentic path.
+
+        With ``config.agentic`` off this is bit-identical to :meth:`ask`
+        (minus ``where`` filtering, which the agentic path does not take).
+        """
+        return self.session.ask_agentic(text, image=image, k=k, weights=weights)
+
     def select(self, rank: int) -> int:
         """Mark the last answer's item at ``rank`` as preferred."""
         return self.session.select(rank)

@@ -1,0 +1,54 @@
+"""Oracle groundedness scoring for agentic answers.
+
+The answerer's own ``supported`` flag relies on what a real LLM could
+read — the noisy rendered descriptions.  Evaluation gets to cheat: the
+latent-concept ground truth says exactly which objects genuinely carry a
+concept, so a claim can be scored as *oracle-grounded* — does it cite at
+least one object from the concept's true neighbourhood? — independently
+of rendering noise.  Benchmarks report this score for agentic answers
+and for single-hop baselines alike, making the two comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.data.knowledge_base import KnowledgeBase
+
+
+def claim_is_grounded(
+    kb: KnowledgeBase,
+    concept: str,
+    citations: Iterable[int],
+    k: int = 10,
+) -> bool:
+    """True when any citation lies in ``concept``'s true top-``k``.
+
+    Args:
+        kb: The knowledge base with its hidden latents.
+        concept: The latent-concept token the claim is about.
+        citations: Object ids the claim cites.
+        k: Size of the ground-truth neighbourhood to accept.
+    """
+    truth = set(kb.ground_truth_for_concepts([concept], k))
+    return any(object_id in truth for object_id in citations)
+
+
+def groundedness_score(
+    kb: KnowledgeBase,
+    claims: Sequence[object],
+    k: int = 10,
+) -> float:
+    """Fraction of ``claims`` that are oracle-grounded (0.0 when empty).
+
+    ``claims`` are :class:`~repro.core.agentic.Claim`-likes: anything
+    with ``concept`` and ``citations`` attributes.
+    """
+    if not claims:
+        return 0.0
+    grounded = sum(
+        1
+        for claim in claims
+        if claim_is_grounded(kb, claim.concept, claim.citations, k=k)
+    )
+    return grounded / len(claims)

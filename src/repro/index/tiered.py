@@ -284,8 +284,17 @@ class TieredStore:
         }
 
     def close(self) -> None:
-        """Release the mmap and delete an owned temporary spill file."""
+        """Release both tiers and delete an owned temporary spill file.
+
+        Idempotent: a second close is a no-op.  The block device is reset
+        along with the mmap view — a closed store must stop reporting
+        live cache statistics, and ``__del__`` must actually release
+        every tier, not just the full-precision one.
+        """
+        if self._full is None and self.device is None and self._path is None:
+            return
         self._full = None
+        self.device = None
         if self._owns_path and self._path and os.path.exists(self._path):
             try:
                 os.unlink(self._path)

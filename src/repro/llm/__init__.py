@@ -17,6 +17,11 @@ prompt builder assembles query + context + history exactly as the paper's
 answer-generation component describes.
 """
 
+from repro.llm.agentic import (
+    ClaimSynthesizer,
+    claim_summary_line,
+    render_subquery,
+)
 from repro.llm.attribute_qa import AttributeQALLM
 from repro.llm.base import GenerationRequest, GenerationResult, LanguageModel
 from repro.llm.generative_image import GenerativeImageModel
@@ -29,6 +34,7 @@ from repro.llm.template_llm import TemplateLLM
 
 __all__ = [
     "AttributeQALLM",
+    "ClaimSynthesizer",
     "ContextItem",
     "GenerationRequest",
     "GenerationResult",
@@ -41,6 +47,8 @@ __all__ = [
     "available_llms",
     "build_llm",
     "check_grounding",
+    "claim_summary_line",
     "extract_citations",
     "register_llm",
+    "render_subquery",
 ]

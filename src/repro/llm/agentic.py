@@ -1,0 +1,143 @@
+"""Prompt templates and claim synthesis for agentic multi-hop answering.
+
+The agentic answerer (``repro.core.agentic``) decomposes a question into
+per-concept sub-queries, retrieves evidence for each, and composes the
+final reply from *claims* — one grounded sentence per concept, each
+citing the retrieved objects that back it.  This module is the LLM-layer
+half of that loop: deterministic sub-query phrasing (the "planner
+prompt") and the deterministic claim synthesizer (the "synthesizer
+prompt"), both pure functions of their inputs plus a seed, exactly like
+:class:`~repro.llm.template_llm.TemplateLLM`.
+
+Like every simulated model here, the synthesizer only consumes what a
+real LLM would see — the retrieved objects' ids and text descriptions —
+never hidden ground truth.  The textual-evidence test used to mark a
+claim supported reads the *rendered* description (which drops tokens
+noisily), so unsupported claims arise naturally and give the refinement
+pass real work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.rendering import TextRenderer
+from repro.llm.prompts import ContextItem
+from repro.utils import derive_rng
+
+#: How a decomposed concept is phrased as a standalone retrieval query.
+#: Template 0 is the deterministic (temperature 0) choice.
+SUBQUERY_TEMPLATES: Tuple[str, ...] = (
+    "show me {concept} items",
+    "find objects featuring {concept}",
+    "looking for {concept}",
+    "i want results about {concept}",
+)
+
+#: Phrasing used when a claim's evidence came up empty and the hop is
+#: re-retrieved.  The concept appears twice on purpose: the bag-of-tokens
+#: text encoder weights repeated tokens higher, so the refinement query
+#: leans harder on the concept than the first hop did.
+REFINE_TEMPLATES: Tuple[str, ...] = (
+    "strictly {concept} results, specifically {concept}",
+    "only {concept} items please, {concept} above all",
+)
+
+
+def render_subquery(
+    concept: str, seed: int, temperature: float = 0.0, refine: bool = False
+) -> str:
+    """Phrase one decomposed concept as a retrieval query.
+
+    Deterministic: temperature 0 always picks the first template; a
+    positive temperature widens the pool, with the pick derived from
+    ``(seed, concept)`` so the same question decomposes identically on
+    every run.
+    """
+    templates = REFINE_TEMPLATES if refine else SUBQUERY_TEMPLATES
+    if temperature <= 0.0:
+        return templates[0].format(concept=concept)
+    rng = derive_rng(seed, "agentic-subquery", concept, refine)
+    pool = max(1, min(len(templates), int(1 + temperature * (len(templates) - 1))))
+    return templates[int(rng.integers(pool))].format(concept=concept)
+
+
+class ClaimSynthesizer:
+    """Deterministic per-claim synthesis with ``#id`` citations.
+
+    Args:
+        seed: Phrasing seed (kept for parity with the other simulated
+            models; the default phrasing is temperature-0 deterministic).
+        max_citations: Upper bound on citations carried per claim.
+    """
+
+    def __init__(self, seed: int = 0, max_citations: int = 3) -> None:
+        if max_citations < 1:
+            raise ValueError(
+                f"max_citations must be >= 1, got {max_citations}"
+            )
+        self.seed = seed
+        self.max_citations = max_citations
+
+    @staticmethod
+    def has_evidence(concept: str, item: ContextItem) -> bool:
+        """True when ``item``'s rendered description mentions ``concept``.
+
+        This is the only support test a real LLM could run: read the
+        retrieved text.  Descriptions are rendered with token dropout, so
+        a genuinely relevant object can still fail it — those claims are
+        what the refinement pass re-retrieves for.
+        """
+        return concept.lower() in TextRenderer.tokenize(item.description)
+
+    def compose(
+        self, concept: str, items: Sequence[ContextItem]
+    ) -> "Tuple[str, List[int], bool]":
+        """Build one claim sentence for ``concept`` from retrieved items.
+
+        Returns ``(text, citations, supported)``.  Evidence-bearing items
+        are cited first; when none carries evidence the top-ranked item is
+        cited anyway (every claim must point at retrieved context) but the
+        claim is marked unsupported.
+        """
+        if not items:
+            return (
+                f"I could not retrieve anything about '{concept}'.",
+                [],
+                False,
+            )
+        backed = [item for item in items if self.has_evidence(concept, item)]
+        supported = bool(backed)
+        cited_items = (backed or list(items))[: self.max_citations]
+        citations = [item.object_id for item in cited_items]
+        refs = ", ".join(f"#{object_id}" for object_id in citations)
+        if supported:
+            lead = cited_items[0]
+            text = (
+                f"On '{concept}': object #{lead.object_id} "
+                f"(\"{lead.description}\") matches it directly"
+            )
+            if len(citations) > 1:
+                others = ", ".join(
+                    f"#{object_id}" for object_id in citations[1:]
+                )
+                text += f"; see also {others}"
+            text += "."
+        else:
+            text = (
+                f"On '{concept}': the closest retrieved item is {refs}, "
+                f"but its description does not confirm '{concept}'."
+            )
+        return text, citations, supported
+
+
+def claim_summary_line(claims: "Sequence[object]") -> Optional[str]:
+    """A one-line support tally appended to the agentic answer text.
+
+    ``claims`` are :class:`~repro.core.agentic.Claim`-likes (anything with
+    a ``supported`` attribute); returns None when there are none.
+    """
+    if not claims:
+        return None
+    supported = sum(1 for claim in claims if getattr(claim, "supported", False))
+    return f"(Evidence check: {supported}/{len(claims)} claims supported.)"

@@ -61,10 +61,17 @@ class PromptBuilder:
         """Assemble a request; trims context and history to the limits."""
         from repro.llm.base import GenerationRequest
 
+        # A zero-turn window must drop everything: history[-0:] is the
+        # whole list, not the empty one.
+        kept_history = (
+            tuple(history[-self.max_history_turns :])
+            if self.max_history_turns
+            else ()
+        )
         return GenerationRequest(
             user_query=user_query,
             context=tuple(context[: self.max_context_items]),
-            history=tuple(history[-self.max_history_turns :]),
+            history=kept_history,
             had_image=had_image,
         )
 

@@ -20,7 +20,7 @@ from repro.retrieval.base import (
     search_capabilities,
 )
 from repro.retrieval.diversify import diversify
-from repro.retrieval.fusion import FusionStrategy, fuse_rankings
+from repro.retrieval.fusion import FusionStrategy, fuse_rankings, fuse_responses
 from repro.retrieval.je import JointEmbeddingRetrieval
 from repro.retrieval.mr import MultiStreamedRetrieval
 from repro.retrieval.must import MustRetrieval
@@ -43,6 +43,7 @@ __all__ = [
     "build_framework",
     "diversify",
     "fuse_rankings",
+    "fuse_responses",
     "register_framework",
     "search_capabilities",
 ]

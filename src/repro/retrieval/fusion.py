@@ -10,9 +10,13 @@ encoders with different output spaces).
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.errors import RetrievalError
+from repro.index.base import SearchStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.retrieval.base import RetrievalResponse
 
 
 class FusionStrategy(str, enum.Enum):
@@ -147,3 +151,52 @@ def fuse_rankings(
     if strategy is FusionStrategy.COMBSUM:
         return _combsum(rankings, distances, k, stream_weights)
     return _round_robin(rankings, k)
+
+
+def fuse_responses(
+    responses: "Sequence[RetrievalResponse]",
+    k: int,
+    strategy: FusionStrategy = FusionStrategy.RRF,
+    rrf_constant: float = 60.0,
+    stream_weights: "Sequence[float] | None" = None,
+) -> "RetrievalResponse":
+    """Merge whole :class:`~repro.retrieval.base.RetrievalResponse`s.
+
+    The agentic answerer's cross-hop merge: each hop's response is one
+    stream, fused exactly like MR fuses per-modality streams.  Objects
+    surfacing in several hops (likely members of the composed-concept
+    neighbourhood) accumulate reciprocal-rank mass and float up.
+
+    The merged response carries the first response's framework name, the
+    summed work counters of every hop, and the union of degraded reasons;
+    per-modality breakdowns and cost ledgers stay on the originals.
+    """
+    from repro.retrieval.base import RetrievalResponse, RetrievedItem
+
+    if not responses:
+        raise RetrievalError("fusion needs at least one response")
+    fused = fuse_rankings(
+        [response.ids for response in responses],
+        [[item.score for item in response.items] for response in responses],
+        k,
+        strategy=strategy,
+        rrf_constant=rrf_constant,
+        stream_weights=stream_weights,
+    )
+    stats = SearchStats()
+    for response in responses:
+        stats.merge(response.stats)
+    degraded: List[str] = []
+    for response in responses:
+        for reason in response.degraded_reasons:
+            if reason not in degraded:
+                degraded.append(reason)
+    return RetrievalResponse(
+        framework=responses[0].framework,
+        items=[
+            RetrievedItem(object_id=object_id, score=score, rank=rank)
+            for rank, (object_id, score) in enumerate(fused)
+        ],
+        stats=stats,
+        degraded_reasons=degraded,
+    )

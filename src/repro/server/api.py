@@ -123,6 +123,7 @@ class ApiServer:
     _SESSION_ROUTES: FrozenSet[Tuple[str, str]] = frozenset(
         {
             ("POST", "/query"),
+            ("POST", "/ask"),
             ("POST", "/select"),
             ("POST", "/refine"),
             ("POST", "/reject"),
@@ -134,6 +135,7 @@ class ApiServer:
     _ADMITTED_ROUTES: FrozenSet[Tuple[str, str]] = frozenset(
         {
             ("POST", "/query"),
+            ("POST", "/ask"),
             ("POST", "/refine"),
             ("POST", "/search"),
         }
@@ -181,6 +183,7 @@ class ApiServer:
             ("GET", "/status"): self._get_status,
             ("GET", "/weights"): self._get_weights,
             ("POST", "/query"): self._post_query,
+            ("POST", "/ask"): self._post_ask,
             ("POST", "/select"): self._post_select,
             ("POST", "/refine"): self._post_refine,
             ("GET", "/transcript"): self._get_transcript,
@@ -511,6 +514,12 @@ class ApiServer:
             payload["cost"] = answer.cost.to_dict()
         if answer.plan is not None:
             payload["plan"] = answer.plan.to_dict()
+        # Agentic rounds only — absent keys keep non-agentic payloads
+        # bit-identical to the pre-agentic server.
+        if answer.claims is not None:
+            payload["claims"] = [claim.to_dict() for claim in answer.claims]
+        if answer.groundedness is not None:
+            payload["groundedness"] = round(answer.groundedness, 4)
         return payload
 
     def _timed_verb(self, coordinator: Coordinator, verb: str, fn: Callable[[], Any]):
@@ -558,7 +567,7 @@ class ApiServer:
             if coordinator.slo is not None:
                 coordinator.slo.observe(elapsed * 1000.0)
             self._query_seconds += elapsed
-            if verb == "query":
+            if verb in ("query", "ask"):
                 self._query_count += 1
             else:
                 self._refine_count += 1
@@ -582,6 +591,30 @@ class ApiServer:
             coordinator,
             "query",
             lambda: qa.session.ask(
+                text, image=image, weights=weights, deadline_ms=deadline_ms
+            ),
+        )
+        return {"answer": self._answer_payload(answer)}
+
+    def _post_ask(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /ask`` — the multi-hop agentic mode of ``/query``.
+
+        With ``config.agentic`` off the round falls through to the
+        single-hop path and the response payload is bit-identical to
+        ``POST /query`` for the same body.
+        """
+        coordinator, qa = self._require_system(body)
+        text = self._require_field(body, "text")
+        image = None
+        if "reference_object_id" in body and body["reference_object_id"] is not None:
+            reference = coordinator.get_object(int(body["reference_object_id"]))
+            image = reference.get(Modality.IMAGE)
+        weights = body.get("weights")
+        deadline_ms = self._deadline_override(body)
+        answer = self._timed_verb(
+            coordinator,
+            "ask",
+            lambda: qa.session.ask_agentic(
                 text, image=image, weights=weights, deadline_ms=deadline_ms
             ),
         )
@@ -834,6 +867,11 @@ class ApiServer:
                 else None
             ),
             "cache": cache.snapshot() if cache is not None else None,
+            "agentic": (
+                coordinator.agentic.snapshot()
+                if coordinator.agentic is not None
+                else None
+            ),
         }
         if coordinator.stats is None:
             return {"enabled": False, "stats": None, "tiered": tiered, **planning}
@@ -888,6 +926,11 @@ class ApiServer:
             "admission": (
                 coordinator.admission.snapshot()
                 if coordinator.admission is not None
+                else None
+            ),
+            "agentic": (
+                coordinator.agentic.snapshot()
+                if coordinator.agentic is not None
                 else None
             ),
         }

@@ -1,0 +1,120 @@
+"""Unit tests for query decomposition and claim phrasing."""
+
+import pytest
+
+from repro.core.agentic import QueryDecomposer
+from repro.llm.agentic import (
+    REFINE_TEMPLATES,
+    SUBQUERY_TEMPLATES,
+    ClaimSynthesizer,
+    claim_summary_line,
+    render_subquery,
+)
+from repro.llm.prompts import ContextItem
+
+
+def item(object_id, description):
+    return ContextItem(object_id=object_id, description=description, score=-0.1)
+
+
+class TestRenderSubquery:
+    def test_temperature_zero_is_first_template(self):
+        assert render_subquery("foggy", seed=3) == SUBQUERY_TEMPLATES[0].format(
+            concept="foggy"
+        )
+
+    def test_positive_temperature_is_seed_deterministic(self):
+        first = render_subquery("foggy", seed=11, temperature=0.8)
+        again = render_subquery("foggy", seed=11, temperature=0.8)
+        assert first == again
+        assert "foggy" in first
+
+    def test_refine_phrasing_doubles_the_concept(self):
+        text = render_subquery("rainy", seed=0, refine=True)
+        assert text == REFINE_TEMPLATES[0].format(concept="rainy")
+        assert text.count("rainy") == 2
+
+
+class TestQueryDecomposer:
+    def test_concepts_dedup_in_mention_order(self, scenes_kb):
+        decomposer = QueryDecomposer(scenes_kb.space)
+        assert decomposer.concepts("rainy then foggy then rainy again") == [
+            "rainy",
+            "foggy",
+        ]
+
+    def test_unknown_words_produce_no_hops(self, scenes_kb):
+        decomposer = QueryDecomposer(scenes_kb.space)
+        assert decomposer.decompose("quantum flux capacitors") == []
+
+    def test_max_hops_caps_decomposition(self, scenes_kb):
+        decomposer = QueryDecomposer(scenes_kb.space, max_hops=2)
+        subqueries = decomposer.decompose("foggy rainy sunny stormy")
+        assert len(subqueries) == 2
+        assert [s.hop for s in subqueries] == [1, 2]
+        assert [s.concept for s in subqueries] == ["foggy", "rainy"]
+
+    def test_decompose_is_deterministic(self, scenes_kb):
+        one = QueryDecomposer(scenes_kb.space, seed=7)
+        two = QueryDecomposer(scenes_kb.space, seed=7)
+        assert one.decompose("foggy rainy peaks") == two.decompose(
+            "foggy rainy peaks"
+        )
+
+    def test_invalid_max_hops_rejected(self, scenes_kb):
+        with pytest.raises(ValueError, match="max_hops"):
+            QueryDecomposer(scenes_kb.space, max_hops=0)
+
+
+class TestClaimSynthesizer:
+    def test_supported_claim_cites_evidence_first(self):
+        synthesizer = ClaimSynthesizer()
+        text, citations, supported = synthesizer.compose(
+            "foggy",
+            [item(3, "a sunny field"), item(9, "very foggy cliffs")],
+        )
+        assert supported
+        assert citations[0] == 9
+        assert "#9" in text
+
+    def test_unsupported_claim_still_cites_top_item(self):
+        synthesizer = ClaimSynthesizer()
+        text, citations, supported = synthesizer.compose(
+            "foggy", [item(4, "a sunny field"), item(5, "warm dunes")]
+        )
+        assert not supported
+        assert citations == [4, 5]
+        assert "does not confirm" in text
+
+    def test_empty_retrieval_yields_citation_free_claim(self):
+        text, citations, supported = ClaimSynthesizer().compose("foggy", [])
+        assert citations == [] and not supported
+        assert "could not retrieve" in text
+
+    def test_max_citations_bounds_the_list(self):
+        synthesizer = ClaimSynthesizer(max_citations=2)
+        items = [item(i, f"foggy view {i}") for i in range(5)]
+        _, citations, _ = synthesizer.compose("foggy", items)
+        assert citations == [0, 1]
+
+    def test_invalid_max_citations_rejected(self):
+        with pytest.raises(ValueError, match="max_citations"):
+            ClaimSynthesizer(max_citations=0)
+
+    def test_evidence_check_is_token_based(self):
+        assert ClaimSynthesizer.has_evidence("foggy", item(0, "Foggy peaks"))
+        # Substrings are not token matches.
+        assert not ClaimSynthesizer.has_evidence("fog", item(0, "foggy peaks"))
+
+
+class TestClaimSummaryLine:
+    def test_tallies_supported_claims(self):
+        class Stub:
+            def __init__(self, supported):
+                self.supported = supported
+
+        line = claim_summary_line([Stub(True), Stub(False), Stub(True)])
+        assert line == "(Evidence check: 2/3 claims supported.)"
+
+    def test_no_claims_no_line(self):
+        assert claim_summary_line([]) is None

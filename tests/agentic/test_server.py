@@ -1,0 +1,81 @@
+"""Serving-surface tests: ``POST /ask``, ``GET /stats``, ``GET /health``."""
+
+import pytest
+
+from repro.server import ApiServer
+
+from tests.agentic.conftest import agentic_config
+
+QUESTION = "a foggy and rainy mountain scene"
+
+
+@pytest.fixture(scope="module")
+def agentic_server(scenes_kb):
+    server = ApiServer(
+        agentic_config(cost_accounting=True), knowledge_base=scenes_kb
+    )
+    assert server.handle("POST", "/apply")["ok"]
+    return server
+
+
+class TestAskEndpoint:
+    def test_ask_returns_cited_claims(self, agentic_server):
+        response = agentic_server.handle("POST", "/ask", {"text": QUESTION})
+        assert response["ok"]
+        answer = response["answer"]
+        assert answer["claims"], "agentic payload must carry claims"
+        for claim in answer["claims"]:
+            assert {
+                "concept", "text", "citations", "supported", "hop", "refined",
+            } <= set(claim)
+            assert claim["citations"], "every claim must cite evidence"
+        assert 0.0 <= answer["groundedness"] <= 1.0
+
+    def test_ask_payload_is_json_ready(self, agentic_server):
+        import json
+
+        response = agentic_server.handle("POST", "/ask", {"text": QUESTION})
+        json.dumps(response)
+
+    def test_ask_cost_carries_agentic_stages(self, agentic_server):
+        response = agentic_server.handle("POST", "/ask", {"text": QUESTION})
+        stages = response["answer"]["cost"]["stage_ms"]
+        assert "agentic-decompose" in stages
+        assert "agentic-synthesize" in stages
+
+    def test_ask_requires_text(self, agentic_server):
+        response = agentic_server.handle("POST", "/ask", {})
+        assert not response["ok"]
+
+    def test_stats_exposes_agentic_snapshot(self, agentic_server):
+        agentic_server.handle("POST", "/ask", {"text": QUESTION})
+        response = agentic_server.handle("GET", "/stats")
+        assert response["ok"]
+        snapshot = response["agentic"]
+        assert snapshot["enabled"] is True
+        assert snapshot["questions"] >= 1
+        assert snapshot["mean_groundedness"] is not None
+
+    def test_health_exposes_agentic_snapshot(self, agentic_server):
+        response = agentic_server.handle("GET", "/health")
+        assert response["ok"]
+        assert response["agentic"]["enabled"] is True
+        assert response["agentic"]["max_hops"] == 4
+
+    def test_metrics_count_agentic_questions(self, agentic_server):
+        agentic_server.handle("POST", "/ask", {"text": QUESTION})
+        metrics = agentic_server._coordinator.metrics.snapshot()
+        counters = metrics["counters"]
+        assert counters["agentic.questions"] >= 1
+        assert counters["agentic.claims"] >= 2
+        assert counters["api.ask"] >= 1
+
+    def test_disabled_server_reports_agentic_none(self, scenes_kb):
+        server = ApiServer(
+            agentic_config(agentic=False), knowledge_base=scenes_kb
+        )
+        assert server.handle("POST", "/apply")["ok"]
+        for verb in ("/stats", "/health"):
+            response = server.handle("GET", verb)
+            assert response["ok"]
+            assert response["agentic"] is None

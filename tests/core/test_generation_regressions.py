@@ -1,0 +1,84 @@
+"""Regression tests for generation-context assembly.
+
+Two bugs lived in ``_context_items``: an unguarded ``kb.get`` that raised
+when a retrieved id no longer resolved (stale cache hit after a removal),
+and a ``"(no description)"`` placeholder that threw away the modality
+payloads of text-less objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generation import AnswerGeneration, context_items, describe_object
+from repro.data import DatasetSpec, generate_knowledge_base
+from repro.data.modality import Modality
+from repro.data.objects import MultiModalObject
+from repro.retrieval import RetrievalResponse, RetrievedItem
+
+STALE_ID = 9_999  # no longer resolvable in a 30-object base
+
+
+def response(ids):
+    return RetrievalResponse(
+        framework="must",
+        items=[
+            RetrievedItem(object_id=i, score=-0.1, rank=r)
+            for r, i in enumerate(ids)
+        ],
+    )
+
+
+@pytest.fixture()
+def small_kb():
+    return generate_knowledge_base(DatasetSpec(domain="scenes", size=30, seed=3))
+
+
+class TestStaleIdsSkipped:
+    def test_unresolvable_id_skipped_not_raised(self, small_kb):
+        # The id stops resolving between retrieval and generation — a
+        # stale cache hit or a concurrent removal.  Generation must not
+        # fail the whole round over it.
+        items = context_items(response([0, STALE_ID, 2]), small_kb)
+        assert [item.object_id for item in items] == [0, 2]
+
+    def test_generate_survives_stale_response(self, small_kb):
+        component = AnswerGeneration()  # no-LLM listing path
+        answer = component.generate(
+            "anything", response([0, STALE_ID, 2]), small_kb
+        )
+        assert [item.object_id for item in answer.items] == [0, 2]
+        assert f"#{STALE_ID}" not in answer.text
+
+    def test_all_ids_stale_yields_empty_context(self, small_kb):
+        assert context_items(response([STALE_ID]), small_kb) == []
+
+
+class TestModalityAwareDescriptions:
+    def test_text_objects_keep_their_description(self, small_kb):
+        obj = small_kb.get(0)
+        assert describe_object(obj) == str(obj.get(Modality.TEXT))
+
+    def test_image_only_object_names_modality_and_shape(self):
+        obj = MultiModalObject(
+            object_id=7, content={Modality.IMAGE: np.zeros((8, 8))}
+        )
+        assert describe_object(obj) == "[image 8x8 attachment]"
+
+    def test_multi_modality_attachment_lists_all(self):
+        obj = MultiModalObject(
+            object_id=8,
+            content={
+                Modality.IMAGE: np.zeros((4, 4)),
+                Modality.AUDIO: np.zeros(16),
+            },
+        )
+        assert describe_object(obj) == "[image 4x4 + audio 16 attachment]"
+
+    def test_shapeless_content_names_the_modality(self):
+        obj = MultiModalObject(object_id=9, content={Modality.AUDIO: [1, 2]})
+        assert describe_object(obj) == "[audio attachment]"
+
+    def test_context_items_carry_the_attachment_description(self, small_kb):
+        obj = small_kb.store.add(content={Modality.IMAGE: np.zeros((8, 8))})
+        items = context_items(response([obj.object_id]), small_kb)
+        assert items[0].description == "[image 8x8 attachment]"

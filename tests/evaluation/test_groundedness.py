@@ -1,0 +1,52 @@
+"""Tests for the oracle groundedness score over agentic claims."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.evaluation import claim_is_grounded, groundedness_score
+
+
+@dataclass
+class StubClaim:
+    concept: str
+    citations: List[int] = field(default_factory=list)
+
+
+class TestClaimIsGrounded:
+    def test_true_neighbour_citation_counts(self, scenes_kb):
+        truth = scenes_kb.ground_truth_for_concepts(["foggy"], 10)
+        assert claim_is_grounded(scenes_kb, "foggy", [truth[0]])
+
+    def test_off_neighbourhood_citation_does_not(self, scenes_kb):
+        truth = set(scenes_kb.ground_truth_for_concepts(["foggy"], 10))
+        outsider = next(
+            obj.object_id for obj in scenes_kb if obj.object_id not in truth
+        )
+        assert not claim_is_grounded(scenes_kb, "foggy", [outsider])
+
+    def test_citation_free_claim_is_ungrounded(self, scenes_kb):
+        assert not claim_is_grounded(scenes_kb, "foggy", [])
+
+
+class TestGroundednessScore:
+    def test_fraction_of_grounded_claims(self, scenes_kb):
+        foggy = scenes_kb.ground_truth_for_concepts(["foggy"], 10)
+        rainy_truth = set(scenes_kb.ground_truth_for_concepts(["rainy"], 10))
+        off = next(
+            obj.object_id for obj in scenes_kb if obj.object_id not in rainy_truth
+        )
+        claims = [
+            StubClaim("foggy", [foggy[0]]),
+            StubClaim("rainy", [off]),
+        ]
+        assert groundedness_score(scenes_kb, claims) == 0.5
+
+    def test_empty_claim_list_scores_zero(self, scenes_kb):
+        assert groundedness_score(scenes_kb, []) == 0.0
+
+    def test_neighbourhood_size_is_tunable(self, scenes_kb):
+        truth = scenes_kb.ground_truth_for_concepts(["foggy"], 10)
+        marginal = truth[-1]
+        claim = StubClaim("foggy", [marginal])
+        assert groundedness_score(scenes_kb, [claim], k=10) == 1.0
+        assert groundedness_score(scenes_kb, [claim], k=1) in (0.0, 1.0)

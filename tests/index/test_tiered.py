@@ -67,6 +67,28 @@ class TestTieredStore:
         store.close()
         assert not os.path.exists(path)
 
+    def test_close_releases_the_block_device(self, unit_vectors):
+        store = TieredStore(TieredParams())
+        store.build(unit_vectors[:10])
+        assert store.device is not None
+        store.close()
+        # A closed store must stop reporting live cache state: the device
+        # (and its counters) go away together with the memmap.
+        assert store.device is None
+        assert store.snapshot()["mmap_blocks"] == 0
+
+    def test_close_is_idempotent(self, unit_vectors):
+        store = TieredStore(TieredParams())
+        store.build(unit_vectors[:10])
+        store.close()
+        store.close()  # second close must be a no-op, not an error
+        assert store.device is None
+
+    def test_close_before_build_is_a_noop(self):
+        store = TieredStore(TieredParams())
+        store.close()
+        assert store.device is None
+
     def test_decoded_view_matches_quantizer(self, unit_vectors):
         matrix = unit_vectors[:50]
         store = TieredStore(TieredParams(bits=8))

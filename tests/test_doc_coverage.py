@@ -51,6 +51,23 @@ class TestDocCoverage:
             member = getattr(module, name)
             assert (member.__doc__ or "").strip(), f"{name} undocumented"
 
+    def test_agentic_module_is_covered(self):
+        """The PR 10 agentic modules must be walked and documented.
+
+        Same guard as the earlier pins: an import error would drop the
+        modules from the walk and exempt them from every other check.
+        """
+        assert "repro.core.agentic" in MODULES
+        module = importlib.import_module("repro.core.agentic")
+        assert (module.__doc__ or "").strip()
+        for name in ("QueryDecomposer", "Claim", "AgenticAnswerer", "SubQuery"):
+            member = getattr(module, name)
+            assert (member.__doc__ or "").strip(), f"{name} undocumented"
+        assert "repro.llm.agentic" in MODULES
+        llm_module = importlib.import_module("repro.llm.agentic")
+        assert (llm_module.__doc__ or "").strip()
+        assert (llm_module.ClaimSynthesizer.__doc__ or "").strip()
+
     def test_all_modules_documented(self):
         undocumented = []
         for module_name in MODULES:
